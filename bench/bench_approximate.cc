@@ -1,0 +1,82 @@
+// Approximate functional dependencies (TANE's g₃ mode, the capability
+// the paper credits TANE with in §5.1): sweeps the error threshold ε on
+// a noisy workload and reports how the discovered cover grows, plus the
+// exact-mode baseline. Every reported FD is spot-verified to satisfy the
+// bound.
+//
+// Flags: --attrs=N --tuples=N --rate=PERCENT --seed=N
+//        --epsilons=0,1,2,5,10 (percent)
+
+#include <cstdio>
+
+#include "common/arg_parser.h"
+#include "common/stopwatch.h"
+#include "datagen/synthetic.h"
+#include "fd/satisfaction.h"
+#include "tane/tane.h"
+
+using namespace depminer;
+
+int main(int argc, char** argv) {
+  ArgParser parser;
+  (void)parser.Parse(argc, argv);
+  const size_t attrs = static_cast<size_t>(parser.GetInt("attrs", 12));
+  const size_t tuples = static_cast<size_t>(parser.GetInt("tuples", 3000));
+  const double rate = parser.GetDouble("rate", 40.0) / 100.0;
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
+  const std::vector<int64_t> epsilons =
+      parser.GetIntList("epsilons", {0, 1, 2, 5, 10});
+
+  SyntheticConfig config;
+  config.num_attributes = attrs;
+  config.num_tuples = tuples;
+  config.identical_rate = rate;
+  config.seed = seed;
+  Result<Relation> data = GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& r = data.value();
+
+  std::printf("== Approximate FDs, TANE g3 mode (|R|=%zu, |r|=%zu, "
+              "c=%.0f%%) ==\n",
+              attrs, tuples, rate * 100);
+  std::printf("%-10s %-10s %-10s %-12s\n", "eps(%)", "seconds", "fds",
+              "candidates");
+
+  size_t exact_count = 0;
+  for (int64_t eps : epsilons) {
+    TaneOptions options;
+    options.max_g3_error = static_cast<double>(eps) / 100.0;
+    Stopwatch timer;
+    Result<TaneResult> result = TaneDiscover(r, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "tane: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (eps == 0) exact_count = result.value().fds.size();
+
+    // Spot-verify the bound on up to 200 reported FDs.
+    size_t checked = 0;
+    for (const FunctionalDependency& fd : result.value().fds.fds()) {
+      if (checked++ >= 200) break;
+      const double g3 = G3Error(r, fd.lhs, fd.rhs);
+      if (g3 > options.max_g3_error + 1e-12) {
+        std::fprintf(stderr, "BOUND VIOLATION: %s has g3=%.4f > %.4f\n",
+                     fd.ToString().c_str(), g3, options.max_g3_error);
+        return 1;
+      }
+    }
+
+    std::printf("%-10lld %-10.3f %-10zu %-12zu\n",
+                static_cast<long long>(eps), seconds,
+                result.value().fds.size(),
+                result.value().stats.candidates_generated);
+  }
+  std::printf("(exact cover: %zu FDs; approximate covers shrink the lhs "
+              "sizes and typically grow the count)\n",
+              exact_count);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations the
+// paper's cost model rests on: partition extraction, stripped-partition
+// products, the three agree-set computations, minimal transversals, and
+// closure computation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/agree_sets.h"
+#include "core/dep_miner.h"
+#include "core/max_sets.h"
+#include "datagen/synthetic.h"
+#include "fd/fd_set.h"
+#include "hypergraph/berge_transversals.h"
+#include "hypergraph/levelwise_transversals.h"
+#include "partition/partition_database.h"
+#include "partition/partition_product.h"
+#include "tane/tane.h"
+
+namespace depminer {
+namespace {
+
+Relation MakeData(size_t attrs, size_t tuples, double rate) {
+  SyntheticConfig config;
+  config.num_attributes = attrs;
+  config.num_tuples = tuples;
+  config.identical_rate = rate;
+  config.seed = 7;
+  Result<Relation> r = GenerateSynthetic(config);
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+void BM_StrippedPartitionExtraction(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)),
+                              static_cast<size_t>(state.range(1)), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StrippedPartitionDatabase::FromRelation(r));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.num_tuples()) *
+                          static_cast<int64_t>(r.num_attributes()));
+}
+BENCHMARK(BM_StrippedPartitionExtraction)
+    ->Args({10, 1000})
+    ->Args({10, 10000})
+    ->Args({40, 10000});
+
+void BM_PartitionProduct(benchmark::State& state) {
+  const Relation r =
+      MakeData(2, static_cast<size_t>(state.range(0)), 0.2);
+  const StrippedPartition a = StrippedPartition::ForAttribute(r, 0);
+  const StrippedPartition b = StrippedPartition::ForAttribute(r, 1);
+  PartitionProductWorkspace ws(r.num_tuples());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.Product(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.num_tuples()));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MaximalEquivalenceClasses(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)), 5000, 0.4);
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximalEquivalenceClasses(db));
+  }
+}
+BENCHMARK(BM_MaximalEquivalenceClasses)->Arg(10)->Arg(30);
+
+void BM_AgreeSetsNaive(benchmark::State& state) {
+  const Relation r = MakeData(10, static_cast<size_t>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAgreeSetsNaive(r));
+  }
+}
+BENCHMARK(BM_AgreeSetsNaive)->Arg(200)->Arg(1000);
+
+void BM_AgreeSetsCouples(benchmark::State& state) {
+  const Relation r = MakeData(10, static_cast<size_t>(state.range(0)), 0.3);
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAgreeSetsCouples(db));
+  }
+}
+BENCHMARK(BM_AgreeSetsCouples)->Arg(200)->Arg(1000)->Arg(10000);
+
+void BM_AgreeSetsIdentifiers(benchmark::State& state) {
+  const Relation r = MakeData(10, static_cast<size_t>(state.range(0)), 0.3);
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAgreeSetsIdentifiers(db));
+  }
+}
+BENCHMARK(BM_AgreeSetsIdentifiers)->Arg(200)->Arg(1000)->Arg(10000);
+
+void BM_LevelwiseTransversals(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)), 2000, 0.5);
+  const MaxSetResult max = ComputeMaxSets(ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r)));
+  for (auto _ : state) {
+    for (AttributeId a = 0; a < max.num_attributes; ++a) {
+      Hypergraph h(max.num_attributes, max.cmax_sets[a]);
+      benchmark::DoNotOptimize(LevelwiseMinimalTransversals(h));
+    }
+  }
+}
+BENCHMARK(BM_LevelwiseTransversals)->Arg(10)->Arg(20);
+
+void BM_BergeTransversals(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)), 2000, 0.5);
+  const MaxSetResult max = ComputeMaxSets(ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r)));
+  for (auto _ : state) {
+    for (AttributeId a = 0; a < max.num_attributes; ++a) {
+      Hypergraph h(max.num_attributes, max.cmax_sets[a]);
+      benchmark::DoNotOptimize(BergeMinimalTransversals(h));
+    }
+  }
+}
+BENCHMARK(BM_BergeTransversals)->Arg(10)->Arg(20);
+
+void BM_DepMinerEndToEnd(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)),
+                              static_cast<size_t>(state.range(1)), 0.3);
+  for (auto _ : state) {
+    DepMinerOptions options;
+    options.agree_set_algorithm = AgreeSetAlgorithm::kIdentifiers;
+    benchmark::DoNotOptimize(MineDependencies(r, options));
+  }
+}
+BENCHMARK(BM_DepMinerEndToEnd)->Args({10, 1000})->Args({20, 5000});
+
+void BM_TaneEndToEnd(benchmark::State& state) {
+  const Relation r = MakeData(static_cast<size_t>(state.range(0)),
+                              static_cast<size_t>(state.range(1)), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TaneDiscover(r));
+  }
+}
+BENCHMARK(BM_TaneEndToEnd)->Args({10, 1000})->Args({20, 5000});
+
+void BM_FdClosure(benchmark::State& state) {
+  // A chain A->B->...->last: closure of {A} must chase the whole chain.
+  const size_t n = static_cast<size_t>(state.range(0));
+  FdSet fds(n);
+  for (AttributeId a = 0; a + 1 < n; ++a) {
+    fds.Add(AttributeSet::Single(a), a + 1);
+  }
+  const AttributeSet start = AttributeSet::Single(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fds.Closure(start));
+  }
+}
+BENCHMARK(BM_FdClosure)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace depminer
+
+BENCHMARK_MAIN();

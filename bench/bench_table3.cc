@@ -1,0 +1,18 @@
+// Reproduces Table 3 of the paper (and the data behind Figures 2 and 3):
+// execution times of Dep-Miner / Dep-Miner 2 / TANE and sizes of
+// real-world Armstrong relations on synthetic data *without constraints*
+// (correlation parameter c = 0: each cell drawn from |r| candidate
+// values).
+//
+// Default grid is scaled down to finish in minutes; pass --full for the
+// paper's 10..60 attributes × 10k..100k tuples grid, or override with
+// --attrs=... --tuples=... --timeout=... --figure.
+
+#include "table_harness.h"
+
+int main(int argc, char** argv) {
+  depminer::bench::TableConfig config = depminer::bench::ParseTableArgs(
+      argc, argv, "Table 3 / Figures 2-3: data without constraints (c=0)",
+      /*identical_rate=*/0.0);
+  return depminer::bench::RunTable(config);
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 4 of the paper (and the data behind Figures 4 and 5):
+// execution times and Armstrong sizes on correlated data with c = 30%
+// (each cell drawn from 0.3·|r| candidate values).
+
+#include "table_harness.h"
+
+int main(int argc, char** argv) {
+  depminer::bench::TableConfig config = depminer::bench::ParseTableArgs(
+      argc, argv, "Table 4 / Figures 4-5: correlated data (c=30%)",
+      /*identical_rate=*/0.30);
+  return depminer::bench::RunTable(config);
+}

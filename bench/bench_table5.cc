@@ -1,0 +1,12 @@
+// Reproduces Table 5 of the paper (and the data behind Figures 6 and 7):
+// execution times and Armstrong sizes on correlated data with c = 50%
+// (each cell drawn from 0.5·|r| candidate values).
+
+#include "table_harness.h"
+
+int main(int argc, char** argv) {
+  depminer::bench::TableConfig config = depminer::bench::ParseTableArgs(
+      argc, argv, "Table 5 / Figures 6-7: correlated data (c=50%)",
+      /*identical_rate=*/0.50);
+  return depminer::bench::RunTable(config);
+}

@@ -1,0 +1,83 @@
+// Thread-scaling of the parallelized pipeline stages: Dep-Miner's
+// per-attribute extraction + transversal searches, and TANE's per-level
+// partition products. Results are verified identical across thread
+// counts before times are reported.
+//
+// Flags: --attrs=N --tuples=N --rate=PERCENT --seed=N --threads=1,2,4,8
+
+#include <cstdio>
+
+#include "common/arg_parser.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "core/dep_miner.h"
+#include "datagen/synthetic.h"
+#include "tane/tane.h"
+
+using namespace depminer;
+
+int main(int argc, char** argv) {
+  ArgParser parser;
+  (void)parser.Parse(argc, argv);
+  const size_t attrs = static_cast<size_t>(parser.GetInt("attrs", 40));
+  const size_t tuples = static_cast<size_t>(parser.GetInt("tuples", 10000));
+  const double rate = parser.GetDouble("rate", 50.0) / 100.0;
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
+  std::vector<int64_t> threads = parser.GetIntList("threads", {1, 2, 4, 8});
+
+  SyntheticConfig config;
+  config.num_attributes = attrs;
+  config.num_tuples = tuples;
+  config.identical_rate = rate;
+  config.seed = seed;
+  Result<Relation> data = GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& r = data.value();
+
+  std::printf("== Thread scaling (|R|=%zu, |r|=%zu, c=%.0f%%, %zu cores "
+              "available) ==\n",
+              attrs, tuples, rate * 100, DefaultThreadCount());
+  std::printf("%-10s %-14s %-10s\n", "threads", "depminer_s", "tane_s");
+
+  FdSet reference;
+  for (int64_t t : threads) {
+    DepMinerOptions dm_options;
+    dm_options.num_threads = static_cast<size_t>(t);
+    dm_options.build_armstrong = false;
+    Stopwatch timer;
+    Result<DepMinerResult> mined = MineDependencies(r, dm_options);
+    const double dm_seconds = timer.ElapsedSeconds();
+    if (!mined.ok()) {
+      std::fprintf(stderr, "dep-miner: %s\n",
+                   mined.status().ToString().c_str());
+      return 1;
+    }
+
+    TaneOptions tane_options;
+    tane_options.num_threads = static_cast<size_t>(t);
+    timer.Restart();
+    Result<TaneResult> tane = TaneDiscover(r, tane_options);
+    const double tane_seconds = timer.ElapsedSeconds();
+    if (!tane.ok()) {
+      std::fprintf(stderr, "tane: %s\n", tane.status().ToString().c_str());
+      return 1;
+    }
+
+    if (reference.Empty()) {
+      reference = mined.value().fds;
+    }
+    if (mined.value().fds.fds() != reference.fds() ||
+        tane.value().fds.fds() != reference.fds()) {
+      std::fprintf(stderr, "MISMATCH at %lld threads\n",
+                   static_cast<long long>(t));
+      return 1;
+    }
+
+    std::printf("%-10lld %-14.3f %-10.3f\n", static_cast<long long>(t),
+                dm_seconds, tane_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,295 @@
+#include "table_harness.h"
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/dep_miner.h"
+#include "datagen/synthetic.h"
+#include "tane/tane.h"
+
+namespace depminer::bench {
+
+namespace {
+
+/// Formats a seconds cell, using the paper's '*' for "did not finish".
+std::string TimeCell(double seconds) {
+  if (seconds < 0) return "*";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+CellResult RunCell(const TableConfig& config, size_t attrs, size_t tuples) {
+  CellResult cell;
+  cell.num_attributes = attrs;
+  cell.num_tuples = tuples;
+
+  SyntheticConfig data_config;
+  data_config.num_attributes = attrs;
+  data_config.num_tuples = tuples;
+  data_config.identical_rate = config.identical_rate;
+  data_config.fixed_domain = config.fixed_domain;
+  data_config.zipf_exponent = config.zipf_exponent;
+  // Distinct stream per cell so grid points are independent samples.
+  data_config.seed = config.seed * 1000003 + attrs * 101 + tuples;
+  Result<Relation> data = GenerateSynthetic(data_config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 data.status().ToString().c_str());
+    return cell;
+  }
+  const Relation& relation = data.value();
+
+  // The '*' policy: each algorithm that exceeds the timeout (checked
+  // after the fact — the algorithms are not interruptible, so keep cells
+  // small) is reported as '*' and larger cells on the same axis are not
+  // attempted. The paper used a two-hour threshold the same way.
+  FdSet reference;
+  bool have_reference = false;
+
+  {  // Dep-Miner: Algorithm 2 (couples) route.
+    DepMinerOptions options;
+    options.agree_set_algorithm = AgreeSetAlgorithm::kCouples;
+    Stopwatch timer;
+    Result<DepMinerResult> mined = MineDependencies(relation, options);
+    const double elapsed = timer.ElapsedSeconds();
+    if (mined.ok() && elapsed <= config.timeout_seconds) {
+      cell.depminer_seconds = elapsed;
+      cell.depminer_bytes = mined.value().stats.agree_working_bytes;
+      cell.num_fds = mined.value().fds.size();
+      if (mined.value().armstrong.has_value()) {
+        cell.armstrong_size = mined.value().armstrong->num_tuples();
+      }
+      reference = mined.value().fds;
+      have_reference = true;
+    }
+  }
+
+  {  // Dep-Miner 2: Algorithm 3 (identifier) route.
+    DepMinerOptions options;
+    options.agree_set_algorithm = AgreeSetAlgorithm::kIdentifiers;
+    options.build_armstrong = false;
+    Stopwatch timer;
+    Result<DepMinerResult> mined = MineDependencies(relation, options);
+    const double elapsed = timer.ElapsedSeconds();
+    if (mined.ok() && elapsed <= config.timeout_seconds) {
+      cell.depminer2_seconds = elapsed;
+      if (config.verify && have_reference &&
+          mined.value().fds.fds() != reference.fds()) {
+        cell.fds_agree = false;
+      }
+      if (!have_reference) {
+        cell.num_fds = mined.value().fds.size();
+        reference = mined.value().fds;
+        have_reference = true;
+      }
+    }
+  }
+
+  {  // TANE baseline.
+    Stopwatch timer;
+    Result<TaneResult> tane = TaneDiscover(relation);
+    const double elapsed = timer.ElapsedSeconds();
+    if (tane.ok() && elapsed <= config.timeout_seconds) {
+      cell.tane_seconds = elapsed;
+      cell.tane_bytes = tane.value().stats.peak_partition_bytes;
+      if (config.verify && have_reference &&
+          tane.value().fds.fds() != reference.fds()) {
+        cell.fds_agree = false;
+      }
+    }
+  }
+
+  return cell;
+}
+
+void PrintTimeTable(const TableConfig& config,
+                    const std::vector<std::vector<CellResult>>& grid) {
+  std::printf("\n-- Execution times in seconds ('*' = exceeded %.0fs) --\n",
+              config.timeout_seconds);
+  std::printf("%-8s %-12s", "|r|", "algorithm");
+  for (int64_t attrs : config.attributes) {
+    std::printf(" |R|=%-8lld", static_cast<long long>(attrs));
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < config.tuples.size(); ++row) {
+    const char* names[3] = {"Dep-Miner", "Dep-Miner 2", "TANE"};
+    for (int algo = 0; algo < 3; ++algo) {
+      std::printf("%-8lld %-12s",
+                  static_cast<long long>(config.tuples[row]), names[algo]);
+      for (size_t col = 0; col < config.attributes.size(); ++col) {
+        const CellResult& cell = grid[row][col];
+        const double t = algo == 0   ? cell.depminer_seconds
+                         : algo == 1 ? cell.depminer2_seconds
+                                     : cell.tane_seconds;
+        std::printf(" %-12s", TimeCell(t).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void PrintArmstrongTable(const TableConfig& config,
+                         const std::vector<std::vector<CellResult>>& grid) {
+  std::printf("\n-- Sizes of real-world Armstrong relations (tuples; '-' = "
+              "Proposition 1 fails, too few distinct values) --\n");
+  std::printf("%-8s", "|r|");
+  for (int64_t attrs : config.attributes) {
+    std::printf(" |R|=%-8lld", static_cast<long long>(attrs));
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < config.tuples.size(); ++row) {
+    std::printf("%-8lld", static_cast<long long>(config.tuples[row]));
+    for (size_t col = 0; col < config.attributes.size(); ++col) {
+      const size_t size = grid[row][col].armstrong_size;
+      if (size == 0) {
+        std::printf(" %-12s", "-");
+      } else {
+        std::printf(" %-12zu", size);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintMemoryTable(const TableConfig& config,
+                      const std::vector<std::vector<CellResult>>& grid) {
+  // Not a paper table: the working-set comparison that explains the
+  // paper's orderings and '*' cells on its 256 MB machine (see
+  // EXPERIMENTS.md). Dep-Miner's dominant structure is the couple list;
+  // TANE's is two consecutive levels of stripped partitions.
+  std::printf("\n-- Peak working set in MB (Dep-Miner couple list vs TANE "
+              "partitions) --\n");
+  std::printf("%-8s %-12s", "|r|", "algorithm");
+  for (int64_t attrs : config.attributes) {
+    std::printf(" |R|=%-8lld", static_cast<long long>(attrs));
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < config.tuples.size(); ++row) {
+    const char* names[2] = {"Dep-Miner", "TANE"};
+    for (int algo = 0; algo < 2; ++algo) {
+      std::printf("%-8lld %-12s",
+                  static_cast<long long>(config.tuples[row]), names[algo]);
+      for (size_t col = 0; col < config.attributes.size(); ++col) {
+        const CellResult& cell = grid[row][col];
+        const size_t bytes =
+            algo == 0 ? cell.depminer_bytes : cell.tane_bytes;
+        std::printf(" %-12.1f",
+                    static_cast<double>(bytes) / (1024.0 * 1024.0));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void PrintFigureSeries(const TableConfig& config,
+                       const std::vector<std::vector<CellResult>>& grid) {
+  // Times vs |r|, one series per (algorithm, |R|) — the data behind the
+  // paper's execution-time figures.
+  std::printf("\n-- Figure series: time_seconds(algorithm, |R|) vs |r| --\n");
+  std::printf("attrs,algorithm,tuples,seconds\n");
+  const char* names[3] = {"depminer", "depminer2", "tane"};
+  for (size_t col = 0; col < config.attributes.size(); ++col) {
+    for (int algo = 0; algo < 3; ++algo) {
+      for (size_t row = 0; row < config.tuples.size(); ++row) {
+        const CellResult& cell = grid[row][col];
+        const double t = algo == 0   ? cell.depminer_seconds
+                         : algo == 1 ? cell.depminer2_seconds
+                                     : cell.tane_seconds;
+        std::printf("%lld,%s,%lld,%s\n",
+                    static_cast<long long>(config.attributes[col]),
+                    names[algo], static_cast<long long>(config.tuples[row]),
+                    TimeCell(t).c_str());
+      }
+    }
+  }
+  // Armstrong size vs |r|, one series per |R| — the size figures.
+  std::printf("\n-- Figure series: armstrong_tuples(|R|) vs |r| --\n");
+  std::printf("attrs,tuples,armstrong_tuples\n");
+  for (size_t col = 0; col < config.attributes.size(); ++col) {
+    for (size_t row = 0; row < config.tuples.size(); ++row) {
+      std::printf("%lld,%lld,%zu\n",
+                  static_cast<long long>(config.attributes[col]),
+                  static_cast<long long>(config.tuples[row]),
+                  grid[row][col].armstrong_size);
+    }
+  }
+}
+
+}  // namespace
+
+TableConfig ParseTableArgs(int argc, const char* const* argv,
+                           std::string title, double identical_rate) {
+  ArgParser parser;
+  (void)parser.Parse(argc, argv);
+  TableConfig config;
+  config.title = std::move(title);
+  config.identical_rate = identical_rate;
+  if (parser.GetBool("full", false)) {
+    // The paper's original grid. Two-hour cutoff like the paper's.
+    config.attributes = {10, 20, 30, 40, 50, 60};
+    config.tuples = {10000, 20000, 30000, 50000, 100000};
+    config.timeout_seconds = 7200;
+  } else {
+    config.attributes = {10, 20, 30, 40};
+    config.tuples = {1000, 2500, 5000, 10000};
+    config.timeout_seconds = 120;
+  }
+  config.attributes = parser.GetIntList("attrs", config.attributes);
+  config.tuples = parser.GetIntList("tuples", config.tuples);
+  config.seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
+  config.fixed_domain = static_cast<size_t>(parser.GetInt("domain", 0));
+  config.zipf_exponent = parser.GetDouble("zipf", 0.0);
+  config.timeout_seconds =
+      parser.GetDouble("timeout", config.timeout_seconds);
+  config.figure_mode = parser.GetBool("figure", false);
+  config.verify = !parser.GetBool("no-verify", false);
+  return config;
+}
+
+int RunTable(const TableConfig& config) {
+  std::printf("== %s ==\n", config.title.c_str());
+  if (config.fixed_domain != 0) {
+    std::printf("fixed domain = %zu values/attribute, seed = %llu\n",
+                config.fixed_domain,
+                static_cast<unsigned long long>(config.seed));
+  } else {
+    std::printf("correlation c = %.0f%%, seed = %llu\n",
+                config.identical_rate * 100,
+                static_cast<unsigned long long>(config.seed));
+  }
+
+  std::vector<std::vector<CellResult>> grid(
+      config.tuples.size(),
+      std::vector<CellResult>(config.attributes.size()));
+  bool all_agree = true;
+  for (size_t row = 0; row < config.tuples.size(); ++row) {
+    for (size_t col = 0; col < config.attributes.size(); ++col) {
+      grid[row][col] =
+          RunCell(config, static_cast<size_t>(config.attributes[col]),
+                  static_cast<size_t>(config.tuples[row]));
+      if (!grid[row][col].fds_agree) {
+        all_agree = false;
+        std::fprintf(stderr,
+                     "FD mismatch between algorithms at |R|=%lld |r|=%lld\n",
+                     static_cast<long long>(config.attributes[col]),
+                     static_cast<long long>(config.tuples[row]));
+      }
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  PrintTimeTable(config, grid);
+  PrintArmstrongTable(config, grid);
+  PrintMemoryTable(config, grid);
+  if (config.figure_mode) PrintFigureSeries(config, grid);
+  if (config.verify) {
+    std::printf("\nFD agreement across the three algorithms: %s\n",
+                all_agree ? "OK" : "MISMATCH");
+  }
+  return all_agree ? 0 : 1;
+}
+
+}  // namespace depminer::bench

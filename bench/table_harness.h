@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.h"
+
+namespace depminer::bench {
+
+/// One cell of the paper's benchmark grid.
+struct CellResult {
+  size_t num_attributes = 0;
+  size_t num_tuples = 0;
+  double depminer_seconds = -1;   ///< Algorithm 2 route; < 0 means '*'
+  double depminer2_seconds = -1;  ///< Algorithm 3 route
+  double tane_seconds = -1;
+  size_t depminer_bytes = 0;      ///< couple-list working set (Alg. 2)
+  size_t tane_bytes = 0;          ///< TANE peak partition storage
+  size_t armstrong_size = 0;      ///< tuples of the real-world Armstrong
+  size_t num_fds = 0;
+  bool fds_agree = true;          ///< all three routes produced equal FDs
+};
+
+/// Configuration of a table run (one of the paper's Tables 3-5, which
+/// also carry Figures 2-7).
+struct TableConfig {
+  std::string title;
+  double identical_rate = 0.0;       ///< the paper's parameter c
+  size_t fixed_domain = 0;           ///< --domain: absolute pool size
+  double zipf_exponent = 0.0;        ///< --zipf: value skew (0 = uniform)
+  std::vector<int64_t> attributes;   ///< |R| axis
+  std::vector<int64_t> tuples;       ///< |r| axis
+  uint64_t seed = 42;
+  double timeout_seconds = 120;      ///< per-algorithm '*' cutoff
+  bool figure_mode = false;          ///< emit per-series rows for plotting
+  bool verify = true;                ///< cross-check the three FD sets
+};
+
+/// Parses the shared command-line interface of the table benches:
+///   --attrs=10,20,30 --tuples=1000,2000 --seed=N --timeout=SECONDS
+///   --figure --full --no-verify
+/// `--full` switches to the paper's original grid (10..60 attributes,
+/// 10k..100k tuples) — expect long runtimes.
+TableConfig ParseTableArgs(int argc, const char* const* argv,
+                           std::string title, double identical_rate);
+
+/// Runs one full grid and prints the paper-style tables: execution times
+/// per algorithm (Table N (a)) and real-world Armstrong sizes (Table N
+/// (b)). In figure mode, also prints the per-series rows behind the
+/// corresponding figures. Returns the process exit code (non-zero if some
+/// verification failed).
+int RunTable(const TableConfig& config);
+
+}  // namespace depminer::bench

@@ -1,0 +1,98 @@
+// Armstrong relation explorer: contrasts the classical synthetic
+// construction (Equation 1, integer placeholder values) with the paper's
+// real-world construction (Equation 2, values sampled from the input),
+// shows the Proposition 1 existence condition at work, and reports the
+// compression ratio the paper highlights (sample 2-4 orders of magnitude
+// smaller than the input).
+//
+//   ./armstrong_explorer [--attrs=10] [--tuples=20000] [--rate=30]
+//                        [--seed=42]
+
+#include <cstdio>
+
+#include "depminer.h"
+
+using namespace depminer;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  (void)args.Parse(argc, argv);
+  SyntheticConfig config;
+  config.num_attributes = static_cast<size_t>(args.GetInt("attrs", 10));
+  config.num_tuples = static_cast<size_t>(args.GetInt("tuples", 20000));
+  config.identical_rate = args.GetDouble("rate", 30.0) / 100.0;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  Result<Relation> data = GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& relation = data.value();
+
+  Result<DepMinerResult> mined = MineDependencies(relation);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<AttributeSet>& max_sets = mined.value().all_max_sets;
+
+  std::printf("Input: |R|=%zu, |r|=%zu, c=%.0f%%\n", config.num_attributes,
+              config.num_tuples, config.identical_rate * 100);
+  std::printf("Minimal FDs: %zu; |MAX(dep(r))| = %zu\n",
+              mined.value().fds.size(), max_sets.size());
+
+  // Proposition 1: per-attribute existence condition.
+  std::printf("\nProposition 1 check (distinct values vs required):\n");
+  bool exists = true;
+  for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+    size_t excluding = 0;
+    for (const AttributeSet& m : max_sets) {
+      if (!m.Contains(a)) ++excluding;
+    }
+    const size_t have = relation.DistinctCount(a);
+    const size_t need = excluding + 1;
+    if (have < need) exists = false;
+    std::printf("  %-4s |π_A(r)| = %-8zu needed = %-8zu %s\n",
+                relation.schema().name(a).c_str(), have, need,
+                have >= need ? "ok" : "INSUFFICIENT");
+  }
+
+  // The classical construction always exists.
+  const Relation synthetic =
+      BuildSyntheticArmstrong(relation.schema(), max_sets);
+  std::printf("\nSynthetic Armstrong relation (Equation 1): %zu tuples, "
+              "verification %s\n",
+              synthetic.num_tuples(),
+              IsArmstrongFor(synthetic, max_sets) ? "ok" : "FAILED");
+
+  // The real-world construction exists iff Proposition 1 holds.
+  Result<Relation> real = BuildRealWorldArmstrong(relation, max_sets);
+  if (real.ok()) {
+    const double ratio = static_cast<double>(relation.num_tuples()) /
+                         static_cast<double>(real.value().num_tuples());
+    std::printf("Real-world Armstrong relation (Equation 2): %zu tuples "
+                "(%.0fx smaller than the input), verification %s\n",
+                real.value().num_tuples(), ratio,
+                IsArmstrongFor(real.value(), max_sets) ? "ok" : "FAILED");
+    if (!exists) {
+      std::printf("  (unexpected: Proposition 1 reported insufficiency)\n");
+      return 1;
+    }
+    const size_t show = real.value().num_tuples() < 8
+                            ? real.value().num_tuples()
+                            : size_t{8};
+    std::printf("First %zu sample tuples:\n", show);
+    for (TupleId t = 0; t < show; ++t) {
+      std::printf("  %s\n", real.value().TupleToString(t).c_str());
+    }
+  } else {
+    std::printf("Real-world Armstrong relation does not exist: %s\n",
+                real.status().ToString().c_str());
+    if (exists) {
+      std::printf("  (unexpected: Proposition 1 reported sufficiency)\n");
+      return 1;
+    }
+  }
+  return 0;
+}

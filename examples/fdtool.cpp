@@ -1,0 +1,518 @@
+// fdtool — a command-line front end over the whole library, the utility a
+// dba would actually run against exported CSV data.
+//
+//   fdtool mine      data.csv [--algo=depminer|depminer2|tane|fastfds]
+//                             [--out=deps.fds]
+//   fdtool armstrong data.csv [--out=sample.csv] [--synthetic]
+//   fdtool keys      data.csv
+//   fdtool normalize data.csv
+//   fdtool verify    data.csv "A,B->C"          (attribute names)
+//   fdtool repair    data.csv "A,B->C" [--out=clean.csv]
+//   fdtool stats     data.csv
+//   fdtool profile   data.csv [--format=json|md]
+//   fdtool inds      a.csv b.csv ...             unary inclusion deps
+//   fdtool fks       a.csv b.csv ...             foreign-key suggestions
+//   fdtool implies   deps.fds "A,B->C"           derivation from a cover
+//   fdtool diff      old.fds new.fds             dependency drift
+//   fdtool catalog   dir <list|put NAME data.csv|get NAME|drop NAME>
+//   fdtool convert   data.csv out.dmc           (either direction by
+//                                                extension)
+//
+// Every command also accepts .dmc column files as input.
+// Common flags: --no-header --delimiter=';' --nulls-distinct
+//               --null-token=NA
+
+#include <cstdio>
+#include <string>
+
+#include "depminer.h"
+
+using namespace depminer;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fdtool "
+      "<mine|armstrong|keys|normalize|verify|stats|convert> data.csv\n"
+      "  mine      [--algo=depminer|depminer2|tane|fastfds]  list minimal "
+      "FDs\n"
+      "  armstrong [--out=sample.csv] [--synthetic]          build Armstrong "
+      "relation\n"
+      "  keys                                                candidate keys\n"
+      "  normalize                                           BCNF/3NF "
+      "analysis\n"
+      "  verify    \"A,B->C\"                                  check one FD\n"
+      "  repair    \"A,B->C\" [--out=clean.csv]                minimal "
+      "deletions making the FD hold\n"
+      "  stats                                               relation "
+      "statistics\n"
+      "  profile   [--format=json|md]                        full analysis "
+      "report\n"
+      "  inds      a.csv b.csv ...                           unary "
+      "inclusion dependencies\n"
+      "  fks       a.csv b.csv ...                           foreign-key "
+      "suggestions\n"
+      "  implies   deps.fds \"A,B->C\"                         derivation "
+      "from a saved cover\n"
+      "  diff      old.fds new.fds                           dependency "
+      "drift between covers\n"
+      "  catalog   dir list|put NAME f.csv|get NAME|drop NAME  manage a "
+      ".dmc workspace\n"
+      "  convert   out.dmc|out.csv                           re-encode "
+      "between formats\n"
+      "common: --no-header --delimiter=';' --nulls-distinct "
+      "--null-token=NA\n");
+  return 2;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Relation> Load(const ArgParser& args) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument("missing input path");
+  }
+  const std::string& path = args.positional()[1];
+  if (HasSuffix(path, ".dmc")) return ReadColumnFile(path);
+  CsvOptions options;
+  options.has_header = !args.GetBool("no-header", false);
+  const std::string delim = args.GetString("delimiter", ",");
+  if (!delim.empty()) options.delimiter = delim[0];
+  options.nulls_distinct = args.GetBool("nulls-distinct", false);
+  options.null_token = args.GetString("null-token", "");
+  return ReadCsvRelation(path, options);
+}
+
+Result<FdSet> Mine(const Relation& relation, const std::string& algo) {
+  if (algo == "tane") {
+    Result<TaneResult> tane = TaneDiscover(relation);
+    if (!tane.ok()) return tane.status();
+    return std::move(tane).value().fds;
+  }
+  if (algo == "fastfds") {
+    Result<FastFdsResult> fast = FastFdsDiscover(relation);
+    if (!fast.ok()) return fast.status();
+    return std::move(fast).value().fds;
+  }
+  DepMinerOptions options;
+  options.build_armstrong = false;
+  options.agree_set_algorithm = algo == "depminer2"
+                                    ? AgreeSetAlgorithm::kIdentifiers
+                                    : AgreeSetAlgorithm::kCouples;
+  Result<DepMinerResult> mined = MineDependencies(relation, options);
+  if (!mined.ok()) return mined.status();
+  return std::move(mined).value().fds;
+}
+
+/// Parses "A,B->C" using attribute names (or single letters for default
+/// schemas).
+Result<FunctionalDependency> ParseFd(const Relation& relation,
+                                     const std::string& text) {
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("expected 'lhs->rhs' in '" + text + "'");
+  }
+  FunctionalDependency fd;
+  const std::string lhs_text = text.substr(0, arrow);
+  const std::string rhs_text =
+      std::string(StripAsciiWhitespace(text.substr(arrow + 2)));
+  for (const std::string& raw : Split(lhs_text, ',')) {
+    const std::string name = std::string(StripAsciiWhitespace(raw));
+    if (name.empty()) continue;
+    Result<AttributeId> id = relation.schema().Find(name);
+    if (!id.ok()) return id.status();
+    fd.lhs.Add(id.value());
+  }
+  Result<AttributeId> rhs = relation.schema().Find(rhs_text);
+  if (!rhs.ok()) return rhs.status();
+  fd.rhs = rhs.value();
+  return fd;
+}
+
+int CmdMine(const Relation& relation, const ArgParser& args) {
+  Result<FdSet> fds = Mine(relation, args.GetString("algo", "depminer"));
+  if (!fds.ok()) {
+    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    Status st = SaveFdSet(fds.value(), relation.schema(), out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    for (const FunctionalDependency& fd : fds.value().fds()) {
+      std::printf("%s\n", fd.ToString(relation.schema()).c_str());
+    }
+  }
+  std::fprintf(stderr, "%zu minimal FDs\n", fds.value().size());
+  return 0;
+}
+
+int CmdConvert(const Relation& relation, const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  const std::string& out = args.positional()[2];
+  Status st = HasSuffix(out, ".dmc") ? WriteColumnFile(relation, out)
+                                     : WriteCsvRelation(relation, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu tuples)\n", out.c_str(),
+               relation.num_tuples());
+  return 0;
+}
+
+int CmdProfile(const Relation& relation, const ArgParser& args) {
+  const std::string source = args.positional()[1];
+  Result<RelationProfile> profile = ProfileRelation(relation, source);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "error: %s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  const std::string format = args.GetString("format", "md");
+  if (format == "json") {
+    std::printf("%s\n", ProfileToJson(profile.value()).c_str());
+  } else {
+    std::printf("%s", ProfileToMarkdown(profile.value()).c_str());
+  }
+  return 0;
+}
+
+int CmdArmstrong(const Relation& relation, const ArgParser& args) {
+  Result<DepMinerResult> mined = MineDependencies(relation);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  Relation sample;
+  if (args.GetBool("synthetic", false)) {
+    sample =
+        BuildSyntheticArmstrong(relation.schema(), mined.value().all_max_sets);
+  } else if (mined.value().armstrong.has_value()) {
+    sample = *mined.value().armstrong;
+  } else {
+    std::fprintf(stderr, "real-world Armstrong relation unavailable: %s\n",
+                 mined.value().armstrong_status.ToString().c_str());
+    std::fprintf(stderr, "hint: --synthetic always succeeds\n");
+    return 1;
+  }
+  const std::string out = args.GetString("out", "");
+  if (out.empty()) {
+    std::printf("%s", CsvToString(sample).c_str());
+  } else {
+    Status st = WriteCsvRelation(sample, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "%zu tuples (input had %zu)\n", sample.num_tuples(),
+               relation.num_tuples());
+  return 0;
+}
+
+int CmdKeys(const Relation& relation) {
+  Result<FdSet> fds = Mine(relation, "depminer");
+  if (!fds.ok()) {
+    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  for (const AttributeSet& key : CandidateKeys(fds.value())) {
+    std::printf("%s\n", key.ToString(relation.schema().names()).c_str());
+  }
+  return 0;
+}
+
+int CmdNormalize(const Relation& relation) {
+  Result<FdSet> fds = Mine(relation, "depminer");
+  if (!fds.ok()) {
+    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  NormalizationAnalysis analysis(relation.schema(), fds.value());
+  std::printf("%s", analysis.Report().c_str());
+  if (!analysis.InBcnf()) {
+    std::printf("3NF synthesis:\n");
+    for (const DecompositionFragment& frag : analysis.ThirdNfSynthesis()) {
+      std::printf("  R(%s)\n",
+                  frag.attributes.ToString(relation.schema().names()).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdVerify(const Relation& relation, const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  Result<FunctionalDependency> fd = ParseFd(relation, args.positional()[2]);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "error: %s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  const bool holds = Holds(relation, fd.value());
+  std::printf("%s: %s", fd.value().ToString(relation.schema()).c_str(),
+              holds ? "holds" : "violated");
+  if (holds) {
+    std::printf(" (%s)", IsMinimalFd(relation, fd.value())
+                             ? "minimal"
+                             : "not minimal");
+  } else {
+    std::printf(" (%zu violating pairs, g3 error %.4f)",
+                CountViolatingPairs(relation, fd.value().lhs, fd.value().rhs),
+                G3Error(relation, fd.value().lhs, fd.value().rhs));
+  }
+  std::printf("\n");
+  return holds ? 0 : 1;
+}
+
+int CmdRepair(const Relation& relation, const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  Result<FunctionalDependency> fd = ParseFd(relation, args.positional()[2]);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "error: %s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  const FdRepair repair = ComputeRepair(relation, fd.value());
+  std::fprintf(stderr, "%s: g3 = %.4f, %zu tuple(s) to remove\n",
+               fd.value().ToString(relation.schema()).c_str(), repair.g3,
+               repair.tuples_to_remove.size());
+  for (TupleId t : repair.tuples_to_remove) {
+    std::fprintf(stderr, "  row %u: %s\n", t + 1,
+                 relation.TupleToString(t).c_str());
+  }
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    Result<Relation> repaired =
+        ApplyRepair(relation, repair.tuples_to_remove);
+    if (!repaired.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   repaired.status().ToString().c_str());
+      return 1;
+    }
+    Status st = WriteCsvRelation(repaired.value(), out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu tuples)\n", out.c_str(),
+                 repaired.value().num_tuples());
+  }
+  return repair.tuples_to_remove.empty() ? 0 : 1;
+}
+
+int CmdStats(const Relation& relation) {
+  std::printf("attributes: %zu\n", relation.num_attributes());
+  std::printf("tuples:     %zu\n", relation.num_tuples());
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(relation);
+  for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+    std::printf("  %-20s distinct=%-8zu stripped_classes=%zu\n",
+                relation.schema().name(a).c_str(), relation.DistinctCount(a),
+                db.partition(a).num_classes());
+  }
+  std::printf("stripped memberships: %zu\n", db.TotalMemberships());
+  return 0;
+}
+
+}  // namespace
+
+Status LoadMany(const ArgParser& args, std::vector<Relation>* owned,
+                std::vector<std::string>* labels) {
+  for (size_t i = 1; i < args.positional().size(); ++i) {
+    CsvOptions options;
+    options.has_header = !args.GetBool("no-header", false);
+    Result<Relation> r = HasSuffix(args.positional()[i], ".dmc")
+                             ? ReadColumnFile(args.positional()[i])
+                             : ReadCsvRelation(args.positional()[i], options);
+    if (!r.ok()) return r.status();
+    owned->push_back(std::move(r).value());
+    labels->push_back(args.positional()[i]);
+  }
+  return Status::OK();
+}
+
+int CmdInds(const ArgParser& args) {
+  if (args.positional().size() < 2) return Usage();
+  std::vector<Relation> owned;
+  std::vector<std::string> labels;
+  Status st = LoadMany(args, &owned, &labels);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<const Relation*> relations;
+  relations.reserve(owned.size());
+  for (const Relation& r : owned) relations.push_back(&r);
+  const std::vector<UnaryInd> inds = DiscoverUnaryInds(relations);
+  for (const UnaryInd& ind : inds) {
+    std::printf("%s\n", IndToString(ind, relations, labels).c_str());
+  }
+  std::fprintf(stderr, "%zu unary inclusion dependencies\n", inds.size());
+  return 0;
+}
+
+int CmdFks(const ArgParser& args) {
+  if (args.positional().size() < 2) return Usage();
+  std::vector<Relation> owned;
+  std::vector<std::string> labels;
+  Status st = LoadMany(args, &owned, &labels);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<const Relation*> relations;
+  relations.reserve(owned.size());
+  for (const Relation& r : owned) relations.push_back(&r);
+  ForeignKeyOptions options;
+  options.skip_self_references = args.GetBool("no-self", false);
+  const std::vector<ForeignKeyCandidate> fks =
+      SuggestForeignKeys(relations, options);
+  for (const ForeignKeyCandidate& fk : fks) {
+    std::printf("%s%s\n", IndToString(fk.ind, relations, labels).c_str(),
+                fk.rhs_is_minimal_key ? "  (references a candidate key)"
+                                      : "  (references a unique column set)");
+  }
+  std::fprintf(stderr, "%zu foreign-key candidates\n", fks.size());
+  return 0;
+}
+
+int CmdImplies(const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  Schema schema;
+  Result<FdSet> fds = LoadFdSet(args.positional()[1], &schema);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& text = args.positional()[2];
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    std::fprintf(stderr, "error: expected 'lhs->rhs' in '%s'\n",
+                 text.c_str());
+    return 1;
+  }
+  AttributeSet lhs;
+  for (const std::string& raw : Split(text.substr(0, arrow), ',')) {
+    const std::string name = std::string(StripAsciiWhitespace(raw));
+    if (name.empty()) continue;
+    Result<AttributeId> id = schema.Find(name);
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    lhs.Add(id.value());
+  }
+  Result<AttributeId> rhs =
+      schema.Find(std::string(StripAsciiWhitespace(text.substr(arrow + 2))));
+  if (!rhs.ok()) {
+    std::fprintf(stderr, "error: %s\n", rhs.status().ToString().c_str());
+    return 1;
+  }
+  const Derivation d = ExplainImplication(fds.value(), lhs, rhs.value());
+  std::printf("%s", d.ToString(schema).c_str());
+  return d.implied ? 0 : 1;
+}
+
+int CmdDiff(const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  Schema old_schema, new_schema;
+  Result<FdSet> old_fds = LoadFdSet(args.positional()[1], &old_schema);
+  Result<FdSet> new_fds = LoadFdSet(args.positional()[2], &new_schema);
+  if (!old_fds.ok() || !new_fds.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!old_fds.ok() ? old_fds.status() : new_fds.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  if (!(old_schema == new_schema)) {
+    std::fprintf(stderr, "error: the two covers name different schemas\n");
+    return 1;
+  }
+  const FdSetDiff diff = DiffFdSets(old_fds.value(), new_fds.value());
+  std::printf("%s", diff.ToString(old_schema).c_str());
+  return diff.Equivalent() ? 0 : 1;
+}
+
+int CmdCatalog(const ArgParser& args) {
+  if (args.positional().size() < 3) return Usage();
+  Result<Catalog> catalog = Catalog::Open(args.positional()[1]);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "error: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& action = args.positional()[2];
+  if (action == "list") {
+    for (const std::string& name : catalog.value().List()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (action == "put" && args.positional().size() >= 5) {
+    Result<Relation> r = ReadCsvRelation(args.positional()[4]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    Status st = catalog.value().Put(args.positional()[3], r.value());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (action == "get" && args.positional().size() >= 4) {
+    Result<Relation> r = catalog.value().Get(args.positional()[3]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", CsvToString(r.value()).c_str());
+    return 0;
+  }
+  if (action == "drop" && args.positional().size() >= 4) {
+    Status st = catalog.value().Drop(args.positional()[3]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  (void)args.Parse(argc, argv);
+  if (args.positional().empty()) return Usage();
+  const std::string command = args.positional()[0];
+  if (command == "inds") return CmdInds(args);
+  if (command == "fks") return CmdFks(args);
+  if (command == "implies") return CmdImplies(args);
+  if (command == "diff") return CmdDiff(args);
+  if (command == "catalog") return CmdCatalog(args);
+
+  Result<Relation> input = Load(args);
+  if (!input.ok()) {
+    std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& relation = input.value();
+
+  if (command == "mine") return CmdMine(relation, args);
+  if (command == "armstrong") return CmdArmstrong(relation, args);
+  if (command == "keys") return CmdKeys(relation);
+  if (command == "normalize") return CmdNormalize(relation);
+  if (command == "verify") return CmdVerify(relation, args);
+  if (command == "repair") return CmdRepair(relation, args);
+  if (command == "stats") return CmdStats(relation);
+  if (command == "convert") return CmdConvert(relation, args);
+  if (command == "profile") return CmdProfile(relation, args);
+  return Usage();
+}

@@ -1,0 +1,119 @@
+// Logical tuning: the dba workflow the paper motivates in §1 and §4.
+//
+// A denormalized "orders" relation (with planted dependencies like the
+// redundancy bugs real schemas accumulate) is mined for FDs; the example
+// then derives candidate keys, diagnoses BCNF/3NF violations, proposes a
+// 3NF synthesis, and prints the real-world Armstrong sample a dba would
+// eyeball to decide which dependencies are semantic and which are
+// accidental.
+//
+//   ./logical_tuning [data.csv] [--tuples=N] [--seed=N]
+
+#include <cstdio>
+
+#include "depminer.h"
+
+using namespace depminer;
+
+namespace {
+
+/// A denormalized order-lines relation: customer determines city and
+/// zip determines city (classic normalization examples), product
+/// determines unit price.
+Result<Relation> GenerateOrders(size_t tuples, uint64_t seed) {
+  EmbeddedFdConfig config;
+  // A=order, B=customer, C=city, D=zip, E=product, F=price
+  config.num_attributes = 6;
+  config.num_tuples = tuples;
+  config.fds = {
+      {AttributeSet::FromLetters("B"), 3},  // customer -> zip
+      {AttributeSet::FromLetters("D"), 2},  // zip -> city
+      {AttributeSet::FromLetters("E"), 5},  // product -> price
+  };
+  config.domain_size = tuples / 4 + 3;
+  config.seed = seed;
+  Result<Relation> coded = GenerateWithEmbeddedFds(config);
+  if (!coded.ok()) return coded;
+  // Re-label with meaningful attribute names.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(coded.value().num_tuples());
+  for (TupleId t = 0; t < coded.value().num_tuples(); ++t) {
+    std::vector<std::string> row;
+    for (AttributeId a = 0; a < 6; ++a) {
+      row.push_back(coded.value().Value(t, a));
+    }
+    rows.push_back(std::move(row));
+  }
+  return MakeRelation(
+      Schema({"order_id", "customer", "city", "zip", "product", "price"}),
+      rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  (void)args.Parse(argc, argv);
+
+  Result<Relation> input =
+      args.positional().empty()
+          ? GenerateOrders(
+                static_cast<size_t>(args.GetInt("tuples", 500)),
+                static_cast<uint64_t>(args.GetInt("seed", 7)))
+          : ReadCsvRelation(args.positional()[0]);
+  if (!input.ok()) {
+    std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& relation = input.value();
+  std::printf("Analyzing relation: %zu attributes, %zu tuples\n",
+              relation.num_attributes(), relation.num_tuples());
+
+  // Step 1: discover the dependencies that hold right now.
+  Result<DepMinerResult> mined = MineDependencies(relation);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  const FdSet& fds = mined.value().fds;
+  std::printf("\nDiscovered %zu minimal FDs:\n", fds.size());
+  for (const FunctionalDependency& fd : fds.fds()) {
+    std::printf("  %s\n", fd.ToString(relation.schema()).c_str());
+  }
+
+  // Step 2: keys and normal-form diagnosis.
+  NormalizationAnalysis analysis(relation.schema(), fds);
+  std::printf("\n%s", analysis.Report().c_str());
+
+  // Step 3: a dependency-preserving 3NF synthesis proposal.
+  if (!analysis.InBcnf()) {
+    std::printf("\nProposed 3NF synthesis:\n");
+    for (const DecompositionFragment& frag : analysis.ThirdNfSynthesis()) {
+      std::printf("  R(%s)\n",
+                  frag.attributes.ToString(relation.schema().names()).c_str());
+    }
+    std::printf("BCNF decomposition (lossless, may lose dependencies):\n");
+    for (const DecompositionFragment& frag : analysis.BcnfDecomposition()) {
+      std::printf("  R(%s)\n",
+                  frag.attributes.ToString(relation.schema().names()).c_str());
+    }
+  }
+
+  // Step 4: the small sample the dba reviews to validate dependencies —
+  // it satisfies *exactly* the discovered FDs, with real values.
+  if (mined.value().armstrong.has_value()) {
+    const Relation& sample = *mined.value().armstrong;
+    std::printf(
+        "\nReal-world Armstrong sample (%zu tuples, vs %zu in the input — "
+        "every discovered FD holds here and every non-FD has a "
+        "counterexample):\n",
+        sample.num_tuples(), relation.num_tuples());
+    for (TupleId t = 0; t < sample.num_tuples(); ++t) {
+      std::printf("  %s\n", sample.TupleToString(t).c_str());
+    }
+  } else {
+    std::printf("\nNo real-world Armstrong sample: %s\n",
+                mined.value().armstrong_status.ToString().c_str());
+  }
+  return 0;
+}

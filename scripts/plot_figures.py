@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from bench_table* --figure output.
+
+Usage:
+    ./build/bench/bench_table5 --figure > table5.txt
+    python3 scripts/plot_figures.py table5.txt --out figures/
+
+Parses the two "Figure series" blocks the table benches emit (execution
+time per algorithm and |R|, and Armstrong sizes per |R|, both against
+|r|) and renders the paper's Figure 2/3 (4/5, 6/7) analogues. Requires
+matplotlib; prints a plain-text summary if it is unavailable.
+"""
+
+import argparse
+import collections
+import os
+import sys
+
+
+def parse_series(path):
+    times = []  # (attrs, algorithm, tuples, seconds or None)
+    sizes = []  # (attrs, tuples, armstrong_tuples)
+    mode = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("-- Figure series: time_seconds"):
+                mode = "times"
+                continue
+            if line.startswith("-- Figure series: armstrong_tuples"):
+                mode = "sizes"
+                continue
+            if not line or line.startswith("--") or line.startswith("=="):
+                continue
+            parts = line.split(",")
+            if mode == "times" and len(parts) == 4 and parts[0] != "attrs":
+                seconds = None if parts[3] == "*" else float(parts[3])
+                times.append((int(parts[0]), parts[1], int(parts[2]), seconds))
+            elif mode == "sizes" and len(parts) == 3 and parts[0] != "attrs":
+                sizes.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    return times, sizes
+
+
+def text_summary(times, sizes):
+    by_algo = collections.defaultdict(list)
+    for attrs, algo, tuples, seconds in times:
+        if seconds is not None:
+            by_algo[(algo, attrs)].append((tuples, seconds))
+    for (algo, attrs), points in sorted(by_algo.items()):
+        series = " ".join(f"{t}:{s:.3f}s" for t, s in sorted(points))
+        print(f"time {algo} |R|={attrs}: {series}")
+    by_attrs = collections.defaultdict(list)
+    for attrs, tuples, size in sizes:
+        by_attrs[attrs].append((tuples, size))
+    for attrs, points in sorted(by_attrs.items()):
+        series = " ".join(f"{t}:{s}" for t, s in sorted(points))
+        print(f"armstrong |R|={attrs}: {series}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("input", help="output of bench_tableN --figure")
+    parser.add_argument("--out", default=".", help="directory for PNGs")
+    args = parser.parse_args()
+
+    times, sizes = parse_series(args.input)
+    if not times and not sizes:
+        print("no figure series found; run the bench with --figure",
+              file=sys.stderr)
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; text summary:\n")
+        text_summary(times, sizes)
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    base = os.path.splitext(os.path.basename(args.input))[0]
+
+    # Execution-time figure (paper Figures 2/4/6): one panel per |R|.
+    attrs_list = sorted({a for a, _, _, _ in times})
+    if attrs_list:
+        fig, axes = plt.subplots(1, len(attrs_list),
+                                 figsize=(4 * len(attrs_list), 3.2),
+                                 squeeze=False)
+        for ax, attrs in zip(axes[0], attrs_list):
+            for algo in ("depminer", "depminer2", "tane"):
+                pts = sorted((t, s) for a, al, t, s in times
+                             if a == attrs and al == algo and s is not None)
+                if pts:
+                    ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                            marker="o", label=algo)
+            ax.set_title(f"|R| = {attrs}")
+            ax.set_xlabel("tuples")
+            ax.set_ylabel("seconds")
+            ax.legend()
+        fig.tight_layout()
+        path = os.path.join(args.out, f"{base}_times.png")
+        fig.savefig(path, dpi=120)
+        print(f"wrote {path}")
+
+    # Armstrong-size figure (paper Figures 3/5/7).
+    if sizes:
+        fig, ax = plt.subplots(figsize=(5, 3.5))
+        for attrs in sorted({a for a, _, _ in sizes}):
+            pts = sorted((t, s) for a, t, s in sizes if a == attrs)
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                    label=f"|R| = {attrs}")
+        ax.set_xlabel("tuples of the input relation")
+        ax.set_ylabel("tuples of the Armstrong relation")
+        ax.legend()
+        fig.tight_layout()
+        path = os.path.join(args.out, f"{base}_armstrong.png")
+        fig.savefig(path, dpi=120)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "storage/column_file.h"
+
+namespace depminer {
+
+namespace {
+
+constexpr char kManifestName[] = "catalog.manifest";
+constexpr char kManifestHeader[] = "# depminer-catalog v1";
+
+bool NameIsSafe(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  // Reject names that are only dots (".", "..") — path traversal.
+  return name.find_first_not_of('.') != std::string::npos;
+}
+
+}  // namespace
+
+std::string Catalog::ManifestPath() const {
+  return directory_ + "/" + kManifestName;
+}
+
+std::string Catalog::FilePath(const Entry& entry) const {
+  return directory_ + "/" + entry.file;
+}
+
+const Catalog::Entry* Catalog::Find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Result<Catalog> Catalog::Open(const std::string& directory) {
+  Catalog catalog(directory);
+  std::ifstream in(catalog.ManifestPath());
+  if (!in) {
+    // New catalog: verify the directory is writable by creating the
+    // manifest immediately.
+    DEPMINER_RETURN_NOT_OK(catalog.SaveManifest());
+    return catalog;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      StripAsciiWhitespace(line) != kManifestHeader) {
+    return Status::IoError(catalog.ManifestPath() +
+                           ": not a depminer catalog manifest");
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripAsciiWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 4) {
+      return Status::IoError(catalog.ManifestPath() + ": line " +
+                             std::to_string(line_no) + " malformed");
+    }
+    Entry entry;
+    entry.name = fields[0];
+    entry.file = fields[1];
+    uint64_t attrs = 0, tuples = 0;
+    if (!NameIsSafe(entry.name) || !NameIsSafe(entry.file) ||
+        !ParseUint64(fields[2], &attrs) || !ParseUint64(fields[3], &tuples)) {
+      return Status::IoError(catalog.ManifestPath() + ": line " +
+                             std::to_string(line_no) + " malformed");
+    }
+    entry.attributes = attrs;
+    entry.tuples = tuples;
+    catalog.entries_.push_back(std::move(entry));
+  }
+  return catalog;
+}
+
+Status Catalog::SaveManifest() const {
+  const std::string temp = ManifestPath() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot write '" + temp + "'");
+    }
+    out << kManifestHeader << "\n";
+    for (const Entry& e : entries_) {
+      out << e.name << '\t' << e.file << '\t' << e.attributes << '\t'
+          << e.tuples << '\n';
+    }
+    if (!out) return Status::IoError("failed writing '" + temp + "'");
+  }
+  if (std::rename(temp.c_str(), ManifestPath().c_str()) != 0) {
+    return Status::IoError("cannot replace '" + ManifestPath() + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+Status Catalog::Put(const std::string& name, const Relation& relation) {
+  if (!NameIsSafe(name)) {
+    return Status::InvalidArgument("unsafe relation name '" + name + "'");
+  }
+  Entry entry;
+  entry.name = name;
+  entry.file = name + ".dmc";
+  entry.attributes = relation.num_attributes();
+  entry.tuples = relation.num_tuples();
+  DEPMINER_RETURN_NOT_OK(WriteColumnFile(relation, FilePath(entry)));
+
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.name == name; });
+  if (it != entries_.end()) {
+    *it = entry;
+  } else {
+    entries_.push_back(entry);
+  }
+  return SaveManifest();
+}
+
+Result<Relation> Catalog::Get(const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return ReadColumnFile(FilePath(*entry));
+}
+
+Status Catalog::Drop(const std::string& name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  std::remove(FilePath(*it).c_str());
+  entries_.erase(it);
+  return SaveManifest();
+}
+
+Result<std::vector<Relation>> Catalog::GetAll() const {
+  std::vector<Relation> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    Result<Relation> r = ReadColumnFile(FilePath(entry));
+    if (!r.ok()) return r.status();
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+}  // namespace depminer

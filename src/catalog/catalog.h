@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// A directory-backed workspace of named relations — the library's
+/// stand-in for the DBMS the paper profiled through ODBC. Relations are
+/// stored as ".dmc" column files next to a "catalog.manifest" index; the
+/// catalog gives stable names to the tables of an analysis session so
+/// repeated profiling skips CSV parsing.
+///
+/// Layout:
+///   <dir>/catalog.manifest    "# depminer-catalog v1" header, then one
+///                             tab-separated line per relation:
+///                             name \t file \t attributes \t tuples
+///   <dir>/<name>.dmc          one column file per relation
+///
+/// Concurrent writers are not supported (single-user tool semantics).
+class Catalog {
+ public:
+  /// Opens an existing catalog directory, or initializes an empty one
+  /// (the directory itself must exist).
+  static Result<Catalog> Open(const std::string& directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Names in insertion order.
+  std::vector<std::string> List() const;
+  bool Contains(const std::string& name) const;
+  size_t size() const { return entries_.size(); }
+
+  /// Stores (or replaces) a relation under `name` and updates the
+  /// manifest. Names must be non-empty and filesystem-safe
+  /// ([A-Za-z0-9_.-]).
+  Status Put(const std::string& name, const Relation& relation);
+
+  /// Loads a relation by name.
+  Result<Relation> Get(const std::string& name) const;
+
+  /// Removes a relation and its file.
+  Status Drop(const std::string& name);
+
+  /// Loads every relation, in insertion order (for whole-catalog
+  /// profiling).
+  Result<std::vector<Relation>> GetAll() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string file;  // relative to the directory
+    size_t attributes = 0;
+    size_t tuples = 0;
+  };
+
+  explicit Catalog(std::string directory) : directory_(std::move(directory)) {}
+
+  Status SaveManifest() const;
+  std::string ManifestPath() const;
+  std::string FilePath(const Entry& entry) const;
+  const Entry* Find(const std::string& name) const;
+
+  std::string directory_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace depminer

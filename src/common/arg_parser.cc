@@ -1,0 +1,72 @@
+#include "common/arg_parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace depminer {
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "";  // bare boolean flag
+    }
+  }
+  return Status::OK();
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name, double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  double v = default_value;
+  if (!ParseDouble(it->second, &v)) return default_value;
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<int64_t> ArgParser::GetIntList(
+    const std::string& name, std::vector<int64_t> default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  std::vector<int64_t> out;
+  for (const std::string& part : Split(it->second, ',')) {
+    if (part.empty()) continue;
+    out.push_back(std::strtoll(part.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,153 @@
+#include "common/attribute_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace depminer {
+
+AttributeSet AttributeSet::Universe(size_t n) {
+  assert(n <= kMaxAttributes);
+  AttributeSet s;
+  if (n == 0) return s;
+  if (n >= 64) {
+    s.words_[0] = ~uint64_t{0};
+    const size_t rest = n - 64;
+    s.words_[1] = rest == 64 ? ~uint64_t{0}
+                             : ((uint64_t{1} << rest) - 1);
+  } else {
+    s.words_[0] = (uint64_t{1} << n) - 1;
+  }
+  return s;
+}
+
+AttributeSet AttributeSet::FromLetters(const std::string& letters) {
+  AttributeSet s;
+  for (char c : letters) {
+    if (c >= 'A' && c <= 'Z') {
+      s.Add(static_cast<AttributeId>(c - 'A'));
+    } else if (c >= 'a' && c <= 'z') {
+      s.Add(static_cast<AttributeId>(c - 'a'));
+    }
+  }
+  return s;
+}
+
+size_t AttributeSet::Count() const {
+  return static_cast<size_t>(__builtin_popcountll(words_[0]) +
+                             __builtin_popcountll(words_[1]));
+}
+
+AttributeId AttributeSet::Min() const {
+  assert(!Empty());
+  if (words_[0] != 0) {
+    return static_cast<AttributeId>(__builtin_ctzll(words_[0]));
+  }
+  return static_cast<AttributeId>(64 + __builtin_ctzll(words_[1]));
+}
+
+AttributeId AttributeSet::Max() const {
+  assert(!Empty());
+  if (words_[1] != 0) {
+    return static_cast<AttributeId>(127 - __builtin_clzll(words_[1]));
+  }
+  return static_cast<AttributeId>(63 - __builtin_clzll(words_[0]));
+}
+
+void AttributeSet::AppendMembers(std::vector<AttributeId>* out) const {
+  ForEach([out](AttributeId a) { out->push_back(a); });
+}
+
+std::vector<AttributeId> AttributeSet::Members() const {
+  std::vector<AttributeId> out;
+  out.reserve(Count());
+  AppendMembers(&out);
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  if (Empty()) return "{}";
+  if (Max() < 26) {
+    std::string out;
+    ForEach([&out](AttributeId a) { out.push_back(static_cast<char>('A' + a)); });
+    return out;
+  }
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](AttributeId a) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(a);
+  });
+  out += '}';
+  return out;
+}
+
+std::string AttributeSet::ToString(const std::vector<std::string>& names) const {
+  std::string out;
+  bool first = true;
+  ForEach([&](AttributeId a) {
+    if (!first) out += ',';
+    first = false;
+    out += a < names.size() ? names[a] : std::to_string(a);
+  });
+  return out;
+}
+
+std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
+  // Deduplicate, then sort by descending cardinality so that any strict
+  // superset of `sets[i]` appears before it.
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const AttributeSet& a, const AttributeSet& b) {
+                     return a.Count() > b.Count();
+                   });
+  std::vector<AttributeSet> out;
+  out.reserve(sets.size());
+  for (const AttributeSet& s : sets) {
+    bool dominated = false;
+    for (const AttributeSet& kept : out) {
+      if (s.IsSubsetOf(kept)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<AttributeSet> MinimalSets(std::vector<AttributeSet> sets) {
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const AttributeSet& a, const AttributeSet& b) {
+                     return a.Count() < b.Count();
+                   });
+  std::vector<AttributeSet> out;
+  out.reserve(sets.size());
+  for (const AttributeSet& s : sets) {
+    bool dominated = false;
+    for (const AttributeSet& kept : out) {
+      if (kept.IsSubsetOf(s)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(s);
+  }
+  return out;
+}
+
+void SortSets(std::vector<AttributeSet>* sets) {
+  std::sort(sets->begin(), sets->end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              const size_t ca = a.Count(), cb = b.Count();
+              if (ca != cb) return ca < cb;
+              // Lexicographic by members (lowest attribute first), so that
+              // "AB" < "AC" < "BC" the way a reader expects.
+              return a.LexLess(b);
+            });
+}
+
+}  // namespace depminer

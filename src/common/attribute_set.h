@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace depminer {
+
+/// Identifier of a single attribute (column) of a relation schema.
+///
+/// Attributes are numbered densely from 0 in schema order. The paper calls
+/// them A, B, C, ...; `AttributeSet::ToString()` renders them that way for
+/// small schemas.
+using AttributeId = uint32_t;
+
+/// A set of attributes, implemented as a fixed-capacity bit vector.
+///
+/// The paper implements attribute sets "as bit vectors to provide set
+/// operations in constant time"; we do the same. Capacity is
+/// `kMaxAttributes` (128), which comfortably covers the paper's largest
+/// schema (60 attributes). All operations are O(1) (two machine words).
+///
+/// `AttributeSet` is a regular value type: cheap to copy, totally ordered
+/// (lexicographic on the underlying words, which corresponds to ordering by
+/// the highest differing attribute), and hashable via `AttributeSetHash`.
+class AttributeSet {
+ public:
+  static constexpr size_t kWords = 2;
+  static constexpr size_t kMaxAttributes = kWords * 64;
+
+  /// The empty set.
+  constexpr AttributeSet() : words_{0, 0} {}
+
+  /// The set containing exactly the given attributes.
+  AttributeSet(std::initializer_list<AttributeId> attrs) : words_{0, 0} {
+    for (AttributeId a : attrs) Add(a);
+  }
+
+  /// Returns the singleton set {a}.
+  static AttributeSet Single(AttributeId a) {
+    AttributeSet s;
+    s.Add(a);
+    return s;
+  }
+
+  /// Returns the full universe {0, ..., n-1} over an n-attribute schema.
+  static AttributeSet Universe(size_t n);
+
+  /// Parses a string of attribute letters ("BDE") into a set. Only valid
+  /// for schemas of at most 26 attributes; used by tests and examples.
+  static AttributeSet FromLetters(const std::string& letters);
+
+  bool Contains(AttributeId a) const {
+    return (words_[Word(a)] >> Bit(a)) & 1u;
+  }
+  void Add(AttributeId a) { words_[Word(a)] |= Mask(a); }
+  void Remove(AttributeId a) { words_[Word(a)] &= ~Mask(a); }
+
+  bool Empty() const { return (words_[0] | words_[1]) == 0; }
+  /// Number of attributes in the set.
+  size_t Count() const;
+
+  AttributeSet Union(const AttributeSet& o) const {
+    return AttributeSet(words_[0] | o.words_[0], words_[1] | o.words_[1]);
+  }
+  AttributeSet Intersect(const AttributeSet& o) const {
+    return AttributeSet(words_[0] & o.words_[0], words_[1] & o.words_[1]);
+  }
+  /// Set difference `*this \ o`.
+  AttributeSet Minus(const AttributeSet& o) const {
+    return AttributeSet(words_[0] & ~o.words_[0], words_[1] & ~o.words_[1]);
+  }
+  /// Complement relative to an n-attribute universe.
+  AttributeSet ComplementIn(size_t n) const {
+    return Universe(n).Minus(*this);
+  }
+
+  bool IsSubsetOf(const AttributeSet& o) const {
+    return (words_[0] & ~o.words_[0]) == 0 && (words_[1] & ~o.words_[1]) == 0;
+  }
+  bool IsProperSubsetOf(const AttributeSet& o) const {
+    return IsSubsetOf(o) && *this != o;
+  }
+  bool Intersects(const AttributeSet& o) const {
+    return ((words_[0] & o.words_[0]) | (words_[1] & o.words_[1])) != 0;
+  }
+
+  /// Lowest attribute id in the set; undefined on the empty set.
+  AttributeId Min() const;
+  /// Highest attribute id in the set; undefined on the empty set.
+  AttributeId Max() const;
+
+  /// Appends the members in increasing order to `out`.
+  void AppendMembers(std::vector<AttributeId>* out) const;
+  /// Returns the members in increasing order.
+  std::vector<AttributeId> Members() const;
+
+  /// Calls `fn(AttributeId)` for each member in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < kWords; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<AttributeId>(w * 64 + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const AttributeSet& o) const {
+    return words_[0] == o.words_[0] && words_[1] == o.words_[1];
+  }
+  bool operator!=(const AttributeSet& o) const { return !(*this == o); }
+  /// Total order: by highest differing attribute (word-lexicographic).
+  bool operator<(const AttributeSet& o) const {
+    if (words_[1] != o.words_[1]) return words_[1] < o.words_[1];
+    return words_[0] < o.words_[0];
+  }
+
+  /// Lexicographic order on the sorted member lists ("AB" < "AC" < "B",
+  /// "B" < "BC"), the human-friendly order used for output — equivalent
+  /// to comparing Members() but allocation-free. Both lists share the
+  /// elements below m = min(AΔB); the side holding m is smaller iff the
+  /// other side still has a later element, and the side lacking m is
+  /// smaller iff it has nothing past m (it is a proper prefix).
+  bool LexLess(const AttributeSet& o) const {
+    const unsigned __int128 a = Packed(), b = o.Packed();
+    const unsigned __int128 d = a ^ b;
+    if (d == 0) return false;
+    const unsigned __int128 lowest = d & (~d + 1);
+    const unsigned __int128 above = ~((lowest << 1) - 1);  // bits > m
+    if ((a & lowest) != 0) return (b & above) != 0;
+    return (a & above) == 0;
+  }
+
+  /// Renders as attribute letters ("BDE") when every member is < 26,
+  /// otherwise as "{3,17,40}".
+  std::string ToString() const;
+  /// Renders using the given attribute names, comma-separated.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  uint64_t word(size_t i) const { return words_[i]; }
+
+ private:
+  constexpr AttributeSet(uint64_t w0, uint64_t w1) : words_{w0, w1} {}
+  unsigned __int128 Packed() const {
+    return (static_cast<unsigned __int128>(words_[1]) << 64) | words_[0];
+  }
+  static constexpr size_t Word(AttributeId a) { return a >> 6; }
+  static constexpr unsigned Bit(AttributeId a) { return a & 63u; }
+  static constexpr uint64_t Mask(AttributeId a) { return uint64_t{1} << Bit(a); }
+
+  uint64_t words_[kWords];
+};
+
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const {
+    // 64-bit mix (splitmix64 finalizer) over both words.
+    uint64_t h = s.word(0) * 0x9E3779B97F4A7C15ull;
+    h ^= s.word(1) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Removes every set that is a proper subset of another: keeps the
+/// ⊆-maximal elements. Order of survivors is unspecified.
+std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets);
+
+/// Removes every set that is a proper superset of another: keeps the
+/// ⊆-minimal elements. Order of survivors is unspecified.
+std::vector<AttributeSet> MinimalSets(std::vector<AttributeSet> sets);
+
+/// Sorts by cardinality then lexicographically; used for stable output.
+void SortSets(std::vector<AttributeSet>* sets);
+
+}  // namespace depminer

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace depminer {
+
+/// Runs `fn(i)` for every i in [begin, end) across up to `num_threads`
+/// OS threads, static contiguous partitioning. With `num_threads` ≤ 1 (or
+/// a single index) the loop runs inline on the calling thread.
+///
+/// `fn` must be safe to call concurrently for distinct indices and must
+/// not throw. Used for the embarrassingly parallel per-attribute stages
+/// (stripped-partition extraction, per-attribute transversal searches);
+/// outputs are written to index-distinct slots, so results are
+/// deterministic regardless of thread count.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn) {
+  const size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t workers = num_threads < count ? num_threads : count;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const size_t chunk = (count + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t lo = begin + w * chunk;
+    const size_t hi = lo + chunk < end ? lo + chunk : end;
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// The hardware concurrency, with a sane floor of 1.
+inline size_t DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace depminer

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace depminer {
+
+/// Error category for `Status`. Kept deliberately small; the library has
+/// only a few ways to fail (bad input files, invalid arguments, capacity
+/// limits).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kCapacityExceeded,
+  kFailedPrecondition,
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Library code never throws; fallible
+/// operations return `Status` or `Result<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error `Status`. T need not be
+/// default-constructible.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DEPMINER_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::depminer::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace depminer

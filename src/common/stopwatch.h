@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace depminer {
+
+/// Simple wall-clock stopwatch for phase timings in the bench harness and
+/// in `DepMinerStats`.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace depminer

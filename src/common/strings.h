@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depminer {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+/// "a,,b" -> {"a", "", "b"}; "" -> {""}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Parses a non-negative integer; returns false on any non-digit input or
+/// overflow of uint64_t.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double via strtod over the whole string.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Human-readable "1.23 s" / "45.6 ms" duration formatting.
+std::string FormatDuration(double seconds);
+
+}  // namespace depminer

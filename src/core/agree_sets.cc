@@ -1,0 +1,295 @@
+#include "core/agree_sets.h"
+
+#include <algorithm>
+
+namespace depminer {
+
+namespace {
+
+uint64_t CoupleKey(TupleId a, TupleId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Enumerates the distinct couples of tuples inside a family of
+/// equivalence classes; the same couple may co-occur in several classes
+/// (overlapping maximal classes) and is reported once — "couples" is a
+/// set in the paper's Algorithm 2. Deduplication is sort+unique over
+/// packed (lo, hi) keys, which beats hashing at the couple counts the
+/// benchmark grids produce.
+class CoupleEnumerator {
+ public:
+  explicit CoupleEnumerator(const std::vector<EquivalenceClass>& classes) {
+    size_t bound = 0;
+    for (const EquivalenceClass& c : classes) {
+      bound += c.size() * (c.size() - 1) / 2;
+    }
+    keys_.reserve(bound);
+    for (const EquivalenceClass& c : classes) {
+      for (size_t i = 0; i < c.size(); ++i) {
+        for (size_t j = i + 1; j < c.size(); ++j) {
+          keys_.push_back(CoupleKey(c[i], c[j]));
+        }
+      }
+    }
+    std::sort(keys_.begin(), keys_.end());
+    keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  }
+
+  /// Calls fn(t, t') for every distinct couple; returns the couple count.
+  template <typename Fn>
+  size_t ForEach(Fn&& fn) const {
+    for (const uint64_t key : keys_) {
+      fn(static_cast<TupleId>(key >> 32),
+         static_cast<TupleId>(key & 0xFFFFFFFFu));
+    }
+    return keys_.size();
+  }
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<uint64_t> keys_;
+};
+
+/// The class family couples are drawn from: the maximal equivalence
+/// classes (the paper's MC, Lemma 1) or — for the ablation measuring what
+/// MC pruning buys — every stripped class of every attribute.
+std::vector<EquivalenceClass> CoupleSourceClasses(
+    const StrippedPartitionDatabase& db, bool use_maximal_classes) {
+  if (use_maximal_classes) return MaximalEquivalenceClasses(db);
+  std::vector<EquivalenceClass> all;
+  for (const StrippedPartition& p : db.partitions()) {
+    all.insert(all.end(), p.classes().begin(), p.classes().end());
+  }
+  return all;
+}
+
+/// Deduplicates an agree-set accumulation buffer in place (word-order
+/// sort + unique — cheaper than hashing at these volumes).
+void DedupSets(std::vector<AttributeSet>* sets) {
+  std::sort(sets->begin(), sets->end());
+  sets->erase(std::unique(sets->begin(), sets->end()), sets->end());
+}
+
+void FinalizeSets(std::vector<AttributeSet>&& distinct,
+                  AgreeSetResult* result) {
+  DedupSets(&distinct);
+  result->sets = std::move(distinct);
+  SortSets(&result->sets);
+}
+
+/// ∅ ∈ ag(r) iff some pair of tuples co-occurs in *no* stripped class,
+/// which is exactly: fewer distinct couples than total pairs (Lemma 1
+/// covers all pairs with a non-empty agree set).
+bool EmptyAgreeSetPresent(size_t num_tuples, size_t distinct_couples) {
+  if (num_tuples < 2) return false;
+  const uint64_t total_pairs =
+      static_cast<uint64_t>(num_tuples) * (num_tuples - 1) / 2;
+  return distinct_couples < total_pairs;
+}
+
+}  // namespace
+
+std::vector<AttributeSet> AgreeSetResult::All() const {
+  std::vector<AttributeSet> out = sets;
+  if (contains_empty) out.insert(out.begin(), AttributeSet());
+  return out;
+}
+
+const char* ToString(AgreeSetAlgorithm algorithm) {
+  switch (algorithm) {
+    case AgreeSetAlgorithm::kNaive:
+      return "naive";
+    case AgreeSetAlgorithm::kCouples:
+      return "couples";       // the paper's "Dep-Miner"
+    case AgreeSetAlgorithm::kIdentifiers:
+      return "identifiers";   // the paper's "Dep-Miner 2"
+  }
+  return "unknown";
+}
+
+std::vector<EquivalenceClass> MaximalEquivalenceClasses(
+    const StrippedPartitionDatabase& db) {
+  // Gather every stripped class, largest first, then keep the ⊆-maximal
+  // ones. Subset tests use a per-tuple index over the classes kept so far,
+  // so each candidate only compares against classes sharing its first
+  // tuple.
+  std::vector<const EquivalenceClass*> all;
+  for (const StrippedPartition& p : db.partitions()) {
+    for (const EquivalenceClass& c : p.classes()) all.push_back(&c);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const EquivalenceClass* a, const EquivalenceClass* b) {
+              if (a->size() != b->size()) return a->size() > b->size();
+              return *a < *b;  // deterministic order; also groups duplicates
+            });
+
+  std::vector<EquivalenceClass> kept;
+  std::vector<std::vector<uint32_t>> kept_with_tuple(db.num_tuples());
+  for (const EquivalenceClass* c : all) {
+    bool dominated = false;
+    // A superset of c (kept classes are at least as large) must contain
+    // c's first tuple.
+    for (uint32_t k : kept_with_tuple[c->front()]) {
+      const EquivalenceClass& cand = kept[k];
+      // both sorted: subset test by inclusion scan
+      if (std::includes(cand.begin(), cand.end(), c->begin(), c->end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    const uint32_t index = static_cast<uint32_t>(kept.size());
+    kept.push_back(*c);
+    for (TupleId t : *c) kept_with_tuple[t].push_back(index);
+  }
+  return kept;
+}
+
+AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation) {
+  AgreeSetResult result;
+  result.num_tuples = relation.num_tuples();
+  result.num_attributes = relation.num_attributes();
+
+  std::vector<AttributeSet> distinct;
+  const size_t p = relation.num_tuples();
+  for (TupleId i = 0; i < p; ++i) {
+    for (TupleId j = i + 1; j < p; ++j) {
+      ++result.couples_examined;
+      const AttributeSet ag = relation.AgreeSetOf(i, j);
+      if (ag.Empty()) {
+        result.contains_empty = true;
+      } else {
+        distinct.push_back(ag);
+      }
+    }
+  }
+  FinalizeSets(std::move(distinct), &result);
+  return result;
+}
+
+AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
+                                       const AgreeSetOptions& options) {
+  AgreeSetResult result;
+  result.num_tuples = db.num_tuples();
+  result.num_attributes = db.num_attributes();
+  result.chunks_processed = 0;
+
+  const std::vector<EquivalenceClass> sources =
+      CoupleSourceClasses(db, options.use_maximal_classes);
+
+  // Materialize the distinct couples (Algorithm 2 lines 4-9), possibly in
+  // chunks (the paper's memory threshold).
+  std::vector<std::pair<TupleId, TupleId>> couples;
+  const CoupleEnumerator enumerator(sources);
+  couples.reserve(enumerator.size());
+  const size_t total_couples = enumerator.ForEach(
+      [&couples](TupleId a, TupleId b) { couples.emplace_back(a, b); });
+  result.couples_examined = total_couples;
+  result.working_bytes =
+      total_couples * (sizeof(uint64_t) + sizeof(std::pair<TupleId, TupleId>));
+
+  std::vector<AttributeSet> distinct;
+
+  // class_of[t]: 1-based id of t's class within the current partition.
+  std::vector<uint32_t> class_of(db.num_tuples(), 0);
+  std::vector<AttributeSet> agree;
+
+  const size_t chunk_size =
+      options.max_couples_per_chunk == 0
+          ? std::max<size_t>(couples.size(), 1)
+          : options.max_couples_per_chunk;
+  for (size_t begin = 0; begin < couples.size(); begin += chunk_size) {
+    const size_t end = std::min(couples.size(), begin + chunk_size);
+    ++result.chunks_processed;
+    agree.assign(end - begin, AttributeSet());
+
+    // Lines 10-18: one scan over every stripped partition per chunk. The
+    // membership test "t ∈ c and t' ∈ c" is realized by labelling each
+    // tuple with its class id and comparing labels.
+    for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+      const StrippedPartition& part = db.partition(a);
+      uint32_t id = 1;
+      for (const EquivalenceClass& c : part.classes()) {
+        for (TupleId t : c) class_of[t] = id;
+        ++id;
+      }
+      for (size_t k = begin; k < end; ++k) {
+        const auto [t, u] = couples[k];
+        if (class_of[t] != 0 && class_of[t] == class_of[u]) {
+          agree[k - begin].Add(a);
+        }
+      }
+      for (const EquivalenceClass& c : part.classes()) {
+        for (TupleId t : c) class_of[t] = 0;
+      }
+    }
+
+    // Lines 19-21: fold the chunk's agree sets into ag(r). Couples
+    // inside an MC class share at least the class's attribute, so no
+    // agree set here is empty. Deduplicating after every chunk keeps the
+    // accumulator at O(distinct sets), preserving the bounded-memory
+    // property chunking exists for.
+    distinct.insert(distinct.end(), agree.begin(), agree.end());
+    DedupSets(&distinct);
+  }
+
+  result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
+  FinalizeSets(std::move(distinct), &result);
+  return result;
+}
+
+AgreeSetResult ComputeAgreeSetsIdentifiers(
+    const StrippedPartitionDatabase& db) {
+  AgreeSetResult result;
+  result.num_tuples = db.num_tuples();
+  result.num_attributes = db.num_attributes();
+
+  // Step 1 (lines 2-8): ec(t), the list of stripped-class identifiers
+  // containing t. Built attribute by attribute, so each list is sorted by
+  // attribute; identifiers pack (attribute, class index) into one word.
+  std::vector<std::vector<uint64_t>> ec(db.num_tuples());
+  for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+    const StrippedPartition& part = db.partition(a);
+    for (size_t i = 0; i < part.classes().size(); ++i) {
+      const uint64_t id = (static_cast<uint64_t>(a) << 32) | i;
+      for (TupleId t : part.classes()[i]) ec[t].push_back(id);
+    }
+  }
+
+  const std::vector<EquivalenceClass> mc = MaximalEquivalenceClasses(db);
+
+  // Step 2 (lines 9-14): ag(t, t') from ec(t) ∩ ec(t') by sorted merge.
+  const CoupleEnumerator enumerator(mc);
+  std::vector<AttributeSet> distinct;
+  distinct.reserve(enumerator.size());
+  const size_t total_couples = enumerator.ForEach([&](TupleId t, TupleId u) {
+    const std::vector<uint64_t>& x = ec[t];
+    const std::vector<uint64_t>& y = ec[u];
+    AttributeSet ag;
+    size_t i = 0, j = 0;
+    while (i < x.size() && j < y.size()) {
+      if (x[i] == y[j]) {
+        ag.Add(static_cast<AttributeId>(x[i] >> 32));
+        ++i;
+        ++j;
+      } else if (x[i] < y[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    distinct.push_back(ag);
+  });
+  result.couples_examined = total_couples;
+  result.working_bytes =
+      total_couples * sizeof(uint64_t) +
+      db.TotalMemberships() * sizeof(uint64_t);  // couple keys + ec lists
+
+  result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
+  FinalizeSets(std::move(distinct), &result);
+  return result;
+}
+
+}  // namespace depminer

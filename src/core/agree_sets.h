@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "partition/partition_database.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// The result of an agree-set computation.
+///
+/// `sets` holds the distinct non-empty agree sets of the relation.
+/// `contains_empty` records whether ∅ ∈ ag(r), i.e. whether some pair of
+/// tuples disagrees on every attribute. The couple-based algorithms never
+/// *enumerate* such pairs (they share no stripped equivalence class), but
+/// their existence is detectable by comparing the number of distinct
+/// couples against C(|r|, 2); the empty agree set matters for maximal-set
+/// derivation when an attribute has no other agreeing pair.
+struct AgreeSetResult {
+  std::vector<AttributeSet> sets;
+  bool contains_empty = false;
+  size_t num_tuples = 0;
+  size_t num_attributes = 0;
+
+  /// Statistics for the bench harness.
+  size_t couples_examined = 0;
+  size_t chunks_processed = 1;
+  /// High-water estimate (bytes) of the algorithm's dominant working
+  /// structure — the materialized couple list (Algorithm 2, bounded by
+  /// the chunk threshold) or the couple keys plus ec(t) identifier lists
+  /// (Algorithm 3). The memory counterpart of TANE's
+  /// `peak_partition_bytes`; see EXPERIMENTS.md.
+  size_t working_bytes = 0;
+
+  /// All agree sets including ∅ if present — the paper's ag(r).
+  std::vector<AttributeSet> All() const;
+};
+
+/// Options for the couple-based Algorithm 2.
+struct AgreeSetOptions {
+  /// Maximum number of couples materialized at once (the paper's memory
+  /// threshold, §3.1: "computing agree sets as soon as a fixed number of
+  /// couples was generated"). 0 means unlimited.
+  size_t max_couples_per_chunk = 0;
+  /// Ablation switch: when false, couples are enumerated from *every*
+  /// stripped equivalence class rather than only the maximal ones,
+  /// quantifying the benefit of the paper's MC pruning. Results are
+  /// identical (couples are deduplicated); only work changes.
+  bool use_maximal_classes = true;
+};
+
+/// Maximal equivalence classes MC = Max⊆{c ∈ π̂_A : π̂_A ∈ r̂} (paper §3.1).
+/// Couples of tuples that can have a non-empty agree set live inside these
+/// classes (Lemma 1).
+std::vector<EquivalenceClass> MaximalEquivalenceClasses(
+    const StrippedPartitionDatabase& db);
+
+/// Reference implementation: ag(ti, tj) for every pair of tuples —
+/// O(n·p²). Used as an oracle and as the "naive algorithm" baseline the
+/// paper argues against.
+AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation);
+
+/// Paper Algorithm 2 (AGREE_SET): generate the couples inside maximal
+/// equivalence classes, then scan each stripped partition once, adding
+/// attribute A to ag(t, t') for every couple found together in one of
+/// π̂_A's classes. Processes couples in bounded chunks per
+/// `options.max_couples_per_chunk`.
+AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
+                                       const AgreeSetOptions& options = {});
+
+/// Paper Algorithm 3 (AGREE_SET 2): build ec(t) = identifiers of the
+/// stripped classes containing t, then ag(t, t') = attributes of
+/// ec(t) ∩ ec(t') (Lemma 2). More efficient when couples are numerous.
+AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db);
+
+/// Selects which agree-set algorithm a `DepMiner` run uses.
+enum class AgreeSetAlgorithm {
+  kNaive,        ///< all-pairs reference (small inputs only)
+  kCouples,      ///< Algorithm 2 — the evaluation's "Dep-Miner"
+  kIdentifiers,  ///< Algorithm 3 — the evaluation's "Dep-Miner 2"
+};
+
+const char* ToString(AgreeSetAlgorithm algorithm);
+
+}  // namespace depminer

@@ -1,0 +1,14 @@
+#include "core/armstrong_bounds.h"
+
+namespace depminer {
+
+size_t ArmstrongSizeLowerBound(size_t num_generators) {
+  if (num_generators == 0) return 1;
+  // Smallest p with p(p-1)/2 >= g. Integer search from the real solution
+  // of p² − p − 2g = 0 (kept exact; g is small in practice).
+  size_t p = 2;
+  while (p * (p - 1) / 2 < num_generators) ++p;
+  return p;
+}
+
+}  // namespace depminer

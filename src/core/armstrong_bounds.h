@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+
+namespace depminer {
+
+/// Size bounds for Armstrong relations ([BDFS84], paper §2/§4 context).
+///
+/// Any Armstrong relation r̄ for F must realize every generator of CL(F)
+/// as an agree set of some tuple pair, and distinct generators need
+/// distinct pairs, so C(|r̄|, 2) ≥ |GEN(F)|. The paper's constructions
+/// (Equations 1 and 2) give |r̄| = |MAX(F)| + 1 = |GEN(F)| + 1, i.e.
+/// within a quadratic factor of this lower bound — minimum-size Armstrong
+/// relations are NP-hard territory, which is exactly why the paper aims
+/// for *small*, not minimum, samples.
+
+/// Smallest p with p(p−1)/2 ≥ num_generators (and ≥ 1 tuple for a
+/// non-empty schema); 1 when num_generators == 0.
+size_t ArmstrongSizeLowerBound(size_t num_generators);
+
+/// The size of the paper's constructions: |MAX(F)| + 1.
+inline size_t ArmstrongConstructionSize(size_t num_max_sets) {
+  return num_max_sets + 1;
+}
+
+}  // namespace depminer

@@ -1,0 +1,114 @@
+#include "core/dep_miner.h"
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/armstrong.h"
+
+namespace depminer {
+
+std::string DepMinerStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "strip=%.3fs agree=%.3fs (couples=%zu, chunks=%zu, "
+                "agree_sets=%zu, working_mb=%.1f) max=%.3fs (max_sets=%zu) "
+                "lhs=%.3fs armstrong=%.3fs fds=%zu total=%.3fs",
+                strip_seconds, agree_seconds, num_couples, chunks,
+                num_agree_sets,
+                static_cast<double>(agree_working_bytes) / (1024.0 * 1024.0),
+                max_seconds, num_max_sets, lhs_seconds, armstrong_seconds,
+                num_fds, Total());
+  return buf;
+}
+
+Result<DepMinerResult> MineDependencies(const Relation& relation,
+                                        const DepMinerOptions& options) {
+  Stopwatch timer;
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(relation, options.num_threads);
+  const double strip_seconds = timer.ElapsedSeconds();
+
+  Result<DepMinerResult> result = MineDependencies(db, &relation, options);
+  if (result.ok()) result.value().stats.strip_seconds = strip_seconds;
+  return result;
+}
+
+Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
+                                        const Relation* relation,
+                                        const DepMinerOptions& options) {
+  if (db.num_attributes() == 0) {
+    return Status::InvalidArgument("relation has no attributes");
+  }
+  if (db.num_attributes() > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes");
+  }
+
+  DepMinerResult out;
+  Stopwatch timer;
+
+  // Step 1 (Algorithm 1, line 1): AGREE_SET.
+  switch (options.agree_set_algorithm) {
+    case AgreeSetAlgorithm::kNaive: {
+      if (relation == nullptr) {
+        return Status::InvalidArgument(
+            "naive agree-set computation needs the relation");
+      }
+      out.agree_sets = ComputeAgreeSetsNaive(*relation);
+      break;
+    }
+    case AgreeSetAlgorithm::kCouples: {
+      AgreeSetOptions agree_options;
+      agree_options.max_couples_per_chunk = options.max_couples_per_chunk;
+      out.agree_sets = ComputeAgreeSetsCouples(db, agree_options);
+      break;
+    }
+    case AgreeSetAlgorithm::kIdentifiers: {
+      out.agree_sets = ComputeAgreeSetsIdentifiers(db);
+      break;
+    }
+  }
+  out.stats.agree_seconds = timer.ElapsedSeconds();
+  out.stats.num_couples = out.agree_sets.couples_examined;
+  out.stats.num_agree_sets = out.agree_sets.sets.size();
+  out.stats.chunks = out.agree_sets.chunks_processed;
+  out.stats.agree_working_bytes = out.agree_sets.working_bytes;
+
+  // Step 2 (line 2): CMAX_SET.
+  timer.Restart();
+  out.max_sets = ComputeMaxSets(out.agree_sets);
+  out.all_max_sets = out.max_sets.AllMaxSets();
+  out.stats.max_seconds = timer.ElapsedSeconds();
+  out.stats.num_max_sets = out.all_max_sets.size();
+
+  // Step 3 (line 3): LEFT_HAND_SIDE.
+  timer.Restart();
+  out.lhs = ComputeLhs(out.max_sets, options.num_threads);
+  out.stats.lhs_seconds = timer.ElapsedSeconds();
+
+  // Step 4 (line 4): FD_OUTPUT.
+  out.fds = OutputFds(out.lhs);
+  out.stats.num_fds = out.fds.size();
+
+  // Step 5 (line 5): ARMSTRONG_RELATION.
+  if (options.build_armstrong) {
+    if (relation == nullptr) {
+      out.armstrong_status = Status::InvalidArgument(
+          "real-world Armstrong construction needs the relation values");
+    } else {
+      timer.Restart();
+      Result<Relation> armstrong =
+          BuildRealWorldArmstrong(*relation, out.all_max_sets);
+      out.stats.armstrong_seconds = timer.ElapsedSeconds();
+      if (armstrong.ok()) {
+        out.armstrong = std::move(armstrong).value();
+        out.armstrong_status = Status::OK();
+      } else {
+        out.armstrong_status = armstrong.status();
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/agree_sets.h"
+#include "core/lhs.h"
+#include "core/max_sets.h"
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Configuration of a Dep-Miner run.
+struct DepMinerOptions {
+  /// Which agree-set computation to use. kCouples is the evaluation's
+  /// "Dep-Miner", kIdentifiers its "Dep-Miner 2".
+  AgreeSetAlgorithm agree_set_algorithm = AgreeSetAlgorithm::kCouples;
+  /// Memory threshold for kCouples (0 = unlimited); see AgreeSetOptions.
+  size_t max_couples_per_chunk = 0;
+  /// Also build the real-world Armstrong relation (paper: "without
+  /// additional execution time" — it is a few tuples assembled from the
+  /// already-computed maximal sets).
+  bool build_armstrong = true;
+  /// Threads for the embarrassingly parallel per-attribute stages
+  /// (stripped-partition extraction, transversal searches). 1 = serial;
+  /// DefaultThreadCount() for all cores. Output is identical for any
+  /// value.
+  size_t num_threads = 1;
+};
+
+/// Per-phase wall-clock timings and size statistics of a run, mirroring
+/// the pipeline of Figure 1. Total() is the end-to-end discovery time the
+/// paper's tables report.
+struct DepMinerStats {
+  double strip_seconds = 0;      ///< stripped partition database extraction
+  double agree_seconds = 0;      ///< AGREE_SET / AGREE_SET 2
+  double max_seconds = 0;        ///< CMAX_SET
+  double lhs_seconds = 0;        ///< LEFT_HAND_SIDE
+  double armstrong_seconds = 0;  ///< ARMSTRONG_RELATION
+
+  size_t num_couples = 0;
+  size_t num_agree_sets = 0;  ///< distinct, excluding ∅
+  size_t num_max_sets = 0;    ///< |MAX(dep(r))|
+  size_t num_fds = 0;
+  size_t chunks = 0;
+  /// Working-set estimate of the agree-set phase (couple list or ec
+  /// lists) — the memory counterpart of TANE's peak_partition_bytes.
+  size_t agree_working_bytes = 0;
+
+  double Total() const {
+    return strip_seconds + agree_seconds + max_seconds + lhs_seconds +
+           armstrong_seconds;
+  }
+  std::string ToString() const;
+};
+
+/// Result of a Dep-Miner run: every artifact of the paper's Figure 1
+/// pipeline.
+struct DepMinerResult {
+  FdSet fds;                      ///< minimal non-trivial FDs (a cover)
+  AgreeSetResult agree_sets;
+  MaxSetResult max_sets;
+  LhsResult lhs;
+  std::vector<AttributeSet> all_max_sets;  ///< MAX(dep(r)), deduplicated
+  /// Real-world Armstrong relation, when requested and it exists
+  /// (Proposition 1); `armstrong_status` explains absence otherwise.
+  std::optional<Relation> armstrong;
+  Status armstrong_status;
+  DepMinerStats stats;
+};
+
+/// Algorithm 1: the combined discovery of minimal FDs and a real-world
+/// Armstrong relation.
+///
+///   Result<DepMinerResult> out = MineDependencies(relation);
+///   for (const FunctionalDependency& fd : out.value().fds.fds()) ...
+Result<DepMinerResult> MineDependencies(const Relation& relation,
+                                        const DepMinerOptions& options = {});
+
+/// Variant starting from an already-extracted stripped partition database
+/// (the preprocessing the paper treats as given). `relation` is still
+/// needed if `build_armstrong` is set, to harvest real-world values; pass
+/// nullptr otherwise.
+Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
+                                        const Relation* relation,
+                                        const DepMinerOptions& options = {});
+
+}  // namespace depminer

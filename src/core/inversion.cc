@@ -1,0 +1,59 @@
+#include "core/inversion.h"
+
+#include "hypergraph/berge_transversals.h"
+#include "hypergraph/hypergraph.h"
+
+namespace depminer {
+
+MaxSetResult MaxSetsFromFds(const FdSet& fds) {
+  const size_t n = fds.num_attributes();
+  MaxSetResult result;
+  result.num_attributes = n;
+  result.max_sets.resize(n);
+  result.cmax_sets.resize(n);
+
+  // Reconstruct the lhs families per attribute.
+  std::vector<std::vector<AttributeSet>> lhs(n);
+  std::vector<bool> constant(n, false);
+  for (const FunctionalDependency& fd : fds.fds()) {
+    if (fd.lhs.Empty()) {
+      constant[fd.rhs] = true;
+    } else {
+      lhs[fd.rhs].push_back(fd.lhs);
+    }
+  }
+
+  const AttributeSet universe = AttributeSet::Universe(n);
+  for (AttributeId a = 0; a < n; ++a) {
+    if (constant[a]) {
+      // lhs(A) = {∅}: nothing can be transversal to the empty edge, so
+      // cmax(A) = Tr({∅}) = ∅ — A participates in no maximal set.
+      continue;
+    }
+    // The trivial lhs {A} is part of lhs(dep(r), A) whenever cmax(A) is
+    // non-empty; FD output removed it, so add it back before inverting.
+    //
+    // The inversion uses Berge's method rather than the paper's levelwise
+    // Algorithm 5: lhs edges are small and numerous and their minimal
+    // transversals (the cmax sets) are *wide*, so a levelwise search
+    // would crawl through C(n, k) candidate levels before reaching them,
+    // while Berge's intermediate families stay near the (small) answer.
+    std::vector<AttributeSet> family = lhs[a];
+    family.push_back(AttributeSet::Single(a));
+    const Hypergraph lhs_graph(n, std::move(family));
+    result.cmax_sets[a] = BergeMinimalTransversals(lhs_graph);
+    SortSets(&result.cmax_sets[a]);
+    result.max_sets[a].reserve(result.cmax_sets[a].size());
+    for (const AttributeSet& e : result.cmax_sets[a]) {
+      result.max_sets[a].push_back(universe.Minus(e));
+    }
+    SortSets(&result.max_sets[a]);
+  }
+  return result;
+}
+
+std::vector<AttributeSet> AllMaxSetsFromFds(const FdSet& fds) {
+  return MaxSetsFromFds(fds).AllMaxSets();
+}
+
+}  // namespace depminer

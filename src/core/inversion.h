@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "core/max_sets.h"
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+/// Inversion of the Dep-Miner pipeline: recover maximal sets from a
+/// minimal FD cover (paper §5.1).
+///
+/// For a simple hypergraph H, Tr(Tr(H)) = H (Berge's nihilpotence), so
+/// cmax(dep(r), A) = Tr(lhs(dep(r), A)). This is the route the paper
+/// sketches for extending TANE with Armstrong relations: TANE produces
+/// the minimal FDs; their left-hand-side families are transversed back
+/// into complements of maximal sets, from which Armstrong relations are
+/// built. The paper argues this is necessarily more expensive than
+/// Dep-Miner's combined discovery — `bench_armstrong_route` measures it.
+///
+/// The lhs families are reconstructed from the cover as follows: for an
+/// attribute A with ∅ → A in the cover (constant column), lhs(A) = {∅}
+/// and cmax(A) is empty; otherwise lhs(A) = {X : X → A ∈ cover} ∪ {{A}}
+/// (the trivial transversal the FD output filtered away).
+///
+/// `fds` must be the *complete* set of minimal non-trivial FDs (what
+/// Dep-Miner or TANE emit) — an arbitrary cover would not carry the full
+/// lhs families.
+MaxSetResult MaxSetsFromFds(const FdSet& fds);
+
+/// Convenience: MAX(dep(r)) (deduplicated union over attributes) straight
+/// from a minimal FD cover.
+std::vector<AttributeSet> AllMaxSetsFromFds(const FdSet& fds);
+
+}  // namespace depminer

@@ -1,0 +1,23 @@
+#include "core/keys_from_max_sets.h"
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/levelwise_transversals.h"
+
+namespace depminer {
+
+std::vector<AttributeSet> KeysFromMaxSets(
+    const std::vector<AttributeSet>& max_sets, size_t num_attributes) {
+  const AttributeSet universe = AttributeSet::Universe(num_attributes);
+  Hypergraph complements(num_attributes, {});
+  for (const AttributeSet& m : max_sets) {
+    complements.AddEdge(universe.Minus(m));
+  }
+  // Keys tend to be small (like FD left-hand sides), so the paper's
+  // levelwise search is the right tool here too.
+  std::vector<AttributeSet> keys =
+      LevelwiseMinimalTransversals(complements.Minimized());
+  SortSets(&keys);
+  return keys;
+}
+
+}  // namespace depminer

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+
+namespace depminer {
+
+/// Candidate keys straight from the maximal sets, without materializing
+/// an FD cover.
+///
+/// A set X is a superkey of r iff it is contained in no maximal set: if
+/// X ⊆ M ∈ MAX(dep(r)) then X⁺ ⊆ M⁺ = M ≠ R, and conversely any closed
+/// set other than R lies inside some generator = maximal set [MR86].
+/// Hence X is a superkey iff it intersects every complement R \ M —
+/// the candidate keys are exactly the minimal transversals of the simple
+/// hypergraph {R \ M : M ∈ MAX(dep(r))}.
+///
+/// This is the natural way to get keys out of a Dep-Miner run: the
+/// maximal sets are already on hand before any FDs are emitted.
+/// Results sorted by (cardinality, members). With MAX empty (|r| ≤ 1 or
+/// all-constant relations) the empty set is the key.
+std::vector<AttributeSet> KeysFromMaxSets(
+    const std::vector<AttributeSet>& max_sets, size_t num_attributes);
+
+}  // namespace depminer

@@ -1,0 +1,41 @@
+#include "core/lhs.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace depminer {
+
+LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads) {
+  LhsResult result;
+  const size_t n = max_sets.num_attributes;
+  result.num_attributes = n;
+  result.lhs.resize(n);
+
+  std::vector<LevelwiseStats> per_attr_stats(n);
+  ParallelFor(0, n, num_threads, [&](size_t a) {
+    Hypergraph graph(n, max_sets.cmax_sets[a]);
+    result.lhs[a] = LevelwiseMinimalTransversals(graph, &per_attr_stats[a]);
+    SortSets(&result.lhs[a]);
+  });
+  for (const LevelwiseStats& stats : per_attr_stats) {
+    result.stats.levels = std::max(result.stats.levels, stats.levels);
+    result.stats.candidates_generated += stats.candidates_generated;
+    result.stats.transversals_found += stats.transversals_found;
+  }
+  return result;
+}
+
+FdSet OutputFds(const LhsResult& lhs) {
+  FdSet fds(lhs.num_attributes);
+  for (AttributeId a = 0; a < lhs.num_attributes; ++a) {
+    for (const AttributeSet& x : lhs.lhs[a]) {
+      if (x == AttributeSet::Single(a)) continue;  // trivial A -> A
+      fds.Add(x, a);
+    }
+  }
+  fds.Normalize();
+  return fds;
+}
+
+}  // namespace depminer

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/max_sets.h"
+#include "fd/fd_set.h"
+#include "hypergraph/levelwise_transversals.h"
+
+namespace depminer {
+
+/// Left-hand sides of minimal FDs, per attribute: lhs(dep(r), A) =
+/// Tr(cmax(dep(r), A)) (paper §2 and Algorithm 5).
+///
+/// Note: like the paper's, the family includes the trivial lhs {A} itself
+/// whenever {A} is a transversal (e.g. lhs(dep(r), A) = {A, BC, CD} in the
+/// worked example); FD output filters it.
+struct LhsResult {
+  size_t num_attributes = 0;
+  std::vector<std::vector<AttributeSet>> lhs;  ///< lhs[A], sorted
+  LevelwiseStats stats;                        ///< summed over attributes
+};
+
+/// Runs Algorithm 5 (LEFT_HAND_SIDE) on every attribute's cmax
+/// hypergraph. Attributes are independent; `num_threads` > 1 distributes
+/// them across threads with identical output.
+LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads = 1);
+
+/// Algorithm 6 (FD_OUTPUT): the minimal non-trivial FDs — every X → A with
+/// X ∈ lhs(dep(r), A) and X ≠ {A}. FDs with an empty lhs (constant
+/// attributes) are included; they hold and are minimal.
+FdSet OutputFds(const LhsResult& lhs);
+
+}  // namespace depminer

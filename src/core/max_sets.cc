@@ -1,0 +1,55 @@
+#include "core/max_sets.h"
+
+namespace depminer {
+
+std::vector<AttributeSet> MaxSetResult::AllMaxSets() const {
+  // MAX(dep(r)) is the plain (deduplicated) union of the per-attribute
+  // families: across attributes one max set may contain another, and both
+  // belong to MAX(dep(r)).
+  std::vector<AttributeSet> out;
+  for (const auto& per_attr : max_sets) {
+    out.insert(out.end(), per_attr.begin(), per_attr.end());
+  }
+  SortSets(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+MaxSetResult ComputeMaxSets(const AgreeSetResult& agree) {
+  MaxSetResult result;
+  const size_t n = agree.num_attributes;
+  result.num_attributes = n;
+  result.max_sets.resize(n);
+  result.cmax_sets.resize(n);
+
+  const AttributeSet universe = AttributeSet::Universe(n);
+
+  for (AttributeId a = 0; a < n; ++a) {
+    // Lemma 3: max(dep(r), A) = Max⊆ {X ∈ ag(r) : A ∉ X}.
+    std::vector<AttributeSet> candidates;
+    for (const AttributeSet& x : agree.sets) {
+      if (!x.Contains(a)) candidates.push_back(x);
+    }
+    if (candidates.empty()) {
+      // Only the empty agree set (if present) avoids A: then ∅ is the
+      // largest set not determining A. Without it, every pair of tuples
+      // agrees on A and max(dep(r), A) is empty (∅ → A holds).
+      if (agree.contains_empty) candidates.push_back(AttributeSet());
+      result.max_sets[a] = std::move(candidates);
+    } else {
+      result.max_sets[a] = MaximalSets(std::move(candidates));
+    }
+    SortSets(&result.max_sets[a]);
+
+    // Algorithm 4 lines 4-9: complements.
+    std::vector<AttributeSet>& cmax = result.cmax_sets[a];
+    cmax.reserve(result.max_sets[a].size());
+    for (const AttributeSet& x : result.max_sets[a]) {
+      cmax.push_back(universe.Minus(x));
+    }
+    SortSets(&cmax);
+  }
+  return result;
+}
+
+}  // namespace depminer

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "core/agree_sets.h"
+
+namespace depminer {
+
+/// Per-attribute maximal sets and their complements (paper Algorithm 4).
+///
+/// `max_sets[A]` is max(dep(r), A): the ⊆-maximal attribute sets that do
+/// *not* determine A. By Lemma 3 these are the ⊆-maximal agree sets
+/// avoiding A. The empty agree set participates when present — if no
+/// non-empty agree set avoids A but some pair of tuples disagrees
+/// everywhere, then ∅ is the largest set not determining A and
+/// cmax(dep(r), A) = {R}.
+///
+/// `cmax_sets[A]` is cmax(dep(r), A) = {R \ X : X ∈ max(dep(r), A)}, a
+/// simple hypergraph whose minimal transversals are lhs(dep(r), A).
+struct MaxSetResult {
+  size_t num_attributes = 0;
+  std::vector<std::vector<AttributeSet>> max_sets;
+  std::vector<std::vector<AttributeSet>> cmax_sets;
+
+  /// MAX(dep(r)) = ⋃_A max(dep(r), A), deduplicated and sorted. This is
+  /// the generator family GEN(dep(r)) used to build Armstrong relations.
+  std::vector<AttributeSet> AllMaxSets() const;
+};
+
+/// Algorithm 4 (CMAX_SET). `agree` must describe the full ag(r), including
+/// the ∅ flag.
+MaxSetResult ComputeMaxSets(const AgreeSetResult& agree);
+
+}  // namespace depminer

@@ -1,0 +1,106 @@
+#include "datagen/embedded_fd.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+namespace {
+
+/// Deterministic value derivation: mixes the lhs codes and the rhs
+/// attribute id into one value. Equal lhs projections yield equal rhs
+/// values, which is exactly X → A.
+ValueCode DeriveValue(const std::vector<ValueCode>& row,
+                      const AttributeSet& lhs, AttributeId rhs,
+                      size_t domain) {
+  uint64_t h = 0x9E3779B97F4A7C15ull + rhs;
+  lhs.ForEach([&](AttributeId a) {
+    h ^= (row[a] + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 29;
+  });
+  return static_cast<ValueCode>(h % domain);
+}
+
+}  // namespace
+
+Result<Relation> GenerateWithEmbeddedFds(const EmbeddedFdConfig& config) {
+  const size_t n = config.num_attributes;
+  if (n == 0 || n > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("bad attribute count");
+  }
+  if (config.domain_size == 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  for (const FunctionalDependency& fd : config.fds) {
+    if (fd.IsTrivial()) {
+      return Status::InvalidArgument("cannot embed the trivial FD " +
+                                     fd.ToString());
+    }
+    if (fd.rhs >= n || (!fd.lhs.Empty() && fd.lhs.Max() >= n)) {
+      return Status::InvalidArgument("FD attribute out of range: " +
+                                     fd.ToString());
+    }
+  }
+
+  // One derivation rule per rhs attribute: a second FD on the same rhs
+  // would not be honoured by value derivation, so reject it up front.
+  std::vector<const FunctionalDependency*> rule(n, nullptr);
+  for (const FunctionalDependency& fd : config.fds) {
+    if (rule[fd.rhs] != nullptr) {
+      return Status::InvalidArgument(
+          "cannot embed two FDs with the same right-hand attribute: " +
+          fd.ToString());
+    }
+    rule[fd.rhs] = &fd;
+  }
+  // Topologically order the derived attributes (A depends on the lhs of
+  // its rule) by iterative depth-first search; cycles are rejected.
+  std::vector<AttributeId> order;
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = visiting, 2 = done
+  for (AttributeId start = 0; start < n; ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<AttributeId, size_t>> stack = {{start, 0}};
+    while (!stack.empty()) {
+      auto& [a, next_dep] = stack.back();
+      if (state[a] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      state[a] = 1;
+      std::vector<AttributeId> deps;
+      if (rule[a] != nullptr) deps = rule[a]->lhs.Members();
+      if (next_dep < deps.size()) {
+        const AttributeId d = deps[next_dep++];
+        if (state[d] == 1) {
+          return Status::InvalidArgument("cyclic FD derivation involving " +
+                                         rule[a]->ToString());
+        }
+        if (state[d] == 0) stack.emplace_back(d, 0);
+      } else {
+        state[a] = 2;
+        order.push_back(a);
+        stack.pop_back();
+      }
+    }
+  }
+
+  Rng rng(config.seed);
+  RelationBuilder builder(Schema::Default(n));
+  std::vector<ValueCode> row(n);
+  for (size_t t = 0; t < config.num_tuples; ++t) {
+    for (AttributeId a : order) {
+      if (rule[a] == nullptr) {
+        row[a] = static_cast<ValueCode>(rng.Below(config.domain_size));
+      } else {
+        row[a] = DeriveValue(row, rule[a]->lhs, a, config.domain_size);
+      }
+    }
+    DEPMINER_RETURN_NOT_OK(builder.AddCodedRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace depminer

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "fd/functional_dependency.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Generates relations with *planted* functional dependencies, for
+/// correctness tests and for the logical-tuning example: every listed FD
+/// is guaranteed to hold in the output (other, accidental FDs may hold
+/// too — discovery returns a cover of dep(r), which implies the planted
+/// ones).
+struct EmbeddedFdConfig {
+  size_t num_attributes = 6;
+  size_t num_tuples = 200;
+  /// Dependencies to plant. Right-hand attributes are computed as a
+  /// deterministic function of their left-hand values, so the lhs→rhs
+  /// graph must be acyclic; free attributes draw uniformly from the pool.
+  std::vector<FunctionalDependency> fds;
+  /// Pool size for free attributes (controls how many accidental
+  /// dependencies appear; larger pools mean fewer).
+  size_t domain_size = 50;
+  uint64_t seed = 42;
+};
+
+/// Builds the relation. Fails if an FD's rhs set is cyclic or an FD is
+/// trivial.
+Result<Relation> GenerateWithEmbeddedFds(const EmbeddedFdConfig& config);
+
+}  // namespace depminer

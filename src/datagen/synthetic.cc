@@ -1,0 +1,65 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+Result<Relation> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_attributes == 0) {
+    return Status::InvalidArgument("num_attributes must be positive");
+  }
+  if (config.num_attributes > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes");
+  }
+  if (config.identical_rate < 0.0 || config.identical_rate > 1.0) {
+    return Status::InvalidArgument("identical_rate must be in [0, 1]");
+  }
+  if (config.zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+
+  Rng rng(config.seed);
+  const size_t pool =
+      config.fixed_domain != 0 ? config.fixed_domain
+      : config.identical_rate == 0.0
+          ? std::max<size_t>(config.num_tuples, 1)
+          : std::max<size_t>(
+                1, static_cast<size_t>(config.identical_rate *
+                                       static_cast<double>(config.num_tuples)));
+
+  // For Zipf draws, precompute the cumulative distribution over the pool
+  // (value k has weight 1/(k+1)^s) and sample by binary search.
+  std::vector<double> cdf;
+  if (config.zipf_exponent > 0.0) {
+    cdf.resize(pool);
+    double total = 0.0;
+    for (size_t k = 0; k < pool; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1),
+                              config.zipf_exponent);
+      cdf[k] = total;
+    }
+    for (double& c : cdf) c /= total;
+  }
+  auto draw = [&]() -> ValueCode {
+    if (cdf.empty()) return static_cast<ValueCode>(rng.Below(pool));
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<ValueCode>(it - cdf.begin());
+  };
+
+  RelationBuilder builder(Schema::Default(config.num_attributes));
+  std::vector<ValueCode> row(config.num_attributes);
+  for (size_t t = 0; t < config.num_tuples; ++t) {
+    for (size_t a = 0; a < config.num_attributes; ++a) {
+      row[a] = draw();
+    }
+    DEPMINER_RETURN_NOT_OK(builder.AddCodedRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace depminer

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Parameters of the paper's benchmark database generator (§5.2, Table 2):
+/// |R| attributes, |r| tuples, and a "rate of identical values" c per
+/// column.
+///
+/// "if c has a value of 50% for an attribute and the number of tuples is
+/// 1000, this means that each value for this attribute is chosen between
+/// 500 possible values" — i.e. each cell is drawn uniformly from a pool of
+/// max(1, c·|r|) values. `identical_rate == 0` reproduces the "data sets
+/// without constraints" group: each value is chosen among |r| candidates,
+/// so duplicates arise from birthday collisions only.
+struct SyntheticConfig {
+  size_t num_attributes = 10;
+  size_t num_tuples = 1000;
+  /// c ∈ [0, 1]: pool size per attribute = max(1, c·|r|); 0 means |r|.
+  double identical_rate = 0.0;
+  /// When non-zero, overrides `identical_rate` with an absolute pool size
+  /// that does not scale with |r|. A fixed domain makes duplication — and
+  /// with it agree sets, maximal sets and Armstrong sizes — *grow* with
+  /// |r|, which is the shape of the paper's Table 3(b); see
+  /// EXPERIMENTS.md.
+  size_t fixed_domain = 0;
+  /// Value skew: 0 (default) draws uniformly from the pool, as the paper
+  /// does; s > 0 draws Zipf(s) — value k with probability ∝ 1/k^s —
+  /// which concentrates duplication in a few heavy values, the shape of
+  /// real categorical data. Skew changes stripped-class size profiles
+  /// (few huge classes instead of many small ones), the regime where the
+  /// paper motivates Algorithm 3.
+  double zipf_exponent = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a relation per the paper's benchmark recipe. Deterministic
+/// given the seed (xoshiro256**).
+Result<Relation> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace depminer

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file depminer.h
+/// Umbrella header: the full public API of the Dep-Miner library.
+///
+/// Quick start:
+///
+///   #include "depminer.h"
+///   using namespace depminer;
+///
+///   Result<Relation> r = ReadCsvRelation("people.csv");
+///   Result<DepMinerResult> mined = MineDependencies(r.value());
+///   for (const FunctionalDependency& fd : mined.value().fds.fds())
+///     std::cout << fd.ToString(r.value().schema()) << "\n";
+
+#include "catalog/catalog.h"
+#include "common/arg_parser.h"
+#include "common/attribute_set.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/agree_sets.h"
+#include "core/armstrong.h"
+#include "core/armstrong_bounds.h"
+#include "core/dep_miner.h"
+#include "core/inversion.h"
+#include "core/keys_from_max_sets.h"
+#include "core/lhs.h"
+#include "core/max_sets.h"
+#include "datagen/embedded_fd.h"
+#include "datagen/synthetic.h"
+#include "fastfds/fastfds.h"
+#include "fdep/fdep.h"
+#include "fd/chase.h"
+#include "fd/closed_sets.h"
+#include "fd/explain.h"
+#include "fd/fd_diff.h"
+#include "fd/fd_io.h"
+#include "fd/fd_set.h"
+#include "fd/functional_dependency.h"
+#include "fd/keys.h"
+#include "fd/naive_discovery.h"
+#include "fd/normalization.h"
+#include "fd/projection.h"
+#include "fd/repair.h"
+#include "fd/satisfaction.h"
+#include "fd/satisfaction_checker.h"
+#include "hypergraph/berge_transversals.h"
+#include "ind/foreign_keys.h"
+#include "ind/nary_ind.h"
+#include "ind/unary_ind.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/levelwise_transversals.h"
+#include "partition/partition.h"
+#include "partition/partition_database.h"
+#include "partition/partition_product.h"
+#include "partition/stripped_partition.h"
+#include "relation/csv.h"
+#include "relation/relation.h"
+#include "relation/relation_builder.h"
+#include "relation/relation_ops.h"
+#include "relation/schema.h"
+#include "report/database_profile.h"
+#include "report/json_writer.h"
+#include "report/profile.h"
+#include "storage/column_file.h"
+#include "storage/streaming.h"
+#include "tane/tane.h"

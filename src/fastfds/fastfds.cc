@@ -1,0 +1,165 @@
+#include "fastfds/fastfds.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/agree_sets.h"
+#include "partition/partition_database.h"
+
+namespace depminer {
+
+namespace {
+
+/// Depth-first enumeration of the minimal covers of a family of
+/// difference sets (the core of FastFDs). At each node the remaining
+/// candidate attributes are ordered by how many still-uncovered sets they
+/// hit (descending, ties by attribute id), and only attributes at or
+/// after the chosen branch in that ordering may be used deeper down —
+/// this enumerates every cover exactly once.
+class CoverSearch {
+ public:
+  CoverSearch(const std::vector<AttributeSet>& sets, FastFdsStats* stats)
+      : sets_(sets), stats_(stats) {}
+
+  /// Runs the search; calls emit(lhs) for every minimal cover.
+  template <typename Emit>
+  void Run(const AttributeSet& candidates, Emit&& emit) {
+    std::vector<size_t> uncovered(sets_.size());
+    for (size_t i = 0; i < sets_.size(); ++i) uncovered[i] = i;
+    Dfs(AttributeSet(), candidates, uncovered, emit);
+  }
+
+ private:
+  template <typename Emit>
+  void Dfs(const AttributeSet& path, const AttributeSet& allowed,
+           const std::vector<size_t>& uncovered, Emit&& emit) {
+    ++stats_->search_nodes;
+    if (uncovered.empty()) {
+      if (IsMinimalCover(path)) emit(path);
+      return;
+    }
+
+    // Order the allowed attributes by coverage of the uncovered sets.
+    struct Scored {
+      AttributeId attr;
+      size_t coverage;
+    };
+    std::vector<Scored> order;
+    allowed.ForEach([&](AttributeId a) {
+      size_t coverage = 0;
+      for (size_t i : uncovered) {
+        if (sets_[i].Contains(a)) ++coverage;
+      }
+      if (coverage > 0) order.push_back({a, coverage});
+    });
+    if (order.empty()) return;  // some set is uncoverable: dead end
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Scored& x, const Scored& y) {
+                       if (x.coverage != y.coverage) {
+                         return x.coverage > y.coverage;
+                       }
+                       return x.attr < y.attr;
+                     });
+
+    AttributeSet remaining_allowed;
+    for (const Scored& s : order) remaining_allowed.Add(s.attr);
+    for (const Scored& s : order) {
+      remaining_allowed.Remove(s.attr);
+      AttributeSet grown = path;
+      grown.Add(s.attr);
+      std::vector<size_t> still_uncovered;
+      still_uncovered.reserve(uncovered.size() - s.coverage);
+      for (size_t i : uncovered) {
+        if (!sets_[i].Contains(s.attr)) still_uncovered.push_back(i);
+      }
+      Dfs(grown, remaining_allowed, still_uncovered, emit);
+    }
+  }
+
+  /// Every attribute of the cover must hit a set nothing else hits.
+  bool IsMinimalCover(const AttributeSet& cover) const {
+    bool minimal = true;
+    cover.ForEach([&](AttributeId a) {
+      if (!minimal) return;
+      bool needed = false;
+      for (const AttributeSet& s : sets_) {
+        if (s.Contains(a) && !s.Intersects(cover.Minus(
+                                 AttributeSet::Single(a)))) {
+          needed = true;
+          break;
+        }
+      }
+      if (!needed) minimal = false;
+    });
+    return minimal;
+  }
+
+  const std::vector<AttributeSet>& sets_;
+  FastFdsStats* stats_;
+};
+
+}  // namespace
+
+std::string FastFdsStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "difference_sets=%zu search_nodes=%zu fds=%zu total=%.3fs",
+                difference_sets, search_nodes, num_fds, total_seconds);
+  return buf;
+}
+
+Result<FastFdsResult> FastFdsDiscover(const Relation& relation) {
+  const size_t n = relation.num_attributes();
+  if (n == 0) return Status::InvalidArgument("relation has no attributes");
+  if (n > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes");
+  }
+
+  Stopwatch timer;
+  FastFdsResult result;
+
+  // Front end shared with Dep-Miner: agree sets from stripped partitions,
+  // then difference sets D(r) = complements. The empty agree set (pairs
+  // disagreeing everywhere) contributes the difference set R.
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(relation);
+  const AgreeSetResult agree = ComputeAgreeSetsIdentifiers(db);
+  const AttributeSet universe = AttributeSet::Universe(n);
+  std::vector<AttributeSet> difference_sets;
+  difference_sets.reserve(agree.sets.size() + 1);
+  for (const AttributeSet& x : agree.All()) {
+    difference_sets.push_back(universe.Minus(x));
+  }
+  result.stats.difference_sets = difference_sets.size();
+
+  std::vector<FunctionalDependency> found;
+  for (AttributeId a = 0; a < n; ++a) {
+    // D_A: difference sets containing A, with A removed, minimized.
+    std::vector<AttributeSet> da;
+    for (const AttributeSet& d : difference_sets) {
+      if (d.Contains(a)) da.push_back(d.Minus(AttributeSet::Single(a)));
+    }
+    if (da.empty()) {
+      // No pair of tuples disagrees on A: A is constant, ∅ → A.
+      found.push_back({AttributeSet(), a});
+      continue;
+    }
+    da = MinimalSets(std::move(da));
+    // If ∅ ∈ D_A, a pair agrees on everything except A: nothing
+    // (non-trivially) determines A, and the search naturally finds no
+    // cover because the empty set cannot be hit.
+    CoverSearch search(da, &result.stats);
+    search.Run(universe.Minus(AttributeSet::Single(a)),
+               [&found, a](const AttributeSet& lhs) {
+                 found.push_back({lhs, a});
+               });
+  }
+
+  result.fds = FdSet(n, std::move(found));
+  result.stats.num_fds = result.fds.size();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace depminer

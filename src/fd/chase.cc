@@ -1,0 +1,81 @@
+#include "fd/chase.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace depminer {
+
+namespace {
+
+/// Tableau symbols: 0 is the distinguished symbol a_j for each column;
+/// i+1 is the unique symbol b_{i,j} of row i.
+using Symbol = uint32_t;
+constexpr Symbol kDistinguished = 0;
+
+}  // namespace
+
+bool IsLosslessJoin(const FdSet& fds,
+                    const std::vector<AttributeSet>& fragments) {
+  const size_t n = fds.num_attributes();
+  const size_t k = fragments.size();
+  if (k == 0) return false;
+
+  // tableau[i][a] — row i's symbol in column a.
+  std::vector<std::vector<Symbol>> tableau(k, std::vector<Symbol>(n));
+  for (size_t i = 0; i < k; ++i) {
+    for (AttributeId a = 0; a < n; ++a) {
+      tableau[i][a] =
+          fragments[i].Contains(a) ? kDistinguished : static_cast<Symbol>(i + 1);
+    }
+  }
+
+  // Chase to fixpoint: for every FD X → A and every pair of rows agreeing
+  // on X, equate their A symbols (preferring the distinguished symbol).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds.fds()) {
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = i + 1; j < k; ++j) {
+          bool agree = true;
+          fd.lhs.ForEach([&](AttributeId b) {
+            if (tableau[i][b] != tableau[j][b]) agree = false;
+          });
+          if (!agree) continue;
+          const Symbol si = tableau[i][fd.rhs];
+          const Symbol sj = tableau[j][fd.rhs];
+          if (si == sj) continue;
+          // Replace the larger symbol by the smaller *everywhere in the
+          // column* (symbol identification, not just in these two rows).
+          const Symbol from = si < sj ? sj : si;
+          const Symbol to = si < sj ? si : sj;
+          for (size_t row = 0; row < k; ++row) {
+            if (tableau[row][fd.rhs] == from) tableau[row][fd.rhs] = to;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < k; ++i) {
+    bool all_distinguished = true;
+    for (AttributeId a = 0; a < n; ++a) {
+      if (tableau[i][a] != kDistinguished) {
+        all_distinguished = false;
+        break;
+      }
+    }
+    if (all_distinguished) return true;
+  }
+  return false;
+}
+
+bool IsLosslessBinaryJoin(const FdSet& fds, const AttributeSet& x,
+                          const AttributeSet& y) {
+  const AttributeSet common = x.Intersect(y);
+  const AttributeSet closure = fds.Closure(common);
+  return x.Minus(y).IsSubsetOf(closure) || y.Minus(x).IsSubsetOf(closure);
+}
+
+}  // namespace depminer

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+/// The chase for lossless-join testing ([AHV95] ch. 8).
+///
+/// A decomposition R = X_1 ∪ ... ∪ X_k has a lossless join under F iff
+/// the chase of the tableau with one row per fragment (distinguished
+/// symbols on the fragment's attributes, unique symbols elsewhere)
+/// produces an all-distinguished row. Equality-generating chase steps
+/// apply the FDs of F until fixpoint.
+///
+/// Used by tests to verify that `NormalizationAnalysis::BcnfDecomposition`
+/// and `ThirdNfSynthesis` are lossless, and exposed for applications that
+/// want to validate hand-written decompositions against discovered FDs.
+bool IsLosslessJoin(const FdSet& fds,
+                    const std::vector<AttributeSet>& fragments);
+
+/// Special case k = 2 shortcut (also a cross-check for the tableau
+/// implementation): R = X ∪ Y is lossless iff X∩Y → X\Y or X∩Y → Y\X
+/// holds under F.
+bool IsLosslessBinaryJoin(const FdSet& fds, const AttributeSet& x,
+                          const AttributeSet& y);
+
+}  // namespace depminer

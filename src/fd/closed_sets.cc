@@ -1,0 +1,62 @@
+#include "fd/closed_sets.h"
+
+namespace depminer {
+
+bool IsClosed(const FdSet& fds, const AttributeSet& x) {
+  return fds.Closure(x) == x;
+}
+
+std::vector<AttributeSet> ClosedSets(const FdSet& fds) {
+  const size_t n = fds.num_attributes();
+  const AttributeSet universe = AttributeSet::Universe(n);
+  std::vector<AttributeSet> closed;
+
+  // Ganter's NextClosure: enumerates the closed sets in lectic order with
+  // at most n closure computations per closed set — output-polynomial,
+  // unlike scanning all 2^n subsets.
+  AttributeSet current = fds.Closure(AttributeSet());
+  closed.push_back(current);
+  while (current != universe) {
+    bool advanced = false;
+    for (size_t step = n; step-- > 0 && !advanced;) {
+      const AttributeId i = static_cast<AttributeId>(step);
+      if (current.Contains(i)) continue;
+      // A ⊕ i = closure((A ∩ {0..i-1}) ∪ {i}).
+      AttributeSet prefix =
+          current.Intersect(AttributeSet::Universe(i)).Union(
+              AttributeSet::Single(i));
+      const AttributeSet candidate = fds.Closure(prefix);
+      // Accept when the candidate adds no element smaller than i beyond
+      // the shared prefix (lectic successor condition).
+      const AttributeSet added =
+          candidate.Minus(current.Intersect(AttributeSet::Universe(i)));
+      if (added.Min() == i) {
+        current = candidate;
+        closed.push_back(current);
+        advanced = true;
+      }
+    }
+    if (!advanced) break;  // defensive: cannot happen for a proper closure
+  }
+
+  SortSets(&closed);
+  return closed;
+}
+
+std::vector<AttributeSet> Generators(const FdSet& fds) {
+  const std::vector<AttributeSet> closed = ClosedSets(fds);
+  const AttributeSet universe = AttributeSet::Universe(fds.num_attributes());
+  std::vector<AttributeSet> generators;
+  for (const AttributeSet& x : closed) {
+    if (x == universe) continue;
+    AttributeSet meet = universe;
+    for (const AttributeSet& y : closed) {
+      if (x != y && x.IsSubsetOf(y)) meet = meet.Intersect(y);
+    }
+    if (meet != x) generators.push_back(x);
+  }
+  SortSets(&generators);
+  return generators;
+}
+
+}  // namespace depminer

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+/// The closed-set lattice of an FD set (paper §2, after [BDFS84, DLM92]).
+///
+/// A set X is closed when X⁺_F = X. CL(F) is the family of closed sets
+/// (a lattice under intersection, with top R); GEN(F) is its unique
+/// minimal subfamily of *generators* (meet-irreducible elements): every
+/// closed set is an intersection of generators, R being the empty
+/// intersection.
+///
+/// [MR86, MR94b] prove MAX(F) = GEN(F) — the identity that lets
+/// Dep-Miner build Armstrong relations straight from maximal sets. Tests
+/// validate that identity by computing GEN independently through this
+/// module and comparing with the mined maximal sets.
+///
+/// Both enumerations are exponential (|CL(F)| can be 2^n); they are meant
+/// for schemas of ≲ 20 attributes — analysis and testing, not discovery.
+
+/// All closed sets, sorted by (cardinality, members). R is always
+/// included; ∅ is included iff ∅⁺ = ∅ (no constant attributes).
+std::vector<AttributeSet> ClosedSets(const FdSet& fds);
+
+/// The generators GEN(F): closed sets (≠ R) that are not the intersection
+/// of strictly larger closed sets. Sorted like ClosedSets.
+std::vector<AttributeSet> Generators(const FdSet& fds);
+
+/// True iff X is closed under F.
+bool IsClosed(const FdSet& fds, const AttributeSet& x);
+
+}  // namespace depminer

@@ -1,0 +1,85 @@
+#include "fd/explain.h"
+
+namespace depminer {
+
+Derivation ExplainImplication(const FdSet& fds, const AttributeSet& lhs,
+                              AttributeId rhs) {
+  Derivation out;
+  out.start = lhs;
+  out.target = rhs;
+
+  if (lhs.Contains(rhs)) {
+    out.implied = true;  // reflexivity, no steps
+    out.final_closure = lhs;
+    return out;
+  }
+
+  // Forward chase, recording which FD added which attribute.
+  AttributeSet closure = lhs;
+  std::vector<DerivationStep> trace;
+  bool changed = true;
+  while (changed && !closure.Contains(rhs)) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds.fds()) {
+      if (!closure.Contains(fd.rhs) && fd.lhs.IsSubsetOf(closure)) {
+        trace.push_back({fd, closure});
+        closure.Add(fd.rhs);
+        changed = true;
+        if (closure.Contains(rhs)) break;
+      }
+    }
+  }
+  out.final_closure = closure;
+  if (!closure.Contains(rhs)) {
+    out.implied = false;
+    return out;
+  }
+  out.implied = true;
+
+  // Backward prune: keep only steps whose rhs is actually needed —
+  // seed with the target, then walk the trace backwards, pulling in the
+  // lhs attributes of every kept step (minus what X provides).
+  AttributeSet needed = AttributeSet::Single(rhs);
+  std::vector<bool> keep(trace.size(), false);
+  for (size_t i = trace.size(); i-- > 0;) {
+    if (needed.Contains(trace[i].used.rhs)) {
+      keep[i] = true;
+      needed.Remove(trace[i].used.rhs);
+      needed = needed.Union(trace[i].used.lhs.Minus(lhs));
+    }
+  }
+  // Re-derive known_before over the kept steps only, so the rendered
+  // chain is self-contained (no attributes from pruned steps).
+  AttributeSet known = lhs;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (!keep[i]) continue;
+    DerivationStep step = trace[i];
+    step.known_before = known;
+    known.Add(step.used.rhs);
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+std::string Derivation::ToString(const Schema& schema) const {
+  std::string lhs_text = start.Empty() ? "{}" : start.ToString(schema.names());
+  std::string out = lhs_text + " -> " + schema.name(target);
+  if (!implied) {
+    out += ": NOT implied (closure is {" +
+           final_closure.ToString(schema.names()) + "})\n";
+    return out;
+  }
+  out += ": implied";
+  if (steps.empty()) {
+    out += start.Contains(target) ? " (reflexivity)\n" : " (directly)\n";
+    return out;
+  }
+  out += "\n";
+  for (const DerivationStep& step : steps) {
+    out += "  {" + step.known_before.ToString(schema.names()) +
+           "} covers the lhs of " + step.used.ToString(schema) + "\n";
+  }
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// One step of an implication derivation: an FD of the base set fired
+/// because its lhs was already derived, adding its rhs to the closure.
+struct DerivationStep {
+  FunctionalDependency used;     ///< the base-set FD applied
+  AttributeSet known_before;     ///< closure before the step
+};
+
+/// A derivation of F ⊨ X → A (or the verdict that none exists).
+struct Derivation {
+  bool implied = false;
+  AttributeSet start;            ///< X
+  AttributeId target = 0;        ///< A
+  std::vector<DerivationStep> steps;  ///< in application order
+  AttributeSet final_closure;    ///< X⁺ when not implied
+
+  /// Human-readable rendering ("X ⊨ ... because ...").
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Explains why (or that) `fds ⊨ lhs → rhs`, as a minimal-ish chain of
+/// closure steps: the usual fixpoint chase, recording each firing FD,
+/// then pruned backwards so only steps contributing to the target
+/// remain. Reflexive implications (rhs ∈ lhs) produce an empty step
+/// list.
+Derivation ExplainImplication(const FdSet& fds, const AttributeSet& lhs,
+                              AttributeId rhs);
+
+}  // namespace depminer

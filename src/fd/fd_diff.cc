@@ -1,0 +1,28 @@
+#include "fd/fd_diff.h"
+
+namespace depminer {
+
+FdSetDiff DiffFdSets(const FdSet& old_fds, const FdSet& new_fds) {
+  FdSetDiff diff;
+  for (const FunctionalDependency& fd : old_fds.fds()) {
+    if (!new_fds.Implies(fd)) diff.lost.push_back(fd);
+  }
+  for (const FunctionalDependency& fd : new_fds.fds()) {
+    if (!old_fds.Implies(fd)) diff.gained.push_back(fd);
+  }
+  return diff;
+}
+
+std::string FdSetDiff::ToString(const Schema& schema) const {
+  if (Equivalent()) return "covers are equivalent\n";
+  std::string out;
+  for (const FunctionalDependency& fd : lost) {
+    out += "- " + fd.ToString(schema) + "\n";
+  }
+  for (const FunctionalDependency& fd : gained) {
+    out += "+ " + fd.ToString(schema) + "\n";
+  }
+  return out;
+}
+
+}  // namespace depminer

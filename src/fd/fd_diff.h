@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// Semantic difference between two FD covers (e.g. the same table mined
+/// last month vs today — dependency drift is how schema rot shows up).
+///
+/// The comparison is by *implication*, not by syntactic cover equality:
+/// an FD counts as lost only if the new cover no longer implies it.
+struct FdSetDiff {
+  /// FDs of the old cover no longer implied by the new one.
+  std::vector<FunctionalDependency> lost;
+  /// FDs of the new cover not implied by the old one.
+  std::vector<FunctionalDependency> gained;
+
+  bool Equivalent() const { return lost.empty() && gained.empty(); }
+
+  /// "- lost ...\n+ gained ..." rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Computes the diff. Both sets must be over the same attribute count
+/// (typically the same schema).
+FdSetDiff DiffFdSets(const FdSet& old_fds, const FdSet& new_fds);
+
+}  // namespace depminer

@@ -1,0 +1,118 @@
+#include "fd/fd_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace depminer {
+
+std::string FdSetToText(const FdSet& fds, const Schema& schema) {
+  std::string out = "# fdset";
+  for (const std::string& name : schema.names()) {
+    out += ' ';
+    out += name;
+  }
+  out += '\n';
+  for (const FunctionalDependency& fd : fds.fds()) {
+    if (fd.lhs.Empty()) {
+      out += "{}";
+    } else {
+      out += fd.lhs.ToString(schema.names());
+    }
+    out += " -> ";
+    out += schema.name(fd.rhs);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FdSet> FdSetFromText(const std::string& text, Schema* schema) {
+  std::istringstream in(text);
+  std::string line;
+
+  // Header.
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty FD set text");
+  }
+  const std::string_view header = StripAsciiWhitespace(line);
+  const std::string prefix = "# fdset";
+  if (header.substr(0, prefix.size()) != prefix) {
+    return Status::InvalidArgument("missing '# fdset' header");
+  }
+  std::vector<std::string> names;
+  for (const std::string& token :
+       Split(std::string(header.substr(prefix.size())), ' ')) {
+    if (!token.empty()) names.push_back(token);
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("header names no attributes");
+  }
+  if (names.size() > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes in header");
+  }
+  *schema = Schema(names);
+
+  FdSet fds(names.size());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const size_t arrow = stripped.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'lhs -> rhs'");
+    }
+    const std::string lhs_text =
+        std::string(StripAsciiWhitespace(stripped.substr(0, arrow)));
+    const std::string rhs_text =
+        std::string(StripAsciiWhitespace(stripped.substr(arrow + 2)));
+
+    FunctionalDependency fd;
+    if (lhs_text != "{}") {
+      for (const std::string& raw : Split(lhs_text, ',')) {
+        const std::string name = std::string(StripAsciiWhitespace(raw));
+        if (name.empty()) continue;
+        Result<AttributeId> id = schema->Find(name);
+        if (!id.ok()) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": unknown attribute '" + name + "'");
+        }
+        fd.lhs.Add(id.value());
+      }
+    }
+    Result<AttributeId> rhs = schema->Find(rhs_text);
+    if (!rhs.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown attribute '" + rhs_text + "'");
+    }
+    fd.rhs = rhs.value();
+    fds.Add(fd);
+  }
+  fds.Normalize();
+  return fds;
+}
+
+Status SaveFdSet(const FdSet& fds, const Schema& schema,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << FdSetToText(fds, schema);
+  if (!out) return Status::IoError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<FdSet> LoadFdSet(const std::string& path, Schema* schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FdSetFromText(buffer.str(), schema);
+}
+
+}  // namespace depminer

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// Text serialization for FD sets, so mined covers can be stored,
+/// diffed, and piped between `fdtool` invocations.
+///
+/// Format: one header line `# fdset <attr1> <attr2> ...` naming the
+/// schema (names with spaces are not supported — they are column
+/// identifiers), then one FD per line, `A,B -> C` (an empty lhs is
+/// written as `{}`). Lines starting with `#` after the header and blank
+/// lines are ignored on read.
+
+/// Serializes with the given schema's attribute names.
+std::string FdSetToText(const FdSet& fds, const Schema& schema);
+
+/// Parses the format back; returns the FD set and (via `schema`) the
+/// attribute naming it was written with.
+Result<FdSet> FdSetFromText(const std::string& text, Schema* schema);
+
+/// File convenience wrappers.
+Status SaveFdSet(const FdSet& fds, const Schema& schema,
+                 const std::string& path);
+Result<FdSet> LoadFdSet(const std::string& path, Schema* schema);
+
+}  // namespace depminer

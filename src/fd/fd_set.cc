@@ -1,0 +1,94 @@
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+AttributeSet FdSet::Closure(const AttributeSet& x) const {
+  AttributeSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      if (!closure.Contains(fd.rhs) && fd.lhs.IsSubsetOf(closure)) {
+        closure.Add(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Implies(const AttributeSet& lhs, AttributeId rhs) const {
+  if (lhs.Contains(rhs)) return true;  // reflexivity
+  return Closure(lhs).Contains(rhs);
+}
+
+bool FdSet::Implies(const FunctionalDependency& fd) const {
+  return Implies(fd.lhs, fd.rhs);
+}
+
+bool FdSet::Covers(const FdSet& other) const {
+  for (const FunctionalDependency& fd : other.fds_) {
+    if (!Implies(fd)) return false;
+  }
+  return true;
+}
+
+bool FdSet::EquivalentTo(const FdSet& other) const {
+  return Covers(other) && other.Covers(*this);
+}
+
+FdSet FdSet::MinimalCover() const {
+  // Step 1: drop trivial FDs and duplicates.
+  std::vector<FunctionalDependency> work;
+  work.reserve(fds_.size());
+  for (const FunctionalDependency& fd : fds_) {
+    if (!fd.IsTrivial()) work.push_back(fd);
+  }
+  Canonicalize(&work);
+
+  // Step 2: remove extraneous lhs attributes (left-reduction): B ∈ X is
+  // extraneous in X → A when (X \ B) → A is still implied.
+  FdSet current(num_attributes_, work);
+  work = current.fds_;
+  for (FunctionalDependency& fd : work) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      const std::vector<AttributeId> members = fd.lhs.Members();
+      for (AttributeId b : members) {
+        AttributeSet reduced = fd.lhs;
+        reduced.Remove(b);
+        if (current.Implies(reduced, fd.rhs)) {
+          fd.lhs = reduced;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  Canonicalize(&work);
+
+  // Step 3: remove redundant FDs (those implied by the rest).
+  std::vector<FunctionalDependency> kept = work;
+  for (size_t i = kept.size(); i-- > 0;) {
+    std::vector<FunctionalDependency> without;
+    without.reserve(kept.size() - 1);
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) without.push_back(kept[j]);
+    }
+    FdSet candidate(num_attributes_, without);
+    if (candidate.Implies(kept[i])) kept = std::move(without);
+  }
+  return FdSet(num_attributes_, std::move(kept));
+}
+
+std::string FdSet::ToString() const {
+  std::string out;
+  for (const FunctionalDependency& fd : fds_) {
+    if (!out.empty()) out += "; ";
+    out += fd.ToString();
+  }
+  return out;
+}
+
+}  // namespace depminer

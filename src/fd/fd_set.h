@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/functional_dependency.h"
+
+namespace depminer {
+
+/// A finite set of functional dependencies over an n-attribute universe,
+/// with the classical inference operations from dependency theory
+/// ([AHV95] ch. 8, [MR94b]).
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(size_t num_attributes) : num_attributes_(num_attributes) {}
+  FdSet(size_t num_attributes, std::vector<FunctionalDependency> fds)
+      : num_attributes_(num_attributes), fds_(std::move(fds)) {
+    Canonicalize(&fds_);
+  }
+
+  size_t num_attributes() const { return num_attributes_; }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  size_t size() const { return fds_.size(); }
+  bool Empty() const { return fds_.empty(); }
+
+  void Add(const FunctionalDependency& fd) { fds_.push_back(fd); }
+  void Add(const AttributeSet& lhs, AttributeId rhs) {
+    fds_.push_back({lhs, rhs});
+  }
+  /// Sorts canonically and deduplicates.
+  void Normalize() { Canonicalize(&fds_); }
+
+  /// The attribute closure X⁺ of `x` under this FD set, by the standard
+  /// fixpoint chase. O(|F| · passes).
+  AttributeSet Closure(const AttributeSet& x) const;
+
+  /// True iff X → A is implied by this set (A ∈ X⁺).
+  bool Implies(const AttributeSet& lhs, AttributeId rhs) const;
+  bool Implies(const FunctionalDependency& fd) const;
+
+  /// True iff every FD of `other` is implied by this set.
+  bool Covers(const FdSet& other) const;
+
+  /// True iff the two sets imply each other (they are covers of the same
+  /// dependency family — the paper's F ≡ G).
+  bool EquivalentTo(const FdSet& other) const;
+
+  /// A minimal cover: no trivial FDs, no redundant FDs, and no lhs with an
+  /// extraneous attribute. The result is canonical (sorted) but minimal
+  /// covers are not unique in general.
+  FdSet MinimalCover() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t num_attributes_ = 0;
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace depminer

@@ -1,0 +1,30 @@
+#include "fd/functional_dependency.h"
+
+#include <algorithm>
+
+namespace depminer {
+
+std::string FunctionalDependency::ToString() const {
+  std::string out = lhs.Empty() ? "{}" : lhs.ToString();
+  out += " -> ";
+  if (rhs < 26) {
+    out.push_back(static_cast<char>('A' + rhs));
+  } else {
+    out += std::to_string(rhs);
+  }
+  return out;
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::string out = lhs.Empty() ? "{}" : lhs.ToString(schema.names());
+  out += " -> ";
+  out += schema.name(rhs);
+  return out;
+}
+
+void Canonicalize(std::vector<FunctionalDependency>* fds) {
+  std::sort(fds->begin(), fds->end());
+  fds->erase(std::unique(fds->begin(), fds->end()), fds->end());
+}
+
+}  // namespace depminer

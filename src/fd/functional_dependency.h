@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// A functional dependency X → A with a single right-hand attribute
+/// (paper §2). Any FD X → Y decomposes into |Y| such dependencies.
+struct FunctionalDependency {
+  AttributeSet lhs;
+  AttributeId rhs = 0;
+
+  /// Trivial iff A ∈ X.
+  bool IsTrivial() const { return lhs.Contains(rhs); }
+
+  bool operator==(const FunctionalDependency& o) const {
+    return rhs == o.rhs && lhs == o.lhs;
+  }
+  bool operator<(const FunctionalDependency& o) const {
+    if (rhs != o.rhs) return rhs < o.rhs;
+    const size_t cl = lhs.Count(), co = o.lhs.Count();
+    if (cl != co) return cl < co;
+    return lhs.LexLess(o.lhs);
+  }
+
+  /// "BC -> A" using letters, or names from a schema.
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Sorts canonically (by rhs, then lhs size, then lhs members) and removes
+/// duplicates, in place.
+void Canonicalize(std::vector<FunctionalDependency>* fds);
+
+}  // namespace depminer

@@ -1,0 +1,73 @@
+#include "fd/keys.h"
+
+#include <algorithm>
+#include <set>
+
+namespace depminer {
+
+bool IsSuperkey(const FdSet& fds, const AttributeSet& x) {
+  return fds.Closure(x) == AttributeSet::Universe(fds.num_attributes());
+}
+
+bool IsCandidateKey(const FdSet& fds, const AttributeSet& x) {
+  if (!IsSuperkey(fds, x)) return false;
+  bool minimal = true;
+  x.ForEach([&](AttributeId a) {
+    AttributeSet reduced = x;
+    reduced.Remove(a);
+    if (IsSuperkey(fds, reduced)) minimal = false;
+  });
+  return minimal;
+}
+
+AttributeSet ReduceToKey(const FdSet& fds, AttributeSet x) {
+  // Try removing attributes from highest to lowest for a deterministic
+  // result.
+  std::vector<AttributeId> members = x.Members();
+  std::reverse(members.begin(), members.end());
+  for (AttributeId a : members) {
+    AttributeSet reduced = x;
+    reduced.Remove(a);
+    if (IsSuperkey(fds, reduced)) x = reduced;
+  }
+  return x;
+}
+
+std::vector<AttributeSet> CandidateKeys(const FdSet& fds) {
+  const AttributeSet universe = AttributeSet::Universe(fds.num_attributes());
+  std::set<AttributeSet> keys;
+  std::vector<AttributeSet> queue;
+
+  const AttributeSet first = ReduceToKey(fds, universe);
+  keys.insert(first);
+  queue.push_back(first);
+
+  while (!queue.empty()) {
+    const AttributeSet key = queue.back();
+    queue.pop_back();
+    for (const FunctionalDependency& fd : fds.fds()) {
+      if (fd.IsTrivial()) continue;
+      // Lucchesi–Osborn: S = X ∪ (K \ {A}) is a superkey whenever K is;
+      // if no known key is contained in S, reducing S yields a new key.
+      AttributeSet s = key;
+      s.Remove(fd.rhs);
+      s = s.Union(fd.lhs);
+      bool contains_known = false;
+      for (const AttributeSet& k : keys) {
+        if (k.IsSubsetOf(s)) {
+          contains_known = true;
+          break;
+        }
+      }
+      if (contains_known) continue;
+      const AttributeSet reduced = ReduceToKey(fds, s);
+      if (keys.insert(reduced).second) queue.push_back(reduced);
+    }
+  }
+
+  std::vector<AttributeSet> out(keys.begin(), keys.end());
+  SortSets(&out);
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+/// True iff X is a superkey under F: X⁺ = R.
+bool IsSuperkey(const FdSet& fds, const AttributeSet& x);
+
+/// True iff X is a candidate key: a superkey none of whose proper subsets
+/// is one.
+bool IsCandidateKey(const FdSet& fds, const AttributeSet& x);
+
+/// Enumerates all candidate keys of the schema under F, using the
+/// Lucchesi–Osborn saturation algorithm: start from one key obtained by
+/// reducing R, then for each known key K and each FD X → A generate the
+/// candidate X ∪ (K \ A) and reduce it. Exponential in the worst case —
+/// there can be exponentially many keys — but efficient in practice.
+/// Results are sorted by (cardinality, members).
+std::vector<AttributeSet> CandidateKeys(const FdSet& fds);
+
+/// Greedily removes attributes from `x` while it stays a superkey,
+/// returning a candidate key contained in `x`. `x` must be a superkey.
+AttributeSet ReduceToKey(const FdSet& fds, AttributeSet x);
+
+}  // namespace depminer

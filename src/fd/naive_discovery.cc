@@ -1,0 +1,53 @@
+#include "fd/naive_discovery.h"
+
+#include <vector>
+
+#include "fd/satisfaction.h"
+
+namespace depminer {
+
+FdSet NaiveFdDiscovery(const Relation& relation) {
+  const size_t n = relation.num_attributes();
+  FdSet result(n);
+
+  for (AttributeId a = 0; a < n; ++a) {
+    // Breadth-first over subsets of R \ {A} by increasing size. A set that
+    // holds is recorded and not extended — so everything recorded is
+    // minimal; everything else is extended by one attribute.
+    std::vector<AttributeSet> level = {AttributeSet()};
+    std::vector<AttributeSet> found;
+    while (!level.empty()) {
+      std::vector<AttributeSet> next;
+      for (const AttributeSet& x : level) {
+        bool superset_of_found = false;
+        for (const AttributeSet& f : found) {
+          if (f.IsSubsetOf(x)) {
+            superset_of_found = true;
+            break;
+          }
+        }
+        if (superset_of_found) continue;
+        if (Holds(relation, x, a)) {
+          found.push_back(x);
+          result.Add(x, a);
+          continue;
+        }
+        // Extend with attributes larger than every current member to
+        // enumerate each set exactly once.
+        const AttributeId start = x.Empty() ? 0 : x.Max() + 1;
+        for (AttributeId b = start; b < n; ++b) {
+          if (b == a) continue;
+          AttributeSet grown = x;
+          grown.Add(b);
+          next.push_back(grown);
+        }
+      }
+      level = std::move(next);
+    }
+  }
+
+  result.Normalize();
+  return result;
+}
+
+}  // namespace depminer

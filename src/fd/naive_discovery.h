@@ -1,0 +1,17 @@
+#pragma once
+
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Exhaustive discovery of all minimal non-trivial FDs of a relation by
+/// breadth-first enumeration of candidate left-hand sides, smallest first,
+/// testing each with `Holds`.
+///
+/// Exponential in the number of attributes — usable only on small schemas
+/// (≲ 15 attributes). It exists as an *oracle*: tests compare Dep-Miner
+/// and TANE against it on randomized inputs.
+FdSet NaiveFdDiscovery(const Relation& relation);
+
+}  // namespace depminer

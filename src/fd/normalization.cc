@@ -1,0 +1,145 @@
+#include "fd/normalization.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fd/keys.h"
+
+namespace depminer {
+
+NormalizationAnalysis::NormalizationAnalysis(const Schema& schema,
+                                             const FdSet& fds)
+    : schema_(schema),
+      fds_(fds),
+      minimal_cover_(fds.MinimalCover()),
+      keys_(CandidateKeys(fds)) {
+  for (const AttributeSet& k : keys_) prime_ = prime_.Union(k);
+  for (const FunctionalDependency& fd : minimal_cover_.fds()) {
+    if (fd.IsTrivial()) continue;
+    if (IsSuperkey(fds_, fd.lhs)) continue;  // no violation
+    NormalFormViolation v;
+    v.fd = fd;
+    v.violates_3nf = !prime_.Contains(fd.rhs);
+    violations_.push_back(v);
+  }
+}
+
+bool NormalizationAnalysis::InBcnf() const { return violations_.empty(); }
+
+bool NormalizationAnalysis::In3nf() const {
+  return std::none_of(violations_.begin(), violations_.end(),
+                      [](const NormalFormViolation& v) { return v.violates_3nf; });
+}
+
+std::vector<DecompositionFragment> NormalizationAnalysis::BcnfDecomposition()
+    const {
+  std::vector<DecompositionFragment> fragments;
+  std::vector<AttributeSet> todo = {schema_.universe()};
+  while (!todo.empty()) {
+    const AttributeSet rel = todo.back();
+    todo.pop_back();
+    // Find a violating FD X → A with X ∪ {A} ⊆ rel and X not a superkey of
+    // rel (closure within the fragment's attributes).
+    bool split = false;
+    for (const FunctionalDependency& fd : minimal_cover_.fds()) {
+      if (!fd.lhs.IsSubsetOf(rel) || !rel.Contains(fd.rhs) || fd.IsTrivial()) {
+        continue;
+      }
+      const AttributeSet closure_in_rel = fds_.Closure(fd.lhs).Intersect(rel);
+      if (closure_in_rel == rel) continue;  // lhs is a key of the fragment
+      // Split rel into (X⁺ ∩ rel) and (rel \ (X⁺ \ X)).
+      const AttributeSet left = closure_in_rel;
+      const AttributeSet right = rel.Minus(closure_in_rel.Minus(fd.lhs));
+      todo.push_back(left);
+      todo.push_back(right);
+      split = true;
+      break;
+    }
+    if (!split) {
+      DecompositionFragment frag;
+      frag.attributes = rel;
+      frag.generator = FunctionalDependency{AttributeSet(), 0};
+      fragments.push_back(frag);
+    }
+  }
+  // Drop fragments contained in other fragments.
+  std::vector<AttributeSet> sets;
+  sets.reserve(fragments.size());
+  for (const auto& f : fragments) sets.push_back(f.attributes);
+  sets = MaximalSets(std::move(sets));
+  std::vector<DecompositionFragment> out;
+  for (const AttributeSet& s : sets) {
+    DecompositionFragment frag;
+    frag.attributes = s;
+    out.push_back(frag);
+  }
+  return out;
+}
+
+std::vector<DecompositionFragment> NormalizationAnalysis::ThirdNfSynthesis()
+    const {
+  // Group minimal-cover FDs by lhs: fragment = lhs ∪ {all its rhs}.
+  std::vector<DecompositionFragment> fragments;
+  std::set<AttributeSet> seen_lhs;
+  for (const FunctionalDependency& fd : minimal_cover_.fds()) {
+    if (!seen_lhs.insert(fd.lhs).second) continue;
+    DecompositionFragment frag;
+    frag.attributes = fd.lhs;
+    frag.generator = fd;
+    for (const FunctionalDependency& other : minimal_cover_.fds()) {
+      if (other.lhs == fd.lhs) frag.attributes.Add(other.rhs);
+    }
+    fragments.push_back(frag);
+  }
+  // Remove fragments contained in others (can happen after grouping).
+  std::vector<DecompositionFragment> kept;
+  for (const auto& f : fragments) {
+    bool contained = false;
+    for (const auto& g : fragments) {
+      if (&f != &g && f.attributes.IsSubsetOf(g.attributes) &&
+          f.attributes != g.attributes) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) kept.push_back(f);
+  }
+  // Ensure some fragment contains a candidate key (lossless join).
+  bool has_key = false;
+  for (const auto& f : kept) {
+    for (const AttributeSet& k : keys_) {
+      if (k.IsSubsetOf(f.attributes)) {
+        has_key = true;
+        break;
+      }
+    }
+    if (has_key) break;
+  }
+  if (!has_key && !keys_.empty()) {
+    DecompositionFragment frag;
+    frag.attributes = keys_.front();
+    kept.push_back(frag);
+  }
+  return kept;
+}
+
+std::string NormalizationAnalysis::Report() const {
+  std::string out;
+  out += "Candidate keys:";
+  for (const AttributeSet& k : keys_) {
+    out += ' ';
+    out += k.ToString(schema_.names());
+  }
+  out += '\n';
+  out += std::string("Schema is ") +
+         (InBcnf() ? "in BCNF" : In3nf() ? "in 3NF but not BCNF"
+                                         : "not in 3NF") +
+         ".\n";
+  for (const NormalFormViolation& v : violations_) {
+    out += "  violation: " + v.fd.ToString(schema_) +
+           (v.violates_3nf ? " (3NF+BCNF)" : " (BCNF only)") + '\n';
+  }
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// One normal-form violation: an FD whose lhs is not a superkey (BCNF),
+/// possibly excused for 3NF when the rhs is a prime attribute.
+struct NormalFormViolation {
+  FunctionalDependency fd;
+  bool violates_3nf = false;  // every 3NF violation is also a BCNF one
+};
+
+/// A proposed decomposed relation schema.
+struct DecompositionFragment {
+  AttributeSet attributes;
+  /// The FD that induced the fragment (lhs is the fragment's key), or a
+  /// universe fragment if none.
+  FunctionalDependency generator;
+};
+
+/// The paper motivates FD discovery with *logical tuning*: the dba reviews
+/// discovered FDs and normalizes the schema. This analyzer reports where a
+/// schema stands w.r.t. BCNF/3NF under a set of (discovered) FDs.
+class NormalizationAnalysis {
+ public:
+  /// `fds` should be a cover of dep(r), e.g. Dep-Miner output.
+  NormalizationAnalysis(const Schema& schema, const FdSet& fds);
+
+  const std::vector<AttributeSet>& candidate_keys() const { return keys_; }
+  /// Attributes appearing in some candidate key.
+  const AttributeSet& prime_attributes() const { return prime_; }
+
+  bool InBcnf() const;
+  bool In3nf() const;
+  const std::vector<NormalFormViolation>& violations() const {
+    return violations_;
+  }
+
+  /// Classical lossless-join BCNF decomposition: repeatedly split on a
+  /// violating FD X → A into (X ∪ A) and (R \ A). Dependency preservation
+  /// is not guaranteed (it cannot be, in general).
+  std::vector<DecompositionFragment> BcnfDecomposition() const;
+
+  /// 3NF synthesis from a minimal cover (lossless + dependency
+  /// preserving): one fragment per distinct lhs of the minimal cover,
+  /// plus a key fragment if no fragment contains a candidate key.
+  std::vector<DecompositionFragment> ThirdNfSynthesis() const;
+
+  /// Human-readable report used by the logical-tuning example.
+  std::string Report() const;
+
+ private:
+  Schema schema_;
+  FdSet fds_;
+  FdSet minimal_cover_;
+  std::vector<AttributeSet> keys_;
+  AttributeSet prime_;
+  std::vector<NormalFormViolation> violations_;
+};
+
+}  // namespace depminer

@@ -1,0 +1,65 @@
+#include "fd/projection.h"
+
+namespace depminer {
+
+FdSet ProjectFds(const FdSet& fds, const AttributeSet& x) {
+  FdSet projected(fds.num_attributes());
+  const std::vector<AttributeId> members = x.Members();
+
+  for (AttributeId a : members) {
+    // Levelwise over subsets of X \ {A}, smallest first; a set whose
+    // closure contains A is recorded and not expanded, so only minimal
+    // determining sets are kept (mirrors NaiveFdDiscovery with closure
+    // in place of satisfaction).
+    std::vector<AttributeSet> level = {AttributeSet()};
+    std::vector<AttributeSet> found;
+    while (!level.empty()) {
+      std::vector<AttributeSet> next;
+      for (const AttributeSet& y : level) {
+        bool superset_of_found = false;
+        for (const AttributeSet& f : found) {
+          if (f.IsSubsetOf(y)) {
+            superset_of_found = true;
+            break;
+          }
+        }
+        if (superset_of_found) continue;
+        if (fds.Closure(y).Contains(a)) {
+          found.push_back(y);
+          projected.Add(y, a);
+          continue;
+        }
+        const AttributeId start = y.Empty() ? 0 : y.Max() + 1;
+        for (AttributeId b : members) {
+          if (b < start || b == a) continue;
+          AttributeSet grown = y;
+          grown.Add(b);
+          next.push_back(grown);
+        }
+      }
+      level = std::move(next);
+    }
+  }
+
+  projected.Normalize();
+  // The per-rhs minimal determining sets are already a cover of π_X(F);
+  // reduce it to a minimal cover for a canonical result.
+  return projected.MinimalCover();
+}
+
+bool PreservesDependencies(const FdSet& fds,
+                           const std::vector<AttributeSet>& fragments) {
+  FdSet combined(fds.num_attributes());
+  for (const AttributeSet& fragment : fragments) {
+    const FdSet projected = ProjectFds(fds, fragment);
+    for (const FunctionalDependency& fd : projected.fds()) {
+      combined.Add(fd);
+    }
+  }
+  combined.Normalize();
+  // π-projections are implied by F by construction; only the converse
+  // needs checking.
+  return combined.Covers(fds);
+}
+
+}  // namespace depminer

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace depminer {
+
+/// Projection of an FD set onto an attribute subset X:
+/// π_X(F) = {Y → A : Y ∪ {A} ⊆ X, F ⊨ Y → A}, returned as a minimal
+/// cover over the original attribute numbering.
+///
+/// Projection is inherently exponential in |X| in the worst case (the
+/// projected cover can be exponentially large); this implementation
+/// enumerates subsets of X levelwise with closure memoization and prunes
+/// supersets of already-found determining sets per rhs, so typical
+/// schemas (|X| ≲ 20) are fine. The normalization analyzer uses it to
+/// check dependency preservation of decompositions.
+FdSet ProjectFds(const FdSet& fds, const AttributeSet& x);
+
+/// True iff the decomposition into `fragments` preserves F: the union of
+/// the projections of F onto the fragments is cover-equivalent to F.
+bool PreservesDependencies(const FdSet& fds,
+                           const std::vector<AttributeSet>& fragments);
+
+}  // namespace depminer

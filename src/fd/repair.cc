@@ -1,0 +1,63 @@
+#include "fd/repair.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "partition/partition.h"
+#include "relation/relation_ops.h"
+
+namespace depminer {
+
+FdRepair ComputeRepair(const Relation& relation,
+                       const FunctionalDependency& fd) {
+  FdRepair repair;
+  repair.fd = fd;
+  const size_t p = relation.num_tuples();
+  if (p == 0 || fd.IsTrivial()) return repair;
+
+  // Within every lhs class: keep one largest rhs-subgroup (ties broken
+  // toward the first-seen code for determinism), remove the rest.
+  const Partition pi = Partition::ForSet(relation, fd.lhs);
+  for (const EquivalenceClass& c : pi.classes()) {
+    if (c.size() < 2) continue;
+    std::unordered_map<ValueCode, size_t> counts;
+    for (TupleId t : c) ++counts[relation.Code(t, fd.rhs)];
+    ValueCode keep_code = relation.Code(c.front(), fd.rhs);
+    size_t keep_count = 0;
+    for (TupleId t : c) {
+      const ValueCode code = relation.Code(t, fd.rhs);
+      if (counts[code] > keep_count) {
+        keep_count = counts[code];
+        keep_code = code;
+      }
+    }
+    for (TupleId t : c) {
+      if (relation.Code(t, fd.rhs) != keep_code) {
+        repair.tuples_to_remove.push_back(t);
+      }
+    }
+  }
+  std::sort(repair.tuples_to_remove.begin(), repair.tuples_to_remove.end());
+  repair.g3 = static_cast<double>(repair.tuples_to_remove.size()) /
+              static_cast<double>(p);
+  return repair;
+}
+
+Result<Relation> ApplyRepair(const Relation& relation,
+                             const std::vector<TupleId>& tuples_to_remove) {
+  std::vector<bool> removed(relation.num_tuples(), false);
+  for (TupleId t : tuples_to_remove) {
+    if (t >= relation.num_tuples()) {
+      return Status::InvalidArgument("tuple id out of range");
+    }
+    removed[t] = true;
+  }
+  std::vector<TupleId> kept;
+  kept.reserve(relation.num_tuples() - tuples_to_remove.size());
+  for (TupleId t = 0; t < relation.num_tuples(); ++t) {
+    if (!removed[t]) kept.push_back(t);
+  }
+  return SelectRows(relation, kept);
+}
+
+}  // namespace depminer

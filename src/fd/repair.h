@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "fd/functional_dependency.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Repair analysis for an almost-holding FD: the tuples behind its g₃
+/// error. Deleting `tuples_to_remove` from the relation makes the FD
+/// hold, and no smaller deletion set does (g₃ is defined as that
+/// minimum).
+struct FdRepair {
+  FunctionalDependency fd;
+  /// A minimum-cardinality set of tuples whose removal validates the FD:
+  /// within every lhs class, everything outside one largest rhs-subgroup.
+  std::vector<TupleId> tuples_to_remove;
+  /// g₃ = |tuples_to_remove| / |r|.
+  double g3 = 0.0;
+};
+
+/// Computes the repair for one FD. For an FD that already holds the
+/// removal set is empty.
+FdRepair ComputeRepair(const Relation& relation,
+                       const FunctionalDependency& fd);
+
+/// Applies a repair: the relation without the listed tuples.
+Result<Relation> ApplyRepair(const Relation& relation,
+                             const std::vector<TupleId>& tuples_to_remove);
+
+}  // namespace depminer

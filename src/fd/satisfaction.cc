@@ -1,0 +1,98 @@
+#include "fd/satisfaction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "partition/partition.h"
+#include "partition/partition_product.h"
+#include "partition/stripped_partition.h"
+
+namespace depminer {
+
+namespace {
+
+/// Groups tuples by their lhs projection and calls `fn(class)` for each
+/// group of ≥ 2 tuples.
+template <typename Fn>
+void ForEachLhsClass(const Relation& relation, const AttributeSet& lhs,
+                     Fn&& fn) {
+  const Partition pi = Partition::ForSet(relation, lhs);
+  for (const EquivalenceClass& c : pi.classes()) {
+    if (c.size() > 1) fn(c);
+  }
+}
+
+}  // namespace
+
+bool Holds(const Relation& relation, const AttributeSet& lhs, AttributeId rhs) {
+  if (lhs.Contains(rhs)) return true;
+  bool holds = true;
+  ForEachLhsClass(relation, lhs, [&](const EquivalenceClass& c) {
+    if (!holds) return;
+    const ValueCode v = relation.Code(c[0], rhs);
+    for (size_t i = 1; i < c.size(); ++i) {
+      if (relation.Code(c[i], rhs) != v) {
+        holds = false;
+        return;
+      }
+    }
+  });
+  return holds;
+}
+
+bool Holds(const Relation& relation, const FunctionalDependency& fd) {
+  return Holds(relation, fd.lhs, fd.rhs);
+}
+
+bool AllHold(const Relation& relation, const FdSet& fds) {
+  for (const FunctionalDependency& fd : fds.fds()) {
+    if (!Holds(relation, fd)) return false;
+  }
+  return true;
+}
+
+bool IsMinimalFd(const Relation& relation, const FunctionalDependency& fd) {
+  if (!Holds(relation, fd)) return false;
+  bool minimal = true;
+  fd.lhs.ForEach([&](AttributeId a) {
+    AttributeSet reduced = fd.lhs;
+    reduced.Remove(a);
+    if (Holds(relation, reduced, fd.rhs)) minimal = false;
+  });
+  return minimal;
+}
+
+size_t CountViolatingPairs(const Relation& relation, const AttributeSet& lhs,
+                           AttributeId rhs) {
+  if (lhs.Contains(rhs)) return 0;
+  size_t violations = 0;
+  ForEachLhsClass(relation, lhs, [&](const EquivalenceClass& c) {
+    // Within one lhs class, count pairs with distinct rhs codes:
+    // C(n,2) - sum over rhs-subgroups of C(k,2).
+    std::unordered_map<ValueCode, size_t> counts;
+    for (TupleId t : c) ++counts[relation.Code(t, rhs)];
+    size_t same = 0;
+    for (const auto& [code, k] : counts) same += k * (k - 1) / 2;
+    violations += c.size() * (c.size() - 1) / 2 - same;
+  });
+  return violations;
+}
+
+double G3Error(const Relation& relation, const AttributeSet& lhs,
+               AttributeId rhs) {
+  const size_t p = relation.num_tuples();
+  if (p == 0 || lhs.Contains(rhs)) return 0.0;
+  // g3 = (|r| - max tuples keepable) / |r|. Within each lhs class, keep
+  // the largest rhs-subgroup.
+  size_t removed = 0;
+  ForEachLhsClass(relation, lhs, [&](const EquivalenceClass& c) {
+    std::unordered_map<ValueCode, size_t> counts;
+    for (TupleId t : c) ++counts[relation.Code(t, rhs)];
+    size_t largest = 0;
+    for (const auto& [code, k] : counts) largest = std::max(largest, k);
+    removed += c.size() - largest;
+  });
+  return static_cast<double>(removed) / static_cast<double>(p);
+}
+
+}  // namespace depminer

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fd/fd_set.h"
+#include "fd/functional_dependency.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// True iff r |= X → A: whenever two tuples agree on X they agree on A.
+/// Implemented by hashing the X-projection of every tuple — O(|r| · |X|) —
+/// rather than by the quadratic pairwise definition.
+bool Holds(const Relation& relation, const AttributeSet& lhs, AttributeId rhs);
+
+bool Holds(const Relation& relation, const FunctionalDependency& fd);
+
+/// True iff every FD of the set holds in the relation.
+bool AllHold(const Relation& relation, const FdSet& fds);
+
+/// True iff X → A holds and no proper subset of X determines A.
+bool IsMinimalFd(const Relation& relation, const FunctionalDependency& fd);
+
+/// The number of *violating pairs* of X → A in r: pairs agreeing on X but
+/// not on A. Zero iff the FD holds. (Supports the g₂-style diagnostics in
+/// examples; TANE's approximate mode uses the g₃ measure instead.)
+size_t CountViolatingPairs(const Relation& relation, const AttributeSet& lhs,
+                           AttributeId rhs);
+
+/// TANE's g₃ error of X → A in r: the minimum fraction of tuples to delete
+/// for the FD to hold. In [0, 1); zero iff the FD holds.
+double G3Error(const Relation& relation, const AttributeSet& lhs,
+               AttributeId rhs);
+
+}  // namespace depminer

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "common/attribute_set.h"
+#include "fd/functional_dependency.h"
+#include "partition/partition_product.h"
+#include "partition/stripped_partition.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// A satisfaction oracle over one relation that memoizes stripped
+/// partitions per attribute set: repeated `Holds` queries — the access
+/// pattern of normalization analysis, interactive exploration (`fdtool
+/// verify`) and test oracles — reuse partition products instead of
+/// re-grouping tuples each time.
+///
+/// Semantics match `Holds(relation, lhs, rhs)` exactly (verified by
+/// tests); only the cost profile differs. Not thread-safe.
+class SatisfactionChecker {
+ public:
+  explicit SatisfactionChecker(const Relation& relation);
+
+  /// r ⊨ X → A, with memoized partitions.
+  bool Holds(const AttributeSet& lhs, AttributeId rhs);
+  bool Holds(const FunctionalDependency& fd) {
+    return Holds(fd.lhs, fd.rhs);
+  }
+
+  /// True iff X → A holds and no proper subset of X determines A.
+  bool IsMinimal(const FunctionalDependency& fd);
+
+  /// Number of partitions currently cached (observability for tests).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const StrippedPartition& PartitionFor(const AttributeSet& x);
+
+  const Relation& relation_;
+  PartitionProductWorkspace workspace_;
+  std::unordered_map<AttributeSet, StrippedPartition, AttributeSetHash> cache_;
+};
+
+}  // namespace depminer

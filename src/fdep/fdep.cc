@@ -1,0 +1,77 @@
+#include "fdep/fdep.h"
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/agree_sets.h"
+#include "core/max_sets.h"
+
+namespace depminer {
+
+std::string FdepStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "negative_cover=%zu specializations=%zu fds=%zu total=%.3fs",
+                negative_cover_size, specializations, num_fds, total_seconds);
+  return buf;
+}
+
+Result<FdepResult> FdepDiscover(const Relation& relation) {
+  const size_t n = relation.num_attributes();
+  if (n == 0) return Status::InvalidArgument("relation has no attributes");
+  if (n > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes");
+  }
+
+  Stopwatch timer;
+  FdepResult result;
+
+  // Negative cover: FDEP compares every pair of tuples (its defining
+  // O(n·p²) bottom-up step — deliberately kept, it is what distinguishes
+  // the baseline); the maximal agree sets avoiding A are the maximal
+  // invalid left-hand sides for A.
+  const AgreeSetResult agree = ComputeAgreeSetsNaive(relation);
+  const MaxSetResult negative = ComputeMaxSets(agree);
+  for (const auto& per_attr : negative.max_sets) {
+    result.stats.negative_cover_size += per_attr.size();
+  }
+
+  const AttributeSet universe = AttributeSet::Universe(n);
+  std::vector<FunctionalDependency> found;
+  for (AttributeId a = 0; a < n; ++a) {
+    // Positive cover by specialization: start from the most general
+    // hypothesis ∅ → A; each maximal invalid lhs M contradicts every
+    // hypothesis H ⊆ M, which is replaced by its minimal specializations
+    // H ∪ {b}, b ∉ M ∪ {A}; non-minimal survivors are dropped.
+    std::vector<AttributeSet> hypotheses = {AttributeSet()};
+    for (const AttributeSet& m : negative.max_sets[a]) {
+      std::vector<AttributeSet> next;
+      next.reserve(hypotheses.size());
+      for (const AttributeSet& h : hypotheses) {
+        if (!h.IsSubsetOf(m)) {
+          next.push_back(h);
+          continue;
+        }
+        const AttributeSet outside =
+            universe.Minus(m).Minus(AttributeSet::Single(a));
+        outside.ForEach([&](AttributeId b) {
+          AttributeSet grown = h;
+          grown.Add(b);
+          next.push_back(grown);
+          ++result.stats.specializations;
+        });
+      }
+      hypotheses = MinimalSets(std::move(next));
+    }
+    for (const AttributeSet& h : hypotheses) {
+      found.push_back({h, a});
+    }
+  }
+
+  result.fds = FdSet(n, std::move(found));
+  result.stats.num_fds = result.fds.size();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace depminer

@@ -1,0 +1,41 @@
+#include "hypergraph/berge_transversals.h"
+
+namespace depminer {
+
+std::vector<AttributeSet> BergeMinimalTransversals(
+    const Hypergraph& hypergraph) {
+  const Hypergraph simple =
+      hypergraph.IsSimple() ? hypergraph : hypergraph.Minimized();
+
+  // Tr of the empty hypergraph is {∅}: the empty set intersects all zero
+  // edges.
+  std::vector<AttributeSet> transversals = {AttributeSet()};
+  for (const AttributeSet& edge : simple.edges()) {
+    std::vector<AttributeSet> extended;
+    extended.reserve(transversals.size() * edge.Count());
+    for (const AttributeSet& t : transversals) {
+      if (t.Intersects(edge)) {
+        // Already covers the new edge; keep as-is.
+        extended.push_back(t);
+        continue;
+      }
+      edge.ForEach([&](AttributeId v) {
+        AttributeSet grown = t;
+        grown.Add(v);
+        extended.push_back(grown);
+      });
+    }
+    transversals = MinimalSets(std::move(extended));
+  }
+  SortSets(&transversals);
+  return transversals;
+}
+
+std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph) {
+  const Hypergraph simple = hypergraph.Minimized();
+  std::vector<AttributeSet> tr = BergeMinimalTransversals(simple);
+  Hypergraph tr_graph(simple.num_vertices(), std::move(tr));
+  return BergeMinimalTransversals(tr_graph);
+}
+
+}  // namespace depminer

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace depminer {
+
+/// Computes the minimal transversals Tr(H) by Berge's incremental method
+/// [Ber76]: process edges one at a time, maintaining the minimal
+/// transversals of the prefix; each new edge E replaces every partial
+/// transversal T by {T ∪ {v} : v ∈ E}, followed by minimization.
+///
+/// Used (a) as an independent oracle against the levelwise Algorithm 5 in
+/// tests, and (b) to exercise the nihilpotence property Tr(Tr(H)) = H the
+/// paper leans on in §5.1 to derive maximal sets back from FD left-hand
+/// sides.
+///
+/// Returns transversals sorted by (cardinality, members).
+std::vector<AttributeSet> BergeMinimalTransversals(const Hypergraph& hypergraph);
+
+/// Applies Tr twice: for a simple hypergraph H, Tr(Tr(H)) = H. Exposed so
+/// the TANE comparator can rebuild cmax sets from lhs sets the way the
+/// paper describes. Result is minimized and sorted.
+std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph);
+
+}  // namespace depminer

@@ -1,0 +1,69 @@
+#include "hypergraph/hypergraph.h"
+
+namespace depminer {
+
+bool Hypergraph::IsSimple() const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].Empty()) return false;
+    for (size_t j = 0; j < edges_.size(); ++j) {
+      if (i != j && edges_[i].IsSubsetOf(edges_[j]) && edges_[i] != edges_[j]) {
+        return false;
+      }
+    }
+  }
+  // Duplicate edges also violate simplicity.
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    for (size_t j = i + 1; j < edges_.size(); ++j) {
+      if (edges_[i] == edges_[j]) return false;
+    }
+  }
+  return true;
+}
+
+Hypergraph Hypergraph::Minimized() const {
+  std::vector<AttributeSet> kept;
+  kept.reserve(edges_.size());
+  for (const AttributeSet& e : edges_) {
+    if (!e.Empty()) kept.push_back(e);
+  }
+  kept = MinimalSets(std::move(kept));
+  SortSets(&kept);
+  return Hypergraph(num_vertices_, std::move(kept));
+}
+
+AttributeSet Hypergraph::VertexSupport() const {
+  AttributeSet support;
+  for (const AttributeSet& e : edges_) support = support.Union(e);
+  return support;
+}
+
+bool Hypergraph::IsTransversal(const AttributeSet& t) const {
+  for (const AttributeSet& e : edges_) {
+    if (!t.Intersects(e)) return false;
+  }
+  return true;
+}
+
+bool Hypergraph::IsMinimalTransversal(const AttributeSet& t) const {
+  if (!IsTransversal(t)) return false;
+  // Minimal iff removing any single vertex breaks transversality.
+  bool minimal = true;
+  t.ForEach([&](AttributeId a) {
+    AttributeSet reduced = t;
+    reduced.Remove(a);
+    if (IsTransversal(reduced)) minimal = false;
+  });
+  return minimal;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += edges_[i].ToString();
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace depminer

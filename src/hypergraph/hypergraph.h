@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+
+namespace depminer {
+
+/// A hypergraph over the attribute universe {0, ..., n-1}: a collection of
+/// edges, each an `AttributeSet`. A *simple* hypergraph (paper §2, after
+/// [Ber76]) has non-empty edges none of which contains another.
+///
+/// In Dep-Miner the hypergraph of interest is cmax(dep(r), A), whose
+/// minimal transversals are exactly lhs(dep(r), A).
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  Hypergraph(size_t num_vertices, std::vector<AttributeSet> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  size_t num_vertices() const { return num_vertices_; }
+  const std::vector<AttributeSet>& edges() const { return edges_; }
+  bool Empty() const { return edges_.empty(); }
+
+  void AddEdge(const AttributeSet& e) { edges_.push_back(e); }
+
+  /// True iff no edge is empty and no edge contains another.
+  bool IsSimple() const;
+
+  /// Returns the simple hypergraph with the same transversals: drops empty
+  /// edge duplicates and non-minimal (superset) edges. Transversals only
+  /// depend on the ⊆-minimal edges.
+  Hypergraph Minimized() const;
+
+  /// Union of all edges — the candidate vertex set for level 1 of the
+  /// levelwise transversal search.
+  AttributeSet VertexSupport() const;
+
+  /// True iff `t` intersects every edge.
+  bool IsTransversal(const AttributeSet& t) const;
+
+  /// True iff `t` is a transversal and no proper subset of `t` is.
+  bool IsMinimalTransversal(const AttributeSet& t) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<AttributeSet> edges_;
+};
+
+}  // namespace depminer

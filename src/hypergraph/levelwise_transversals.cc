@@ -1,0 +1,117 @@
+#include "hypergraph/levelwise_transversals.h"
+
+#include <algorithm>
+
+#include "common/attribute_set.h"
+
+namespace depminer {
+
+namespace {
+
+/// A candidate at level i: its attribute set plus its members in
+/// increasing order (the sorted prefix drives the Apriori-gen join).
+struct Candidate {
+  AttributeSet set;
+  std::vector<AttributeId> members;
+};
+
+bool SharePrefix(const Candidate& p, const Candidate& q, size_t len) {
+  for (size_t k = 0; k < len; ++k) {
+    if (p.members[k] != q.members[k]) return false;
+  }
+  return true;
+}
+
+/// Apriori-gen [AS94], as adapted by the paper: join candidates sharing
+/// their first i-1 members, then prune any joined set with an i-subset
+/// missing from `level` (such subsets either never were candidates or were
+/// already emitted as transversals — either way their supersets cannot be
+/// *minimal* transversals).
+std::vector<Candidate> GenerateNextLevel(const std::vector<Candidate>& level) {
+  std::vector<Candidate> next;
+  if (level.empty()) return next;
+  const size_t i = level[0].members.size();
+
+  // The survivors of level i, for the prune step.
+  std::vector<AttributeSet> surviving;
+  surviving.reserve(level.size());
+  for (const Candidate& c : level) surviving.push_back(c.set);
+  std::sort(surviving.begin(), surviving.end());
+
+  auto survives = [&surviving](const AttributeSet& s) {
+    return std::binary_search(surviving.begin(), surviving.end(), s);
+  };
+
+  for (size_t a = 0; a < level.size(); ++a) {
+    for (size_t b = a + 1; b < level.size(); ++b) {
+      if (!SharePrefix(level[a], level[b], i - 1)) break;
+      // members are sorted and candidates are generated in lexicographic
+      // order, so level[a].members[i-1] < level[b].members[i-1].
+      Candidate joined;
+      joined.members = level[a].members;
+      joined.members.push_back(level[b].members[i - 1]);
+      joined.set = level[a].set;
+      joined.set.Add(level[b].members[i - 1]);
+
+      // Prune: every i-subset must still be a candidate in L_i.
+      bool keep = true;
+      for (size_t drop = 0; keep && drop + 2 < joined.members.size(); ++drop) {
+        // Subsets obtained by dropping one of the first i-1 members; the
+        // two subsets dropping the last two members are level[a] and
+        // level[b] themselves, already known to survive.
+        AttributeSet sub = joined.set;
+        sub.Remove(joined.members[drop]);
+        if (!survives(sub)) keep = false;
+      }
+      if (keep) next.push_back(std::move(joined));
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<AttributeSet> LevelwiseMinimalTransversals(
+    const Hypergraph& hypergraph, LevelwiseStats* stats) {
+  LevelwiseStats local_stats;
+  std::vector<AttributeSet> result;
+
+  const Hypergraph simple =
+      hypergraph.IsSimple() ? hypergraph : hypergraph.Minimized();
+
+  // A hypergraph with no edges is vacuously covered by the empty set; the
+  // library uses this to express "A is constant" FDs (∅ → A).
+  if (simple.Empty()) {
+    result.push_back(AttributeSet());
+    if (stats != nullptr) *stats = local_stats;
+    return result;
+  }
+
+  // L1: the attributes that occur in some edge, in increasing order.
+  std::vector<Candidate> level;
+  simple.VertexSupport().ForEach([&level](AttributeId a) {
+    level.push_back(Candidate{AttributeSet::Single(a), {a}});
+  });
+  local_stats.candidates_generated += level.size();
+
+  while (!level.empty()) {
+    ++local_stats.levels;
+    std::vector<Candidate> survivors;
+    survivors.reserve(level.size());
+    for (Candidate& cand : level) {
+      if (simple.IsTransversal(cand.set)) {
+        result.push_back(cand.set);
+        ++local_stats.transversals_found;
+      } else {
+        survivors.push_back(std::move(cand));
+      }
+    }
+    level = GenerateNextLevel(survivors);
+    local_stats.candidates_generated += level.size();
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace depminer

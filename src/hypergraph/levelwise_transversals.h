@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace depminer {
+
+/// Statistics from one levelwise transversal computation, for ablation
+/// benchmarks.
+struct LevelwiseStats {
+  size_t levels = 0;
+  size_t candidates_generated = 0;
+  size_t transversals_found = 0;
+};
+
+/// Computes the minimal transversals Tr(H) of a simple hypergraph with the
+/// paper's levelwise Algorithm 5 (LEFT_HAND_SIDE).
+///
+/// Level i holds candidate vertex sets L_i of size i. Each candidate that
+/// intersects every edge is a minimal transversal (minimality holds
+/// because all of its subsets were candidates at earlier levels and were
+/// removed the moment they became transversals); the remaining candidates
+/// are joined Apriori-gen style [AS94] to form L_{i+1}, keeping only sets
+/// all of whose i-subsets survive in L_i.
+///
+/// `hypergraph` is minimized internally if it is not already simple; the
+/// transversals of H and of its ⊆-minimal edge set coincide.
+std::vector<AttributeSet> LevelwiseMinimalTransversals(
+    const Hypergraph& hypergraph, LevelwiseStats* stats = nullptr);
+
+}  // namespace depminer

@@ -1,0 +1,68 @@
+#include "ind/foreign_keys.h"
+
+#include <algorithm>
+
+#include "core/dep_miner.h"
+#include "core/keys_from_max_sets.h"
+#include "partition/partition.h"
+
+namespace depminer {
+
+std::vector<ForeignKeyCandidate> SuggestForeignKeys(
+    const std::vector<const Relation*>& relations,
+    const ForeignKeyOptions& options) {
+  // Candidate keys per relation, mined once.
+  std::vector<std::vector<AttributeSet>> keys(relations.size());
+  for (size_t i = 0; i < relations.size(); ++i) {
+    DepMinerOptions mine_options;
+    mine_options.build_armstrong = false;
+    Result<DepMinerResult> mined =
+        MineDependencies(*relations[i], mine_options);
+    if (mined.ok()) {
+      keys[i] = KeysFromMaxSets(mined.value().all_max_sets,
+                                relations[i]->num_attributes());
+    }
+  }
+
+  const std::vector<NaryInd> inds = DiscoverNaryInds(relations, options.ind);
+
+  std::vector<ForeignKeyCandidate> out;
+  for (const NaryInd& ind : inds) {
+    if (options.skip_self_references &&
+        ind.lhs_relation == ind.rhs_relation) {
+      continue;
+    }
+    AttributeSet rhs_set;
+    for (AttributeId a : ind.rhs_attributes) rhs_set.Add(a);
+
+    // Referenced columns must identify their rows: the rhs projection is
+    // duplicate-free iff every π_Y class is a singleton.
+    const Relation& rhs_rel = *relations[ind.rhs_relation];
+    const Partition rhs_partition = Partition::ForSet(rhs_rel, rhs_set);
+    bool unique = true;
+    for (const EquivalenceClass& c : rhs_partition.classes()) {
+      if (c.size() > 1) {
+        unique = false;
+        break;
+      }
+    }
+    if (!unique) continue;
+
+    ForeignKeyCandidate candidate;
+    candidate.ind = ind;
+    candidate.rhs_is_minimal_key =
+        std::find(keys[ind.rhs_relation].begin(),
+                  keys[ind.rhs_relation].end(),
+                  rhs_set) != keys[ind.rhs_relation].end();
+    out.push_back(std::move(candidate));
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ForeignKeyCandidate& a,
+                      const ForeignKeyCandidate& b) {
+                     return a.ind.arity() < b.ind.arity();
+                   });
+  return out;
+}
+
+}  // namespace depminer

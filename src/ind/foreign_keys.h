@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ind/nary_ind.h"
+
+namespace depminer {
+
+/// A foreign-key candidate: an inclusion dependency whose right-hand
+/// side is a candidate key of its relation — the referenced columns
+/// identify their rows, so the lhs columns behave like a foreign key.
+struct ForeignKeyCandidate {
+  NaryInd ind;
+  /// True when the rhs is a *minimal* key (not just unique-in-extension
+  /// superset of one).
+  bool rhs_is_minimal_key = false;
+};
+
+/// Options for FK suggestion.
+struct ForeignKeyOptions {
+  NaryIndOptions ind;
+  /// Drop suggestions whose lhs relation equals the rhs relation (self
+  /// references like manager→employee are real, but same-table INDs are
+  /// noisy on profiling data; off by default).
+  bool skip_self_references = false;
+};
+
+/// The logical-tuning payoff of joint FD + IND discovery ([KMRS92]):
+/// suggests foreign keys across the given relations — every discovered
+/// IND R[X] ⊆ S[Y] where Y is unique in S (its projection has no
+/// duplicate tuples), flagged when Y is additionally a minimal candidate
+/// key of S as mined from its FDs.
+///
+/// Sorted by arity then discovery order; deterministic.
+std::vector<ForeignKeyCandidate> SuggestForeignKeys(
+    const std::vector<const Relation*>& relations,
+    const ForeignKeyOptions& options = {});
+
+}  // namespace depminer

@@ -1,0 +1,213 @@
+#include "ind/nary_ind.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace depminer {
+
+namespace {
+
+/// Length-prefixed concatenation of the projected values of one tuple —
+/// collision-free regardless of value content.
+std::string ProjectionKey(const Relation& r, TupleId t,
+                          const std::vector<AttributeId>& attrs) {
+  std::string key;
+  for (AttributeId a : attrs) {
+    const std::string& v = r.Value(t, a);
+    const uint32_t len = static_cast<uint32_t>(v.size());
+    key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    key.append(v);
+  }
+  return key;
+}
+
+/// Canonical encoding of an IND for the Apriori-prune lookups.
+std::string IndKey(const NaryInd& ind) {
+  std::string key;
+  key += std::to_string(ind.lhs_relation);
+  key += '|';
+  key += std::to_string(ind.rhs_relation);
+  for (size_t i = 0; i < ind.lhs_attributes.size(); ++i) {
+    key += ',';
+    key += std::to_string(ind.lhs_attributes[i]);
+    key += ':';
+    key += std::to_string(ind.rhs_attributes[i]);
+  }
+  return key;
+}
+
+bool TrivialSameColumns(const NaryInd& ind) {
+  return ind.lhs_relation == ind.rhs_relation &&
+         ind.lhs_attributes == ind.rhs_attributes;
+}
+
+}  // namespace
+
+bool IndHolds(const std::vector<const Relation*>& relations,
+              const NaryInd& ind) {
+  const Relation& lhs = *relations[ind.lhs_relation];
+  const Relation& rhs = *relations[ind.rhs_relation];
+  std::unordered_set<std::string> rhs_keys;
+  rhs_keys.reserve(rhs.num_tuples() * 2);
+  for (TupleId t = 0; t < rhs.num_tuples(); ++t) {
+    rhs_keys.insert(ProjectionKey(rhs, t, ind.rhs_attributes));
+  }
+  for (TupleId t = 0; t < lhs.num_tuples(); ++t) {
+    if (rhs_keys.find(ProjectionKey(lhs, t, ind.lhs_attributes)) ==
+        rhs_keys.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NaryInd> DiscoverNaryInds(
+    const std::vector<const Relation*>& relations,
+    const NaryIndOptions& options, NaryIndStats* stats) {
+  NaryIndStats local;
+  local.valid_per_arity.assign(options.max_arity + 1, 0);
+
+  // Seed: unary INDs including reflexive ones — R[A] ⊆ R[A] is needed to
+  // compose e.g. R[A,B] ⊆ R[A,C]; purely reflexive results are filtered
+  // from the output below unless the caller asked for them.
+  IndOptions unary_options = options.unary;
+  unary_options.include_reflexive = true;
+  const std::vector<UnaryInd> unary =
+      DiscoverUnaryInds(relations, unary_options);
+  local.unary_count = unary.size();
+
+  std::vector<NaryInd> level;
+  level.reserve(unary.size());
+  for (const UnaryInd& u : unary) {
+    level.push_back(NaryInd{u.lhs_relation,
+                            {u.lhs_attribute},
+                            u.rhs_relation,
+                            {u.rhs_attribute}});
+  }
+  local.valid_per_arity[1] = level.size();
+
+  std::vector<NaryInd> out;
+  auto emit = [&](const std::vector<NaryInd>& valid) {
+    for (const NaryInd& ind : valid) {
+      const bool reflexive_unary =
+          ind.arity() == 1 && TrivialSameColumns(ind);
+      if (TrivialSameColumns(ind)) {
+        if (reflexive_unary && options.unary.include_reflexive) {
+          out.push_back(ind);
+        }
+        continue;
+      }
+      out.push_back(ind);
+    }
+  };
+  emit(level);
+
+  for (size_t arity = 1; arity < options.max_arity && !level.empty();
+       ++arity) {
+    // Index of valid arity-k INDs for the Apriori prune.
+    std::unordered_set<std::string> valid_keys;
+    valid_keys.reserve(level.size() * 2);
+    for (const NaryInd& ind : level) valid_keys.insert(IndKey(ind));
+
+    // Sort so joinable INDs (same relations, shared prefix) are adjacent.
+    std::sort(level.begin(), level.end(),
+              [](const NaryInd& a, const NaryInd& b) {
+                if (a.lhs_relation != b.lhs_relation) {
+                  return a.lhs_relation < b.lhs_relation;
+                }
+                if (a.rhs_relation != b.rhs_relation) {
+                  return a.rhs_relation < b.rhs_relation;
+                }
+                if (a.lhs_attributes != b.lhs_attributes) {
+                  return a.lhs_attributes < b.lhs_attributes;
+                }
+                return a.rhs_attributes < b.rhs_attributes;
+              });
+
+    std::vector<NaryInd> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = 0; j < level.size(); ++j) {
+        const NaryInd& p = level[i];
+        const NaryInd& q = level[j];
+        if (p.lhs_relation != q.lhs_relation ||
+            p.rhs_relation != q.rhs_relation) {
+          continue;
+        }
+        // Shared k−1 prefix; p's last lhs attribute strictly below q's
+        // (keeps lhs sequences strictly increasing, each set once).
+        const size_t k = p.arity();
+        if (!std::equal(p.lhs_attributes.begin(),
+                        p.lhs_attributes.end() - 1,
+                        q.lhs_attributes.begin()) ||
+            !std::equal(p.rhs_attributes.begin(),
+                        p.rhs_attributes.end() - 1,
+                        q.rhs_attributes.begin())) {
+          continue;
+        }
+        if (p.lhs_attributes[k - 1] >= q.lhs_attributes[k - 1]) continue;
+        // rhs attributes must stay pairwise distinct.
+        if (std::find(p.rhs_attributes.begin(), p.rhs_attributes.end(),
+                      q.rhs_attributes[k - 1]) != p.rhs_attributes.end()) {
+          continue;
+        }
+        NaryInd joined = p;
+        joined.lhs_attributes.push_back(q.lhs_attributes[k - 1]);
+        joined.rhs_attributes.push_back(q.rhs_attributes[k - 1]);
+
+        // Apriori prune: every arity-k sub-IND (drop one position) must
+        // be valid; dropping the last two positions gives p and q.
+        bool all_valid = true;
+        for (size_t drop = 0; all_valid && drop + 2 < joined.arity();
+             ++drop) {
+          NaryInd sub;
+          sub.lhs_relation = joined.lhs_relation;
+          sub.rhs_relation = joined.rhs_relation;
+          for (size_t pos = 0; pos < joined.arity(); ++pos) {
+            if (pos == drop) continue;
+            sub.lhs_attributes.push_back(joined.lhs_attributes[pos]);
+            sub.rhs_attributes.push_back(joined.rhs_attributes[pos]);
+          }
+          if (valid_keys.find(IndKey(sub)) == valid_keys.end()) {
+            all_valid = false;
+          }
+        }
+        if (!all_valid) continue;
+
+        ++local.candidates_checked;
+        if (IndHolds(relations, joined)) next.push_back(std::move(joined));
+      }
+    }
+    level = std::move(next);
+    local.valid_per_arity[arity + 1] = level.size();
+    emit(level);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::string IndToString(const NaryInd& ind,
+                        const std::vector<const Relation*>& relations,
+                        const std::vector<std::string>& labels) {
+  auto label = [&](size_t r) {
+    if (r < labels.size()) return labels[r];
+    std::string fallback = std::to_string(r);
+    fallback.insert(fallback.begin(), 'r');
+    return fallback;
+  };
+  auto attrs = [&](size_t r, const std::vector<AttributeId>& list) {
+    std::string text = "[";
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) text += ',';
+      text += relations[r]->schema().name(list[i]);
+    }
+    text += ']';
+    return text;
+  };
+  return label(ind.lhs_relation) + "." +
+         attrs(ind.lhs_relation, ind.lhs_attributes) + " <= " +
+         label(ind.rhs_relation) + "." +
+         attrs(ind.rhs_relation, ind.rhs_attributes);
+}
+
+}  // namespace depminer

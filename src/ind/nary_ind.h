@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ind/unary_ind.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// An n-ary inclusion dependency R[A₁...Aₖ] ⊆ S[B₁...Bₖ]: every tuple of
+/// the lhs projection (as a *sequence* of attributes — order matters)
+/// occurs among the rhs projection's tuples. Arity-1 degenerates to
+/// `UnaryInd`.
+struct NaryInd {
+  size_t lhs_relation = 0;
+  std::vector<AttributeId> lhs_attributes;
+  size_t rhs_relation = 0;
+  std::vector<AttributeId> rhs_attributes;
+
+  size_t arity() const { return lhs_attributes.size(); }
+
+  bool operator==(const NaryInd& o) const {
+    return lhs_relation == o.lhs_relation && rhs_relation == o.rhs_relation &&
+           lhs_attributes == o.lhs_attributes &&
+           rhs_attributes == o.rhs_attributes;
+  }
+};
+
+/// Options for n-ary discovery.
+struct NaryIndOptions {
+  /// Maximum arity explored (the lattice can explode combinatorially).
+  size_t max_arity = 3;
+  /// Forwarded to the unary seeding pass.
+  IndOptions unary;
+};
+
+/// Statistics of a discovery run.
+struct NaryIndStats {
+  size_t unary_count = 0;
+  size_t candidates_checked = 0;
+  std::vector<size_t> valid_per_arity;  ///< [0] unused; [k] = arity k
+};
+
+/// Levelwise n-ary IND discovery in the style of MIND (De Marchi et al.),
+/// seeded with the unary INDs of [KMRS92]-style profiling: arity-(k+1)
+/// candidates join two valid arity-k INDs sharing relations and their
+/// first k−1 attribute pairs; the projection-closure property of INDs
+/// (every sub-IND of a valid IND is valid) makes the standard Apriori
+/// prune sound. Validity is checked by hashing the rhs projection and
+/// probing with the lhs projection.
+///
+/// Returned INDs use strictly increasing lhs attribute sequences (each
+/// lhs combination is reported once; rhs order follows the match), skip
+/// identical lhs/rhs sides, and include every arity from 1 up to
+/// `max_arity`.
+std::vector<NaryInd> DiscoverNaryInds(
+    const std::vector<const Relation*>& relations,
+    const NaryIndOptions& options = {}, NaryIndStats* stats = nullptr);
+
+/// True iff the IND holds between the given relations (direct check).
+bool IndHolds(const std::vector<const Relation*>& relations,
+              const NaryInd& ind);
+
+/// "orders.[customer_id,site] <= customers.[id,site]" rendering.
+std::string IndToString(const NaryInd& ind,
+                        const std::vector<const Relation*>& relations,
+                        const std::vector<std::string>& labels);
+
+}  // namespace depminer

@@ -1,0 +1,83 @@
+#include "ind/unary_ind.h"
+
+#include <unordered_set>
+
+namespace depminer {
+
+namespace {
+
+struct ColumnIndex {
+  size_t relation = 0;
+  AttributeId attribute = 0;
+  const std::vector<std::string>* values = nullptr;  // dictionary
+  std::unordered_set<std::string_view> value_set;
+};
+
+}  // namespace
+
+std::vector<UnaryInd> DiscoverUnaryInds(
+    const std::vector<const Relation*>& relations, const IndOptions& options) {
+  // Build per-column value sets over dictionary entries (distinct values;
+  // dictionaries are exactly π_A(r)).
+  std::vector<ColumnIndex> columns;
+  for (size_t r = 0; r < relations.size(); ++r) {
+    const Relation& relation = *relations[r];
+    for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+      if (options.max_distinct != 0 &&
+          relation.DistinctCount(a) > options.max_distinct) {
+        continue;
+      }
+      ColumnIndex column;
+      column.relation = r;
+      column.attribute = a;
+      column.values = &relation.Dictionary(a);
+      column.value_set.reserve(column.values->size() * 2);
+      for (const std::string& v : *column.values) {
+        column.value_set.insert(v);
+      }
+      columns.push_back(std::move(column));
+    }
+  }
+
+  std::vector<UnaryInd> out;
+  for (const ColumnIndex& lhs : columns) {
+    for (const ColumnIndex& rhs : columns) {
+      const bool reflexive = lhs.relation == rhs.relation &&
+                             lhs.attribute == rhs.attribute;
+      if (reflexive && !options.include_reflexive) continue;
+      // |lhs| > |rhs| can never be included.
+      if (lhs.value_set.size() > rhs.value_set.size()) continue;
+      bool included = true;
+      if (!reflexive) {
+        for (const std::string& v : *lhs.values) {
+          if (rhs.value_set.find(v) == rhs.value_set.end()) {
+            included = false;
+            break;
+          }
+        }
+      }
+      if (included) {
+        out.push_back(UnaryInd{lhs.relation, lhs.attribute, rhs.relation,
+                               rhs.attribute});
+      }
+    }
+  }
+  return out;
+}
+
+std::string IndToString(const UnaryInd& ind,
+                        const std::vector<const Relation*>& relations,
+                        const std::vector<std::string>& labels) {
+  auto label = [&](size_t r) {
+    if (r < labels.size()) return labels[r];
+    std::string fallback = std::to_string(r);
+    fallback.insert(fallback.begin(), 'r');
+    return fallback;
+  };
+  return label(ind.lhs_relation) + "." +
+         relations[ind.lhs_relation]->schema().name(ind.lhs_attribute) +
+         " <= " + label(ind.rhs_relation) + "." +
+         relations[ind.rhs_relation]->schema().name(ind.rhs_attribute);
+}
+
+}  // namespace depminer

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// A unary inclusion dependency R[A] ⊆ S[B]: every value of column A of
+/// relation `lhs_relation` occurs in column B of `rhs_relation`.
+struct UnaryInd {
+  size_t lhs_relation = 0;
+  AttributeId lhs_attribute = 0;
+  size_t rhs_relation = 0;
+  AttributeId rhs_attribute = 0;
+
+  bool operator==(const UnaryInd& o) const {
+    return lhs_relation == o.lhs_relation &&
+           lhs_attribute == o.lhs_attribute &&
+           rhs_relation == o.rhs_relation && rhs_attribute == o.rhs_attribute;
+  }
+};
+
+/// Options for IND discovery.
+struct IndOptions {
+  /// Skip trivial R[A] ⊆ R[A].
+  bool include_reflexive = false;
+  /// Columns with more distinct values than this are not considered as
+  /// either side (guards memory on wide text columns). 0 = unlimited.
+  size_t max_distinct = 0;
+};
+
+/// Discovers all unary inclusion dependencies among the columns of the
+/// given relations — the companion profiling task of the framework the
+/// paper builds on (Kantola, Mannila, Räihä, Siirtola [KMRS92] mine FDs
+/// and INDs together; INDs are the foreign-key candidates of logical
+/// tuning).
+///
+/// Implementation: one value-set index per column, then pairwise subset
+/// tests ordered so that |A| > |B| pairs are rejected without probing.
+/// Results are deterministic (relation order, then attribute order).
+std::vector<UnaryInd> DiscoverUnaryInds(
+    const std::vector<const Relation*>& relations,
+    const IndOptions& options = {});
+
+/// Renders "r0.city ⊆ r1.town" using schema names and the given relation
+/// labels (files, typically).
+std::string IndToString(const UnaryInd& ind,
+                        const std::vector<const Relation*>& relations,
+                        const std::vector<std::string>& labels);
+
+}  // namespace depminer

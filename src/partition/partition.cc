@@ -1,0 +1,129 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace depminer {
+
+namespace {
+
+void NormalizeClasses(std::vector<EquivalenceClass>* classes) {
+  for (EquivalenceClass& c : *classes) {
+    std::sort(c.begin(), c.end());
+  }
+  std::sort(classes->begin(), classes->end(),
+            [](const EquivalenceClass& a, const EquivalenceClass& b) {
+              return a.front() < b.front();
+            });
+}
+
+}  // namespace
+
+Partition::Partition(std::vector<EquivalenceClass> classes, size_t num_tuples)
+    : classes_(std::move(classes)), num_tuples_(num_tuples) {
+  NormalizeClasses(&classes_);
+}
+
+Partition Partition::ForAttribute(const Relation& relation, AttributeId a) {
+  const std::vector<ValueCode>& column = relation.Column(a);
+  std::vector<EquivalenceClass> buckets(relation.DistinctCount(a));
+  for (TupleId t = 0; t < column.size(); ++t) {
+    buckets[column[t]].push_back(t);
+  }
+  // Buckets are filled in increasing tuple order already.
+  std::sort(buckets.begin(), buckets.end(),
+            [](const EquivalenceClass& x, const EquivalenceClass& y) {
+              return x.front() < y.front();
+            });
+  Partition p;
+  p.classes_ = std::move(buckets);
+  p.num_tuples_ = relation.num_tuples();
+  return p;
+}
+
+Partition Partition::ForSet(const Relation& relation, const AttributeSet& x) {
+  const size_t p = relation.num_tuples();
+  if (p == 0) return Partition({}, 0);
+  if (x.Empty()) {
+    // π_∅ has a single class containing every tuple.
+    EquivalenceClass all(p);
+    for (TupleId t = 0; t < p; ++t) all[t] = t;
+    return Partition({std::move(all)}, p);
+  }
+  const std::vector<AttributeId> attrs = x.Members();
+  // Hash the code combination of each tuple. Combine codes with a simple
+  // polynomial hash over 64 bits; collisions are resolved by bucket lists
+  // keyed on the full key vector.
+  std::unordered_map<std::string, EquivalenceClass> groups;
+  groups.reserve(p * 2);
+  std::string key;
+  for (TupleId t = 0; t < p; ++t) {
+    key.clear();
+    for (AttributeId a : attrs) {
+      const ValueCode c = relation.Code(t, a);
+      key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+    }
+    groups[key].push_back(t);
+  }
+  std::vector<EquivalenceClass> classes;
+  classes.reserve(groups.size());
+  for (auto& [unused_key, tuples] : groups) {
+    classes.push_back(std::move(tuples));
+  }
+  return Partition(std::move(classes), p);
+}
+
+size_t Partition::CoveredTuples() const {
+  size_t covered = 0;
+  for (const EquivalenceClass& c : classes_) covered += c.size();
+  return covered;
+}
+
+bool Partition::Refines(const Partition& other) const {
+  // Map tuple -> class index in `other`; tuples absent from `other`'s
+  // stored classes (stripped singletons) get a unique pseudo-class.
+  std::vector<size_t> class_of(num_tuples_, SIZE_MAX);
+  for (size_t i = 0; i < other.classes_.size(); ++i) {
+    for (TupleId t : other.classes_[i]) class_of[t] = i;
+  }
+  size_t next_pseudo = other.classes_.size();
+  for (size_t t = 0; t < class_of.size(); ++t) {
+    if (class_of[t] == SIZE_MAX) class_of[t] = next_pseudo++;
+  }
+  for (const EquivalenceClass& c : classes_) {
+    for (size_t i = 1; i < c.size(); ++i) {
+      if (class_of[c[i]] != class_of[c[0]]) return false;
+    }
+  }
+  return true;
+}
+
+size_t Partition::Rank() const {
+  return classes_.size() + (num_tuples_ - CoveredTuples());
+}
+
+size_t Partition::ErrorCount() const {
+  size_t error = 0;
+  for (const EquivalenceClass& c : classes_) {
+    if (c.size() > 1) error += c.size() - 1;
+  }
+  return error;
+}
+
+std::string Partition::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '{';
+    for (size_t j = 0; j < classes_[i].size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(classes_[i][j] + 1);  // 1-based like the paper
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,33 @@
+#include "partition/partition_database.h"
+
+#include "common/parallel.h"
+
+namespace depminer {
+
+StrippedPartitionDatabase StrippedPartitionDatabase::FromRelation(
+    const Relation& relation, size_t num_threads) {
+  StrippedPartitionDatabase db;
+  db.num_tuples_ = relation.num_tuples();
+  db.partitions_.resize(relation.num_attributes());
+  ParallelFor(0, relation.num_attributes(), num_threads, [&](size_t a) {
+    db.partitions_[a] =
+        StrippedPartition::ForAttribute(relation, static_cast<AttributeId>(a));
+  });
+  return db;
+}
+
+StrippedPartitionDatabase StrippedPartitionDatabase::FromParts(
+    std::vector<StrippedPartition> partitions, size_t num_tuples) {
+  StrippedPartitionDatabase db;
+  db.num_tuples_ = num_tuples;
+  db.partitions_ = std::move(partitions);
+  return db;
+}
+
+size_t StrippedPartitionDatabase::TotalMemberships() const {
+  size_t total = 0;
+  for (const StrippedPartition& p : partitions_) total += p.CoveredTuples();
+  return total;
+}
+
+}  // namespace depminer

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/stripped_partition.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// The stripped partition database r̂ = ⋃_{A∈R} π̂_A (paper §3.1): one
+/// stripped partition per attribute. This is the *only* representation the
+/// Dep-Miner algorithms read — after construction the relation itself is
+/// no longer touched (the paper's "database accesses are only performed
+/// during the computation of agree sets").
+class StrippedPartitionDatabase {
+ public:
+  StrippedPartitionDatabase() = default;
+
+  /// Extracts r̂ from a relation in one pass per attribute. Attributes
+  /// are processed on up to `num_threads` threads (independent columns;
+  /// identical output for any thread count).
+  static StrippedPartitionDatabase FromRelation(const Relation& relation,
+                                                size_t num_threads = 1);
+
+  /// Assembles r̂ from already-built per-attribute stripped partitions
+  /// (the streaming extractor's path; see storage/streaming.h). Every
+  /// partition must be over the same `num_tuples` universe.
+  static StrippedPartitionDatabase FromParts(
+      std::vector<StrippedPartition> partitions, size_t num_tuples);
+
+  size_t num_attributes() const { return partitions_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+
+  const StrippedPartition& partition(AttributeId a) const {
+    return partitions_[a];
+  }
+  const std::vector<StrippedPartition>& partitions() const {
+    return partitions_;
+  }
+
+  /// Total number of stored (tuple, class) memberships — the size of the
+  /// reduced representation; reported by bench statistics.
+  size_t TotalMemberships() const;
+
+ private:
+  std::vector<StrippedPartition> partitions_;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace depminer

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "partition/stripped_partition.h"
+
+namespace depminer {
+
+/// Workspace for computing products of stripped partitions in linear time
+/// (the technique of the TANE paper [HKPT98], §4): π̂_{X∪Y} = π̂_X · π̂_Y.
+///
+/// The workspace owns two |r|-sized scratch arrays so repeated products —
+/// TANE computes one per lattice edge — perform no allocation beyond the
+/// result. Not thread-safe; use one workspace per thread.
+class PartitionProductWorkspace {
+ public:
+  explicit PartitionProductWorkspace(size_t num_tuples);
+
+  /// Computes the product (least refinement) of two stripped partitions
+  /// over the same tuple universe. Runs in O(covered tuples) time.
+  StrippedPartition Product(const StrippedPartition& lhs,
+                            const StrippedPartition& rhs);
+
+ private:
+  // class_of_[t]: index (+1) of t's class in lhs during a product; 0 means
+  // "not in any non-singleton lhs class".
+  std::vector<uint32_t> class_of_;
+  // Scratch accumulation of intersected classes, keyed by lhs class.
+  std::vector<std::vector<TupleId>> scratch_;
+};
+
+/// One-shot convenience wrapper around the workspace.
+StrippedPartition PartitionProduct(const StrippedPartition& lhs,
+                                   const StrippedPartition& rhs);
+
+}  // namespace depminer

@@ -1,0 +1,65 @@
+#include "partition/stripped_partition.h"
+
+#include <algorithm>
+
+namespace depminer {
+
+StrippedPartition::StrippedPartition(std::vector<EquivalenceClass> classes,
+                                     size_t num_tuples)
+    : num_tuples_(num_tuples) {
+  classes_.reserve(classes.size());
+  for (EquivalenceClass& c : classes) {
+    if (c.size() > 1) {
+      std::sort(c.begin(), c.end());
+      classes_.push_back(std::move(c));
+    }
+  }
+  std::sort(classes_.begin(), classes_.end(),
+            [](const EquivalenceClass& a, const EquivalenceClass& b) {
+              return a.front() < b.front();
+            });
+}
+
+StrippedPartition StrippedPartition::FromPartition(const Partition& partition) {
+  return StrippedPartition(partition.classes(), partition.num_tuples());
+}
+
+StrippedPartition StrippedPartition::ForAttribute(const Relation& relation,
+                                                  AttributeId a) {
+  return FromPartition(Partition::ForAttribute(relation, a));
+}
+
+size_t StrippedPartition::CoveredTuples() const {
+  size_t covered = 0;
+  for (const EquivalenceClass& c : classes_) covered += c.size();
+  return covered;
+}
+
+Partition StrippedPartition::Unstrip() const {
+  std::vector<bool> covered(num_tuples_, false);
+  std::vector<EquivalenceClass> classes = classes_;
+  for (const EquivalenceClass& c : classes) {
+    for (TupleId t : c) covered[t] = true;
+  }
+  for (TupleId t = 0; t < num_tuples_; ++t) {
+    if (!covered[t]) classes.push_back({t});
+  }
+  return Partition(std::move(classes), num_tuples_);
+}
+
+std::string StrippedPartition::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '{';
+    for (size_t j = 0; j < classes_[i].size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(classes_[i][j] + 1);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace depminer

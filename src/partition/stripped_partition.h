@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/partition.h"
+
+namespace depminer {
+
+/// A stripped partition π̂_X: the equivalence classes of π_X of size > 1
+/// (paper §3.1). Singleton classes carry no agree-set information — a
+/// tuple alone in its class shares its X-value with no other tuple — so
+/// dropping them shrinks the representation dramatically on real data.
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+  StrippedPartition(std::vector<EquivalenceClass> classes, size_t num_tuples);
+
+  /// Strips an ordinary partition.
+  static StrippedPartition FromPartition(const Partition& partition);
+
+  /// Builds π̂_A directly from the relation.
+  static StrippedPartition ForAttribute(const Relation& relation,
+                                        AttributeId a);
+
+  const std::vector<EquivalenceClass>& classes() const { return classes_; }
+  size_t num_classes() const { return classes_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+  bool Empty() const { return classes_.empty(); }
+
+  /// ∑ |c| over stored classes.
+  size_t CoveredTuples() const;
+
+  /// Converts back to a full Partition by re-adding singleton classes for
+  /// every uncovered tuple. Used by tests for refinement laws.
+  Partition Unstrip() const;
+
+  std::string ToString() const;
+
+  bool operator==(const StrippedPartition& o) const {
+    return num_tuples_ == o.num_tuples_ && classes_ == o.classes_;
+  }
+
+ private:
+  std::vector<EquivalenceClass> classes_;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace depminer

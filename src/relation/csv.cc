@@ -1,0 +1,187 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+namespace {
+
+/// Splits one logical CSV record that is already known to be complete
+/// (quotes balanced) into fields.
+std::vector<std::string> SplitRecord(const std::string& line,
+                                     const CsvOptions& options) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (options.allow_quoting && c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == options.delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+/// Reads one logical record (handles newlines inside quoted fields).
+/// Returns false at end of stream with nothing read.
+bool ReadRecord(std::istream& in, const CsvOptions& options,
+                std::string* record) {
+  record->clear();
+  std::string line;
+  bool got_any = false;
+  while (std::getline(in, line)) {
+    got_any = true;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!record->empty()) *record += '\n';
+    *record += line;
+    if (!options.allow_quoting) return true;
+    // A record is complete when it contains an even number of quotes.
+    size_t quotes = 0;
+    for (char c : *record) {
+      if (c == '"') ++quotes;
+    }
+    if (quotes % 2 == 0) return true;
+  }
+  return got_any;
+}
+
+Result<Relation> ParseStream(std::istream& in, const CsvOptions& options,
+                             const std::string& origin) {
+  CsvRecordReader reader(in, options);
+  size_t record_no = 0;
+
+  Schema schema;
+  std::unique_ptr<RelationBuilder> builder;
+
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    ++record_no;
+    if (!builder) {
+      if (options.has_header) {
+        schema = Schema(std::move(fields));
+      } else {
+        schema = Schema::Default(fields.size());
+      }
+      builder = std::make_unique<RelationBuilder>(schema);
+      if (options.nulls_distinct) builder->TreatAsNull(options.null_token);
+      if (options.has_header) continue;
+    }
+    if (fields.size() != schema.num_attributes()) {
+      return Status::IoError(origin + ": record " + std::to_string(record_no) +
+                             " has " + std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(schema.num_attributes()));
+    }
+    DEPMINER_RETURN_NOT_OK(builder->AddRow(fields));
+  }
+
+  if (!builder) {
+    return Status::InvalidArgument(origin + ": empty CSV input");
+  }
+  return std::move(*builder).Finish();
+}
+
+bool NeedsQuoting(const std::string& value, const CsvOptions& options) {
+  for (char c : value) {
+    if (c == options.delimiter || c == '"' || c == '\n' || c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendField(const std::string& value, const CsvOptions& options,
+                 std::string* out) {
+  if (!options.allow_quoting || !NeedsQuoting(value, options)) {
+    *out += value;
+    return;
+  }
+  *out += '"';
+  for (char c : value) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+bool CsvRecordReader::Next(std::vector<std::string>* fields) {
+  if (!ReadRecord(in_, options_, &record_)) return false;
+  if (record_.empty() && in_.eof()) return false;  // trailing newline
+  *fields = SplitRecord(record_, options_);
+  ++records_read_;
+  return true;
+}
+
+Result<Relation> ReadCsvRelation(const std::string& path,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return ParseStream(in, options, path);
+}
+
+Result<Relation> ParseCsvRelation(const std::string& content,
+                                  const CsvOptions& options) {
+  std::istringstream in(content);
+  return ParseStream(in, options, "<string>");
+}
+
+std::string CsvToString(const Relation& relation, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t a = 0; a < relation.num_attributes(); ++a) {
+      if (a > 0) out += options.delimiter;
+      AppendField(relation.schema().name(static_cast<AttributeId>(a)), options,
+                  &out);
+    }
+    out += '\n';
+  }
+  for (TupleId t = 0; t < relation.num_tuples(); ++t) {
+    for (size_t a = 0; a < relation.num_attributes(); ++a) {
+      if (a > 0) out += options.delimiter;
+      AppendField(relation.Value(t, static_cast<AttributeId>(a)), options,
+                  &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvRelation(const Relation& relation, const std::string& path,
+                        const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << CsvToString(relation, options);
+  if (!out) {
+    return Status::IoError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace depminer

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Options for `ReadCsvRelation`.
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, the first row provides attribute names; otherwise a default
+  /// A, B, C, ... schema is synthesized.
+  bool has_header = true;
+  /// Recognize RFC 4180 double-quoted fields ("a,b" and "" escapes).
+  bool allow_quoting = true;
+  /// SQL-style NULL semantics: when true, cells equal to `null_token`
+  /// compare unequal to *everything*, including other NULLs — they never
+  /// contribute to an agree set, so `NULL` in a column cannot witness or
+  /// found an FD. When false (default), the token is an ordinary value
+  /// (two empty cells agree).
+  bool nulls_distinct = false;
+  /// The cell content treated as NULL when `nulls_distinct` is set.
+  std::string null_token;
+};
+
+/// Incremental CSV record reader: handles RFC 4180 quoting (including
+/// embedded delimiters, escaped quotes and newlines inside quoted
+/// fields), CRLF endings and custom delimiters. Shared by the relation
+/// loader and the streaming partition extractor.
+class CsvRecordReader {
+ public:
+  CsvRecordReader(std::istream& in, const CsvOptions& options)
+      : in_(in), options_(options) {}
+
+  /// Reads the next record into `fields`; returns false at end of input.
+  bool Next(std::vector<std::string>* fields);
+
+  size_t records_read() const { return records_read_; }
+
+ private:
+  std::istream& in_;
+  const CsvOptions options_;
+  std::string record_;
+  size_t records_read_ = 0;
+};
+
+/// Reads a CSV file into a dictionary-encoded `Relation`.
+///
+/// This replaces the paper's ODBC access path: the single pass over the
+/// data that builds the stripped partition database starts from here.
+/// Rejects ragged rows (IoError) and empty inputs (InvalidArgument).
+Result<Relation> ReadCsvRelation(const std::string& path,
+                                 const CsvOptions& options = {});
+
+/// Parses CSV from an already-loaded string (used by tests).
+Result<Relation> ParseCsvRelation(const std::string& content,
+                                  const CsvOptions& options = {});
+
+/// Writes a relation back out as CSV (with header). Quotes fields that
+/// contain the delimiter, quotes or newlines.
+Status WriteCsvRelation(const Relation& relation, const std::string& path,
+                        const CsvOptions& options = {});
+
+/// Serializes to a CSV string (used by tests for round-tripping).
+std::string CsvToString(const Relation& relation,
+                        const CsvOptions& options = {});
+
+}  // namespace depminer

@@ -1,0 +1,46 @@
+#include "relation/relation.h"
+
+#include <cassert>
+
+namespace depminer {
+
+Relation::Relation(Schema schema, std::vector<std::vector<ValueCode>> columns,
+                   std::vector<std::vector<std::string>> dictionaries)
+    : schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      dictionaries_(std::move(dictionaries)) {
+  assert(columns_.size() == schema_.num_attributes());
+  assert(dictionaries_.size() == columns_.size());
+#ifndef NDEBUG
+  for (size_t a = 1; a < columns_.size(); ++a) {
+    assert(columns_[a].size() == columns_[0].size());
+  }
+#endif
+}
+
+bool Relation::Agree(TupleId ti, TupleId tj, const AttributeSet& x) const {
+  bool agree = true;
+  x.ForEach([&](AttributeId a) {
+    if (columns_[a][ti] != columns_[a][tj]) agree = false;
+  });
+  return agree;
+}
+
+AttributeSet Relation::AgreeSetOf(TupleId ti, TupleId tj) const {
+  AttributeSet out;
+  for (AttributeId a = 0; a < columns_.size(); ++a) {
+    if (columns_[a][ti] == columns_[a][tj]) out.Add(a);
+  }
+  return out;
+}
+
+std::string Relation::TupleToString(TupleId t) const {
+  std::string out;
+  for (AttributeId a = 0; a < columns_.size(); ++a) {
+    if (a > 0) out += " | ";
+    out += Value(t, a);
+  }
+  return out;
+}
+
+}  // namespace depminer

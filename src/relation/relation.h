@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// Identifier of a tuple within a relation: its 0-based row index. The
+/// paper identifies tuples by "a positive integer unique to t"; we use the
+/// row position.
+using TupleId = uint32_t;
+
+/// Dictionary code of a value within one column. Two cells of the same
+/// column are equal iff their codes are equal; codes are dense in
+/// [0, DistinctCount(A)).
+using ValueCode = uint32_t;
+
+/// An immutable relation instance, stored column-wise and dictionary
+/// encoded.
+///
+/// FD discovery only needs *equality* of values, never their content, so
+/// every algorithm in this library works on the dense per-column codes.
+/// The original values are kept in per-column dictionaries so results
+/// (e.g. real-world Armstrong relations, Definition 1 of the paper) can be
+/// rendered with actual values from the input.
+///
+/// Build instances with `RelationBuilder` or `ReadCsvRelation`.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(Schema schema, std::vector<std::vector<ValueCode>> columns,
+           std::vector<std::vector<std::string>> dictionaries);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+  size_t num_tuples() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  AttributeSet universe() const { return schema_.universe(); }
+
+  /// The code of cell (t, a). O(1).
+  ValueCode Code(TupleId t, AttributeId a) const { return columns_[a][t]; }
+  /// The original value of cell (t, a).
+  const std::string& Value(TupleId t, AttributeId a) const {
+    return dictionaries_[a][columns_[a][t]];
+  }
+  /// Entire code column for attribute `a`.
+  const std::vector<ValueCode>& Column(AttributeId a) const {
+    return columns_[a];
+  }
+
+  /// Number of distinct values in column `a` — the paper's |π_A(r)|.
+  size_t DistinctCount(AttributeId a) const {
+    return dictionaries_[a].size();
+  }
+  /// The distinct values of column `a`, indexed by code.
+  const std::vector<std::string>& Dictionary(AttributeId a) const {
+    return dictionaries_[a];
+  }
+
+  /// True iff tuples `ti` and `tj` agree on every attribute of X.
+  bool Agree(TupleId ti, TupleId tj, const AttributeSet& x) const;
+
+  /// The agree set ag(ti, tj) = {A : ti[A] = tj[A]}.
+  AttributeSet AgreeSetOf(TupleId ti, TupleId tj) const;
+
+  /// Renders tuple `t` as "v1 | v2 | ..." for debugging and examples.
+  std::string TupleToString(TupleId t) const;
+
+ private:
+  Schema schema_;
+  /// columns_[a][t] — code of attribute `a` in tuple `t`.
+  std::vector<std::vector<ValueCode>> columns_;
+  /// dictionaries_[a][code] — original value.
+  std::vector<std::vector<std::string>> dictionaries_;
+};
+
+}  // namespace depminer

@@ -1,0 +1,99 @@
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+RelationBuilder::RelationBuilder(Schema schema) : schema_(std::move(schema)) {
+  const size_t n = schema_.num_attributes();
+  columns_.resize(n);
+  dictionaries_.resize(n);
+  code_of_.resize(n);
+}
+
+Status RelationBuilder::AddRow(const std::vector<std::string>& values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(schema_.num_attributes()) + " attributes");
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (has_null_token_ && values[a] == null_token_) {
+      // NULLs agree with nothing: each occurrence is its own value.
+      columns_[a].push_back(static_cast<ValueCode>(dictionaries_[a].size()));
+      dictionaries_[a].push_back(values[a]);
+      continue;
+    }
+    auto [it, inserted] = code_of_[a].try_emplace(
+        values[a], static_cast<ValueCode>(dictionaries_[a].size()));
+    if (inserted) dictionaries_[a].push_back(values[a]);
+    columns_[a].push_back(it->second);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status RelationBuilder::AddCodedRow(const std::vector<ValueCode>& codes) {
+  if (codes.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("coded row arity mismatch");
+  }
+  for (size_t a = 0; a < codes.size(); ++a) {
+    // Grow the dictionary with synthetic values so that rendering works.
+    while (dictionaries_[a].size() <= codes[a]) {
+      std::string value = std::to_string(dictionaries_[a].size());
+      value.insert(value.begin(), 'v');
+      dictionaries_[a].push_back(std::move(value));
+    }
+    columns_[a].push_back(codes[a]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Relation> RelationBuilder::Finish() && {
+  if (schema_.num_attributes() == 0) {
+    return Status::InvalidArgument("relation must have at least one attribute");
+  }
+  if (schema_.num_attributes() > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded(
+        "schema has " + std::to_string(schema_.num_attributes()) +
+        " attributes; maximum supported is " +
+        std::to_string(AttributeSet::kMaxAttributes));
+  }
+  // Re-encode each column so codes are dense and first-occurrence ordered:
+  // AddCodedRow may have skipped codes or left dictionary entries that no
+  // tuple uses, which would corrupt DistinctCount (= |π_A(r)|, the paper's
+  // Proposition 1 quantity) and real-world Armstrong values.
+  constexpr ValueCode kUnmapped = static_cast<ValueCode>(-1);
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    std::vector<ValueCode> remap(dictionaries_[a].size(), kUnmapped);
+    std::vector<std::string> dense_dict;
+    for (ValueCode& code : columns_[a]) {
+      if (remap[code] == kUnmapped) {
+        remap[code] = static_cast<ValueCode>(dense_dict.size());
+        dense_dict.push_back(std::move(dictionaries_[a][code]));
+      }
+      code = remap[code];
+    }
+    dictionaries_[a] = std::move(dense_dict);
+  }
+  return Relation(std::move(schema_), std::move(columns_),
+                  std::move(dictionaries_));
+}
+
+Result<Relation> MakeRelation(
+    Schema schema, const std::vector<std::vector<std::string>>& rows) {
+  RelationBuilder b(std::move(schema));
+  for (const auto& row : rows) {
+    DEPMINER_RETURN_NOT_OK(b.AddRow(row));
+  }
+  return std::move(b).Finish();
+}
+
+Result<Relation> MakeRelation(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot infer schema from zero rows");
+  }
+  return MakeRelation(Schema::Default(rows[0].size()), rows);
+}
+
+}  // namespace depminer

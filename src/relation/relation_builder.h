@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Incrementally builds a `Relation`, dictionary-encoding values row by
+/// row. Usage:
+///
+///   RelationBuilder b(Schema::Default(3));
+///   b.AddRow({"1", "x", "y"});
+///   Result<Relation> r = std::move(b).Finish();
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema);
+
+  /// Enables SQL-style NULL semantics: subsequent cells equal to `token`
+  /// each receive a fresh dictionary code, so they agree with nothing
+  /// (not even another NULL). Rendered back as the token itself.
+  void TreatAsNull(std::string token) {
+    null_token_ = std::move(token);
+    has_null_token_ = true;
+  }
+
+  /// Appends one tuple; `values.size()` must equal the attribute count.
+  Status AddRow(const std::vector<std::string>& values);
+
+  /// Appends one tuple of pre-encoded codes; the builder assigns each
+  /// distinct code a synthetic string value ("v<code>"). Used by the
+  /// synthetic data generator, which thinks in code space.
+  Status AddCodedRow(const std::vector<ValueCode>& codes);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes into an immutable Relation. The builder is consumed.
+  Result<Relation> Finish() &&;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  bool has_null_token_ = false;
+  std::string null_token_;
+  std::vector<std::vector<ValueCode>> columns_;
+  std::vector<std::vector<std::string>> dictionaries_;
+  std::vector<std::unordered_map<std::string, ValueCode>> code_of_;
+};
+
+/// Convenience: builds a relation from rows of strings with the given
+/// schema.
+Result<Relation> MakeRelation(Schema schema,
+                              const std::vector<std::vector<std::string>>& rows);
+
+/// Convenience for tests: builds a relation over Schema::Default with rows
+/// given as string values.
+Result<Relation> MakeRelation(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace depminer

@@ -1,0 +1,89 @@
+#include "relation/relation_ops.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+Result<Relation> ProjectRelation(const Relation& relation,
+                                 const AttributeSet& attributes) {
+  if (attributes.Empty()) {
+    return Status::InvalidArgument("projection onto zero attributes");
+  }
+  if (!attributes.IsSubsetOf(relation.universe())) {
+    return Status::InvalidArgument("projection attribute out of range");
+  }
+  const std::vector<AttributeId> members = attributes.Members();
+  std::vector<std::string> names;
+  names.reserve(members.size());
+  for (AttributeId a : members) names.push_back(relation.schema().name(a));
+
+  RelationBuilder builder(Schema(std::move(names)));
+  std::vector<std::string> row(members.size());
+  for (TupleId t = 0; t < relation.num_tuples(); ++t) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      row[i] = relation.Value(t, members[i]);
+    }
+    DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<Relation> SelectRows(const Relation& relation,
+                            const std::vector<TupleId>& rows) {
+  RelationBuilder builder(relation.schema());
+  std::vector<std::string> row(relation.num_attributes());
+  for (TupleId t : rows) {
+    if (t >= relation.num_tuples()) {
+      return Status::InvalidArgument("row id " + std::to_string(t) +
+                                     " out of range");
+    }
+    for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+      row[a] = relation.Value(t, a);
+    }
+    DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<Relation> SampleRows(const Relation& relation, size_t count,
+                            uint64_t seed) {
+  const size_t p = relation.num_tuples();
+  if (count >= p) {
+    std::vector<TupleId> all(p);
+    for (TupleId t = 0; t < p; ++t) all[t] = t;
+    return SelectRows(relation, all);
+  }
+  // Partial Fisher-Yates over the row-id universe.
+  Rng rng(seed);
+  std::vector<TupleId> ids(p);
+  for (TupleId t = 0; t < p; ++t) ids[t] = t;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.Below(p - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return SelectRows(relation, ids);
+}
+
+Result<Relation> ConcatRelations(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("schemas differ");
+  }
+  RelationBuilder builder(a.schema());
+  std::vector<std::string> row(a.num_attributes());
+  for (const Relation* r : {&a, &b}) {
+    for (TupleId t = 0; t < r->num_tuples(); ++t) {
+      for (AttributeId attr = 0; attr < r->num_attributes(); ++attr) {
+        row[attr] = r->Value(t, attr);
+      }
+      DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace depminer

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Relational utilities used by examples and tests: projections, row
+/// selections and samples. All return fresh, densely re-encoded
+/// relations.
+
+/// π_X(r) as a relation (duplicate tuples are kept — FD discovery
+/// semantics are bag-insensitive, and keeping duplicates preserves tuple
+/// counts for comparisons). Attribute order follows X's ascending ids.
+Result<Relation> ProjectRelation(const Relation& relation,
+                                 const AttributeSet& attributes);
+
+/// The sub-relation holding exactly the given rows, in the given order.
+/// Rows may repeat; ids must be < num_tuples().
+Result<Relation> SelectRows(const Relation& relation,
+                            const std::vector<TupleId>& rows);
+
+/// A uniform random sample of `count` distinct rows (all rows if count ≥
+/// num_tuples()), in increasing row order. Deterministic per seed.
+Result<Relation> SampleRows(const Relation& relation, size_t count,
+                            uint64_t seed);
+
+/// Concatenates two relations over identical schemas (union-all).
+Result<Relation> ConcatRelations(const Relation& a, const Relation& b);
+
+}  // namespace depminer

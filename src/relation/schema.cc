@@ -1,0 +1,23 @@
+#include "relation/schema.h"
+
+namespace depminer {
+
+Schema Schema::Default(size_t num_attributes) {
+  std::vector<std::string> names;
+  names.reserve(num_attributes);
+  for (size_t i = 0; i < num_attributes; ++i) {
+    std::string name(1, static_cast<char>('A' + i % 26));
+    if (i >= 26) name += std::to_string(i / 26);
+    names.push_back(std::move(name));
+  }
+  return Schema(std::move(names));
+}
+
+Result<AttributeId> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<AttributeId>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+}  // namespace depminer

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/status.h"
+
+namespace depminer {
+
+/// Names the attributes of a relation, in schema order. Attribute `i` of a
+/// `Relation` corresponds to `names()[i]`.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  /// "A", "B", ..., "Z", "A1", "B1", ... — the paper's letter convention,
+  /// extended past 26 attributes.
+  static Schema Default(size_t num_attributes);
+
+  size_t num_attributes() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(AttributeId a) const { return names_[a]; }
+
+  /// Index of a named attribute, or NotFound.
+  Result<AttributeId> Find(const std::string& name) const;
+
+  /// The full attribute universe of this schema.
+  AttributeSet universe() const {
+    return AttributeSet::Universe(names_.size());
+  }
+
+  bool operator==(const Schema& o) const { return names_ == o.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace depminer

@@ -1,0 +1,67 @@
+#include "report/database_profile.h"
+
+#include "report/json_writer.h"
+
+namespace depminer {
+
+Result<DatabaseProfile> ProfileDatabase(
+    const std::vector<const Relation*>& relations,
+    const std::vector<std::string>& labels,
+    const DatabaseProfileOptions& options) {
+  if (relations.size() != labels.size()) {
+    return Status::InvalidArgument("labels/relations arity mismatch");
+  }
+  DatabaseProfile profile;
+  profile.labels = labels;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    Result<RelationProfile> one =
+        ProfileRelation(*relations[i], labels[i], options.per_relation);
+    if (!one.ok()) return one.status();
+    profile.relations.push_back(std::move(one).value());
+  }
+  profile.inds = DiscoverNaryInds(relations, options.foreign_keys.ind);
+  profile.foreign_keys = SuggestForeignKeys(relations, options.foreign_keys);
+  return profile;
+}
+
+std::string DatabaseProfileToJson(
+    const DatabaseProfile& profile,
+    const std::vector<const Relation*>& relations) {
+  JsonWriter json;
+  json.OpenObject();
+
+  json.Key("relations").OpenArray();
+  for (const RelationProfile& r : profile.relations) {
+    // Embed each single-relation profile verbatim; the writer emits raw
+    // because ProfileToJson already produces a JSON object.
+    json.OpenObject();
+    json.Key("label").Value(r.source);
+    json.Key("attributes").Value(static_cast<uint64_t>(r.num_attributes));
+    json.Key("tuples").Value(static_cast<uint64_t>(r.num_tuples));
+    json.Key("fds").Value(static_cast<uint64_t>(r.fds.size()));
+    json.Key("keys").Value(static_cast<uint64_t>(r.candidate_keys.size()));
+    json.Key("bcnf").Value(r.in_bcnf);
+    json.CloseObject();
+  }
+  json.CloseArray();
+
+  json.Key("inclusion_dependencies").OpenArray();
+  for (const NaryInd& ind : profile.inds) {
+    json.Value(IndToString(ind, relations, profile.labels));
+  }
+  json.CloseArray();
+
+  json.Key("foreign_keys").OpenArray();
+  for (const ForeignKeyCandidate& fk : profile.foreign_keys) {
+    json.OpenObject();
+    json.Key("ind").Value(IndToString(fk.ind, relations, profile.labels));
+    json.Key("references_candidate_key").Value(fk.rhs_is_minimal_key);
+    json.CloseObject();
+  }
+  json.CloseArray();
+
+  json.CloseObject();
+  return json.str();
+}
+
+}  // namespace depminer

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ind/foreign_keys.h"
+#include "report/profile.h"
+
+namespace depminer {
+
+/// A whole-database profile: one RelationProfile per relation plus the
+/// cross-relation structure (inclusion dependencies and foreign-key
+/// candidates) — the complete logical-tuning picture for a set of
+/// exported tables.
+struct DatabaseProfile {
+  std::vector<RelationProfile> relations;
+  std::vector<std::string> labels;
+  std::vector<NaryInd> inds;
+  std::vector<ForeignKeyCandidate> foreign_keys;
+};
+
+/// Options for database profiling.
+struct DatabaseProfileOptions {
+  ProfileOptions per_relation;
+  ForeignKeyOptions foreign_keys;
+};
+
+/// Profiles every relation and discovers the cross-relation structure.
+/// `labels` names the relations in the output (file names, typically).
+Result<DatabaseProfile> ProfileDatabase(
+    const std::vector<const Relation*>& relations,
+    const std::vector<std::string>& labels,
+    const DatabaseProfileOptions& options = {});
+
+/// One JSON object: {"relations": [...], "inclusion_dependencies": [...],
+/// "foreign_keys": [...]}.
+std::string DatabaseProfileToJson(
+    const DatabaseProfile& profile,
+    const std::vector<const Relation*>& relations);
+
+}  // namespace depminer

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+namespace depminer {
+
+/// A minimal streaming JSON writer (no external dependencies): supports
+/// objects, arrays, strings (with full escaping), integers, doubles and
+/// booleans. The caller is responsible for well-formedness ordering
+/// (Key before value, matching Open/Close) — assertions catch misuse in
+/// debug builds.
+class JsonWriter {
+ public:
+  JsonWriter& OpenObject();
+  JsonWriter& CloseObject();
+  JsonWriter& OpenArray();
+  JsonWriter& CloseArray();
+
+  /// Writes a key inside an object; must be followed by a value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& Value(const std::string& s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace depminer

@@ -1,0 +1,173 @@
+#include "report/profile.h"
+
+#include "core/keys_from_max_sets.h"
+#include "relation/csv.h"
+#include "report/json_writer.h"
+
+namespace depminer {
+
+Result<RelationProfile> ProfileRelation(const Relation& relation,
+                                        const std::string& source,
+                                        const ProfileOptions& options) {
+  RelationProfile profile;
+  profile.source = source;
+  profile.num_attributes = relation.num_attributes();
+  profile.num_tuples = relation.num_tuples();
+  profile.attribute_names = relation.schema().names();
+  for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+    profile.distinct_counts.push_back(relation.DistinctCount(a));
+  }
+
+  Result<DepMinerResult> mined = MineDependencies(relation, options.mining);
+  if (!mined.ok()) return mined.status();
+  profile.fds = mined.value().fds;
+  profile.max_sets = mined.value().all_max_sets;
+  profile.stats = mined.value().stats;
+  if (mined.value().armstrong.has_value()) {
+    profile.armstrong = mined.value().armstrong;
+  } else {
+    profile.armstrong_note = mined.value().armstrong_status.ToString();
+  }
+
+  profile.candidate_keys =
+      KeysFromMaxSets(profile.max_sets, profile.num_attributes);
+  if (options.max_keys != 0 &&
+      profile.candidate_keys.size() > options.max_keys) {
+    profile.candidate_keys.resize(options.max_keys);
+  }
+
+  NormalizationAnalysis analysis(relation.schema(), profile.fds);
+  profile.in_bcnf = analysis.InBcnf();
+  profile.in_3nf = analysis.In3nf();
+  for (const NormalFormViolation& v : analysis.violations()) {
+    profile.bcnf_violations.push_back(v.fd);
+  }
+  return profile;
+}
+
+std::string ProfileToJson(const RelationProfile& profile) {
+  const Schema schema(profile.attribute_names);
+  JsonWriter json;
+  json.OpenObject();
+  json.Key("source").Value(profile.source);
+  json.Key("attributes").Value(static_cast<uint64_t>(profile.num_attributes));
+  json.Key("tuples").Value(static_cast<uint64_t>(profile.num_tuples));
+
+  json.Key("columns").OpenArray();
+  for (size_t a = 0; a < profile.attribute_names.size(); ++a) {
+    json.OpenObject();
+    json.Key("name").Value(profile.attribute_names[a]);
+    json.Key("distinct").Value(static_cast<uint64_t>(
+        a < profile.distinct_counts.size() ? profile.distinct_counts[a] : 0));
+    json.CloseObject();
+  }
+  json.CloseArray();
+
+  json.Key("functional_dependencies").OpenArray();
+  for (const FunctionalDependency& fd : profile.fds.fds()) {
+    json.OpenObject();
+    json.Key("lhs").OpenArray();
+    fd.lhs.ForEach(
+        [&](AttributeId a) { json.Value(profile.attribute_names[a]); });
+    json.CloseArray();
+    json.Key("rhs").Value(profile.attribute_names[fd.rhs]);
+    json.CloseObject();
+  }
+  json.CloseArray();
+
+  json.Key("candidate_keys").OpenArray();
+  for (const AttributeSet& key : profile.candidate_keys) {
+    json.OpenArray();
+    key.ForEach(
+        [&](AttributeId a) { json.Value(profile.attribute_names[a]); });
+    json.CloseArray();
+  }
+  json.CloseArray();
+
+  json.Key("max_sets").OpenArray();
+  for (const AttributeSet& m : profile.max_sets) {
+    json.OpenArray();
+    m.ForEach([&](AttributeId a) { json.Value(profile.attribute_names[a]); });
+    json.CloseArray();
+  }
+  json.CloseArray();
+
+  json.Key("normal_forms").OpenObject();
+  json.Key("bcnf").Value(profile.in_bcnf);
+  json.Key("third_nf").Value(profile.in_3nf);
+  json.Key("violations").OpenArray();
+  for (const FunctionalDependency& fd : profile.bcnf_violations) {
+    json.Value(fd.ToString(schema));
+  }
+  json.CloseArray();
+  json.CloseObject();
+
+  json.Key("armstrong").OpenObject();
+  if (profile.armstrong.has_value()) {
+    json.Key("exists").Value(true);
+    json.Key("tuples").Value(
+        static_cast<uint64_t>(profile.armstrong->num_tuples()));
+    json.Key("csv").Value(CsvToString(*profile.armstrong));
+  } else {
+    json.Key("exists").Value(false);
+    json.Key("reason").Value(profile.armstrong_note);
+  }
+  json.CloseObject();
+
+  json.Key("timings").OpenObject();
+  json.Key("total_seconds").Value(profile.stats.Total());
+  json.Key("agree_seconds").Value(profile.stats.agree_seconds);
+  json.Key("lhs_seconds").Value(profile.stats.lhs_seconds);
+  json.CloseObject();
+
+  json.CloseObject();
+  return json.str();
+}
+
+std::string ProfileToMarkdown(const RelationProfile& profile) {
+  const Schema schema(profile.attribute_names);
+  std::string out;
+  out += "# Profile: " + profile.source + "\n\n";
+  out += "- attributes: " + std::to_string(profile.num_attributes) + "\n";
+  out += "- tuples: " + std::to_string(profile.num_tuples) + "\n";
+  out += "- minimal FDs: " + std::to_string(profile.fds.size()) + "\n";
+  out += std::string("- normal form: ") +
+         (profile.in_bcnf ? "BCNF" : profile.in_3nf ? "3NF" : "below 3NF") +
+         "\n\n";
+
+  out += "## Columns\n\n| column | distinct |\n|---|---|\n";
+  for (size_t a = 0; a < profile.attribute_names.size(); ++a) {
+    out += "| " + profile.attribute_names[a] + " | " +
+           std::to_string(profile.distinct_counts[a]) + " |\n";
+  }
+
+  out += "\n## Candidate keys\n\n";
+  for (const AttributeSet& key : profile.candidate_keys) {
+    out += "- `" + key.ToString(profile.attribute_names) + "`\n";
+  }
+
+  out += "\n## Minimal functional dependencies\n\n";
+  for (const FunctionalDependency& fd : profile.fds.fds()) {
+    out += "- `" + fd.ToString(schema) + "`\n";
+  }
+
+  if (!profile.bcnf_violations.empty()) {
+    out += "\n## Normal-form violations\n\n";
+    for (const FunctionalDependency& fd : profile.bcnf_violations) {
+      out += "- `" + fd.ToString(schema) + "` (lhs is not a key)\n";
+    }
+  }
+
+  out += "\n## Armstrong sample\n\n";
+  if (profile.armstrong.has_value()) {
+    out += "Every discovered FD holds in this sample and every non-FD has "
+           "a counterexample (" +
+           std::to_string(profile.armstrong->num_tuples()) + " tuples):\n\n";
+    out += "```\n" + CsvToString(*profile.armstrong) + "```\n";
+  } else {
+    out += "Not available: " + profile.armstrong_note + "\n";
+  }
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dep_miner.h"
+#include "fd/normalization.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// A full profiling pass over one relation: everything the paper's
+/// "logical tuning" dba wants in one structure, renderable as JSON or
+/// Markdown (the machine/human outputs of `fdtool profile`).
+struct RelationProfile {
+  std::string source;  ///< file name or label
+  size_t num_attributes = 0;
+  size_t num_tuples = 0;
+  std::vector<std::string> attribute_names;
+  std::vector<size_t> distinct_counts;
+
+  FdSet fds;                                ///< minimal cover of dep(r)
+  std::vector<AttributeSet> max_sets;       ///< MAX(dep(r))
+  std::vector<AttributeSet> candidate_keys;
+  bool in_bcnf = false;
+  bool in_3nf = false;
+  std::vector<FunctionalDependency> bcnf_violations;
+
+  std::optional<Relation> armstrong;  ///< real-world sample, if it exists
+  std::string armstrong_note;         ///< why absent, when absent
+
+  DepMinerStats stats;
+};
+
+/// Options for profiling.
+struct ProfileOptions {
+  DepMinerOptions mining;
+  /// Cap on the candidate-key enumeration (there can be exponentially
+  /// many); when hit, `candidate_keys` is truncated and the renderers
+  /// note it. 0 = unlimited.
+  size_t max_keys = 256;
+};
+
+/// Runs the full analysis.
+Result<RelationProfile> ProfileRelation(const Relation& relation,
+                                        const std::string& source,
+                                        const ProfileOptions& options = {});
+
+/// Machine-readable rendering (one JSON object; schema documented by the
+/// emitted keys).
+std::string ProfileToJson(const RelationProfile& profile);
+
+/// Human-readable Markdown rendering.
+std::string ProfileToMarkdown(const RelationProfile& profile);
+
+}  // namespace depminer

@@ -1,0 +1,132 @@
+#include "storage/column_file.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace depminer {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'M', 'C', '1'};
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 8);
+}
+
+void PutString(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool GetString(std::istream& in, std::string* s) {
+  uint32_t length = 0;
+  if (!GetU32(in, &length)) return false;
+  // Defensive cap: a single value or name longer than 256 MiB indicates a
+  // corrupt file, not data.
+  if (length > (256u << 20)) return false;
+  s->resize(length);
+  return static_cast<bool>(
+      in.read(s->data(), static_cast<std::streamsize>(length)));
+}
+
+}  // namespace
+
+Status WriteColumnFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, 4);
+  PutU32(out, static_cast<uint32_t>(relation.num_attributes()));
+  PutU64(out, relation.num_tuples());
+  for (AttributeId a = 0; a < relation.num_attributes(); ++a) {
+    PutString(out, relation.schema().name(a));
+    const std::vector<std::string>& dict = relation.Dictionary(a);
+    PutU32(out, static_cast<uint32_t>(dict.size()));
+    for (const std::string& value : dict) PutString(out, value);
+    const std::vector<ValueCode>& codes = relation.Column(a);
+    for (ValueCode code : codes) PutU32(out, code);
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Relation> ReadColumnFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IoError("'" + path + "' is not a DMC1 column file");
+  }
+  uint32_t n = 0;
+  uint64_t p = 0;
+  if (!GetU32(in, &n) || !GetU64(in, &p)) {
+    return Status::IoError("'" + path + "': truncated header");
+  }
+  if (n == 0 || n > AttributeSet::kMaxAttributes) {
+    return Status::IoError("'" + path + "': implausible attribute count");
+  }
+
+  std::vector<std::string> names(n);
+  std::vector<std::vector<std::string>> dictionaries(n);
+  std::vector<std::vector<ValueCode>> columns(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    if (!GetString(in, &names[a])) {
+      return Status::IoError("'" + path + "': truncated attribute name");
+    }
+    uint32_t dict_size = 0;
+    if (!GetU32(in, &dict_size)) {
+      return Status::IoError("'" + path + "': truncated dictionary");
+    }
+    dictionaries[a].resize(dict_size);
+    for (uint32_t i = 0; i < dict_size; ++i) {
+      if (!GetString(in, &dictionaries[a][i])) {
+        return Status::IoError("'" + path + "': truncated dictionary value");
+      }
+    }
+    columns[a].resize(p);
+    for (uint64_t t = 0; t < p; ++t) {
+      uint32_t code = 0;
+      if (!GetU32(in, &code)) {
+        return Status::IoError("'" + path + "': truncated column data");
+      }
+      if (code >= dict_size) {
+        return Status::IoError("'" + path + "': code out of dictionary range");
+      }
+      columns[a][t] = code;
+    }
+  }
+  return Relation(Schema(std::move(names)), std::move(columns),
+                  std::move(dictionaries));
+}
+
+}  // namespace depminer

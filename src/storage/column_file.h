@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// A minimal binary columnar file format (".dmc") for dictionary-encoded
+/// relations — the library's native storage, so repeated mining of the
+/// same dataset skips CSV parsing and dictionary building.
+///
+/// Layout (all integers little-endian):
+///
+///   magic "DMC1"                     4 bytes
+///   num_attributes      uint32
+///   num_tuples          uint64
+///   per attribute:
+///     name_length       uint32, then name bytes
+///     dictionary_size   uint32
+///     per value: length uint32, then bytes
+///     codes             num_tuples × uint32
+///
+/// The format is intentionally simple and versioned by its magic; it is
+/// not meant as an interchange format.
+
+/// Writes a relation; overwrites any existing file.
+Status WriteColumnFile(const Relation& relation, const std::string& path);
+
+/// Reads a relation back. Fails with IoError on truncation, bad magic or
+/// out-of-range codes.
+Result<Relation> ReadColumnFile(const std::string& path);
+
+}  // namespace depminer

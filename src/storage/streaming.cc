@@ -1,0 +1,142 @@
+#include "storage/streaming.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/armstrong.h"
+#include "core/dep_miner.h"
+
+namespace depminer {
+
+namespace {
+
+Result<StreamingExtract> ExtractFromStream(std::istream& in,
+                                           const StreamingOptions& options,
+                                           const std::string& origin) {
+  CsvRecordReader reader(in, options.csv);
+
+  StreamingExtract out;
+  // Per column: value → dense code, and the tuple ids per code (the
+  // unstripped partition, kept as dynamically growing buckets).
+  std::vector<std::unordered_map<std::string, ValueCode>> code_of;
+  std::vector<std::vector<EquivalenceClass>> buckets;
+
+  std::vector<std::string> fields;
+  size_t record_no = 0;
+  bool have_schema = false;
+  while (reader.Next(&fields)) {
+    ++record_no;
+    if (!have_schema) {
+      if (options.csv.has_header) {
+        out.schema = Schema(std::move(fields));
+      } else {
+        out.schema = Schema::Default(fields.size());
+      }
+      const size_t n = out.schema.num_attributes();
+      if (n == 0) {
+        return Status::InvalidArgument(origin + ": no attributes");
+      }
+      if (n > AttributeSet::kMaxAttributes) {
+        return Status::CapacityExceeded(origin + ": too many attributes");
+      }
+      code_of.resize(n);
+      buckets.resize(n);
+      out.distinct_counts.assign(n, 0);
+      out.value_samples.resize(n);
+      have_schema = true;
+      if (options.csv.has_header) continue;
+    }
+    const size_t n = out.schema.num_attributes();
+    if (fields.size() != n) {
+      return Status::IoError(origin + ": record " + std::to_string(record_no) +
+                             " has " + std::to_string(fields.size()) +
+                             " fields, expected " + std::to_string(n));
+    }
+    const TupleId tuple = static_cast<TupleId>(out.num_tuples);
+    for (size_t a = 0; a < n; ++a) {
+      if (options.csv.nulls_distinct && fields[a] == options.csv.null_token) {
+        // NULLs agree with nothing: a fresh singleton class, which the
+        // stripping below immediately discards. Each NULL counts as a
+        // distinct value (as in the in-memory path) but is never sampled
+        // — Armstrong samples must carry real values.
+        buckets[a].emplace_back().push_back(tuple);
+        ++out.distinct_counts[a];
+        continue;
+      }
+      auto [it, inserted] = code_of[a].try_emplace(
+          fields[a], static_cast<ValueCode>(buckets[a].size()));
+      if (inserted) {
+        buckets[a].emplace_back();
+        ++out.distinct_counts[a];
+        if (out.value_samples[a].size() < options.value_sample_size) {
+          out.value_samples[a].push_back(fields[a]);
+        }
+      }
+      buckets[a][it->second].push_back(tuple);
+    }
+    ++out.num_tuples;
+  }
+
+  if (!have_schema) {
+    return Status::InvalidArgument(origin + ": empty CSV input");
+  }
+
+  // Strip: only classes of size > 1 survive; this is where the memory
+  // usually collapses (the paper's "small representation of a relation").
+  std::vector<StrippedPartition> partitions;
+  partitions.reserve(buckets.size());
+  for (auto& column_buckets : buckets) {
+    partitions.emplace_back(std::move(column_buckets), out.num_tuples);
+    column_buckets.clear();
+  }
+  out.partitions = StrippedPartitionDatabase::FromParts(std::move(partitions),
+                                                        out.num_tuples);
+  return out;
+}
+
+}  // namespace
+
+Result<StreamingExtract> ExtractFromCsv(const std::string& path,
+                                        const StreamingOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return ExtractFromStream(in, options, path);
+}
+
+Result<StreamingExtract> ExtractFromCsvText(const std::string& content,
+                                            const StreamingOptions& options) {
+  std::istringstream in(content);
+  return ExtractFromStream(in, options, "<string>");
+}
+
+Result<StreamingMineResult> MineCsvStreaming(const std::string& path,
+                                             const StreamingOptions& options) {
+  Result<StreamingExtract> extract = ExtractFromCsv(path, options);
+  if (!extract.ok()) return extract.status();
+
+  StreamingMineResult out;
+  out.extract = std::move(extract).value();
+
+  DepMinerOptions mine_options;
+  mine_options.build_armstrong = false;  // built from samples below
+  Result<DepMinerResult> mined =
+      MineDependencies(out.extract.partitions, nullptr, mine_options);
+  if (!mined.ok()) return mined.status();
+  out.fds = std::move(mined.value().fds);
+
+  Result<Relation> armstrong = BuildRealWorldArmstrongFromSamples(
+      out.extract.schema, out.extract.value_samples,
+      out.extract.distinct_counts, mined.value().all_max_sets);
+  if (armstrong.ok()) {
+    out.armstrong = std::move(armstrong).value();
+    out.armstrong_status = Status::OK();
+  } else {
+    out.armstrong_status = armstrong.status();
+  }
+  return out;
+}
+
+}  // namespace depminer

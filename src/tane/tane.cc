@@ -1,0 +1,367 @@
+#include "tane/tane.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "partition/partition_database.h"
+#include "partition/partition_product.h"
+
+namespace depminer {
+
+namespace {
+
+/// One lattice node: an attribute set X with its rhs⁺ candidates C⁺(X) and
+/// stripped partition π̂_X.
+struct Node {
+  AttributeSet set;
+  std::vector<AttributeId> members;  // sorted; drives prefix-block joins
+  AttributeSet cplus;
+  StrippedPartition partition;
+  size_t error = 0;  ///< e(π̂_X)·|r| = Σ (|c| − 1) over stripped classes
+  // Indices of the joined parents in the previous level, used to defer
+  // the (parallelizable) partition product.
+  size_t parent_i = 0;
+  size_t parent_j = 0;
+};
+
+size_t PartitionError(const StrippedPartition& p) {
+  size_t e = 0;
+  for (const EquivalenceClass& c : p.classes()) e += c.size() - 1;
+  return e;
+}
+
+class TaneRun {
+ public:
+  TaneRun(const Relation& relation, const TaneOptions& options)
+      : relation_(relation),
+        options_(options),
+        n_(relation.num_attributes()),
+        p_(relation.num_tuples()),
+        universe_(AttributeSet::Universe(relation.num_attributes())),
+        workspace_(relation.num_tuples()),
+        owner_of_(relation.num_tuples(), UINT32_MAX) {}
+
+  TaneResult Run() {
+    Stopwatch timer;
+    // C⁺(∅) = R; π̂_∅'s error is p − 1 (a single class of all tuples).
+    cplus_memo_[AttributeSet()] = universe_;
+    error_empty_ = p_ > 0 ? p_ - 1 : 0;
+
+    std::vector<Node> level = BuildFirstLevel();
+    result_.stats.candidates_generated += level.size();
+
+    while (!level.empty()) {
+      ++result_.stats.levels;
+      RecordPartitionFootprint(level);
+      ComputeDependencies(&level);
+      Prune(&level);
+      // The surviving nodes become the "previous level": their partitions
+      // and C⁺ sets feed both the joins and the next round of validity
+      // tests, so they must outlive this iteration.
+      prev_level_ = std::move(level);
+      RebuildPreviousIndex();
+      level = GenerateNextLevel();
+      result_.stats.candidates_generated += level.size();
+    }
+
+    result_.fds = FdSet(n_, std::move(found_));
+    result_.stats.num_fds = result_.fds.size();
+    result_.stats.total_seconds = timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  std::vector<Node> BuildFirstLevel() {
+    std::vector<Node> level;
+    level.reserve(n_);
+    for (AttributeId a = 0; a < n_; ++a) {
+      Node node;
+      node.set = AttributeSet::Single(a);
+      node.members = {a};
+      node.cplus = universe_;
+      node.partition = StrippedPartition::ForAttribute(relation_, a);
+      node.error = PartitionError(node.partition);
+      level.push_back(std::move(node));
+    }
+    return level;
+  }
+
+  /// Validity of X\{A} → A: exact mode compares partition errors (π_{X\A}
+  /// and π_X are equal iff their errors coincide, as one refines the
+  /// other); approximate mode bounds the g₃ fraction.
+  bool Valid(const Node& parent, const Node& node) {
+    if (options_.max_g3_error <= 0.0) {
+      return parent.error == node.error;
+    }
+    return G3(parent.partition, node.partition) <= options_.max_g3_error;
+  }
+
+  /// g₃(X → A) from π̂_X (lhs) and π̂_{X∪A} (refined): within each lhs
+  /// class keep its largest refined subclass (or a singleton).
+  double G3(const StrippedPartition& lhs, const StrippedPartition& refined) {
+    if (p_ == 0) return 0.0;
+    const auto& lhs_classes = lhs.classes();
+    for (uint32_t i = 0; i < lhs_classes.size(); ++i) {
+      for (TupleId t : lhs_classes[i]) owner_of_[t] = i;
+    }
+    std::vector<size_t> biggest(lhs_classes.size(), 1);
+    for (const EquivalenceClass& c : refined.classes()) {
+      const uint32_t owner = owner_of_[c.front()];
+      if (owner != UINT32_MAX) {
+        biggest[owner] = std::max(biggest[owner], c.size());
+      }
+    }
+    size_t removed = 0;
+    for (uint32_t i = 0; i < lhs_classes.size(); ++i) {
+      removed += lhs_classes[i].size() - biggest[i];
+    }
+    for (const EquivalenceClass& c : lhs_classes) {
+      for (TupleId t : c) owner_of_[t] = UINT32_MAX;
+    }
+    return static_cast<double>(removed) / static_cast<double>(p_);
+  }
+
+  /// The special-cased ∅ → A test for level 1 (X = {A}, lhs = ∅).
+  bool ValidFromEmpty(const Node& node) {
+    if (options_.max_g3_error <= 0.0) {
+      return error_empty_ == node.error;
+    }
+    // g₃(∅ → A): keep the most frequent A-value.
+    size_t biggest = p_ == 0 ? 0 : 1;
+    for (const EquivalenceClass& c : node.partition.classes()) {
+      biggest = std::max(biggest, c.size());
+    }
+    const size_t removed = p_ - biggest;
+    return p_ == 0 ||
+           static_cast<double>(removed) / static_cast<double>(p_) <=
+               options_.max_g3_error;
+  }
+
+  void ComputeDependencies(std::vector<Node>* level) {
+    for (Node& node : *level) {
+      const AttributeSet test = node.set.Intersect(node.cplus);
+      test.ForEach([&](AttributeId a) {
+        AttributeSet lhs = node.set;
+        lhs.Remove(a);
+        bool valid;
+        if (lhs.Empty()) {
+          valid = ValidFromEmpty(node);
+        } else {
+          const Node* parent = FindPrevious(lhs);
+          // Every proper subset of a generated node was itself generated
+          // (Apriori-gen invariant), so the parent must exist.
+          valid = parent != nullptr && Valid(*parent, node);
+        }
+        if (valid) {
+          found_.push_back({lhs, a});
+          node.cplus.Remove(a);
+          node.cplus = node.cplus.Minus(universe_.Minus(node.set));
+        }
+      });
+    }
+    // Freeze this level's (post-update) C⁺ values for later lookups.
+    for (const Node& node : *level) {
+      cplus_memo_[node.set] = node.cplus;
+    }
+  }
+
+  void Prune(std::vector<Node>* level) {
+    std::vector<Node> kept;
+    kept.reserve(level->size());
+    for (Node& node : *level) {
+      if (node.cplus.Empty()) continue;
+      if (options_.enable_key_pruning && node.error == 0) {
+        // X is a superkey. Output the remaining implied FDs (key-pruning
+        // rule of [HKPT98]): X → A for A ∈ C⁺(X)\X with
+        // A ∈ ⋂_{B∈X} C⁺((X∪{A})\{B}).
+        const AttributeSet extra = node.cplus.Minus(node.set);
+        extra.ForEach([&](AttributeId a) {
+          AttributeSet intersection = universe_;
+          node.set.ForEach([&](AttributeId b) {
+            AttributeSet y = node.set;
+            y.Add(a);
+            y.Remove(b);
+            intersection = intersection.Intersect(CplusOf(y));
+          });
+          if (intersection.Contains(a)) {
+            found_.push_back({node.set, a});
+          }
+        });
+        continue;  // superkeys are not expanded
+      }
+      kept.push_back(std::move(node));
+    }
+    *level = std::move(kept);
+  }
+
+  void RecordPartitionFootprint(const std::vector<Node>& level) {
+    size_t bytes = 0;
+    for (const Node& node : level) {
+      bytes += node.partition.CoveredTuples() * sizeof(TupleId);
+    }
+    for (const Node& node : prev_level_) {
+      bytes += node.partition.CoveredTuples() * sizeof(TupleId);
+    }
+    result_.stats.peak_partition_bytes =
+        std::max(result_.stats.peak_partition_bytes, bytes);
+  }
+
+  void RebuildPreviousIndex() {
+    std::sort(prev_level_.begin(), prev_level_.end(),
+              [](const Node& a, const Node& b) { return a.members < b.members; });
+    previous_.clear();
+    for (Node& node : prev_level_) previous_[node.set] = &node;
+  }
+
+  std::vector<Node> GenerateNextLevel() {
+    // Prefix blocks: nodes sharing their first l−1 attributes;
+    // prev_level_ is sorted by member sequence (RebuildPreviousIndex).
+    std::vector<Node>& level = prev_level_;
+    std::vector<Node> next;
+    const size_t l = level.empty() ? 0 : level[0].members.size();
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!std::equal(level[i].members.begin(),
+                        level[i].members.end() - 1,
+                        level[j].members.begin())) {
+          break;
+        }
+        Node joined;
+        joined.members = level[i].members;
+        joined.members.push_back(level[j].members[l - 1]);
+        joined.set = level[i].set.Union(level[j].set);
+
+        // Apriori prune: every l-subset must be present (un-pruned).
+        bool all_present = true;
+        joined.set.ForEach([&](AttributeId drop) {
+          AttributeSet sub = joined.set;
+          sub.Remove(drop);
+          if (previous_.find(sub) == previous_.end()) all_present = false;
+        });
+        if (!all_present) continue;
+
+        // C⁺(X) = ⋂_{A∈X} C⁺(X\{A}).
+        joined.cplus = universe_;
+        joined.set.ForEach([&](AttributeId drop) {
+          AttributeSet sub = joined.set;
+          sub.Remove(drop);
+          joined.cplus = joined.cplus.Intersect(previous_.at(sub)->cplus);
+        });
+
+        joined.parent_i = i;
+        joined.parent_j = j;
+        next.push_back(std::move(joined));
+      }
+    }
+
+    // The partition products — the dominant per-level cost — run in
+    // parallel over the independent candidates (per-thread workspaces;
+    // results land in index-distinct slots, so output is deterministic).
+    result_.stats.partition_products += next.size();
+    if (options_.num_threads <= 1 || next.size() <= 1) {
+      for (Node& node : next) {
+        node.partition = workspace_.Product(level[node.parent_i].partition,
+                                            level[node.parent_j].partition);
+        node.error = PartitionError(node.partition);
+      }
+    } else {
+      const size_t workers =
+          std::min(options_.num_threads, next.size());
+      std::vector<std::unique_ptr<PartitionProductWorkspace>> workspaces;
+      workspaces.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        workspaces.push_back(
+            std::make_unique<PartitionProductWorkspace>(p_));
+      }
+      std::atomic<size_t> cursor{0};
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          PartitionProductWorkspace& ws = *workspaces[w];
+          while (true) {
+            const size_t k = cursor.fetch_add(1);
+            if (k >= next.size()) break;
+            Node& node = next[k];
+            node.partition = ws.Product(level[node.parent_i].partition,
+                                        level[node.parent_j].partition);
+            node.error = PartitionError(node.partition);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    return next;
+  }
+
+  const Node* FindPrevious(const AttributeSet& set) const {
+    auto it = previous_.find(set);
+    return it == previous_.end() ? nullptr : it->second;
+  }
+
+  /// C⁺(Y) for an arbitrary set: from the memo when Y survived to some
+  /// level, otherwise on demand by the recursive intersection formula.
+  AttributeSet CplusOf(const AttributeSet& y) {
+    auto it = cplus_memo_.find(y);
+    if (it != cplus_memo_.end()) return it->second;
+    AttributeSet out = universe_;
+    y.ForEach([&](AttributeId drop) {
+      AttributeSet sub = y;
+      sub.Remove(drop);
+      out = out.Intersect(CplusOf(sub));
+    });
+    cplus_memo_[y] = out;
+    return out;
+  }
+
+  const Relation& relation_;
+  const TaneOptions options_;
+  const size_t n_;
+  const size_t p_;
+  const AttributeSet universe_;
+  PartitionProductWorkspace workspace_;
+  std::vector<uint32_t> owner_of_;  // scratch for G3
+
+  size_t error_empty_ = 0;
+  std::vector<FunctionalDependency> found_;
+  std::vector<Node> prev_level_;
+  std::unordered_map<AttributeSet, Node*, AttributeSetHash> previous_;
+  std::unordered_map<AttributeSet, AttributeSet, AttributeSetHash> cplus_memo_;
+  TaneResult result_;
+};
+
+}  // namespace
+
+std::string TaneStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "levels=%zu candidates=%zu products=%zu fds=%zu "
+                "peak_partition_mb=%.1f total=%.3fs",
+                levels, candidates_generated, partition_products, num_fds,
+                static_cast<double>(peak_partition_bytes) / (1024.0 * 1024.0),
+                total_seconds);
+  return buf;
+}
+
+Result<TaneResult> TaneDiscover(const Relation& relation,
+                                const TaneOptions& options) {
+  if (relation.num_attributes() == 0) {
+    return Status::InvalidArgument("relation has no attributes");
+  }
+  if (relation.num_attributes() > AttributeSet::kMaxAttributes) {
+    return Status::CapacityExceeded("too many attributes");
+  }
+  if (options.max_g3_error < 0.0 || options.max_g3_error >= 1.0) {
+    return Status::InvalidArgument("max_g3_error must be in [0, 1)");
+  }
+  TaneRun run(relation, options);
+  return run.Run();
+}
+
+}  // namespace depminer

@@ -1,0 +1,198 @@
+#include "core/agree_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::SetsToString;
+
+StrippedPartitionDatabase Db(const Relation& r) {
+  return StrippedPartitionDatabase::FromRelation(r);
+}
+
+TEST(MaximalEquivalenceClasses, DropsContainedClasses) {
+  // Column A groups {1,2,3}; column B groups {1,2}; the latter is
+  // contained and must not appear in MC.
+  Result<Relation> r = MakeRelation({
+      {"x", "u"}, {"x", "u"}, {"x", "v"}, {"y", "w"},
+  });
+  ASSERT_TRUE(r.ok());
+  const std::vector<EquivalenceClass> mc =
+      MaximalEquivalenceClasses(Db(r.value()));
+  ASSERT_EQ(mc.size(), 1u);
+  EXPECT_EQ(mc[0], (EquivalenceClass{0, 1, 2}));
+}
+
+TEST(MaximalEquivalenceClasses, KeepsOverlappingIncomparableClasses) {
+  // {1,2} from A and {1,3} from B overlap without containment.
+  Result<Relation> r = MakeRelation({
+      {"x", "u"}, {"x", "v"}, {"y", "u"},
+  });
+  ASSERT_TRUE(r.ok());
+  std::vector<EquivalenceClass> mc = MaximalEquivalenceClasses(Db(r.value()));
+  std::sort(mc.begin(), mc.end());
+  EXPECT_EQ(mc, (std::vector<EquivalenceClass>{{0, 1}, {0, 2}}));
+}
+
+TEST(MaximalEquivalenceClasses, DeduplicatesIdenticalClasses) {
+  // Columns A and B induce the same class {1,2}.
+  Result<Relation> r = MakeRelation({{"x", "u"}, {"x", "u"}, {"y", "v"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(MaximalEquivalenceClasses(Db(r.value())).size(), 1u);
+}
+
+TEST(AgreeSets, NaiveOnTinyRelation) {
+  Result<Relation> r = MakeRelation({{"1", "a"}, {"1", "b"}, {"2", "b"}});
+  ASSERT_TRUE(r.ok());
+  const AgreeSetResult result = ComputeAgreeSetsNaive(r.value());
+  EXPECT_EQ(SetsToString(result.sets), "A,B");
+  EXPECT_TRUE(result.contains_empty);  // tuples 1 and 3 share nothing
+  EXPECT_EQ(result.couples_examined, 3u);
+}
+
+TEST(AgreeSets, EmptyFlagFalseWhenAllPairsAgreeSomewhere) {
+  Result<Relation> r = MakeRelation({{"1", "a"}, {"1", "b"}, {"1", "c"}});
+  ASSERT_TRUE(r.ok());
+  for (const AgreeSetResult& result :
+       {ComputeAgreeSetsNaive(r.value()), ComputeAgreeSetsCouples(Db(r.value())),
+        ComputeAgreeSetsIdentifiers(Db(r.value()))}) {
+    EXPECT_FALSE(result.contains_empty);
+    EXPECT_EQ(SetsToString(result.sets), "A");
+  }
+}
+
+TEST(AgreeSets, SingleTupleHasNoAgreeSets) {
+  Result<Relation> r = MakeRelation({{"1", "a"}});
+  ASSERT_TRUE(r.ok());
+  for (const AgreeSetResult& result :
+       {ComputeAgreeSetsNaive(r.value()), ComputeAgreeSetsCouples(Db(r.value())),
+        ComputeAgreeSetsIdentifiers(Db(r.value()))}) {
+    EXPECT_TRUE(result.sets.empty());
+    EXPECT_FALSE(result.contains_empty);
+  }
+}
+
+TEST(AgreeSets, EmptyRelation) {
+  RelationBuilder b(Schema::Default(2));
+  Result<Relation> r = std::move(b).Finish();
+  ASSERT_TRUE(r.ok());
+  const AgreeSetResult result = ComputeAgreeSetsIdentifiers(Db(r.value()));
+  EXPECT_TRUE(result.sets.empty());
+  EXPECT_FALSE(result.contains_empty);
+}
+
+TEST(AgreeSets, DuplicateTuplesAgreeEverywhere) {
+  Result<Relation> r = MakeRelation({{"1", "a"}, {"1", "a"}});
+  ASSERT_TRUE(r.ok());
+  const AgreeSetResult result = ComputeAgreeSetsCouples(Db(r.value()));
+  ASSERT_EQ(result.sets.size(), 1u);
+  EXPECT_EQ(result.sets[0], AttributeSet::FromLetters("AB"));
+}
+
+TEST(AgreeSets, AllReturnSortedDistinctSets) {
+  const Relation r = PaperExampleRelation();
+  const AgreeSetResult result = ComputeAgreeSetsIdentifiers(Db(r));
+  for (size_t i = 1; i < result.sets.size(); ++i) {
+    EXPECT_NE(result.sets[i - 1], result.sets[i]);
+  }
+}
+
+TEST(AgreeSetsCouples, ChunkingDoesNotChangeResult) {
+  const Relation r = RandomRelation(5, 60, 4, 99);
+  const StrippedPartitionDatabase db = Db(r);
+  const AgreeSetResult unchunked = ComputeAgreeSetsCouples(db);
+  for (size_t chunk : {1u, 2u, 7u, 64u, 100000u}) {
+    AgreeSetOptions options;
+    options.max_couples_per_chunk = chunk;
+    const AgreeSetResult chunked = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(chunked.sets, unchunked.sets) << "chunk=" << chunk;
+    EXPECT_EQ(chunked.contains_empty, unchunked.contains_empty);
+    EXPECT_EQ(chunked.couples_examined, unchunked.couples_examined);
+    if (chunk < unchunked.couples_examined) {
+      EXPECT_GT(chunked.chunks_processed, 1u);
+    }
+  }
+}
+
+TEST(AgreeSetsCouples, MaximalClassAblationGivesSameResult) {
+  const Relation r = RandomRelation(6, 80, 3, 123);
+  const StrippedPartitionDatabase db = Db(r);
+  const AgreeSetResult pruned = ComputeAgreeSetsCouples(db);
+  AgreeSetOptions options;
+  options.use_maximal_classes = false;
+  const AgreeSetResult unpruned = ComputeAgreeSetsCouples(db, options);
+  EXPECT_EQ(unpruned.sets, pruned.sets);
+  EXPECT_EQ(unpruned.contains_empty, pruned.contains_empty);
+  // Couples are deduplicated, so the distinct count is unchanged too.
+  EXPECT_EQ(unpruned.couples_examined, pruned.couples_examined);
+}
+
+TEST(AgreeSetResult, AllPrependsEmptySet) {
+  AgreeSetResult r;
+  r.sets = {AttributeSet::FromLetters("A")};
+  r.contains_empty = true;
+  const std::vector<AttributeSet> all = r.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_TRUE(all[0].Empty());
+  r.contains_empty = false;
+  EXPECT_EQ(r.All().size(), 1u);
+}
+
+TEST(AgreeSetAlgorithm, Names) {
+  EXPECT_STREQ(ToString(AgreeSetAlgorithm::kNaive), "naive");
+  EXPECT_STREQ(ToString(AgreeSetAlgorithm::kCouples), "couples");
+  EXPECT_STREQ(ToString(AgreeSetAlgorithm::kIdentifiers), "identifiers");
+}
+
+// Differential sweep: the three algorithms agree on random relations of
+// varying shape (Lemma 1 and Lemma 2 in practice).
+struct SweepParam {
+  size_t attrs;
+  size_t tuples;
+  size_t domain;
+  uint64_t seed;
+};
+
+class AgreeSetSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AgreeSetSweep, AlgorithmsAgree) {
+  const SweepParam p = GetParam();
+  const Relation r = RandomRelation(p.attrs, p.tuples, p.domain, p.seed);
+  const StrippedPartitionDatabase db = Db(r);
+
+  const AgreeSetResult naive = ComputeAgreeSetsNaive(r);
+  const AgreeSetResult couples = ComputeAgreeSetsCouples(db);
+  const AgreeSetResult identifiers = ComputeAgreeSetsIdentifiers(db);
+
+  EXPECT_EQ(couples.sets, naive.sets)
+      << "couples=" << SetsToString(couples.sets)
+      << " naive=" << SetsToString(naive.sets);
+  EXPECT_EQ(identifiers.sets, naive.sets);
+  EXPECT_EQ(couples.contains_empty, naive.contains_empty);
+  EXPECT_EQ(identifiers.contains_empty, naive.contains_empty);
+  // Couple-based algorithms examine the same (deduplicated) couples.
+  EXPECT_EQ(couples.couples_examined, identifiers.couples_examined);
+  // And never more than the naive all-pairs count.
+  EXPECT_LE(couples.couples_examined, naive.couples_examined);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AgreeSetSweep,
+    ::testing::Values(
+        SweepParam{2, 10, 2, 1}, SweepParam{3, 20, 2, 2},
+        SweepParam{4, 30, 3, 3}, SweepParam{5, 50, 4, 4},
+        SweepParam{6, 40, 5, 5}, SweepParam{3, 15, 10, 6},
+        SweepParam{4, 60, 2, 7}, SweepParam{7, 25, 3, 8},
+        SweepParam{5, 80, 8, 9}, SweepParam{2, 100, 3, 10},
+        SweepParam{8, 30, 4, 11}, SweepParam{4, 5, 2, 12}));
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,245 @@
+#include "common/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace depminer {
+namespace {
+
+TEST(AttributeSet, EmptyAndSingle) {
+  AttributeSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+
+  const AttributeSet a = AttributeSet::Single(5);
+  EXPECT_FALSE(a.Empty());
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Contains(5));
+  EXPECT_EQ(a.Min(), 5u);
+  EXPECT_EQ(a.Max(), 5u);
+}
+
+TEST(AttributeSet, AddRemove) {
+  AttributeSet s;
+  s.Add(3);
+  s.Add(70);  // second word
+  s.Add(127);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_EQ(s.Min(), 3u);
+  EXPECT_EQ(s.Max(), 127u);
+  s.Remove(70);
+  EXPECT_FALSE(s.Contains(70));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Remove(70);  // removing absent member is a no-op
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+TEST(AttributeSet, Universe) {
+  EXPECT_TRUE(AttributeSet::Universe(0).Empty());
+  EXPECT_EQ(AttributeSet::Universe(1).Count(), 1u);
+  EXPECT_EQ(AttributeSet::Universe(63).Count(), 63u);
+  EXPECT_EQ(AttributeSet::Universe(64).Count(), 64u);
+  EXPECT_EQ(AttributeSet::Universe(65).Count(), 65u);
+  EXPECT_EQ(AttributeSet::Universe(128).Count(), 128u);
+  EXPECT_TRUE(AttributeSet::Universe(65).Contains(64));
+  EXPECT_FALSE(AttributeSet::Universe(64).Contains(64));
+}
+
+TEST(AttributeSet, SetAlgebra) {
+  const AttributeSet x = AttributeSet::FromLetters("ABC");
+  const AttributeSet y = AttributeSet::FromLetters("BCD");
+  EXPECT_EQ(x.Union(y), AttributeSet::FromLetters("ABCD"));
+  EXPECT_EQ(x.Intersect(y), AttributeSet::FromLetters("BC"));
+  EXPECT_EQ(x.Minus(y), AttributeSet::FromLetters("A"));
+  EXPECT_EQ(y.Minus(x), AttributeSet::FromLetters("D"));
+  EXPECT_TRUE(x.Intersects(y));
+  EXPECT_FALSE(
+      AttributeSet::FromLetters("A").Intersects(AttributeSet::FromLetters("B")));
+}
+
+TEST(AttributeSet, SubsetRelations) {
+  const AttributeSet small = AttributeSet::FromLetters("BC");
+  const AttributeSet big = AttributeSet::FromLetters("ABCD");
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_FALSE(small.IsProperSubsetOf(small));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(small));
+}
+
+TEST(AttributeSet, ComplementIn) {
+  const AttributeSet x = AttributeSet::FromLetters("AC");
+  EXPECT_EQ(x.ComplementIn(5), AttributeSet::FromLetters("BDE"));
+  EXPECT_EQ(AttributeSet().ComplementIn(3), AttributeSet::FromLetters("ABC"));
+}
+
+TEST(AttributeSet, CrossWordOperations) {
+  AttributeSet x, y;
+  x.Add(10);
+  x.Add(100);
+  y.Add(100);
+  y.Add(120);
+  EXPECT_EQ(x.Intersect(y).Members(), std::vector<AttributeId>{100});
+  EXPECT_EQ(x.Union(y).Count(), 3u);
+  EXPECT_TRUE(AttributeSet::Single(100).IsSubsetOf(x));
+}
+
+TEST(AttributeSet, MembersAndForEach) {
+  const AttributeSet s = AttributeSet::FromLetters("ACE");
+  EXPECT_EQ(s.Members(), (std::vector<AttributeId>{0, 2, 4}));
+  std::vector<AttributeId> visited;
+  s.ForEach([&](AttributeId a) { visited.push_back(a); });
+  EXPECT_EQ(visited, s.Members());
+}
+
+TEST(AttributeSet, ToStringLetters) {
+  EXPECT_EQ(AttributeSet::FromLetters("BDE").ToString(), "BDE");
+  EXPECT_EQ(AttributeSet().ToString(), "{}");
+  AttributeSet wide;
+  wide.Add(3);
+  wide.Add(40);
+  EXPECT_EQ(wide.ToString(), "{3,40}");
+}
+
+TEST(AttributeSet, ToStringWithNames) {
+  const std::vector<std::string> names = {"emp", "dep", "year"};
+  EXPECT_EQ(AttributeSet::FromLetters("AC").ToString(names), "emp,year");
+}
+
+TEST(AttributeSet, OrderingIsTotal) {
+  std::vector<AttributeSet> sets = {
+      AttributeSet::FromLetters("B"), AttributeSet::FromLetters("A"),
+      AttributeSet::FromLetters("AB"), AttributeSet()};
+  std::sort(sets.begin(), sets.end());
+  for (size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_TRUE(sets[i - 1] < sets[i] || sets[i - 1] == sets[i]);
+    EXPECT_FALSE(sets[i] < sets[i - 1]);
+  }
+}
+
+TEST(AttributeSet, HashDistinguishes) {
+  std::unordered_set<AttributeSet, AttributeSetHash> table;
+  table.insert(AttributeSet::FromLetters("AB"));
+  table.insert(AttributeSet::FromLetters("AB"));
+  table.insert(AttributeSet::FromLetters("AC"));
+  AttributeSet high;
+  high.Add(100);
+  table.insert(high);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_TRUE(table.count(AttributeSet::FromLetters("AB")));
+  EXPECT_TRUE(table.count(high));
+}
+
+TEST(MaximalSets, DropsSubsetsAndDuplicates) {
+  std::vector<AttributeSet> in = {
+      AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("A"),
+      AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("BC"),
+      AttributeSet::FromLetters("C")};
+  std::vector<AttributeSet> out = MaximalSets(in);
+  SortSets(&out);
+  EXPECT_EQ(out, (std::vector<AttributeSet>{AttributeSet::FromLetters("AB"),
+                                            AttributeSet::FromLetters("BC")}));
+}
+
+TEST(MaximalSets, EmptySetDominatedByAnything) {
+  std::vector<AttributeSet> out =
+      MaximalSets({AttributeSet(), AttributeSet::FromLetters("A")});
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], AttributeSet::FromLetters("A"));
+}
+
+TEST(MinimalSets, DropsSupersets) {
+  std::vector<AttributeSet> out = MinimalSets(
+      {AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("A"),
+       AttributeSet::FromLetters("BC")});
+  SortSets(&out);
+  EXPECT_EQ(out, (std::vector<AttributeSet>{AttributeSet::FromLetters("A"),
+                                            AttributeSet::FromLetters("BC")}));
+}
+
+TEST(SortSets, CardinalityThenLexicographic) {
+  std::vector<AttributeSet> sets = {
+      AttributeSet::FromLetters("BC"), AttributeSet::FromLetters("AD"),
+      AttributeSet::FromLetters("B"), AttributeSet::FromLetters("ABC")};
+  SortSets(&sets);
+  EXPECT_EQ(sets, (std::vector<AttributeSet>{
+                      AttributeSet::FromLetters("B"),
+                      AttributeSet::FromLetters("AD"),
+                      AttributeSet::FromLetters("BC"),
+                      AttributeSet::FromLetters("ABC")}));
+}
+
+// Property sweep: algebra laws on pseudo-random sets.
+class AttributeSetPropertyTest : public ::testing::TestWithParam<int> {};
+
+AttributeSet PseudoRandomSet(uint64_t seed) {
+  AttributeSet s;
+  uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (int i = 0; i < 6; ++i) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    s.Add(static_cast<AttributeId>(x % AttributeSet::kMaxAttributes));
+  }
+  return s;
+}
+
+TEST(AttributeSet, LexLessKnownCases) {
+  const auto lex = [](const std::string& a, const std::string& b) {
+    return AttributeSet::FromLetters(a).LexLess(AttributeSet::FromLetters(b));
+  };
+  EXPECT_TRUE(lex("AB", "AC"));
+  EXPECT_TRUE(lex("AB", "B"));    // [0,1] < [1]
+  EXPECT_TRUE(lex("B", "BC"));    // prefix
+  EXPECT_FALSE(lex("BC", "B"));
+  EXPECT_FALSE(lex("B", "AB"));   // [1] > [0,1]
+  EXPECT_FALSE(lex("A", "A"));    // irreflexive
+  EXPECT_TRUE(AttributeSet().LexLess(AttributeSet::FromLetters("A")));
+  EXPECT_FALSE(AttributeSet().LexLess(AttributeSet()));
+}
+
+TEST_P(AttributeSetPropertyTest, LexLessMatchesMemberListOrder) {
+  const AttributeSet x = PseudoRandomSet(GetParam());
+  const AttributeSet y = PseudoRandomSet(GetParam() + 500);
+  EXPECT_EQ(x.LexLess(y), x.Members() < y.Members())
+      << x.ToString() << " vs " << y.ToString();
+  EXPECT_EQ(y.LexLess(x), y.Members() < x.Members());
+  // High-bit sets (second word) too.
+  AttributeSet hx = x, hy = y;
+  hx.Add(120);
+  hy.Add(121);
+  EXPECT_EQ(hx.LexLess(hy), hx.Members() < hy.Members());
+}
+
+TEST_P(AttributeSetPropertyTest, AlgebraLaws) {
+  const AttributeSet x = PseudoRandomSet(GetParam());
+  const AttributeSet y = PseudoRandomSet(GetParam() + 1000);
+  const AttributeSet z = PseudoRandomSet(GetParam() + 2000);
+
+  // De Morgan within a universe.
+  const size_t n = AttributeSet::kMaxAttributes;
+  EXPECT_EQ(x.Union(y).ComplementIn(n),
+            x.ComplementIn(n).Intersect(y.ComplementIn(n)));
+  // Distributivity.
+  EXPECT_EQ(x.Intersect(y.Union(z)),
+            x.Intersect(y).Union(x.Intersect(z)));
+  // Difference definition.
+  EXPECT_EQ(x.Minus(y), x.Intersect(y.ComplementIn(n)));
+  // Subset via union/intersection.
+  EXPECT_EQ(x.IsSubsetOf(y), x.Union(y) == y);
+  EXPECT_EQ(x.IsSubsetOf(y), x.Intersect(y) == x);
+  // Count is a measure.
+  EXPECT_EQ(x.Count() + y.Count(),
+            x.Union(y).Count() + x.Intersect(y).Count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttributeSetPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace depminer

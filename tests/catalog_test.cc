@@ -1,0 +1,138 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/dep_miner.h"
+#include "relation/relation_builder.h"
+#include "report/database_profile.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/depminer_catalog_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CatalogTest, PutGetRoundTrip) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  const Relation r = PaperExampleRelation();
+  ASSERT_TRUE(catalog.value().Put("employees", r).ok());
+  EXPECT_TRUE(catalog.value().Contains("employees"));
+  EXPECT_EQ(catalog.value().List(),
+            (std::vector<std::string>{"employees"}));
+
+  Result<Relation> back = catalog.value().Get("employees");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_tuples(), 7u);
+  EXPECT_EQ(back.value().Value(0, 3), "Biochemistry");
+}
+
+TEST_F(CatalogTest, PersistsAcrossReopen) {
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("a", PaperExampleRelation()).ok());
+    ASSERT_TRUE(
+        catalog.value().Put("b", RandomRelation(3, 20, 3, 5)).ok());
+  }
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().size(), 2u);
+  EXPECT_EQ(reopened.value().List(),
+            (std::vector<std::string>{"a", "b"}));
+  // Mining through the catalog equals mining the original.
+  Result<Relation> a = reopened.value().Get("a");
+  ASSERT_TRUE(a.ok());
+  Result<DepMinerResult> mined = MineDependencies(a.value());
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined.value().fds.size(), 14u);
+}
+
+TEST_F(CatalogTest, PutReplacesExisting) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("t", PaperExampleRelation()).ok());
+  Result<Relation> small = MakeRelation({{"x", "y"}});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(catalog.value().Put("t", small.value()).ok());
+  EXPECT_EQ(catalog.value().size(), 1u);
+  Result<Relation> back = catalog.value().Get("t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_tuples(), 1u);
+}
+
+TEST_F(CatalogTest, DropRemovesEntryAndFile) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("gone", PaperExampleRelation()).ok());
+  ASSERT_TRUE(catalog.value().Drop("gone").ok());
+  EXPECT_FALSE(catalog.value().Contains("gone"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/gone.dmc"));
+  EXPECT_EQ(catalog.value().Drop("gone").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, RejectsUnsafeNames) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  const Relation r = PaperExampleRelation();
+  EXPECT_FALSE(catalog.value().Put("", r).ok());
+  EXPECT_FALSE(catalog.value().Put("../escape", r).ok());
+  EXPECT_FALSE(catalog.value().Put("a/b", r).ok());
+  EXPECT_FALSE(catalog.value().Put("..", r).ok());
+  EXPECT_TRUE(catalog.value().Put("ok_name-1.v2", r).ok());
+}
+
+TEST_F(CatalogTest, RejectsCorruptManifest) {
+  {
+    std::ofstream out(dir_ + "/catalog.manifest");
+    out << "not a manifest\n";
+  }
+  EXPECT_EQ(Catalog::Open(dir_).status().code(), StatusCode::kIoError);
+  {
+    std::ofstream out(dir_ + "/catalog.manifest", std::ios::trunc);
+    out << "# depminer-catalog v1\nbad line without tabs\n";
+  }
+  EXPECT_EQ(Catalog::Open(dir_).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CatalogTest, GetAllFeedsDatabaseProfile) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  Result<Relation> customers = MakeRelation(
+      Schema({"id", "name"}), {{"c1", "ann"}, {"c2", "bob"}});
+  Result<Relation> orders = MakeRelation(
+      Schema({"order", "customer_id"}), {{"o1", "c1"}, {"o2", "c2"}});
+  ASSERT_TRUE(customers.ok() && orders.ok());
+  ASSERT_TRUE(catalog.value().Put("customers", customers.value()).ok());
+  ASSERT_TRUE(catalog.value().Put("orders", orders.value()).ok());
+
+  Result<std::vector<Relation>> all = catalog.value().GetAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 2u);
+  std::vector<const Relation*> pointers;
+  for (const Relation& r : all.value()) pointers.push_back(&r);
+  Result<DatabaseProfile> profile =
+      ProfileDatabase(pointers, catalog.value().List());
+  ASSERT_TRUE(profile.ok());
+  EXPECT_FALSE(profile.value().foreign_keys.empty());
+}
+
+}  // namespace
+}  // namespace depminer

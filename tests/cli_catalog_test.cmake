@@ -1,0 +1,31 @@
+# Scripted CLI test for the catalog workflow: put → list → get → drop.
+
+set(DIR ${WORK}/cli_catalog_dir)
+file(REMOVE_RECURSE ${DIR})
+file(MAKE_DIRECTORY ${DIR})
+
+execute_process(COMMAND ${FDTOOL} catalog ${DIR} put emp ${DATA}/employees.csv
+                RESULT_VARIABLE put_result)
+if(NOT put_result EQUAL 0)
+  message(FATAL_ERROR "catalog put failed: ${put_result}")
+endif()
+
+execute_process(COMMAND ${FDTOOL} catalog ${DIR} list
+                RESULT_VARIABLE list_result OUTPUT_VARIABLE list_output)
+if(NOT list_result EQUAL 0 OR NOT list_output MATCHES "emp")
+  message(FATAL_ERROR "catalog list failed: ${list_output}")
+endif()
+
+execute_process(COMMAND ${FDTOOL} catalog ${DIR} get emp
+                RESULT_VARIABLE get_result OUTPUT_VARIABLE get_output)
+if(NOT get_result EQUAL 0 OR NOT get_output MATCHES "Biochemistry")
+  message(FATAL_ERROR "catalog get failed")
+endif()
+
+execute_process(COMMAND ${FDTOOL} catalog ${DIR} drop emp
+                RESULT_VARIABLE drop_result)
+if(NOT drop_result EQUAL 0)
+  message(FATAL_ERROR "catalog drop failed")
+endif()
+
+file(REMOVE_RECURSE ${DIR})

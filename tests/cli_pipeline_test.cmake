@@ -1,0 +1,31 @@
+# Scripted CLI pipeline: mine → save .fds → implies query.
+# Invoked by the cli.pipeline ctest entry with -DFDTOOL/-DDATA/-DWORK.
+
+set(FDS ${WORK}/pipeline_employees.fds)
+
+execute_process(
+    COMMAND ${FDTOOL} mine ${DATA}/employees.csv --out=${FDS}
+    RESULT_VARIABLE mine_result)
+if(NOT mine_result EQUAL 0)
+  message(FATAL_ERROR "fdtool mine failed: ${mine_result}")
+endif()
+
+execute_process(
+    COMMAND ${FDTOOL} implies ${FDS} "depnum->mgr"
+    RESULT_VARIABLE implied_result
+    OUTPUT_VARIABLE implied_output)
+if(NOT implied_result EQUAL 0)
+  message(FATAL_ERROR "expected implication, got ${implied_result}")
+endif()
+if(NOT implied_output MATCHES "implied")
+  message(FATAL_ERROR "unexpected output: ${implied_output}")
+endif()
+
+execute_process(
+    COMMAND ${FDTOOL} implies ${FDS} "year->depname"
+    RESULT_VARIABLE not_implied_result)
+if(not_implied_result EQUAL 0)
+  message(FATAL_ERROR "expected non-implication to exit non-zero")
+endif()
+
+file(REMOVE ${FDS})

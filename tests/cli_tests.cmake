@@ -1,0 +1,111 @@
+# End-to-end CLI tests for fdtool, driven by ctest: each case runs the
+# real binary on the bundled datasets and checks output/exit codes.
+
+set(FDTOOL $<TARGET_FILE:fdtool>)
+set(DATA ${CMAKE_SOURCE_DIR}/data)
+
+add_test(NAME cli.mine COMMAND fdtool mine ${DATA}/employees.csv)
+set_tests_properties(cli.mine PROPERTIES
+    PASS_REGULAR_EXPRESSION "depname -> depnum")
+
+add_test(NAME cli.mine_tane COMMAND fdtool mine ${DATA}/employees.csv
+         --algo=tane)
+set_tests_properties(cli.mine_tane PROPERTIES
+    PASS_REGULAR_EXPRESSION "depname -> depnum")
+
+add_test(NAME cli.keys COMMAND fdtool keys ${DATA}/orders.csv)
+set_tests_properties(cli.keys PROPERTIES
+    PASS_REGULAR_EXPRESSION "order_id")
+
+add_test(NAME cli.normalize COMMAND fdtool normalize ${DATA}/orders.csv)
+set_tests_properties(cli.normalize PROPERTIES
+    PASS_REGULAR_EXPRESSION "Candidate keys")
+
+add_test(NAME cli.verify_holds COMMAND fdtool verify ${DATA}/orders.csv
+         "zip->city")
+set_tests_properties(cli.verify_holds PROPERTIES
+    PASS_REGULAR_EXPRESSION "holds")
+
+add_test(NAME cli.verify_violated COMMAND fdtool verify ${DATA}/orders.csv
+         "city->zip")
+set_tests_properties(cli.verify_violated PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.stats COMMAND fdtool stats ${DATA}/courses.csv)
+set_tests_properties(cli.stats PROPERTIES
+    PASS_REGULAR_EXPRESSION "attributes: 6")
+
+add_test(NAME cli.armstrong COMMAND fdtool armstrong ${DATA}/employees.csv)
+set_tests_properties(cli.armstrong PROPERTIES
+    PASS_REGULAR_EXPRESSION "empnum,depnum,year,depname,mgr")
+
+add_test(NAME cli.profile_json COMMAND fdtool profile ${DATA}/orders.csv
+         --format=json)
+set_tests_properties(cli.profile_json PROPERTIES
+    PASS_REGULAR_EXPRESSION "\"candidate_keys\"")
+
+add_test(NAME cli.inds COMMAND fdtool inds ${DATA}/orders.csv
+         ${DATA}/courses.csv)
+
+add_test(NAME cli.missing_file COMMAND fdtool mine /nonexistent.csv)
+set_tests_properties(cli.missing_file PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.usage COMMAND fdtool)
+set_tests_properties(cli.usage PROPERTIES WILL_FAIL TRUE)
+
+# Pipeline: mine to a .fds file, then query it with `implies`.
+add_test(NAME cli.pipeline
+    COMMAND ${CMAKE_COMMAND}
+        -DFDTOOL=$<TARGET_FILE:fdtool>
+        -DDATA=${DATA}
+        -DWORK=${CMAKE_CURRENT_BINARY_DIR}
+        -P ${CMAKE_CURRENT_SOURCE_DIR}/cli_pipeline_test.cmake)
+
+# Example binaries double as end-to-end smoke tests.
+add_test(NAME example.quickstart COMMAND quickstart)
+set_tests_properties(example.quickstart PROPERTIES
+    PASS_REGULAR_EXPRESSION "Minimal non-trivial functional dependencies \\(14\\)")
+
+add_test(NAME example.logical_tuning COMMAND logical_tuning --tuples=200)
+set_tests_properties(example.logical_tuning PROPERTIES
+    PASS_REGULAR_EXPRESSION "Candidate keys")
+
+add_test(NAME example.benchmark_sweep COMMAND benchmark_sweep --attrs=8
+         --tuples=500)
+set_tests_properties(example.benchmark_sweep PROPERTIES
+    PASS_REGULAR_EXPRESSION "found the same")
+
+add_test(NAME example.armstrong_explorer COMMAND armstrong_explorer
+         --attrs=6 --tuples=2000)
+set_tests_properties(example.armstrong_explorer PROPERTIES
+    PASS_REGULAR_EXPRESSION "verification ok")
+
+add_test(NAME example.streaming_mine COMMAND streaming_mine --tuples=5000
+         --attrs=8)
+set_tests_properties(example.streaming_mine PROPERTIES
+    PASS_REGULAR_EXPRESSION "covers identical: yes")
+
+add_test(NAME example.paper_walkthrough COMMAND paper_walkthrough)
+set_tests_properties(example.paper_walkthrough PROPERTIES
+    PASS_REGULAR_EXPRESSION "r \\|= BC -> A")
+
+add_test(NAME cli.fks COMMAND fdtool fks ${DATA}/orders.csv
+         ${DATA}/customers.csv)
+set_tests_properties(cli.fks PROPERTIES
+    PASS_REGULAR_EXPRESSION "customers.csv")
+
+add_test(NAME example.schema_discovery COMMAND schema_discovery
+         ${DATA}/orders.csv ${DATA}/customers.csv)
+set_tests_properties(example.schema_discovery PROPERTIES
+    PASS_REGULAR_EXPRESSION "foreign-key candidates")
+
+add_test(NAME cli.repair COMMAND fdtool repair ${DATA}/orders.csv
+         "customer->city")
+set_tests_properties(cli.repair PROPERTIES
+    PASS_REGULAR_EXPRESSION "0 tuple")
+
+add_test(NAME cli.catalog
+    COMMAND ${CMAKE_COMMAND}
+        -DFDTOOL=$<TARGET_FILE:fdtool>
+        -DDATA=${DATA}
+        -DWORK=${CMAKE_CURRENT_BINARY_DIR}
+        -P ${CMAKE_CURRENT_SOURCE_DIR}/cli_catalog_test.cmake)

@@ -1,0 +1,200 @@
+// Tests for Status/Result, string utilities, the PRNG and the flag parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/arg_parser.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace depminer {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCapacityExceeded),
+               "CapacityExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailsThrough() {
+  DEPMINER_RETURN_NOT_OK(Status::IoError("inner"));
+  return Status::OK();
+}
+
+TEST(Result, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kIoError);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "", "y z", "w"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(Strings, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  a b \t\r\n"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \t "), "");
+}
+
+TEST(Strings, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &v));  // overflow
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));      // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseDouble("-3e2", &v));
+  EXPECT_DOUBLE_EQ(v, -300.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.0025), "2.50 ms");
+  EXPECT_EQ(FormatDuration(0.0000025), "2.50 us");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 0.05 * kDraws / kBuckets);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ArgParser, ParsesAllForms) {
+  const char* argv[] = {"prog", "--tuples=100", "--attrs=20",
+                        "--verbose", "input.csv", "--rate=0.5"};
+  ArgParser parser;
+  ASSERT_TRUE(parser.Parse(6, argv).ok());
+  EXPECT_EQ(parser.GetInt("tuples", 0), 100);
+  EXPECT_EQ(parser.GetInt("attrs", 0), 20);
+  EXPECT_TRUE(parser.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.csv"}));
+}
+
+TEST(ArgParser, EqualsFormOnlyNoSpaceSeparatedValues) {
+  // `--attrs 20`: 20 is positional, attrs a bare boolean.
+  const char* argv[] = {"prog", "--attrs", "20"};
+  ArgParser parser;
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_TRUE(parser.GetBool("attrs", false));
+  EXPECT_EQ(parser.GetInt("attrs", 7), 0);  // empty value parses as 0
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"20"}));
+}
+
+TEST(ArgParser, Defaults) {
+  const char* argv[] = {"prog"};
+  ArgParser parser;
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_FALSE(parser.Has("missing"));
+  EXPECT_EQ(parser.GetInt("missing", 7), 7);
+  EXPECT_EQ(parser.GetString("missing", "d"), "d");
+  EXPECT_FALSE(parser.GetBool("missing", false));
+}
+
+TEST(ArgParser, IntList) {
+  const char* argv[] = {"prog", "--sizes=10,20,30"};
+  ArgParser parser;
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_EQ(parser.GetIntList("sizes", {}),
+            (std::vector<int64_t>{10, 20, 30}));
+  EXPECT_EQ(parser.GetIntList("absent", {1, 2}),
+            (std::vector<int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,122 @@
+#include "relation/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace depminer {
+namespace {
+
+TEST(Csv, ParsesSimpleWithHeader) {
+  Result<Relation> r = ParseCsvRelation("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().schema().names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.value().num_tuples(), 2u);
+  EXPECT_EQ(r.value().Value(1, 1), "y");
+}
+
+TEST(Csv, ParsesWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<Relation> r = ParseCsvRelation("1,x\n2,y\n", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().name(0), "A");
+  EXPECT_EQ(r.value().num_tuples(), 2u);
+}
+
+TEST(Csv, QuotedFields) {
+  Result<Relation> r =
+      ParseCsvRelation("a,b\n\"x,y\",\"say \"\"hi\"\"\"\nplain,2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Value(0, 0), "x,y");
+  EXPECT_EQ(r.value().Value(0, 1), "say \"hi\"");
+  EXPECT_EQ(r.value().Value(1, 0), "plain");
+}
+
+TEST(Csv, NewlineInsideQuotedField) {
+  Result<Relation> r = ParseCsvRelation("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Value(0, 0), "line1\nline2");
+}
+
+TEST(Csv, CrLfLineEndings) {
+  Result<Relation> r = ParseCsvRelation("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Value(0, 1), "2");
+}
+
+TEST(Csv, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Result<Relation> r = ParseCsvRelation("a;b\n1;2\n", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_attributes(), 2u);
+  EXPECT_EQ(r.value().Value(0, 0), "1");
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  Result<Relation> r = ParseCsvRelation("a,b\n1,2\n3\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  EXPECT_EQ(ParseCsvRelation("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Csv, HeaderOnlyGivesEmptyRelation) {
+  Result<Relation> r = ParseCsvRelation("a,b\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_tuples(), 0u);
+}
+
+TEST(Csv, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvRelation("/nonexistent/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  Result<Relation> r = ParseCsvRelation("a,b\n,x\n1,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Value(0, 0), "");
+  EXPECT_EQ(r.value().Value(1, 1), "");
+}
+
+TEST(Csv, RoundTripsThroughString) {
+  const std::string original = "a,b\n\"x,y\",2\nplain,\"q\"\"q\"\n";
+  Result<Relation> r = ParseCsvRelation(original);
+  ASSERT_TRUE(r.ok());
+  const std::string serialized = CsvToString(r.value());
+  Result<Relation> again = ParseCsvRelation(serialized);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again.value().num_tuples(), r.value().num_tuples());
+  for (TupleId t = 0; t < r.value().num_tuples(); ++t) {
+    for (AttributeId a = 0; a < r.value().num_attributes(); ++a) {
+      EXPECT_EQ(again.value().Value(t, a), r.value().Value(t, a));
+    }
+  }
+}
+
+TEST(Csv, WritesAndReadsFile) {
+  Result<Relation> r = ParseCsvRelation("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  const std::string path = ::testing::TempDir() + "/depminer_csv_test.csv";
+  ASSERT_TRUE(WriteCsvRelation(r.value(), path).ok());
+  Result<Relation> back = ReadCsvRelation(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_tuples(), 2u);
+  EXPECT_EQ(back.value().Value(1, 0), "3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotingDisabled) {
+  CsvOptions options;
+  options.allow_quoting = false;
+  Result<Relation> r = ParseCsvRelation("a,b\n\"x\",2\n", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Value(0, 0), "\"x\"");  // quotes kept literal
+}
+
+}  // namespace
+}  // namespace depminer

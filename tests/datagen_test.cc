@@ -1,0 +1,206 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/embedded_fd.h"
+#include "fd/naive_discovery.h"
+#include "fd/satisfaction.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+
+TEST(Synthetic, ShapeMatchesConfig) {
+  SyntheticConfig config;
+  config.num_attributes = 7;
+  config.num_tuples = 123;
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_attributes(), 7u);
+  EXPECT_EQ(r.value().num_tuples(), 123u);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticConfig config;
+  config.num_attributes = 4;
+  config.num_tuples = 50;
+  config.seed = 9;
+  Result<Relation> a = GenerateSynthetic(config);
+  Result<Relation> b = GenerateSynthetic(config);
+  config.seed = 10;
+  Result<Relation> c = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool identical_ab = true, identical_ac = true;
+  for (TupleId t = 0; t < 50; ++t) {
+    for (AttributeId col = 0; col < 4; ++col) {
+      identical_ab &= a.value().Value(t, col) == b.value().Value(t, col);
+      identical_ac &= a.value().Value(t, col) == c.value().Value(t, col);
+    }
+  }
+  EXPECT_TRUE(identical_ab);
+  EXPECT_FALSE(identical_ac);
+}
+
+TEST(Synthetic, IdenticalRateControlsPoolSize) {
+  // c = 0.5, |r| = 1000: "each value is chosen between 500 possible
+  // values" — so at most 500 distinct values per column, and realistically
+  // close to 500.
+  SyntheticConfig config;
+  config.num_attributes = 3;
+  config.num_tuples = 1000;
+  config.identical_rate = 0.5;
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  for (AttributeId a = 0; a < 3; ++a) {
+    EXPECT_LE(r.value().DistinctCount(a), 500u);
+    EXPECT_GT(r.value().DistinctCount(a), 350u);  // ~500·(1−1/e) ≈ 432
+  }
+}
+
+TEST(Synthetic, ZeroRateMeansWideDomain) {
+  SyntheticConfig config;
+  config.num_attributes = 2;
+  config.num_tuples = 500;
+  config.identical_rate = 0.0;
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  // Pool of |r| values: ~63% distinct expected.
+  for (AttributeId a = 0; a < 2; ++a) {
+    EXPECT_GT(r.value().DistinctCount(a), 250u);
+  }
+}
+
+TEST(Synthetic, TinyRateClampsPoolToOne) {
+  SyntheticConfig config;
+  config.num_attributes = 2;
+  config.num_tuples = 10;
+  config.identical_rate = 0.0001;  // 0.0001 · 10 < 1 → pool of 1
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().DistinctCount(0), 1u);
+}
+
+TEST(Synthetic, FixedDomainOverridesRate) {
+  SyntheticConfig config;
+  config.num_attributes = 2;
+  config.num_tuples = 2000;
+  config.identical_rate = 0.5;  // would give pool 1000
+  config.fixed_domain = 10;
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().DistinctCount(0), 10u);
+  EXPECT_GE(r.value().DistinctCount(0), 8u);  // 10 values, 2000 draws
+}
+
+TEST(Synthetic, ZipfSkewConcentratesValues) {
+  SyntheticConfig uniform;
+  uniform.num_attributes = 1;
+  uniform.num_tuples = 5000;
+  uniform.identical_rate = 0.2;  // pool of 1000
+  uniform.seed = 11;
+  SyntheticConfig skewed = uniform;
+  skewed.zipf_exponent = 1.2;
+  Result<Relation> u = GenerateSynthetic(uniform);
+  Result<Relation> z = GenerateSynthetic(skewed);
+  ASSERT_TRUE(u.ok() && z.ok());
+  auto top_frequency = [](const Relation& r) {
+    std::vector<size_t> counts(r.DistinctCount(0), 0);
+    for (TupleId t = 0; t < r.num_tuples(); ++t) ++counts[r.Code(t, 0)];
+    return *std::max_element(counts.begin(), counts.end());
+  };
+  // The Zipf head value dominates; uniform draws stay near |r|/pool.
+  EXPECT_GT(top_frequency(z.value()), 4 * top_frequency(u.value()));
+  EXPECT_LT(z.value().DistinctCount(0), u.value().DistinctCount(0));
+}
+
+TEST(Synthetic, ZipfRejectsNegativeExponent) {
+  SyntheticConfig config;
+  config.zipf_exponent = -1.0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.num_attributes = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config.num_attributes = 3;
+  config.identical_rate = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config.identical_rate = 0.0;
+  config.num_attributes = AttributeSet::kMaxAttributes + 1;
+  EXPECT_EQ(GenerateSynthetic(config).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(EmbeddedFd, PlantedFdsHold) {
+  EmbeddedFdConfig config;
+  config.num_attributes = 6;
+  config.num_tuples = 300;
+  config.fds = {Fd("AB", 'C'), Fd("C", 'D'), Fd("", 'F')};
+  config.seed = 4;
+  Result<Relation> r = GenerateWithEmbeddedFds(config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const FunctionalDependency& fd : config.fds) {
+    EXPECT_TRUE(Holds(r.value(), fd)) << fd.ToString();
+  }
+  // F is constant.
+  EXPECT_EQ(r.value().DistinctCount(5), 1u);
+}
+
+TEST(EmbeddedFd, ChainedDerivation) {
+  // A -> B -> C: B derived from A, C derived from B.
+  EmbeddedFdConfig config;
+  config.num_attributes = 3;
+  config.num_tuples = 200;
+  config.fds = {Fd("A", 'B'), Fd("B", 'C')};
+  Result<Relation> r = GenerateWithEmbeddedFds(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(Holds(r.value(), Fd("A", 'B')));
+  EXPECT_TRUE(Holds(r.value(), Fd("B", 'C')));
+  EXPECT_TRUE(Holds(r.value(), Fd("A", 'C')));  // transitivity
+}
+
+TEST(EmbeddedFd, RejectsCycles) {
+  EmbeddedFdConfig config;
+  config.num_attributes = 2;
+  config.fds = {Fd("A", 'B'), Fd("B", 'A')};
+  EXPECT_EQ(GenerateWithEmbeddedFds(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EmbeddedFd, RejectsTrivialAndDuplicateRhs) {
+  EmbeddedFdConfig config;
+  config.num_attributes = 3;
+  config.fds = {Fd("AB", 'A')};
+  EXPECT_FALSE(GenerateWithEmbeddedFds(config).ok());
+  config.fds = {Fd("A", 'C'), Fd("B", 'C')};
+  EXPECT_FALSE(GenerateWithEmbeddedFds(config).ok());
+}
+
+TEST(EmbeddedFd, RejectsOutOfRangeAttributes) {
+  EmbeddedFdConfig config;
+  config.num_attributes = 2;
+  config.fds = {Fd("A", 'E')};
+  EXPECT_FALSE(GenerateWithEmbeddedFds(config).ok());
+}
+
+TEST(EmbeddedFd, DiscoveredCoverImpliesPlantedFds) {
+  EmbeddedFdConfig config;
+  config.num_attributes = 5;
+  config.num_tuples = 150;
+  config.fds = {Fd("AB", 'C'), Fd("C", 'E')};
+  config.seed = 77;
+  Result<Relation> r = GenerateWithEmbeddedFds(config);
+  ASSERT_TRUE(r.ok());
+  const FdSet discovered = NaiveFdDiscovery(r.value());
+  for (const FunctionalDependency& fd : config.fds) {
+    EXPECT_TRUE(discovered.Implies(fd)) << fd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,116 @@
+// Tests for FdSetDiff and the memoizing SatisfactionChecker.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fd/fd_diff.h"
+#include "fd/naive_discovery.h"
+#include "fd/satisfaction.h"
+#include "fd/satisfaction_checker.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+TEST(FdSetDiff, EquivalentCoversAreEmptyDiff) {
+  FdSet a(3, {Fd("A", 'B'), Fd("B", 'C')});
+  FdSet b(3, {Fd("A", 'B'), Fd("B", 'C'), Fd("A", 'C')});  // implied extra
+  const FdSetDiff diff = DiffFdSets(a, b);
+  EXPECT_TRUE(diff.Equivalent());
+  EXPECT_EQ(diff.ToString(Schema::Default(3)), "covers are equivalent\n");
+}
+
+TEST(FdSetDiff, ReportsLostAndGained) {
+  FdSet old_fds(3, {Fd("A", 'B'), Fd("B", 'C')});
+  FdSet new_fds(3, {Fd("A", 'B'), Fd("C", 'B')});
+  const FdSetDiff diff = DiffFdSets(old_fds, new_fds);
+  ASSERT_EQ(diff.lost.size(), 1u);
+  EXPECT_EQ(diff.lost[0], Fd("B", 'C'));
+  ASSERT_EQ(diff.gained.size(), 1u);
+  EXPECT_EQ(diff.gained[0], Fd("C", 'B'));
+  const std::string text = diff.ToString(Schema::Default(3));
+  EXPECT_NE(text.find("- B -> C"), std::string::npos);
+  EXPECT_NE(text.find("+ C -> B"), std::string::npos);
+}
+
+TEST(FdSetDiff, DriftScenario) {
+  // Mining a relation and a corrupted variant: the diff pinpoints the
+  // dependency broken by the bad row.
+  Result<Relation> clean = MakeRelation({
+      {"d1", "alice"}, {"d1", "alice"}, {"d2", "bob"},
+  });
+  Result<Relation> dirty = MakeRelation({
+      {"d1", "alice"}, {"d1", "eve"}, {"d2", "bob"},  // dep->mgr broken
+  });
+  ASSERT_TRUE(clean.ok() && dirty.ok());
+  const FdSet before = NaiveFdDiscovery(clean.value());
+  const FdSet after = NaiveFdDiscovery(dirty.value());
+  const FdSetDiff diff = DiffFdSets(before, after);
+  bool lost_dep_mgr = false;
+  for (const FunctionalDependency& fd : diff.lost) {
+    if (fd == Fd("A", 'B')) lost_dep_mgr = true;
+  }
+  EXPECT_TRUE(lost_dep_mgr);
+}
+
+TEST(SatisfactionChecker, MatchesFreeFunctionOnPaperExample) {
+  const Relation r = PaperExampleRelation();
+  SatisfactionChecker checker(r);
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    AttributeSet lhs;
+    for (AttributeId a = 0; a < 5; ++a) {
+      if (mask & (1u << a)) lhs.Add(a);
+    }
+    for (AttributeId rhs = 0; rhs < 5; ++rhs) {
+      EXPECT_EQ(checker.Holds(lhs, rhs), Holds(r, lhs, rhs))
+          << lhs.ToString() << " -> " << rhs;
+    }
+  }
+  EXPECT_GT(checker.cache_size(), 5u);  // memoized beyond the singletons
+}
+
+TEST(SatisfactionChecker, IsMinimalMatches) {
+  const Relation r = PaperExampleRelation();
+  SatisfactionChecker checker(r);
+  EXPECT_TRUE(checker.IsMinimal(Fd("BC", 'A')));
+  EXPECT_FALSE(checker.IsMinimal(Fd("BCD", 'A')));
+  EXPECT_FALSE(checker.IsMinimal(Fd("E", 'B')));
+}
+
+TEST(SatisfactionChecker, RepeatedQueriesHitCache) {
+  const Relation r = RandomRelation(6, 100, 4, 3);
+  SatisfactionChecker checker(r);
+  ASSERT_TRUE(checker.Holds(AttributeSet::FromLetters("ABC"), 4) ==
+              Holds(r, AttributeSet::FromLetters("ABC"), 4));
+  const size_t size_after_first = checker.cache_size();
+  (void)checker.Holds(AttributeSet::FromLetters("ABC"), 4);
+  EXPECT_EQ(checker.cache_size(), size_after_first);  // no new partitions
+}
+
+class CheckerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CheckerSweep, RandomQueriesAgreeWithReference) {
+  const uint64_t seed = GetParam();
+  const Relation r = RandomRelation(6, 60, 3, seed);
+  SatisfactionChecker checker(r);
+  Rng rng(seed * 7 + 1);
+  for (int i = 0; i < 40; ++i) {
+    AttributeSet lhs;
+    for (AttributeId a = 0; a < 6; ++a) {
+      if (rng.Below(3) == 0) lhs.Add(a);
+    }
+    const AttributeId rhs = static_cast<AttributeId>(rng.Below(6));
+    EXPECT_EQ(checker.Holds(lhs, rhs), Holds(r, lhs, rhs))
+        << lhs.ToString() << " -> " << rhs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerSweep, ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,174 @@
+// Randomized property tests over FD-set theory: closure laws, minimal
+// covers, candidate keys, projections and the closed-set lattice, on
+// pseudo-random dependency sets (not tied to any relation instance).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fd/closed_sets.h"
+#include "fd/fd_set.h"
+#include "fd/keys.h"
+#include "fd/projection.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+/// A random FD set over n attributes: `count` dependencies with lhs of
+/// 1-3 attributes.
+FdSet RandomFdSet(size_t n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  FdSet fds(n);
+  for (size_t i = 0; i < count; ++i) {
+    AttributeSet lhs;
+    const size_t width = 1 + rng.Below(3);
+    for (size_t k = 0; k < width; ++k) {
+      lhs.Add(static_cast<AttributeId>(rng.Below(n)));
+    }
+    const AttributeId rhs = static_cast<AttributeId>(rng.Below(n));
+    if (lhs.Contains(rhs)) continue;  // skip trivial draws
+    fds.Add(lhs, rhs);
+  }
+  fds.Normalize();
+  return fds;
+}
+
+AttributeSet RandomSubset(size_t n, Rng* rng) {
+  AttributeSet s;
+  for (AttributeId a = 0; a < n; ++a) {
+    if (rng->Below(2) == 0) s.Add(a);
+  }
+  return s;
+}
+
+class FdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdPropertyTest, ClosureIsAClosureOperator) {
+  const uint64_t seed = GetParam();
+  const size_t n = 6;
+  const FdSet fds = RandomFdSet(n, 8, seed);
+  Rng rng(seed * 31 + 1);
+  for (int i = 0; i < 20; ++i) {
+    const AttributeSet x = RandomSubset(n, &rng);
+    const AttributeSet y = RandomSubset(n, &rng);
+    const AttributeSet cx = fds.Closure(x);
+    // Extensive, idempotent, monotone.
+    EXPECT_TRUE(x.IsSubsetOf(cx));
+    EXPECT_EQ(fds.Closure(cx), cx);
+    if (x.IsSubsetOf(y)) {
+      EXPECT_TRUE(cx.IsSubsetOf(fds.Closure(y)));
+    }
+  }
+}
+
+TEST_P(FdPropertyTest, MinimalCoverIsEquivalentAndIrredundant) {
+  const uint64_t seed = GetParam();
+  const FdSet fds = RandomFdSet(7, 10, seed);
+  const FdSet cover = fds.MinimalCover();
+  EXPECT_TRUE(cover.EquivalentTo(fds));
+  // No FD is redundant.
+  for (size_t i = 0; i < cover.size(); ++i) {
+    std::vector<FunctionalDependency> without;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) without.push_back(cover.fds()[j]);
+    }
+    EXPECT_FALSE(FdSet(7, without).Implies(cover.fds()[i]))
+        << cover.fds()[i].ToString() << " is redundant";
+  }
+  // No lhs attribute is extraneous.
+  for (const FunctionalDependency& fd : cover.fds()) {
+    fd.lhs.ForEach([&](AttributeId b) {
+      AttributeSet reduced = fd.lhs;
+      reduced.Remove(b);
+      EXPECT_FALSE(cover.Implies(reduced, fd.rhs))
+          << "extraneous " << static_cast<char>('A' + b) << " in "
+          << fd.ToString();
+    });
+  }
+}
+
+TEST_P(FdPropertyTest, CandidateKeysAreMinimalSuperkeysAndAntichain) {
+  const uint64_t seed = GetParam();
+  const FdSet fds = RandomFdSet(6, 7, seed);
+  const std::vector<AttributeSet> keys = CandidateKeys(fds);
+  ASSERT_FALSE(keys.empty());
+  for (const AttributeSet& k : keys) {
+    EXPECT_TRUE(IsCandidateKey(fds, k)) << k.ToString();
+  }
+  for (const AttributeSet& a : keys) {
+    for (const AttributeSet& b : keys) {
+      if (a != b) {
+        EXPECT_FALSE(a.IsSubsetOf(b));
+      }
+    }
+  }
+  // Exhaustive cross-check on this small universe: every minimal superkey
+  // is listed.
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    AttributeSet x;
+    for (AttributeId a = 0; a < 6; ++a) {
+      if (mask & (1u << a)) x.Add(a);
+    }
+    if (IsCandidateKey(fds, x)) {
+      EXPECT_NE(std::find(keys.begin(), keys.end(), x), keys.end())
+          << "missing key " << x.ToString();
+    }
+  }
+}
+
+TEST_P(FdPropertyTest, ProjectionOntoUniverseIsIdentityUpToEquivalence) {
+  const uint64_t seed = GetParam();
+  const FdSet fds = RandomFdSet(6, 8, seed);
+  EXPECT_TRUE(ProjectFds(fds, AttributeSet::Universe(6)).EquivalentTo(fds));
+}
+
+TEST_P(FdPropertyTest, ProjectionSoundAndComplete) {
+  const uint64_t seed = GetParam();
+  const size_t n = 6;
+  const FdSet fds = RandomFdSet(n, 8, seed);
+  Rng rng(seed * 97 + 3);
+  const AttributeSet x = RandomSubset(n, &rng);
+  const FdSet projected = ProjectFds(fds, x);
+  // Sound: every projected FD is implied by F and mentions only X.
+  for (const FunctionalDependency& fd : projected.fds()) {
+    EXPECT_TRUE(fds.Implies(fd));
+    EXPECT_TRUE(fd.lhs.IsSubsetOf(x));
+    EXPECT_TRUE(x.Contains(fd.rhs));
+  }
+  // Complete: for every Y ⊆ X and A ∈ X, F ⊨ Y→A iff π_X(F) ⊨ Y→A.
+  const std::vector<AttributeId> members = x.Members();
+  const uint32_t limit = 1u << members.size();
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    AttributeSet y;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (mask & (1u << i)) y.Add(members[i]);
+    }
+    x.ForEach([&](AttributeId a) {
+      EXPECT_EQ(fds.Implies(y, a), projected.Implies(y, a))
+          << y.ToString() << " -> " << static_cast<char>('A' + a);
+    });
+  }
+}
+
+TEST_P(FdPropertyTest, ClosureAgreesWithGeneratorMeet) {
+  const uint64_t seed = GetParam();
+  const size_t n = 6;
+  const FdSet fds = RandomFdSet(n, 7, seed);
+  const std::vector<AttributeSet> gen = Generators(fds);
+  const AttributeSet universe = AttributeSet::Universe(n);
+  Rng rng(seed * 13 + 5);
+  for (int i = 0; i < 15; ++i) {
+    const AttributeSet x = RandomSubset(n, &rng);
+    AttributeSet meet = universe;
+    for (const AttributeSet& g : gen) {
+      if (x.IsSubsetOf(g)) meet = meet.Intersect(g);
+    }
+    EXPECT_EQ(meet, fds.Closure(x)) << x.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace depminer

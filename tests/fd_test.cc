@@ -1,0 +1,321 @@
+// Tests for the FD theory toolkit: closure, covers, minimal covers, keys,
+// satisfaction checks, naive discovery and normalization analysis.
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_set.h"
+#include "fd/functional_dependency.h"
+#include "fd/keys.h"
+#include "fd/naive_discovery.h"
+#include "fd/normalization.h"
+#include "fd/satisfaction.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+TEST(FunctionalDependency, Basics) {
+  const FunctionalDependency fd = Fd("BC", 'A');
+  EXPECT_FALSE(fd.IsTrivial());
+  EXPECT_TRUE(Fd("AB", 'A').IsTrivial());
+  EXPECT_EQ(fd.ToString(), "BC -> A");
+  EXPECT_EQ(Fd("", 'B').ToString(), "{} -> B");
+}
+
+TEST(FunctionalDependency, SchemaNames) {
+  const Schema schema({"emp", "dep", "mgr"});
+  EXPECT_EQ(Fd("AB", 'C').ToString(schema), "emp,dep -> mgr");
+}
+
+TEST(FunctionalDependency, CanonicalOrder) {
+  std::vector<FunctionalDependency> fds = {Fd("BC", 'A'), Fd("B", 'A'),
+                                           Fd("A", 'B'), Fd("B", 'A')};
+  Canonicalize(&fds);
+  ASSERT_EQ(fds.size(), 3u);
+  EXPECT_EQ(fds[0], Fd("B", 'A'));   // rhs A before rhs B, smaller lhs first
+  EXPECT_EQ(fds[1], Fd("BC", 'A'));
+  EXPECT_EQ(fds[2], Fd("A", 'B'));
+}
+
+TEST(FdSet, ClosureChasesTransitively) {
+  FdSet f(4, {Fd("A", 'B'), Fd("B", 'C'), Fd("CD", 'A')});
+  EXPECT_EQ(f.Closure(AttributeSet::FromLetters("A")),
+            AttributeSet::FromLetters("ABC"));
+  EXPECT_EQ(f.Closure(AttributeSet::FromLetters("D")),
+            AttributeSet::FromLetters("D"));
+  EXPECT_EQ(f.Closure(AttributeSet::FromLetters("CD")),
+            AttributeSet::FromLetters("ABCD"));
+}
+
+TEST(FdSet, ImpliesIncludesReflexivity) {
+  FdSet f(3, {Fd("A", 'B')});
+  EXPECT_TRUE(f.Implies(AttributeSet::FromLetters("AC"), 2));  // AC -> C
+  EXPECT_TRUE(f.Implies(Fd("A", 'B')));
+  EXPECT_TRUE(f.Implies(Fd("AC", 'B')));  // augmentation
+  EXPECT_FALSE(f.Implies(Fd("B", 'A')));
+}
+
+TEST(FdSet, CoverEquivalence) {
+  // {A->B, B->C} ≡ {A->B, B->C, A->C}.
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  FdSet g(3, {Fd("A", 'B'), Fd("B", 'C'), Fd("A", 'C')});
+  EXPECT_TRUE(f.EquivalentTo(g));
+  EXPECT_TRUE(g.EquivalentTo(f));
+  FdSet h(3, {Fd("A", 'B')});
+  EXPECT_FALSE(f.EquivalentTo(h));
+  EXPECT_TRUE(f.Covers(h));
+  EXPECT_FALSE(h.Covers(f));
+}
+
+TEST(FdSet, MinimalCoverRemovesRedundancy) {
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C'), Fd("A", 'C'),  // A->C redundant
+              Fd("AB", 'C'),                             // lhs reducible
+              Fd("AA", 'A')});                           // trivial
+  const FdSet cover = f.MinimalCover();
+  EXPECT_TRUE(cover.EquivalentTo(f));
+  EXPECT_EQ(cover.size(), 2u) << cover.ToString();
+  for (const FunctionalDependency& fd : cover.fds()) {
+    EXPECT_FALSE(fd.IsTrivial());
+  }
+}
+
+TEST(FdSet, MinimalCoverReducesLhs) {
+  // In {A->B, AB->C} the B in AB->C is extraneous.
+  FdSet f(3, {Fd("A", 'B'), Fd("AB", 'C')});
+  const FdSet cover = f.MinimalCover();
+  EXPECT_TRUE(cover.EquivalentTo(f));
+  for (const FunctionalDependency& fd : cover.fds()) {
+    EXPECT_LE(fd.lhs.Count(), 1u) << fd.ToString();
+  }
+}
+
+TEST(Keys, SuperkeyAndCandidateKey) {
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  EXPECT_TRUE(IsSuperkey(f, AttributeSet::FromLetters("A")));
+  EXPECT_TRUE(IsSuperkey(f, AttributeSet::FromLetters("AB")));
+  EXPECT_FALSE(IsSuperkey(f, AttributeSet::FromLetters("B")));
+  EXPECT_TRUE(IsCandidateKey(f, AttributeSet::FromLetters("A")));
+  EXPECT_FALSE(IsCandidateKey(f, AttributeSet::FromLetters("AB")));
+}
+
+TEST(Keys, EnumeratesMultipleKeys) {
+  // Classic cyclic schema: A->B, B->C, C->A gives keys {A}, {B}, {C}.
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C'), Fd("C", 'A')});
+  EXPECT_EQ(CandidateKeys(f),
+            (std::vector<AttributeSet>{AttributeSet::FromLetters("A"),
+                                       AttributeSet::FromLetters("B"),
+                                       AttributeSet::FromLetters("C")}));
+}
+
+TEST(Keys, NoFdsMeansWholeSchemaIsKey) {
+  FdSet f(3);
+  const std::vector<AttributeSet> keys = CandidateKeys(f);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet::FromLetters("ABC"));
+}
+
+TEST(Keys, CompositeKeys) {
+  // AB -> C, C -> B: keys are AB and AC.
+  FdSet f(3, {Fd("AB", 'C'), Fd("C", 'B')});
+  EXPECT_EQ(CandidateKeys(f),
+            (std::vector<AttributeSet>{AttributeSet::FromLetters("AB"),
+                                       AttributeSet::FromLetters("AC")}));
+}
+
+TEST(Satisfaction, HoldsOnPaperExample) {
+  const Relation r = PaperExampleRelation();
+  EXPECT_TRUE(Holds(r, Fd("B", 'D')));   // depnum -> depname
+  EXPECT_TRUE(Holds(r, Fd("BC", 'A')));
+  EXPECT_FALSE(Holds(r, Fd("E", 'B')));  // mgr 2 manages deps 2 and 3
+  EXPECT_TRUE(Holds(r, Fd("AB", 'A')));  // trivial always holds
+}
+
+TEST(Satisfaction, EmptyLhsMeansConstant) {
+  Result<Relation> r = MakeRelation({{"x", "1"}, {"x", "2"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(Holds(r.value(), AttributeSet(), 0));
+  EXPECT_FALSE(Holds(r.value(), AttributeSet(), 1));
+}
+
+TEST(Satisfaction, IsMinimalFd) {
+  const Relation r = PaperExampleRelation();
+  EXPECT_TRUE(IsMinimalFd(r, Fd("BC", 'A')));
+  EXPECT_FALSE(IsMinimalFd(r, Fd("BCD", 'A')));  // BC already suffices
+  EXPECT_FALSE(IsMinimalFd(r, Fd("E", 'B')));    // does not even hold
+}
+
+TEST(Satisfaction, CountViolatingPairs) {
+  Result<Relation> r = MakeRelation({
+      {"x", "1"}, {"x", "1"}, {"x", "2"}, {"y", "3"},
+  });
+  ASSERT_TRUE(r.ok());
+  // A -> B: within class {1,2,3} pairs (1,3) and (2,3) violate.
+  EXPECT_EQ(CountViolatingPairs(r.value(), AttributeSet::FromLetters("A"), 1),
+            2u);
+  EXPECT_EQ(CountViolatingPairs(r.value(), AttributeSet::FromLetters("B"), 0),
+            0u);
+}
+
+TEST(Satisfaction, G3Error) {
+  Result<Relation> r = MakeRelation({
+      {"x", "1"}, {"x", "1"}, {"x", "2"}, {"y", "3"},
+  });
+  ASSERT_TRUE(r.ok());
+  // Remove one tuple (the "x,2" one) and A -> B holds: g3 = 1/4.
+  EXPECT_DOUBLE_EQ(G3Error(r.value(), AttributeSet::FromLetters("A"), 1),
+                   0.25);
+  EXPECT_DOUBLE_EQ(G3Error(r.value(), AttributeSet::FromLetters("B"), 0), 0.0);
+}
+
+TEST(NaiveDiscovery, FindsConstantColumns) {
+  Result<Relation> r = MakeRelation({{"c", "1"}, {"c", "2"}});
+  ASSERT_TRUE(r.ok());
+  const FdSet fds = NaiveFdDiscovery(r.value());
+  // ∅ -> A (constant) and B -> A (implied but not minimal — must not
+  // appear), plus nothing determines B.
+  ASSERT_EQ(fds.size(), 1u) << fds.ToString();
+  EXPECT_EQ(fds.fds()[0], Fd("", 'A'));
+}
+
+TEST(NaiveDiscovery, SingleTupleAllConstants) {
+  Result<Relation> r = MakeRelation({{"a", "b"}});
+  ASSERT_TRUE(r.ok());
+  const FdSet fds = NaiveFdDiscovery(r.value());
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_EQ(fds.fds()[0], Fd("", 'A'));
+  EXPECT_EQ(fds.fds()[1], Fd("", 'B'));
+}
+
+TEST(NaiveDiscovery, PaperExampleMatchesHandChecked) {
+  const Relation r = PaperExampleRelation();
+  const FdSet fds = NaiveFdDiscovery(r);
+  EXPECT_EQ(fds.size(), 14u) << fds.ToString();
+  EXPECT_TRUE(testing::IsExactMinimalFdSetOf(r, fds));
+}
+
+TEST(Normalization, DetectsBcnfViolations) {
+  // Schema ABC with A->B, B->C: key {A}; B->C violates BCNF and 3NF
+  // (C is non-prime).
+  const Schema schema = Schema::Default(3);
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  NormalizationAnalysis analysis(schema, f);
+  EXPECT_FALSE(analysis.InBcnf());
+  EXPECT_FALSE(analysis.In3nf());
+  ASSERT_EQ(analysis.violations().size(), 1u);
+  EXPECT_EQ(analysis.violations()[0].fd, Fd("B", 'C'));
+  EXPECT_TRUE(analysis.violations()[0].violates_3nf);
+}
+
+TEST(Normalization, ThreeNfButNotBcnf) {
+  // AB -> C, C -> B (classic street/city/zip): keys AB and AC; C -> B has
+  // non-superkey lhs but prime rhs: 3NF holds, BCNF fails.
+  FdSet f(3, {Fd("AB", 'C'), Fd("C", 'B')});
+  NormalizationAnalysis analysis(Schema::Default(3), f);
+  EXPECT_FALSE(analysis.InBcnf());
+  EXPECT_TRUE(analysis.In3nf());
+}
+
+TEST(Normalization, BcnfSchemaIsClean) {
+  FdSet f(3, {Fd("A", 'B'), Fd("A", 'C')});
+  NormalizationAnalysis analysis(Schema::Default(3), f);
+  EXPECT_TRUE(analysis.InBcnf());
+  EXPECT_TRUE(analysis.In3nf());
+  EXPECT_TRUE(analysis.violations().empty());
+}
+
+TEST(Normalization, BcnfDecompositionFragmentsAreBcnf) {
+  FdSet f(4, {Fd("A", 'B'), Fd("B", 'C'), Fd("C", 'D')});
+  NormalizationAnalysis analysis(Schema::Default(4), f);
+  const std::vector<DecompositionFragment> fragments =
+      analysis.BcnfDecomposition();
+  ASSERT_FALSE(fragments.empty());
+  // Every attribute appears in some fragment.
+  AttributeSet covered;
+  for (const DecompositionFragment& frag : fragments) {
+    covered = covered.Union(frag.attributes);
+  }
+  EXPECT_EQ(covered, AttributeSet::FromLetters("ABCD"));
+}
+
+TEST(Normalization, ThirdNfSynthesisPreservesDependencies) {
+  FdSet f(4, {Fd("A", 'B'), Fd("B", 'C'), Fd("C", 'D')});
+  NormalizationAnalysis analysis(Schema::Default(4), f);
+  const std::vector<DecompositionFragment> fragments =
+      analysis.ThirdNfSynthesis();
+  // Each minimal-cover FD must be embeddable in some fragment.
+  const FdSet cover = f.MinimalCover();
+  for (const FunctionalDependency& fd : cover.fds()) {
+    AttributeSet needed = fd.lhs;
+    needed.Add(fd.rhs);
+    bool embedded = false;
+    for (const DecompositionFragment& frag : fragments) {
+      if (needed.IsSubsetOf(frag.attributes)) {
+        embedded = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(embedded) << fd.ToString();
+  }
+  // Some fragment contains a candidate key (lossless join).
+  bool has_key = false;
+  for (const DecompositionFragment& frag : fragments) {
+    for (const AttributeSet& key : analysis.candidate_keys()) {
+      if (key.IsSubsetOf(frag.attributes)) has_key = true;
+    }
+  }
+  EXPECT_TRUE(has_key);
+}
+
+TEST(Normalization, ReportMentionsKeysAndStatus) {
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  NormalizationAnalysis analysis(Schema::Default(3), f);
+  const std::string report = analysis.Report();
+  EXPECT_NE(report.find("Candidate keys"), std::string::npos);
+  EXPECT_NE(report.find("not in 3NF"), std::string::npos);
+}
+
+// Armstrong-axiom flavored property sweep on random relations: dep(r) is
+// closed under augmentation and transitivity, as observed through Holds.
+class SatisfactionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatisfactionSweep, HoldsRespectsArmstrongAxioms) {
+  const Relation r = RandomRelation(4, 25, 3, GetParam());
+  const AttributeSet all = r.universe();
+  // Augmentation: X -> A implies XB -> A.
+  for (AttributeId a = 0; a < 4; ++a) {
+    for (AttributeId b = 0; b < 4; ++b) {
+      const AttributeSet x = AttributeSet::Single(b);
+      if (Holds(r, x, a)) {
+        all.ForEach([&](AttributeId extra) {
+          AttributeSet grown = x;
+          grown.Add(extra);
+          EXPECT_TRUE(Holds(r, grown, a));
+        });
+      }
+    }
+  }
+  // Transitivity through naive discovery: the discovered cover implies
+  // exactly the dependencies that hold.
+  const FdSet fds = NaiveFdDiscovery(r);
+  for (AttributeId a = 0; a < 4; ++a) {
+    for (uint32_t mask = 0; mask < 16; ++mask) {
+      AttributeSet x;
+      for (AttributeId b = 0; b < 4; ++b) {
+        if (mask & (1u << b)) x.Add(b);
+      }
+      EXPECT_EQ(fds.Implies(x, a), Holds(r, x, a))
+          << x.ToString() << " -> " << static_cast<char>('A' + a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfactionSweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace depminer

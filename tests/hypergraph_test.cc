@@ -1,0 +1,162 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hypergraph/berge_transversals.h"
+#include "hypergraph/levelwise_transversals.h"
+
+namespace depminer {
+namespace {
+
+Hypergraph FromLetters(size_t n, const std::vector<std::string>& edges) {
+  Hypergraph h(n, {});
+  for (const std::string& e : edges) h.AddEdge(AttributeSet::FromLetters(e));
+  return h;
+}
+
+std::vector<AttributeSet> Sorted(std::vector<AttributeSet> sets) {
+  SortSets(&sets);
+  return sets;
+}
+
+TEST(Hypergraph, IsSimple) {
+  EXPECT_TRUE(FromLetters(4, {"AB", "CD"}).IsSimple());
+  EXPECT_FALSE(FromLetters(4, {"AB", "ABC"}).IsSimple());  // superset edge
+  EXPECT_FALSE(FromLetters(4, {"AB", "AB"}).IsSimple());   // duplicate
+  EXPECT_FALSE(FromLetters(4, {"", "AB"}).IsSimple());     // empty edge
+  EXPECT_TRUE(Hypergraph(4, {}).IsSimple());               // vacuously
+}
+
+TEST(Hypergraph, MinimizedKeepsMinimalEdges) {
+  const Hypergraph h =
+      FromLetters(5, {"ABC", "AB", "CD", "AB", "ABCD", ""}).Minimized();
+  EXPECT_TRUE(h.IsSimple());
+  EXPECT_EQ(Sorted(h.edges()),
+            Sorted({AttributeSet::FromLetters("AB"),
+                    AttributeSet::FromLetters("CD")}));
+}
+
+TEST(Hypergraph, VertexSupport) {
+  EXPECT_EQ(FromLetters(6, {"AB", "DE"}).VertexSupport(),
+            AttributeSet::FromLetters("ABDE"));
+}
+
+TEST(Hypergraph, TransversalChecks) {
+  const Hypergraph h = FromLetters(4, {"AB", "CD"});
+  EXPECT_TRUE(h.IsTransversal(AttributeSet::FromLetters("AC")));
+  EXPECT_TRUE(h.IsTransversal(AttributeSet::FromLetters("ABCD")));
+  EXPECT_FALSE(h.IsTransversal(AttributeSet::FromLetters("AB")));
+  EXPECT_TRUE(h.IsMinimalTransversal(AttributeSet::FromLetters("AC")));
+  EXPECT_FALSE(h.IsMinimalTransversal(AttributeSet::FromLetters("ACD")));
+}
+
+TEST(Levelwise, PaperExampleAttributeA) {
+  // cmax(dep(r), A) = {AC, ABD}: minimal transversals {A, BC, CD}
+  // (Example 10).
+  const Hypergraph h = FromLetters(5, {"AC", "ABD"});
+  EXPECT_EQ(Sorted(LevelwiseMinimalTransversals(h)),
+            Sorted({AttributeSet::FromLetters("A"),
+                    AttributeSet::FromLetters("BC"),
+                    AttributeSet::FromLetters("CD")}));
+}
+
+TEST(Levelwise, SingleEdgeGivesSingletons) {
+  const Hypergraph h = FromLetters(5, {"BCE"});
+  EXPECT_EQ(Sorted(LevelwiseMinimalTransversals(h)),
+            Sorted({AttributeSet::FromLetters("B"),
+                    AttributeSet::FromLetters("C"),
+                    AttributeSet::FromLetters("E")}));
+}
+
+TEST(Levelwise, EmptyHypergraphGivesEmptyTransversal) {
+  const std::vector<AttributeSet> tr =
+      LevelwiseMinimalTransversals(Hypergraph(4, {}));
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_TRUE(tr[0].Empty());
+}
+
+TEST(Levelwise, DisjointEdgesGiveCrossProduct) {
+  const Hypergraph h = FromLetters(4, {"AB", "CD"});
+  EXPECT_EQ(Sorted(LevelwiseMinimalTransversals(h)),
+            Sorted({AttributeSet::FromLetters("AC"),
+                    AttributeSet::FromLetters("AD"),
+                    AttributeSet::FromLetters("BC"),
+                    AttributeSet::FromLetters("BD")}));
+}
+
+TEST(Levelwise, ReportsStats) {
+  LevelwiseStats stats;
+  LevelwiseMinimalTransversals(FromLetters(4, {"AB", "CD"}), &stats);
+  EXPECT_EQ(stats.transversals_found, 4u);
+  EXPECT_GE(stats.levels, 2u);
+  EXPECT_GE(stats.candidates_generated, 4u);
+}
+
+TEST(Berge, MatchesKnownResult) {
+  const Hypergraph h = FromLetters(5, {"AC", "ABD"});
+  EXPECT_EQ(Sorted(BergeMinimalTransversals(h)),
+            Sorted({AttributeSet::FromLetters("A"),
+                    AttributeSet::FromLetters("BC"),
+                    AttributeSet::FromLetters("CD")}));
+}
+
+TEST(Berge, EmptyHypergraph) {
+  const std::vector<AttributeSet> tr =
+      BergeMinimalTransversals(Hypergraph(3, {}));
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_TRUE(tr[0].Empty());
+}
+
+TEST(DoubleTransversal, NihilpotenceOnSimpleHypergraph) {
+  // Tr(Tr(H)) = H for simple hypergraphs [Ber76] — the identity the paper
+  // uses in §5.1 to recover cmax from lhs.
+  const Hypergraph h = FromLetters(5, {"AC", "ABD"});
+  EXPECT_EQ(Sorted(DoubleTransversal(h)), Sorted(h.edges()));
+}
+
+/// Pseudo-random hypergraph for the differential sweep.
+Hypergraph RandomHypergraph(size_t n, size_t num_edges, uint64_t seed) {
+  Hypergraph h(n, {});
+  uint64_t x = seed * 0x9E3779B97F4A7C15ull + 0xBF58476D1CE4E5B9ull;
+  for (size_t e = 0; e < num_edges; ++e) {
+    AttributeSet edge;
+    for (size_t v = 0; v < n; ++v) {
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDull;
+      if ((x & 3) == 0) edge.Add(static_cast<AttributeId>(v));
+    }
+    if (edge.Empty()) edge.Add(static_cast<AttributeId>(x % n));
+    h.AddEdge(edge);
+  }
+  return h;
+}
+
+class TransversalSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// Differential test: the paper's levelwise Algorithm 5 must agree with
+// Berge's method on random hypergraphs, and every result must be a
+// minimal transversal.
+TEST_P(TransversalSweep, LevelwiseAgreesWithBerge) {
+  const Hypergraph h = RandomHypergraph(8, 6, GetParam());
+  const std::vector<AttributeSet> levelwise =
+      Sorted(LevelwiseMinimalTransversals(h));
+  const std::vector<AttributeSet> berge = Sorted(BergeMinimalTransversals(h));
+  EXPECT_EQ(levelwise, berge);
+  const Hypergraph simple = h.Minimized();
+  for (const AttributeSet& t : levelwise) {
+    EXPECT_TRUE(simple.IsMinimalTransversal(t)) << t.ToString();
+  }
+}
+
+TEST_P(TransversalSweep, DoubleTransversalIsIdentity) {
+  const Hypergraph simple = RandomHypergraph(7, 5, GetParam()).Minimized();
+  EXPECT_EQ(Sorted(DoubleTransversal(simple)), Sorted(simple.edges()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransversalSweep,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace depminer

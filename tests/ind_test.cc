@@ -1,0 +1,96 @@
+#include "ind/unary_ind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+bool Contains(const std::vector<UnaryInd>& inds, const UnaryInd& ind) {
+  return std::find(inds.begin(), inds.end(), ind) != inds.end();
+}
+
+TEST(UnaryInd, WithinOneRelation) {
+  // Column B's values {1,2} ⊆ column A's values {1,2,3}; not vice versa.
+  Result<Relation> r = MakeRelation({
+      {"1", "1"}, {"2", "2"}, {"3", "1"}, {"1", "2"},
+  });
+  ASSERT_TRUE(r.ok());
+  const std::vector<UnaryInd> inds = DiscoverUnaryInds({&r.value()});
+  EXPECT_TRUE(Contains(inds, {0, 1, 0, 0}));   // B ⊆ A
+  EXPECT_FALSE(Contains(inds, {0, 0, 0, 1}));  // A ⊄ B
+  EXPECT_EQ(inds.size(), 1u);
+}
+
+TEST(UnaryInd, AcrossRelationsForeignKeyShape) {
+  // orders.customer_id ⊆ customers.id — the foreign-key candidate.
+  Result<Relation> customers = MakeRelation(
+      Schema({"id", "name"}),
+      {{"c1", "ann"}, {"c2", "bob"}, {"c3", "eve"}});
+  Result<Relation> orders = MakeRelation(
+      Schema({"order", "customer_id"}),
+      {{"o1", "c1"}, {"o2", "c1"}, {"o3", "c3"}});
+  ASSERT_TRUE(customers.ok());
+  ASSERT_TRUE(orders.ok());
+  const std::vector<const Relation*> rels = {&customers.value(),
+                                             &orders.value()};
+  const std::vector<UnaryInd> inds = DiscoverUnaryInds(rels);
+  const UnaryInd fk{1, 1, 0, 0};  // orders.customer_id ⊆ customers.id
+  EXPECT_TRUE(Contains(inds, fk));
+  EXPECT_FALSE(Contains(inds, {0, 0, 1, 1}));  // customers.id ⊄ orders
+  EXPECT_EQ(IndToString(fk, rels, {"customers", "orders"}),
+            "orders.customer_id <= customers.id");
+}
+
+TEST(UnaryInd, EqualColumnsIncludeBothWays) {
+  Result<Relation> r = MakeRelation({{"x", "x"}, {"y", "y"}});
+  ASSERT_TRUE(r.ok());
+  const std::vector<UnaryInd> inds = DiscoverUnaryInds({&r.value()});
+  EXPECT_TRUE(Contains(inds, {0, 0, 0, 1}));
+  EXPECT_TRUE(Contains(inds, {0, 1, 0, 0}));
+}
+
+TEST(UnaryInd, ReflexiveOnlyOnRequest) {
+  Result<Relation> r = MakeRelation({{"x"}, {"y"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(DiscoverUnaryInds({&r.value()}).empty());
+  IndOptions options;
+  options.include_reflexive = true;
+  const std::vector<UnaryInd> inds =
+      DiscoverUnaryInds({&r.value()}, options);
+  EXPECT_TRUE(Contains(inds, {0, 0, 0, 0}));
+}
+
+TEST(UnaryInd, MaxDistinctSkipsWideColumns) {
+  Result<Relation> r = MakeRelation({
+      {"1", "1"}, {"2", "2"}, {"3", "3"}, {"4", "1"},
+  });
+  ASSERT_TRUE(r.ok());
+  IndOptions options;
+  options.max_distinct = 3;
+  // Column A has 4 distinct values and is skipped entirely; only B (3
+  // distinct) remains, with nothing to compare against.
+  EXPECT_TRUE(DiscoverUnaryInds({&r.value()}, options).empty());
+}
+
+TEST(UnaryInd, TransitivityHolds) {
+  // C ⊆ B ⊆ A must yield C ⊆ A as well.
+  Result<Relation> r = MakeRelation({
+      {"1", "1", "1"}, {"2", "2", "1"}, {"3", "1", "2"}, {"4", "2", "2"},
+  });
+  ASSERT_TRUE(r.ok());
+  const std::vector<UnaryInd> inds = DiscoverUnaryInds({&r.value()});
+  const bool c_in_b = Contains(inds, {0, 2, 0, 1});
+  const bool b_in_a = Contains(inds, {0, 1, 0, 0});
+  const bool c_in_a = Contains(inds, {0, 2, 0, 0});
+  EXPECT_TRUE(c_in_b);
+  EXPECT_TRUE(b_in_a);
+  EXPECT_TRUE(c_in_a);
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,197 @@
+// Cross-module integration tests: CSV → Dep-Miner → normalization →
+// Armstrong → re-mining, plus paper-style workloads from the synthetic
+// generator, exercising the whole pipeline the way the examples and the
+// bench harness do.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/armstrong.h"
+#include "core/dep_miner.h"
+#include "datagen/embedded_fd.h"
+#include "datagen/synthetic.h"
+#include "fd/keys.h"
+#include "fd/normalization.h"
+#include "fd/satisfaction.h"
+#include "relation/csv.h"
+#include "tane/tane.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+
+TEST(Integration, CsvToFdsToArmstrongRoundTrip) {
+  // A small "employees" CSV: dep -> mgr and dep -> site planted by hand.
+  const std::string csv =
+      "emp,dep,mgr,site\n"
+      "e1,sales,alice,paris\n"
+      "e2,sales,alice,paris\n"
+      "e3,it,bob,lyon\n"
+      "e4,it,bob,lyon\n"
+      "e5,hr,carol,paris\n"
+      "e6,hr,carol,paris\n";
+  Result<Relation> relation = ParseCsvRelation(csv);
+  ASSERT_TRUE(relation.ok());
+
+  Result<DepMinerResult> mined = MineDependencies(relation.value());
+  ASSERT_TRUE(mined.ok());
+  const FdSet& fds = mined.value().fds;
+  ASSERT_TRUE(relation.value().schema().Find("dep").ok());
+  const AttributeId dep = relation.value().schema().Find("dep").value();
+  const AttributeId mgr = relation.value().schema().Find("mgr").value();
+  const AttributeId site = relation.value().schema().Find("site").value();
+  EXPECT_TRUE(fds.Implies(AttributeSet::Single(dep), mgr));
+  EXPECT_TRUE(fds.Implies(AttributeSet::Single(dep), site));
+
+  // The real-world Armstrong sample uses only CSV values and re-mines to
+  // the same cover.
+  ASSERT_TRUE(mined.value().armstrong.has_value());
+  const Relation& sample = *mined.value().armstrong;
+  EXPECT_LT(sample.num_tuples(), relation.value().num_tuples());
+  Result<DepMinerResult> remined = MineDependencies(sample);
+  ASSERT_TRUE(remined.ok());
+  EXPECT_EQ(remined.value().fds.fds(), fds.fds());
+
+  // Serialize the sample and parse it back — still Armstrong.
+  const std::string out = CsvToString(sample);
+  Result<Relation> reparsed = ParseCsvRelation(out);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(IsArmstrongFor(reparsed.value(), mined.value().all_max_sets));
+}
+
+TEST(Integration, LogicalTuningWorkflow) {
+  // The paper's motivating dba workflow: discover FDs, analyze normal
+  // forms, propose a decomposition.
+  EmbeddedFdConfig config;
+  config.num_attributes = 5;
+  config.num_tuples = 400;
+  config.fds = {Fd("A", 'B'), Fd("B", 'C')};  // transitive chain
+  config.domain_size = 30;
+  config.seed = 12;
+  Result<Relation> relation = GenerateWithEmbeddedFds(config);
+  ASSERT_TRUE(relation.ok());
+
+  Result<DepMinerResult> mined = MineDependencies(relation.value());
+  ASSERT_TRUE(mined.ok());
+  NormalizationAnalysis analysis(relation.value().schema(),
+                                 mined.value().fds);
+  // B -> C with B not a key: schema cannot be in BCNF.
+  EXPECT_TRUE(mined.value().fds.Implies(Fd("B", 'C')));
+  EXPECT_FALSE(IsSuperkey(mined.value().fds, AttributeSet::FromLetters("B")));
+  EXPECT_FALSE(analysis.InBcnf());
+
+  const std::vector<DecompositionFragment> fragments =
+      analysis.ThirdNfSynthesis();
+  ASSERT_FALSE(fragments.empty());
+  AttributeSet covered;
+  for (const DecompositionFragment& f : fragments) {
+    covered = covered.Union(f.attributes);
+  }
+  EXPECT_EQ(covered, relation.value().universe());
+}
+
+TEST(Integration, PaperWorkloadSmallScale) {
+  // A miniature cell of the paper's benchmark grid: synthetic data with
+  // c = 0.3, compare all three discovery routes and build the Armstrong
+  // sample, asserting the relationships the evaluation relies on.
+  SyntheticConfig config;
+  config.num_attributes = 8;
+  config.num_tuples = 500;
+  config.identical_rate = 0.3;
+  config.seed = 2024;
+  Result<Relation> relation = GenerateSynthetic(config);
+  ASSERT_TRUE(relation.ok());
+
+  DepMinerOptions couples_options;
+  couples_options.agree_set_algorithm = AgreeSetAlgorithm::kCouples;
+  Result<DepMinerResult> couples =
+      MineDependencies(relation.value(), couples_options);
+  ASSERT_TRUE(couples.ok());
+
+  DepMinerOptions ids_options;
+  ids_options.agree_set_algorithm = AgreeSetAlgorithm::kIdentifiers;
+  ids_options.build_armstrong = false;
+  Result<DepMinerResult> identifiers =
+      MineDependencies(relation.value(), ids_options);
+  ASSERT_TRUE(identifiers.ok());
+
+  Result<TaneResult> tane = TaneDiscover(relation.value());
+  ASSERT_TRUE(tane.ok());
+
+  EXPECT_EQ(couples.value().fds.fds(), identifiers.value().fds.fds());
+  EXPECT_EQ(couples.value().fds.fds(), tane.value().fds.fds());
+
+  // Every reported FD actually holds and is minimal (spot check on a
+  // relation too big for the naive oracle).
+  for (const FunctionalDependency& fd : couples.value().fds.fds()) {
+    EXPECT_TRUE(Holds(relation.value(), fd)) << fd.ToString();
+    EXPECT_TRUE(IsMinimalFd(relation.value(), fd)) << fd.ToString();
+  }
+
+  // Armstrong sample is small relative to the input (the paper's 1/100 to
+  // 1/10,000 observation scales with size; here just require shrinkage).
+  if (couples.value().armstrong.has_value()) {
+    EXPECT_LT(couples.value().armstrong->num_tuples(),
+              relation.value().num_tuples());
+    EXPECT_TRUE(IsArmstrongFor(*couples.value().armstrong,
+                               couples.value().all_max_sets));
+  }
+}
+
+TEST(Integration, WriteAndMineTempCsvFile) {
+  SyntheticConfig config;
+  config.num_attributes = 5;
+  config.num_tuples = 120;
+  config.identical_rate = 0.4;
+  config.seed = 5;
+  Result<Relation> relation = GenerateSynthetic(config);
+  ASSERT_TRUE(relation.ok());
+
+  const std::string path = ::testing::TempDir() + "/depminer_integ.csv";
+  ASSERT_TRUE(WriteCsvRelation(relation.value(), path).ok());
+  Result<Relation> loaded = ReadCsvRelation(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  Result<DepMinerResult> direct = MineDependencies(relation.value());
+  Result<DepMinerResult> via_csv = MineDependencies(loaded.value());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_csv.ok());
+  EXPECT_EQ(direct.value().fds.fds(), via_csv.value().fds.fds());
+}
+
+// Paper-shape property: Armstrong relation size equals |MAX(dep(r))| + 1
+// across generator settings (Definition 1 (2)).
+class ArmstrongSizeSweep
+    : public ::testing::TestWithParam<std::pair<double, uint64_t>> {};
+
+TEST_P(ArmstrongSizeSweep, SizeIsMaxPlusOne) {
+  SyntheticConfig config;
+  config.num_attributes = 6;
+  config.num_tuples = 300;
+  config.identical_rate = GetParam().first;
+  config.seed = GetParam().second;
+  Result<Relation> relation = GenerateSynthetic(config);
+  ASSERT_TRUE(relation.ok());
+  Result<DepMinerResult> mined = MineDependencies(relation.value());
+  ASSERT_TRUE(mined.ok());
+  if (mined.value().armstrong.has_value()) {
+    EXPECT_EQ(mined.value().armstrong->num_tuples(),
+              mined.value().all_max_sets.size() + 1);
+  } else {
+    EXPECT_EQ(mined.value().armstrong_status.code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, ArmstrongSizeSweep,
+    ::testing::Values(std::make_pair(0.0, 1ull), std::make_pair(0.1, 2ull),
+                      std::make_pair(0.3, 3ull), std::make_pair(0.5, 4ull),
+                      std::make_pair(0.8, 5ull), std::make_pair(1.0, 6ull)));
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,94 @@
+#include "core/inversion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/armstrong.h"
+#include "core/dep_miner.h"
+#include "tane/tane.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::Sets;
+using ::depminer::testing::SetsToString;
+
+TEST(Inversion, PaperExampleRoundTrip) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+
+  const MaxSetResult inverted = MaxSetsFromFds(mined.value().fds);
+  for (AttributeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(inverted.max_sets[a], mined.value().max_sets.max_sets[a])
+        << "attribute " << a;
+    EXPECT_EQ(inverted.cmax_sets[a], mined.value().max_sets.cmax_sets[a]);
+  }
+  EXPECT_EQ(AllMaxSetsFromFds(mined.value().fds), Sets({"A", "BDE", "CE"}));
+}
+
+TEST(Inversion, ConstantAttributeHasNoMaxSets) {
+  Result<Relation> r = MakeRelation({{"c", "1"}, {"c", "2"}});
+  ASSERT_TRUE(r.ok());
+  Result<DepMinerResult> mined = MineDependencies(r.value());
+  ASSERT_TRUE(mined.ok());
+  const MaxSetResult inverted = MaxSetsFromFds(mined.value().fds);
+  EXPECT_TRUE(inverted.max_sets[0].empty());   // constant column A
+  EXPECT_FALSE(inverted.max_sets[1].empty());  // key column B
+}
+
+TEST(Inversion, UndeterminedAttributeYieldsFullComplement) {
+  // Nothing (non-trivially) determines B: max(dep(r), B) = {R \ B}.
+  Result<Relation> r = MakeRelation({
+      {"1", "x"}, {"1", "y"}, {"2", "x"}, {"2", "y"},
+  });
+  ASSERT_TRUE(r.ok());
+  Result<DepMinerResult> mined = MineDependencies(r.value());
+  ASSERT_TRUE(mined.ok());
+  ASSERT_TRUE(mined.value().fds.Empty()) << mined.value().fds.ToString();
+  const MaxSetResult inverted = MaxSetsFromFds(mined.value().fds);
+  EXPECT_EQ(inverted.max_sets[0], Sets({"B"}));
+  EXPECT_EQ(inverted.max_sets[1], Sets({"A"}));
+}
+
+// The paper's §5.1 pipeline: TANE output → Tr(lhs) → maximal sets →
+// real-world Armstrong relation. Must match the Dep-Miner route exactly.
+class InversionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InversionSweep, TaneRouteMatchesDepMinerRoute) {
+  const uint64_t seed = GetParam();
+  const Relation r =
+      RandomRelation(3 + seed % 5, 25 + 7 * (seed % 6), 3 + seed % 5, seed);
+
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+
+  Result<TaneResult> tane = TaneDiscover(r);
+  ASSERT_TRUE(tane.ok());
+
+  const std::vector<AttributeSet> via_tane =
+      AllMaxSetsFromFds(tane.value().fds);
+  EXPECT_EQ(via_tane, mined.value().all_max_sets)
+      << "tane-route " << SetsToString(via_tane) << " dep-miner "
+      << SetsToString(mined.value().all_max_sets);
+
+  // And the Armstrong relations built from both agree.
+  Result<Relation> from_tane = BuildRealWorldArmstrong(r, via_tane);
+  if (mined.value().armstrong.has_value()) {
+    ASSERT_TRUE(from_tane.ok());
+    EXPECT_EQ(from_tane.value().num_tuples(),
+              mined.value().armstrong->num_tuples());
+    EXPECT_TRUE(IsArmstrongFor(from_tane.value(), via_tane));
+  } else {
+    EXPECT_FALSE(from_tane.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InversionSweep,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace depminer

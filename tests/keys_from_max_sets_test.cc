@@ -1,0 +1,64 @@
+#include "core/keys_from_max_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dep_miner.h"
+#include "fd/keys.h"
+#include "fd/satisfaction.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::Sets;
+using ::depminer::testing::SetsToString;
+
+TEST(KeysFromMaxSets, PaperExample) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  const std::vector<AttributeSet> keys =
+      KeysFromMaxSets(mined.value().all_max_sets, 5);
+  // Verified against the Lucchesi-Osborn enumeration on the FD cover.
+  EXPECT_EQ(keys, CandidateKeys(mined.value().fds)) << SetsToString(keys);
+  // And semantically: each key determines every attribute in r.
+  for (const AttributeSet& k : keys) {
+    for (AttributeId a = 0; a < 5; ++a) {
+      EXPECT_TRUE(Holds(r, k, a)) << k.ToString();
+    }
+  }
+}
+
+TEST(KeysFromMaxSets, NoMaxSetsMeansEmptyKey) {
+  const std::vector<AttributeSet> keys = KeysFromMaxSets({}, 3);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_TRUE(keys[0].Empty());
+}
+
+TEST(KeysFromMaxSets, AllDisagreeRelation) {
+  // MAX = {∅}: every single attribute is a key.
+  const std::vector<AttributeSet> keys =
+      KeysFromMaxSets({AttributeSet()}, 3);
+  EXPECT_EQ(keys, Sets({"A", "B", "C"}));
+}
+
+class KeysSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeysSweep, AgreesWithFdBasedEnumeration) {
+  const uint64_t seed = GetParam();
+  const Relation r =
+      RandomRelation(3 + seed % 5, 20 + 8 * (seed % 5), 2 + seed % 5, seed);
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(KeysFromMaxSets(mined.value().all_max_sets, r.num_attributes()),
+            CandidateKeys(mined.value().fds))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeysSweep, ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace depminer

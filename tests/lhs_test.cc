@@ -1,0 +1,119 @@
+// Dedicated tests for the LEFT_HAND_SIDE stage (Algorithm 5 applied per
+// attribute) and FD_OUTPUT (Algorithm 6), beyond the worked-example
+// assertions in paper_example_test.cc.
+
+#include "core/lhs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agree_sets.h"
+#include "core/max_sets.h"
+#include "hypergraph/berge_transversals.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::Sets;
+
+LhsResult LhsOf(const Relation& r) {
+  return ComputeLhs(ComputeMaxSets(ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r))));
+}
+
+TEST(Lhs, ConstantAttributeGetsEmptyLhs) {
+  Result<Relation> r = MakeRelation({{"c", "1"}, {"c", "2"}});
+  ASSERT_TRUE(r.ok());
+  const LhsResult lhs = LhsOf(r.value());
+  // lhs(A) = {∅}: cmax(A) is empty and the empty transversal covers it.
+  ASSERT_EQ(lhs.lhs[0].size(), 1u);
+  EXPECT_TRUE(lhs.lhs[0][0].Empty());
+}
+
+TEST(Lhs, AllDisagreeGivesAllSingletons) {
+  Result<Relation> r = MakeRelation({{"1", "x", "p"}, {"2", "y", "q"}});
+  ASSERT_TRUE(r.ok());
+  const LhsResult lhs = LhsOf(r.value());
+  for (AttributeId a = 0; a < 3; ++a) {
+    EXPECT_EQ(lhs.lhs[a], Sets({"A", "B", "C"})) << "attribute " << a;
+  }
+}
+
+TEST(Lhs, FamiliesAreAntichains) {
+  const Relation r = RandomRelation(6, 60, 3, 5);
+  const LhsResult lhs = LhsOf(r);
+  for (AttributeId a = 0; a < 6; ++a) {
+    for (const AttributeSet& x : lhs.lhs[a]) {
+      for (const AttributeSet& y : lhs.lhs[a]) {
+        if (x != y) {
+          EXPECT_FALSE(x.IsSubsetOf(y))
+              << x.ToString() << " ⊆ " << y.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(Lhs, TrivialSingletonOnlyTrivialLhsContainingAttribute) {
+  const Relation r = RandomRelation(5, 50, 3, 9);
+  const LhsResult lhs = LhsOf(r);
+  // The only lhs of A that may contain A is {A} itself (every cmax edge
+  // contains A, so {A} is a transversal and any other set containing A is
+  // a non-minimal superset).
+  for (AttributeId a = 0; a < 5; ++a) {
+    for (const AttributeSet& x : lhs.lhs[a]) {
+      if (x.Contains(a)) {
+        EXPECT_EQ(x, AttributeSet::Single(a));
+      }
+    }
+  }
+}
+
+TEST(Lhs, MatchesBergeTransversalsOfCmax) {
+  const Relation r = RandomRelation(6, 80, 4, 13);
+  const MaxSetResult max = ComputeMaxSets(ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r)));
+  const LhsResult lhs = ComputeLhs(max);
+  for (AttributeId a = 0; a < 6; ++a) {
+    std::vector<AttributeSet> berge = BergeMinimalTransversals(
+        Hypergraph(6, max.cmax_sets[a]));
+    SortSets(&berge);
+    EXPECT_EQ(lhs.lhs[a], berge) << "attribute " << a;
+  }
+}
+
+TEST(Lhs, StatsAccumulateAcrossAttributes) {
+  const Relation r = RandomRelation(5, 40, 3, 21);
+  const LhsResult lhs = LhsOf(r);
+  size_t total_lhs = 0;
+  for (const auto& family : lhs.lhs) total_lhs += family.size();
+  EXPECT_EQ(lhs.stats.transversals_found, total_lhs);
+  EXPECT_GE(lhs.stats.candidates_generated, total_lhs);
+}
+
+TEST(OutputFds, FiltersExactlyTheTrivialSingleton) {
+  LhsResult lhs;
+  lhs.num_attributes = 3;
+  lhs.lhs.resize(3);
+  lhs.lhs[0] = Sets({"A", "BC"});  // {A} filtered, BC kept
+  lhs.lhs[1] = Sets({""});         // constant: ∅ → B kept
+  lhs.lhs[2] = Sets({"B"});        // B → C kept
+  const FdSet fds = OutputFds(lhs);
+  ASSERT_EQ(fds.size(), 3u) << fds.ToString();
+  EXPECT_EQ(fds.fds()[0], Fd("BC", 'A'));
+  EXPECT_EQ(fds.fds()[1], Fd("", 'B'));
+  EXPECT_EQ(fds.fds()[2], Fd("B", 'C'));
+}
+
+TEST(OutputFds, EmptyLhsFamiliesGiveNoFds) {
+  LhsResult lhs;
+  lhs.num_attributes = 2;
+  lhs.lhs.resize(2);
+  EXPECT_TRUE(OutputFds(lhs).Empty());
+}
+
+}  // namespace
+}  // namespace depminer

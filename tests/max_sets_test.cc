@@ -1,0 +1,139 @@
+#include "core/max_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agree_sets.h"
+#include "fd/satisfaction.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::Sets;
+using ::depminer::testing::SetsToString;
+
+AgreeSetResult Agree(const Relation& r) {
+  return ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r));
+}
+
+/// Brute-force max(dep(r), A) straight from the definition: the ⊆-maximal
+/// X ⊆ R\{A} with r ⊭ X → A.
+std::vector<AttributeSet> MaxSetsByDefinition(const Relation& r,
+                                              AttributeId a) {
+  const size_t n = r.num_attributes();
+  std::vector<AttributeSet> failing;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (mask & (1u << a)) continue;
+    AttributeSet x;
+    for (AttributeId b = 0; b < n; ++b) {
+      if (mask & (1u << b)) x.Add(b);
+    }
+    if (!Holds(r, x, a)) failing.push_back(x);
+  }
+  std::vector<AttributeSet> out = MaximalSets(std::move(failing));
+  SortSets(&out);
+  return out;
+}
+
+TEST(MaxSets, CmaxIsExactComplement) {
+  const Relation r = RandomRelation(5, 30, 3, 7);
+  const MaxSetResult result = ComputeMaxSets(Agree(r));
+  const AttributeSet universe = AttributeSet::Universe(5);
+  for (AttributeId a = 0; a < 5; ++a) {
+    ASSERT_EQ(result.max_sets[a].size(), result.cmax_sets[a].size());
+    // Complement is an involution; check as sets.
+    std::vector<AttributeSet> complements;
+    for (const AttributeSet& x : result.max_sets[a]) {
+      complements.push_back(universe.Minus(x));
+    }
+    SortSets(&complements);
+    EXPECT_EQ(result.cmax_sets[a], complements);
+  }
+}
+
+TEST(MaxSets, CmaxEdgesAllContainTheAttribute) {
+  const Relation r = RandomRelation(5, 40, 3, 13);
+  const MaxSetResult result = ComputeMaxSets(Agree(r));
+  for (AttributeId a = 0; a < 5; ++a) {
+    for (const AttributeSet& e : result.cmax_sets[a]) {
+      EXPECT_TRUE(e.Contains(a)) << "cmax edge must contain its attribute";
+    }
+  }
+}
+
+TEST(MaxSets, CmaxFormsSimpleHypergraph) {
+  const Relation r = RandomRelation(6, 50, 4, 21);
+  const MaxSetResult result = ComputeMaxSets(Agree(r));
+  for (AttributeId a = 0; a < 6; ++a) {
+    const std::vector<AttributeSet>& edges = result.cmax_sets[a];
+    for (size_t i = 0; i < edges.size(); ++i) {
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(edges[i].IsProperSubsetOf(edges[j]))
+            << "max sets must be mutually incomparable";
+      }
+    }
+  }
+}
+
+TEST(MaxSets, ConstantColumnYieldsEmptyMaxFamily) {
+  // Column A constant: every pair agrees on A, so no agree set avoids A
+  // and ∅ → A holds; max(dep(r), A) must be empty (not {∅}).
+  Result<Relation> rel = MakeRelation({{"c", "1"}, {"c", "2"}, {"c", "3"}});
+  ASSERT_TRUE(rel.ok());
+  const MaxSetResult result = ComputeMaxSets(Agree(rel.value()));
+  EXPECT_TRUE(result.max_sets[0].empty());
+  EXPECT_TRUE(result.cmax_sets[0].empty());
+}
+
+TEST(MaxSets, AllPairsDisagreeEverywhere) {
+  // Key-like relation where every pair of tuples differs on every
+  // attribute: ag(r) = {∅}; for each A, max(dep(r), A) = {∅} and
+  // cmax(dep(r), A) = {R}.
+  Result<Relation> rel = MakeRelation({{"1", "x"}, {"2", "y"}, {"3", "z"}});
+  ASSERT_TRUE(rel.ok());
+  const AgreeSetResult agree = Agree(rel.value());
+  EXPECT_TRUE(agree.sets.empty());
+  EXPECT_TRUE(agree.contains_empty);
+  const MaxSetResult result = ComputeMaxSets(agree);
+  for (AttributeId a = 0; a < 2; ++a) {
+    ASSERT_EQ(result.max_sets[a].size(), 1u);
+    EXPECT_TRUE(result.max_sets[a][0].Empty());
+    ASSERT_EQ(result.cmax_sets[a].size(), 1u);
+    EXPECT_EQ(result.cmax_sets[a][0], AttributeSet::FromLetters("AB"));
+  }
+}
+
+TEST(MaxSets, AllMaxSetsKeepsCrossAttributeSubsets) {
+  // MAX(dep(r)) is a plain union: a max set for one attribute may be a
+  // subset of a max set for another and both must be kept.
+  AgreeSetResult agree;
+  agree.num_attributes = 3;
+  agree.num_tuples = 4;
+  agree.sets = Sets({"A", "AB"});
+  const MaxSetResult result = ComputeMaxSets(agree);
+  // max(C) = {AB}; max(B) = {A}; AllMaxSets = {A, AB}.
+  EXPECT_EQ(result.AllMaxSets(), Sets({"A", "AB"}));
+}
+
+// Differential sweep against the brute-force definition (Lemma 3).
+class MaxSetSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaxSetSweep, Lemma3MatchesDefinition) {
+  const Relation r = RandomRelation(5, 24, 3, GetParam());
+  const MaxSetResult result = ComputeMaxSets(Agree(r));
+  for (AttributeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(result.max_sets[a], MaxSetsByDefinition(r, a))
+        << "attribute " << a << ": got "
+        << SetsToString(result.max_sets[a]) << " expected "
+        << SetsToString(MaxSetsByDefinition(r, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSetSweep, ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,129 @@
+#include "ind/nary_ind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+bool Contains(const std::vector<NaryInd>& inds, const NaryInd& ind) {
+  return std::find(inds.begin(), inds.end(), ind) != inds.end();
+}
+
+TEST(NaryInd, CompositeForeignKey) {
+  // orders(cust, site) ⊆ customers(id, site): a two-column foreign key.
+  Result<Relation> customers = MakeRelation(
+      Schema({"id", "site", "name"}),
+      {{"c1", "eu", "ann"}, {"c2", "us", "bob"}, {"c1", "us", "ann2"}});
+  Result<Relation> orders = MakeRelation(
+      Schema({"order", "cust", "site"}),
+      {{"o1", "c1", "eu"}, {"o2", "c1", "us"}, {"o3", "c2", "us"}});
+  ASSERT_TRUE(customers.ok());
+  ASSERT_TRUE(orders.ok());
+  const std::vector<const Relation*> rels = {&customers.value(),
+                                             &orders.value()};
+  NaryIndStats stats;
+  const std::vector<NaryInd> inds = DiscoverNaryInds(rels, {}, &stats);
+
+  const NaryInd fk{1, {1, 2}, 0, {0, 1}};  // orders[cust,site] ⊆ customers[id,site]
+  EXPECT_TRUE(Contains(inds, fk));
+  EXPECT_TRUE(IndHolds(rels, fk));
+  EXPECT_EQ(stats.valid_per_arity[1], stats.unary_count);
+  EXPECT_GT(stats.candidates_checked, 0u);
+  EXPECT_EQ(IndToString(fk, rels, {"customers", "orders"}),
+            "orders.[cust,site] <= customers.[id,site]");
+}
+
+TEST(NaryInd, BinaryIndRequiresJointInclusion) {
+  // Both columns unary-included but the *pairs* don't match.
+  Result<Relation> s = MakeRelation(Schema({"a", "b"}),
+                                    {{"1", "x"}, {"2", "y"}});
+  Result<Relation> r = MakeRelation(Schema({"c", "d"}),
+                                    {{"1", "y"}});  // (1,y) not in s
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(r.ok());
+  const std::vector<const Relation*> rels = {&s.value(), &r.value()};
+  const std::vector<NaryInd> inds = DiscoverNaryInds(rels);
+  EXPECT_TRUE(Contains(inds, NaryInd{1, {0}, 0, {0}}));  // c ⊆ a
+  EXPECT_TRUE(Contains(inds, NaryInd{1, {1}, 0, {1}}));  // d ⊆ b
+  EXPECT_FALSE(Contains(inds, NaryInd{1, {0, 1}, 0, {0, 1}}));
+  EXPECT_FALSE(IndHolds(rels, NaryInd{1, {0, 1}, 0, {0, 1}}));
+}
+
+TEST(NaryInd, MaxArityCapsSearch) {
+  Result<Relation> r = MakeRelation(
+      Schema({"a", "b", "c", "a2", "b2", "c2"}),
+      {{"1", "x", "p", "1", "x", "p"}, {"2", "y", "q", "2", "y", "q"}});
+  ASSERT_TRUE(r.ok());
+  NaryIndOptions options;
+  options.max_arity = 2;
+  const std::vector<NaryInd> inds =
+      DiscoverNaryInds({&r.value()}, options);
+  for (const NaryInd& ind : inds) {
+    EXPECT_LE(ind.arity(), 2u);
+  }
+  // The duplicated column block gives [a,b] ⊆ [a2,b2].
+  EXPECT_TRUE(Contains(inds, NaryInd{0, {0, 1}, 0, {3, 4}}));
+}
+
+TEST(NaryInd, TriaryViaDuplicatedBlock) {
+  Result<Relation> r = MakeRelation(
+      Schema({"a", "b", "c", "a2", "b2", "c2"}),
+      {{"1", "x", "p", "1", "x", "p"},
+       {"2", "y", "q", "2", "y", "q"},
+       {"3", "z", "r", "3", "z", "r"}});
+  ASSERT_TRUE(r.ok());
+  const std::vector<NaryInd> inds = DiscoverNaryInds({&r.value()});
+  EXPECT_TRUE(Contains(inds, NaryInd{0, {0, 1, 2}, 0, {3, 4, 5}}));
+  EXPECT_TRUE(Contains(inds, NaryInd{0, {3, 4, 5}, 0, {0, 1, 2}}));
+}
+
+TEST(NaryInd, NoTrivialIdentityInds) {
+  Result<Relation> r = MakeRelation(Schema({"a", "b"}),
+                                    {{"1", "1"}, {"2", "2"}});
+  ASSERT_TRUE(r.ok());
+  const std::vector<NaryInd> inds = DiscoverNaryInds({&r.value()});
+  for (const NaryInd& ind : inds) {
+    EXPECT_FALSE(ind.lhs_relation == ind.rhs_relation &&
+                 ind.lhs_attributes == ind.rhs_attributes)
+        << "trivial IND reported";
+  }
+  // a and b carry equal value sets and pair up both ways at arity 1 and
+  // as the swapped binary IND [a,b] ⊆ [b,a].
+  EXPECT_TRUE(Contains(inds, NaryInd{0, {0}, 0, {1}}));
+  EXPECT_TRUE(Contains(inds, NaryInd{0, {0, 1}, 0, {1, 0}}));
+}
+
+/// Brute-force validity over all arity-2 candidates, as an oracle.
+TEST(NaryInd, MatchesBruteForceAtArityTwo) {
+  Result<Relation> r = MakeRelation(
+      Schema({"a", "b", "c"}),
+      {{"1", "1", "2"}, {"2", "2", "1"}, {"1", "2", "1"}, {"2", "1", "2"}});
+  ASSERT_TRUE(r.ok());
+  const std::vector<const Relation*> rels = {&r.value()};
+  NaryIndOptions options;
+  options.max_arity = 2;
+  const std::vector<NaryInd> found = DiscoverNaryInds(rels, options);
+
+  for (AttributeId a1 = 0; a1 < 3; ++a1) {
+    for (AttributeId a2 = 0; a2 < 3; ++a2) {
+      if (a1 >= a2) continue;  // discovery uses increasing lhs sequences
+      for (AttributeId b1 = 0; b1 < 3; ++b1) {
+        for (AttributeId b2 = 0; b2 < 3; ++b2) {
+          if (b1 == b2) continue;
+          const NaryInd candidate{0, {a1, a2}, 0, {b1, b2}};
+          if (candidate.lhs_attributes == candidate.rhs_attributes) continue;
+          EXPECT_EQ(Contains(found, candidate), IndHolds(rels, candidate))
+              << IndToString(candidate, rels, {"r"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depminer

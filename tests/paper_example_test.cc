@@ -1,0 +1,258 @@
+// End-to-end verification of every intermediate object of the paper's §3
+// worked example (Examples 1-13): partitions, stripped partitions, maximal
+// equivalence classes, couples, agree sets, max/cmax sets, per-attribute
+// lhs families, the 14 minimal FDs, and both Armstrong constructions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/agree_sets.h"
+#include "core/armstrong.h"
+#include "core/dep_miner.h"
+#include "core/lhs.h"
+#include "core/max_sets.h"
+#include "fd/satisfaction.h"
+#include "partition/partition_database.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::Sets;
+using ::depminer::testing::SetsToString;
+
+constexpr AttributeId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+
+/// Converts 1-based tuple numbers (the paper's) to classes of TupleIds.
+std::vector<EquivalenceClass> Classes(
+    std::vector<std::vector<TupleId>> one_based) {
+  for (auto& c : one_based) {
+    for (TupleId& t : c) --t;
+    std::sort(c.begin(), c.end());
+  }
+  std::sort(one_based.begin(), one_based.end());
+  return one_based;
+}
+
+std::vector<EquivalenceClass> Sorted(std::vector<EquivalenceClass> classes) {
+  for (auto& c : classes) std::sort(c.begin(), c.end());
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+TEST(PaperExample, Example1Partitions) {
+  const Relation r = PaperExampleRelation();
+  EXPECT_EQ(Sorted(Partition::ForAttribute(r, kA).classes()),
+            Classes({{1, 2}, {3}, {4}, {5}, {6}, {7}}));
+  EXPECT_EQ(Sorted(Partition::ForAttribute(r, kB).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4}, {5}}));
+  EXPECT_EQ(Sorted(Partition::ForAttribute(r, kC).classes()),
+            Classes({{1}, {2}, {3}, {4, 5}, {6}, {7}}));
+  EXPECT_EQ(Sorted(Partition::ForAttribute(r, kD).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4}, {5}}));
+  EXPECT_EQ(Sorted(Partition::ForAttribute(r, kE).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4, 5}}));
+}
+
+TEST(PaperExample, Example2StrippedPartitions) {
+  const Relation r = PaperExampleRelation();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  EXPECT_EQ(Sorted(db.partition(kA).classes()), Classes({{1, 2}}));
+  EXPECT_EQ(Sorted(db.partition(kB).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4}}));
+  EXPECT_EQ(Sorted(db.partition(kC).classes()), Classes({{4, 5}}));
+  EXPECT_EQ(Sorted(db.partition(kD).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4}}));
+  EXPECT_EQ(Sorted(db.partition(kE).classes()),
+            Classes({{1, 6}, {2, 7}, {3, 4, 5}}));
+}
+
+TEST(PaperExample, Example4MaximalEquivalenceClasses) {
+  const Relation r = PaperExampleRelation();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  EXPECT_EQ(Sorted(MaximalEquivalenceClasses(db)),
+            Classes({{1, 2}, {1, 6}, {2, 7}, {3, 4, 5}}));
+}
+
+// Examples 5 and 8: ag(r) = {∅, A, BDE, CE, E}, by both algorithms (and
+// the naive reference).
+TEST(PaperExample, Examples5And8AgreeSets) {
+  const Relation r = PaperExampleRelation();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  const std::vector<AttributeSet> expected = Sets({"A", "BDE", "CE", "E"});
+
+  for (const AgreeSetResult& result :
+       {ComputeAgreeSetsNaive(r), ComputeAgreeSetsCouples(db),
+        ComputeAgreeSetsIdentifiers(db)}) {
+    EXPECT_EQ(result.sets, expected) << SetsToString(result.sets);
+    EXPECT_TRUE(result.contains_empty);  // e.g. tuples 5 and 6 disagree
+  }
+
+  // The six couples of Example 5: (1,2) (1,6) (2,7) (3,4) (3,5) (4,5).
+  const AgreeSetResult couples = ComputeAgreeSetsCouples(db);
+  EXPECT_EQ(couples.couples_examined, 6u);
+}
+
+// Example 8's ec(t) table, checked through the agree sets it induces: the
+// identifier algorithm must reproduce each couple's agree set exactly.
+TEST(PaperExample, Example8CoupleAgreeSets) {
+  const Relation r = PaperExampleRelation();
+  const struct {
+    TupleId a, b;  // 1-based, as the paper numbers them
+    const char* agree;
+  } kCouples[] = {
+      {1, 2, "A"},  {1, 6, "BDE"}, {2, 7, "BDE"},
+      {3, 4, "BDE"}, {3, 5, "E"},  {4, 5, "CE"},
+  };
+  for (const auto& c : kCouples) {
+    EXPECT_EQ(r.AgreeSetOf(c.a - 1, c.b - 1),
+              AttributeSet::FromLetters(c.agree))
+        << "(" << c.a << "," << c.b << ")";
+  }
+  // And tuples 5 and 6 disagree everywhere — the source of ∅ ∈ ag(r).
+  EXPECT_TRUE(r.AgreeSetOf(4, 5).Empty());
+}
+
+TEST(PaperExample, Example9MaxAndCmaxSets) {
+  const Relation r = PaperExampleRelation();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  const MaxSetResult max = ComputeMaxSets(ComputeAgreeSetsIdentifiers(db));
+
+  EXPECT_EQ(max.max_sets[kA], Sets({"CE", "BDE"}));
+  EXPECT_EQ(max.max_sets[kB], Sets({"A", "CE"}));
+  EXPECT_EQ(max.max_sets[kC], Sets({"A", "BDE"}));
+  EXPECT_EQ(max.max_sets[kD], Sets({"A", "CE"}));
+  EXPECT_EQ(max.max_sets[kE], Sets({"A"}));
+
+  EXPECT_EQ(max.cmax_sets[kA], Sets({"ABD", "AC"}));
+  EXPECT_EQ(max.cmax_sets[kB], Sets({"BCDE", "ABD"}));
+  EXPECT_EQ(max.cmax_sets[kC], Sets({"BCDE", "AC"}));
+  EXPECT_EQ(max.cmax_sets[kD], Sets({"BCDE", "ABD"}));
+  EXPECT_EQ(max.cmax_sets[kE], Sets({"BCDE"}));
+
+  // MAX(dep(r)) used for Armstrong construction: {A, BDE, CE}.
+  EXPECT_EQ(max.AllMaxSets(), Sets({"A", "BDE", "CE"}));
+}
+
+TEST(PaperExample, Example10LeftHandSides) {
+  const Relation r = PaperExampleRelation();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  const LhsResult lhs =
+      ComputeLhs(ComputeMaxSets(ComputeAgreeSetsIdentifiers(db)));
+
+  EXPECT_EQ(lhs.lhs[kA], Sets({"A", "BC", "CD"}));
+  EXPECT_EQ(lhs.lhs[kB], Sets({"AC", "AE", "B", "D"}));
+  EXPECT_EQ(lhs.lhs[kC], Sets({"AB", "AD", "AE", "C"}));
+  EXPECT_EQ(lhs.lhs[kD], Sets({"AC", "AE", "B", "D"}));
+  EXPECT_EQ(lhs.lhs[kE], Sets({"B", "C", "D", "E"}));
+}
+
+TEST(PaperExample, Example11MinimalFds) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+
+  const std::vector<FunctionalDependency> expected = [] {
+    std::vector<FunctionalDependency> fds = {
+        Fd("BC", 'A'), Fd("CD", 'A'), Fd("AC", 'B'), Fd("AE", 'B'),
+        Fd("D", 'B'),  Fd("AB", 'C'), Fd("AD", 'C'), Fd("AE", 'C'),
+        Fd("AC", 'D'), Fd("AE", 'D'), Fd("B", 'D'),  Fd("B", 'E'),
+        Fd("C", 'E'),  Fd("D", 'E'),
+    };
+    Canonicalize(&fds);
+    return fds;
+  }();
+  EXPECT_EQ(mined.value().fds.fds(), expected)
+      << mined.value().fds.ToString();
+}
+
+// Example 12: the synthetic Armstrong relation from
+// MAX(dep(r)) ∪ R = {ABCDE, A, BDE, CE} has 4 tuples and realizes the
+// pattern of Equation 1.
+TEST(PaperExample, Example12SyntheticArmstrong) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  const std::vector<AttributeSet>& max_sets = mined.value().all_max_sets;
+
+  const Relation armstrong = BuildSyntheticArmstrong(r.schema(), max_sets);
+  EXPECT_EQ(armstrong.num_tuples(), max_sets.size() + 1);
+  EXPECT_EQ(armstrong.num_tuples(), 4u);
+  EXPECT_TRUE(IsArmstrongFor(armstrong, max_sets));
+
+  // Same minimal FDs as the original relation.
+  Result<DepMinerResult> remined = MineDependencies(armstrong);
+  ASSERT_TRUE(remined.ok());
+  EXPECT_EQ(remined.value().fds.fds(), mined.value().fds.fds());
+}
+
+// Example 13: Proposition 1 counts and the real-world Armstrong relation.
+TEST(PaperExample, Example13RealWorldArmstrong) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  const std::vector<AttributeSet>& max_sets = mined.value().all_max_sets;
+
+  // |π_A(r)| = 6, |π_B(r)| = 4, |π_C(r)| = 6, |π_D(r)| = 4, |π_E(r)| = 3.
+  EXPECT_EQ(r.DistinctCount(kA), 6u);
+  EXPECT_EQ(r.DistinctCount(kB), 4u);
+  EXPECT_EQ(r.DistinctCount(kC), 6u);
+  EXPECT_EQ(r.DistinctCount(kD), 4u);
+  EXPECT_EQ(r.DistinctCount(kE), 3u);
+
+  // Required values per attribute: |{X ∈ MAX : A ∉ X}| + 1.
+  auto required = [&max_sets](AttributeId a) {
+    size_t count = 0;
+    for (const AttributeSet& m : max_sets) {
+      if (!m.Contains(a)) ++count;
+    }
+    return count + 1;
+  };
+  EXPECT_EQ(required(kA), 3u);  // BDE and CE exclude A
+  EXPECT_EQ(required(kB), 3u);  // A and CE exclude B
+  EXPECT_EQ(required(kC), 3u);
+  EXPECT_EQ(required(kD), 3u);
+  EXPECT_EQ(required(kE), 2u);  // only A excludes E
+
+  EXPECT_TRUE(RealWorldArmstrongExists(r, max_sets).ok());
+  ASSERT_TRUE(mined.value().armstrong.has_value());
+  const Relation& armstrong = *mined.value().armstrong;
+  EXPECT_EQ(armstrong.num_tuples(), 4u);
+  EXPECT_TRUE(IsArmstrongFor(armstrong, max_sets));
+
+  // Definition 1 (3): every value of the sample occurs in the initial
+  // relation's corresponding column.
+  for (TupleId t = 0; t < armstrong.num_tuples(); ++t) {
+    for (AttributeId a = 0; a < armstrong.num_attributes(); ++a) {
+      const std::vector<std::string>& column = r.Dictionary(a);
+      EXPECT_NE(std::find(column.begin(), column.end(), armstrong.Value(t, a)),
+                column.end())
+          << "value not from initial relation: " << armstrong.Value(t, a);
+    }
+  }
+
+  // Equivalent FD representation (Definition 1 (1)).
+  Result<DepMinerResult> remined = MineDependencies(armstrong);
+  ASSERT_TRUE(remined.ok());
+  EXPECT_EQ(remined.value().fds.fds(), mined.value().fds.fds());
+}
+
+// The paper's note in §2: Tr(cmax(dep(r), A)) = lhs(dep(r), A), checked
+// here through satisfaction: every lhs is minimal and holds.
+TEST(PaperExample, LhsAreMinimalFdsBySatisfaction) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(testing::IsExactMinimalFdSetOf(r, mined.value().fds));
+}
+
+}  // namespace
+}  // namespace depminer

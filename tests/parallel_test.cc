@@ -1,0 +1,75 @@
+// Tests for ParallelFor and for thread-count invariance of the
+// parallelized pipeline stages.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/dep_miner.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::RandomRelation;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {0u, 1u, 2u, 3u, 8u, 64u}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    ParallelFor(0, 100, threads, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int calls = 0;
+  ParallelFor(5, 5, 4, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(7, 8, 4, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<size_t> sum{0};
+  ParallelFor(10, 20, 3, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, DefaultThreadCountPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelPipeline, ThreadCountDoesNotChangeResults) {
+  const Relation r = RandomRelation(8, 300, 4, 77);
+  DepMinerOptions serial;
+  serial.num_threads = 1;
+  Result<DepMinerResult> expected = MineDependencies(r, serial);
+  ASSERT_TRUE(expected.ok());
+  for (size_t threads : {2u, 4u, 16u}) {
+    DepMinerOptions options;
+    options.num_threads = threads;
+    Result<DepMinerResult> got = MineDependencies(r, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().fds.fds(), expected.value().fds.fds())
+        << threads << " threads";
+    EXPECT_EQ(got.value().all_max_sets, expected.value().all_max_sets);
+    ASSERT_EQ(got.value().armstrong.has_value(),
+              expected.value().armstrong.has_value());
+    if (got.value().armstrong.has_value()) {
+      EXPECT_EQ(got.value().armstrong->num_tuples(),
+                expected.value().armstrong->num_tuples());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depminer

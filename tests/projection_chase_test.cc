@@ -1,0 +1,132 @@
+// Tests for FD projection, dependency preservation, and the chase-based
+// lossless-join test, including their integration with the normalization
+// analyzer (3NF synthesis is lossless + preserving; BCNF decomposition is
+// lossless).
+
+#include <gtest/gtest.h>
+
+#include "fd/chase.h"
+#include "fd/naive_discovery.h"
+#include "fd/normalization.h"
+#include "fd/projection.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::RandomRelation;
+
+TEST(Projection, TransitiveChainProjectsAway) {
+  // F = {A->B, B->C} over ABC; π_AC(F) must be ≡ {A->C}.
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  const FdSet projected = ProjectFds(f, AttributeSet::FromLetters("AC"));
+  FdSet expected(3, {Fd("A", 'C')});
+  EXPECT_TRUE(projected.EquivalentTo(expected)) << projected.ToString();
+  // Nothing mentioning B.
+  for (const FunctionalDependency& fd : projected.fds()) {
+    EXPECT_FALSE(fd.lhs.Contains(1));
+    EXPECT_NE(fd.rhs, 1u);
+  }
+}
+
+TEST(Projection, OntoFullSchemaIsEquivalent) {
+  FdSet f(4, {Fd("A", 'B'), Fd("BC", 'D'), Fd("D", 'A')});
+  const FdSet projected = ProjectFds(f, AttributeSet::FromLetters("ABCD"));
+  EXPECT_TRUE(projected.EquivalentTo(f));
+}
+
+TEST(Projection, OntoIndependentAttributesIsEmpty) {
+  FdSet f(4, {Fd("A", 'B')});
+  const FdSet projected = ProjectFds(f, AttributeSet::FromLetters("CD"));
+  EXPECT_TRUE(projected.Empty()) << projected.ToString();
+}
+
+TEST(Projection, KeepsConstantAttributes) {
+  FdSet f(3, {Fd("", 'C'), Fd("A", 'B')});
+  const FdSet projected = ProjectFds(f, AttributeSet::FromLetters("BC"));
+  EXPECT_TRUE(projected.Implies(Fd("", 'C')));
+  EXPECT_FALSE(projected.Implies(Fd("", 'B')));
+}
+
+TEST(PreservesDependencies, DetectsLossOfFds) {
+  // F = {A->B, B->C}; split into AB and AC: B->C is lost.
+  FdSet f(3, {Fd("A", 'B'), Fd("B", 'C')});
+  EXPECT_TRUE(PreservesDependencies(
+      f, {AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("BC")}));
+  EXPECT_FALSE(PreservesDependencies(
+      f, {AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("AC")}));
+}
+
+TEST(Chase, ClassicLosslessBinarySplit) {
+  // R(ABC), F = {A->B}: split AB | AC is lossless (A -> B), AB | BC is
+  // not (B determines nothing).
+  FdSet f(3, {Fd("A", 'B')});
+  EXPECT_TRUE(IsLosslessJoin(
+      f, {AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("AC")}));
+  EXPECT_FALSE(IsLosslessJoin(
+      f, {AttributeSet::FromLetters("AB"), AttributeSet::FromLetters("BC")}));
+}
+
+TEST(Chase, BinaryShortcutAgreesWithTableau) {
+  FdSet f(4, {Fd("A", 'B'), Fd("BC", 'D')});
+  const std::vector<std::pair<std::string, std::string>> splits = {
+      {"AB", "ACD"}, {"ABC", "CD"}, {"AB", "CD"}, {"ABD", "BC"}};
+  for (const auto& [left, right] : splits) {
+    const AttributeSet x = AttributeSet::FromLetters(left);
+    const AttributeSet y = AttributeSet::FromLetters(right);
+    EXPECT_EQ(IsLosslessJoin(f, {x, y}), IsLosslessBinaryJoin(f, x, y))
+        << left << " | " << right;
+  }
+}
+
+TEST(Chase, ThreeWayRequiresTableau) {
+  // R(ABCD), F = {A->B, B->C, C->D}: chain decomposition AB|BC|CD is
+  // lossless even though no single binary split proves it directly.
+  FdSet f(4, {Fd("A", 'B'), Fd("B", 'C'), Fd("C", 'D')});
+  EXPECT_TRUE(IsLosslessJoin(f, {AttributeSet::FromLetters("AB"),
+                                 AttributeSet::FromLetters("BC"),
+                                 AttributeSet::FromLetters("CD")}));
+  // Dropping the linking fragment breaks it.
+  EXPECT_FALSE(IsLosslessJoin(f, {AttributeSet::FromLetters("AB"),
+                                  AttributeSet::FromLetters("CD")}));
+}
+
+TEST(Chase, SingleFragmentIsTriviallyLossless) {
+  FdSet f(3, {Fd("A", 'B')});
+  EXPECT_TRUE(IsLosslessJoin(f, {AttributeSet::FromLetters("ABC")}));
+}
+
+// Property sweep: the decompositions proposed by the normalization
+// analyzer are lossless (both) and dependency-preserving (3NF synthesis),
+// with FDs discovered from random relations.
+class NormalizationSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalizationSoundness, ProposalsAreLosslessAndPreserving) {
+  const uint64_t seed = GetParam();
+  const Relation r = RandomRelation(5, 40, 3, seed);
+  const FdSet fds = NaiveFdDiscovery(r);
+  NormalizationAnalysis analysis(r.schema(), fds);
+
+  std::vector<AttributeSet> third_nf;
+  for (const DecompositionFragment& frag : analysis.ThirdNfSynthesis()) {
+    third_nf.push_back(frag.attributes);
+  }
+  if (!third_nf.empty()) {
+    EXPECT_TRUE(IsLosslessJoin(fds, third_nf)) << "seed " << seed;
+    EXPECT_TRUE(PreservesDependencies(fds, third_nf)) << "seed " << seed;
+  }
+
+  std::vector<AttributeSet> bcnf;
+  for (const DecompositionFragment& frag : analysis.BcnfDecomposition()) {
+    bcnf.push_back(frag.attributes);
+  }
+  ASSERT_FALSE(bcnf.empty());
+  EXPECT_TRUE(IsLosslessJoin(fds, bcnf)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationSoundness,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,220 @@
+// Tests for relation utilities (project/select/sample/concat), FD-set
+// text serialization, and NULL semantics in the loaders.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/dep_miner.h"
+#include "fd/fd_io.h"
+#include "fd/naive_discovery.h"
+#include "fd/projection.h"
+#include "fd/satisfaction.h"
+#include "relation/csv.h"
+#include "relation/relation_builder.h"
+#include "relation/relation_ops.h"
+#include "storage/streaming.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+TEST(RelationOps, ProjectKeepsValuesAndNames) {
+  const Relation r = PaperExampleRelation();
+  Result<Relation> projected =
+      ProjectRelation(r, AttributeSet::FromLetters("BD"));
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().schema().names(),
+            (std::vector<std::string>{"depnum", "depname"}));
+  EXPECT_EQ(projected.value().num_tuples(), 7u);
+  EXPECT_EQ(projected.value().Value(0, 0), "1");
+  EXPECT_EQ(projected.value().Value(2, 1), "Computer Sce");
+}
+
+TEST(RelationOps, ProjectionRespectsFdProjection) {
+  // FDs of π_X(r) are implied by π_X(dep(r)); and every projected FD
+  // holds in the projected relation.
+  const Relation r = RandomRelation(5, 40, 3, 7);
+  const AttributeSet x = AttributeSet::FromLetters("ACD");
+  Result<Relation> projected = ProjectRelation(r, x);
+  ASSERT_TRUE(projected.ok());
+  const FdSet full = NaiveFdDiscovery(r);
+  const FdSet on_fragment = ProjectFds(full, x);
+  // Remap attribute ids: projection relation uses dense ids 0..2 for
+  // A, C, D.
+  const std::vector<AttributeId> members = x.Members();
+  for (const FunctionalDependency& fd : on_fragment.fds()) {
+    FunctionalDependency remapped;
+    fd.lhs.ForEach([&](AttributeId a) {
+      const auto pos = std::find(members.begin(), members.end(), a);
+      remapped.lhs.Add(static_cast<AttributeId>(pos - members.begin()));
+    });
+    const auto rhs_pos = std::find(members.begin(), members.end(), fd.rhs);
+    remapped.rhs = static_cast<AttributeId>(rhs_pos - members.begin());
+    EXPECT_TRUE(Holds(projected.value(), remapped)) << fd.ToString();
+  }
+}
+
+TEST(RelationOps, ProjectRejectsBadInput) {
+  const Relation r = PaperExampleRelation();
+  EXPECT_FALSE(ProjectRelation(r, AttributeSet()).ok());
+  AttributeSet out_of_range;
+  out_of_range.Add(99);
+  EXPECT_FALSE(ProjectRelation(r, out_of_range).ok());
+}
+
+TEST(RelationOps, SelectRowsInOrderWithRepeats) {
+  const Relation r = PaperExampleRelation();
+  Result<Relation> selected = SelectRows(r, {2, 0, 2});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().num_tuples(), 3u);
+  EXPECT_EQ(selected.value().Value(0, 0), "2");
+  EXPECT_EQ(selected.value().Value(1, 0), "1");
+  EXPECT_EQ(selected.value().Value(2, 0), "2");
+  EXPECT_FALSE(SelectRows(r, {99}).ok());
+}
+
+TEST(RelationOps, SampleRowsDeterministicAndBounded) {
+  const Relation r = RandomRelation(3, 100, 5, 11);
+  Result<Relation> a = SampleRows(r, 10, 3);
+  Result<Relation> b = SampleRows(r, 10, 3);
+  Result<Relation> c = SampleRows(r, 10, 4);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value().num_tuples(), 10u);
+  EXPECT_EQ(CsvToString(a.value()), CsvToString(b.value()));
+  EXPECT_NE(CsvToString(a.value()), CsvToString(c.value()));
+  // count >= p returns everything.
+  Result<Relation> all = SampleRows(r, 1000, 1);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().num_tuples(), 100u);
+}
+
+TEST(RelationOps, SampledFdsAreImpliedByMining) {
+  // Any FD of the full relation holds in every sample (FDs are preserved
+  // under subsets).
+  const Relation r = RandomRelation(4, 80, 3, 9);
+  Result<Relation> sample = SampleRows(r, 30, 5);
+  ASSERT_TRUE(sample.ok());
+  const FdSet full = NaiveFdDiscovery(r);
+  for (const FunctionalDependency& fd : full.fds()) {
+    EXPECT_TRUE(Holds(sample.value(), fd)) << fd.ToString();
+  }
+}
+
+TEST(RelationOps, ConcatRequiresSameSchema) {
+  const Relation r = PaperExampleRelation();
+  Result<Relation> doubled = ConcatRelations(r, r);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value().num_tuples(), 14u);
+  Result<Relation> other = MakeRelation({{"x", "y"}});
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(ConcatRelations(r, other.value()).ok());
+}
+
+TEST(RelationOps, ConcatPreservesFdSemantics) {
+  // dep(r ∪ r) = dep(r): duplicating every tuple changes nothing.
+  const Relation r = RandomRelation(4, 30, 3, 21);
+  Result<Relation> doubled = ConcatRelations(r, r);
+  ASSERT_TRUE(doubled.ok());
+  Result<DepMinerResult> a = MineDependencies(r);
+  Result<DepMinerResult> b = MineDependencies(doubled.value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().fds.fds(), b.value().fds.fds());
+}
+
+TEST(FdIo, RoundTripsThroughText) {
+  const Relation r = PaperExampleRelation();
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  const std::string text = FdSetToText(mined.value().fds, r.schema());
+  Schema schema;
+  Result<FdSet> back = FdSetFromText(text, &schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(schema.names(), r.schema().names());
+  EXPECT_EQ(back.value().fds(), mined.value().fds.fds());
+}
+
+TEST(FdIo, EmptyLhsAndComments) {
+  Schema schema;
+  Result<FdSet> fds = FdSetFromText(
+      "# fdset A B\n"
+      "# a comment\n"
+      "\n"
+      "{} -> A\n"
+      "A -> B\n",
+      &schema);
+  ASSERT_TRUE(fds.ok()) << fds.status().ToString();
+  ASSERT_EQ(fds.value().size(), 2u);
+  EXPECT_EQ(fds.value().fds()[0], Fd("", 'A'));
+  EXPECT_EQ(fds.value().fds()[1], Fd("A", 'B'));
+}
+
+TEST(FdIo, Rejections) {
+  Schema schema;
+  EXPECT_FALSE(FdSetFromText("", &schema).ok());
+  EXPECT_FALSE(FdSetFromText("no header\n", &schema).ok());
+  EXPECT_FALSE(FdSetFromText("# fdset\n", &schema).ok());
+  EXPECT_FALSE(FdSetFromText("# fdset A B\nA => B\n", &schema).ok());
+  EXPECT_FALSE(FdSetFromText("# fdset A B\nC -> B\n", &schema).ok());
+  EXPECT_FALSE(FdSetFromText("# fdset A B\nA -> D\n", &schema).ok());
+}
+
+TEST(FdIo, SaveAndLoadFile) {
+  FdSet fds(2, {Fd("A", 'B')});
+  const Schema schema = Schema::Default(2);
+  const std::string path = ::testing::TempDir() + "/depminer_fdio.fds";
+  ASSERT_TRUE(SaveFdSet(fds, schema, path).ok());
+  Schema loaded_schema;
+  Result<FdSet> loaded = LoadFdSet(path, &loaded_schema);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().fds(), fds.fds());
+}
+
+TEST(Nulls, DistinctNullsNeverAgree) {
+  CsvOptions options;
+  options.nulls_distinct = true;  // null_token defaults to ""
+  Result<Relation> r = ParseCsvRelation("a,b\n1,\n1,\n", options);
+  ASSERT_TRUE(r.ok());
+  // Without NULL semantics, B would be constant (∅ -> B) and A -> B
+  // would hold; with NULLs distinct, the two empty cells disagree.
+  EXPECT_FALSE(Holds(r.value(), Fd("A", 'B')));
+  EXPECT_FALSE(Holds(r.value(), Fd("", 'B')));
+  EXPECT_EQ(r.value().Value(0, 1), "");  // rendering preserved
+  Result<Relation> plain = ParseCsvRelation("a,b\n1,\n1,\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(Holds(plain.value(), Fd("A", 'B')));
+}
+
+TEST(Nulls, CustomTokenAndStreamingAgree) {
+  const std::string csv = "a,b\n1,NA\n1,NA\n2,x\n3,x\n";
+  CsvOptions options;
+  options.nulls_distinct = true;
+  options.null_token = "NA";
+
+  Result<Relation> loaded = ParseCsvRelation(csv, options);
+  ASSERT_TRUE(loaded.ok());
+  Result<DepMinerResult> direct = MineDependencies(loaded.value());
+  ASSERT_TRUE(direct.ok());
+
+  const std::string path = ::testing::TempDir() + "/depminer_nulls.csv";
+  {
+    std::ofstream out(path);
+    out << csv;
+  }
+  StreamingOptions stream_options;
+  stream_options.csv = options;
+  Result<StreamingMineResult> streamed =
+      MineCsvStreaming(path, stream_options);
+  std::remove(path.c_str());
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(streamed.value().fds.fds(), direct.value().fds.fds());
+}
+
+}  // namespace
+}  // namespace depminer

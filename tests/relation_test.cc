@@ -1,0 +1,125 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/relation_builder.h"
+#include "relation/schema.h"
+
+namespace depminer {
+namespace {
+
+TEST(Schema, DefaultNames) {
+  const Schema s = Schema::Default(28);
+  EXPECT_EQ(s.name(0), "A");
+  EXPECT_EQ(s.name(25), "Z");
+  EXPECT_EQ(s.name(26), "A1");
+  EXPECT_EQ(s.name(27), "B1");
+  EXPECT_EQ(s.num_attributes(), 28u);
+}
+
+TEST(Schema, Find) {
+  const Schema s({"emp", "dep"});
+  ASSERT_TRUE(s.Find("dep").ok());
+  EXPECT_EQ(s.Find("dep").value(), 1u);
+  EXPECT_EQ(s.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Schema, Universe) {
+  EXPECT_EQ(Schema::Default(4).universe(), AttributeSet::FromLetters("ABCD"));
+}
+
+TEST(RelationBuilder, DictionaryEncodes) {
+  Result<Relation> r = MakeRelation({{"x", "1"}, {"y", "1"}, {"x", "2"}});
+  ASSERT_TRUE(r.ok());
+  const Relation& rel = r.value();
+  EXPECT_EQ(rel.num_tuples(), 3u);
+  EXPECT_EQ(rel.num_attributes(), 2u);
+  EXPECT_EQ(rel.DistinctCount(0), 2u);
+  EXPECT_EQ(rel.DistinctCount(1), 2u);
+  EXPECT_EQ(rel.Code(0, 0), rel.Code(2, 0));  // both "x"
+  EXPECT_NE(rel.Code(0, 0), rel.Code(1, 0));
+  EXPECT_EQ(rel.Value(1, 0), "y");
+  EXPECT_EQ(rel.Value(2, 1), "2");
+}
+
+TEST(RelationBuilder, RejectsRaggedRow) {
+  RelationBuilder b(Schema::Default(2));
+  EXPECT_TRUE(b.AddRow({"a", "b"}).ok());
+  EXPECT_EQ(b.AddRow({"a"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationBuilder, RejectsZeroAttributes) {
+  RelationBuilder b(Schema(std::vector<std::string>{}));
+  Result<Relation> r = std::move(b).Finish();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RelationBuilder, RejectsTooManyAttributes) {
+  RelationBuilder b(Schema::Default(AttributeSet::kMaxAttributes + 1));
+  Result<Relation> r = std::move(b).Finish();
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(RelationBuilder, EmptyRelationIsValid) {
+  RelationBuilder b(Schema::Default(3));
+  Result<Relation> r = std::move(b).Finish();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_tuples(), 0u);
+  EXPECT_EQ(r.value().DistinctCount(0), 0u);
+}
+
+TEST(RelationBuilder, CodedRowsAreDensified) {
+  RelationBuilder b(Schema::Default(1));
+  // Sparse codes 5 and 9: after Finish they must be dense {0, 1} and the
+  // dictionary must only contain used values.
+  ASSERT_TRUE(b.AddCodedRow({5}).ok());
+  ASSERT_TRUE(b.AddCodedRow({9}).ok());
+  ASSERT_TRUE(b.AddCodedRow({5}).ok());
+  Result<Relation> r = std::move(b).Finish();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().DistinctCount(0), 2u);
+  EXPECT_EQ(r.value().Code(0, 0), 0u);
+  EXPECT_EQ(r.value().Code(1, 0), 1u);
+  EXPECT_EQ(r.value().Code(2, 0), 0u);
+  EXPECT_EQ(r.value().Value(0, 0), "v5");
+  EXPECT_EQ(r.value().Value(1, 0), "v9");
+}
+
+TEST(Relation, AgreeSetOfPairs) {
+  Result<Relation> r = MakeRelation({
+      {"1", "a", "p"},
+      {"1", "b", "p"},
+      {"2", "a", "q"},
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AgreeSetOf(0, 1), AttributeSet::FromLetters("AC"));
+  EXPECT_EQ(r.value().AgreeSetOf(0, 2), AttributeSet::FromLetters("B"));
+  EXPECT_EQ(r.value().AgreeSetOf(1, 2), AttributeSet());
+}
+
+TEST(Relation, AgreeOnSet) {
+  Result<Relation> r = MakeRelation({{"1", "a"}, {"1", "b"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Agree(0, 1, AttributeSet::FromLetters("A")));
+  EXPECT_FALSE(r.value().Agree(0, 1, AttributeSet::FromLetters("AB")));
+  EXPECT_TRUE(r.value().Agree(0, 1, AttributeSet()));  // vacuous
+}
+
+TEST(Relation, TupleToString) {
+  Result<Relation> r = MakeRelation({{"1", "x"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().TupleToString(0), "1 | x");
+}
+
+TEST(MakeRelation, InfersSchemaWidth) {
+  Result<Relation> r = MakeRelation({{"a", "b", "c"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().name(2), "C");
+}
+
+TEST(MakeRelation, RejectsEmptyRowList) {
+  EXPECT_FALSE(MakeRelation({}).ok());
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,136 @@
+// Tests for the FD repair module and foreign-key suggestion.
+
+#include <gtest/gtest.h>
+
+#include "fd/repair.h"
+#include "fd/satisfaction.h"
+#include "ind/foreign_keys.h"
+#include "partition/partition.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::Fd;
+using ::depminer::testing::RandomRelation;
+
+TEST(Repair, HoldingFdNeedsNoRemovals) {
+  Result<Relation> r = MakeRelation({{"d1", "m1"}, {"d1", "m1"}, {"d2", "m2"}});
+  ASSERT_TRUE(r.ok());
+  const FdRepair repair = ComputeRepair(r.value(), Fd("A", 'B'));
+  EXPECT_TRUE(repair.tuples_to_remove.empty());
+  EXPECT_DOUBLE_EQ(repair.g3, 0.0);
+}
+
+TEST(Repair, RemovesMinorityWitnesses) {
+  // dep d1 maps to m1 three times and to m2 once: remove the one outlier.
+  Result<Relation> r = MakeRelation({
+      {"d1", "m1"}, {"d1", "m1"}, {"d1", "m2"}, {"d1", "m1"}, {"d2", "m3"},
+  });
+  ASSERT_TRUE(r.ok());
+  const FdRepair repair = ComputeRepair(r.value(), Fd("A", 'B'));
+  EXPECT_EQ(repair.tuples_to_remove, (std::vector<TupleId>{2}));
+  EXPECT_DOUBLE_EQ(repair.g3, 0.2);
+  EXPECT_DOUBLE_EQ(repair.g3,
+                   G3Error(r.value(), repair.fd.lhs, repair.fd.rhs));
+
+  Result<Relation> repaired =
+      ApplyRepair(r.value(), repair.tuples_to_remove);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value().num_tuples(), 4u);
+  EXPECT_TRUE(Holds(repaired.value(), Fd("A", 'B')));
+}
+
+TEST(Repair, MatchesG3OnRandomRelations) {
+  for (uint64_t seed : {3ull, 11ull, 29ull}) {
+    const Relation r = RandomRelation(4, 60, 3, seed);
+    for (AttributeId lhs = 0; lhs < 4; ++lhs) {
+      for (AttributeId rhs = 0; rhs < 4; ++rhs) {
+        if (lhs == rhs) continue;
+        const FunctionalDependency fd{AttributeSet::Single(lhs), rhs};
+        const FdRepair repair = ComputeRepair(r, fd);
+        EXPECT_DOUBLE_EQ(repair.g3, G3Error(r, fd.lhs, fd.rhs));
+        Result<Relation> repaired = ApplyRepair(r, repair.tuples_to_remove);
+        ASSERT_TRUE(repaired.ok());
+        EXPECT_TRUE(Holds(repaired.value(), fd))
+            << fd.ToString() << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Repair, ApplyRejectsBadIds) {
+  Result<Relation> r = MakeRelation({{"a"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(ApplyRepair(r.value(), {5}).ok());
+}
+
+TEST(ForeignKeys, FlagsIndIntoCandidateKey) {
+  Result<Relation> customers = MakeRelation(
+      Schema({"id", "name"}),
+      {{"c1", "ann"}, {"c2", "bob"}, {"c3", "eve"}});
+  Result<Relation> orders = MakeRelation(
+      Schema({"order", "customer_id"}),
+      {{"o1", "c1"}, {"o2", "c1"}, {"o3", "c3"}});
+  ASSERT_TRUE(customers.ok() && orders.ok());
+  const std::vector<const Relation*> rels = {&customers.value(),
+                                             &orders.value()};
+  const std::vector<ForeignKeyCandidate> fks = SuggestForeignKeys(rels);
+
+  bool found = false;
+  for (const ForeignKeyCandidate& fk : fks) {
+    if (fk.ind == NaryInd{1, {1}, 0, {0}}) {  // orders.customer_id → customers.id
+      found = true;
+      EXPECT_TRUE(fk.rhs_is_minimal_key);
+    }
+    // Every suggestion's rhs projection is duplicate-free by contract.
+    AttributeSet rhs_set;
+    for (AttributeId a : fk.ind.rhs_attributes) rhs_set.Add(a);
+    const Partition rhs_partition =
+        Partition::ForSet(*rels[fk.ind.rhs_relation], rhs_set);
+    for (const EquivalenceClass& c : rhs_partition.classes()) {
+      EXPECT_LE(c.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ForeignKeys, NonUniqueReferenceIsNotSuggested) {
+  // orders.customer ⊆ payments.customer holds, but payments.customer has
+  // duplicates — not a key, so not a FK target.
+  Result<Relation> payments = MakeRelation(
+      Schema({"customer", "amount"}),
+      {{"c1", "10"}, {"c1", "20"}, {"c2", "30"}});
+  Result<Relation> orders =
+      MakeRelation(Schema({"ord", "customer"}), {{"o1", "c1"}});
+  ASSERT_TRUE(payments.ok() && orders.ok());
+  const std::vector<const Relation*> rels = {&payments.value(),
+                                             &orders.value()};
+  for (const ForeignKeyCandidate& fk : SuggestForeignKeys(rels)) {
+    EXPECT_FALSE(fk.ind.rhs_relation == 0 &&
+                 fk.ind.rhs_attributes == std::vector<AttributeId>{0})
+        << "suggested a non-unique reference";
+  }
+}
+
+TEST(ForeignKeys, SelfReferencesCanBeSkipped) {
+  Result<Relation> r = MakeRelation(
+      Schema({"id", "parent"}),
+      {{"1", "1"}, {"2", "1"}, {"3", "2"}});
+  ASSERT_TRUE(r.ok());
+  const std::vector<const Relation*> rels = {&r.value()};
+  const std::vector<ForeignKeyCandidate> with_self = SuggestForeignKeys(rels);
+  bool parent_fk = false;
+  for (const ForeignKeyCandidate& fk : with_self) {
+    if (fk.ind == NaryInd{0, {1}, 0, {0}}) parent_fk = true;  // parent → id
+  }
+  EXPECT_TRUE(parent_fk);
+
+  ForeignKeyOptions options;
+  options.skip_self_references = true;
+  EXPECT_TRUE(SuggestForeignKeys(rels, options).empty());
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,120 @@
+// Robustness (fuzz-lite) tests: randomly corrupted column files and
+// random CSV-ish byte soup must produce clean Status errors or valid
+// relations — never crashes, hangs or invariant violations.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/dep_miner.h"
+#include "relation/csv.h"
+#include "storage/column_file.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+
+std::string SerializeColumnFile(const Relation& r, const std::string& path) {
+  EXPECT_TRUE(WriteColumnFile(r, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class ColumnFileFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnFileFuzz, MutatedFilesNeverCrash) {
+  const std::string path =
+      ::testing::TempDir() + "/depminer_fuzz_" +
+      std::to_string(GetParam()) + ".dmc";
+  const Relation r = PaperExampleRelation();
+  std::string bytes = SerializeColumnFile(r, path);
+
+  Rng rng(GetParam());
+  // Apply a handful of random corruptions: bit flips, truncation,
+  // extension.
+  const int kind = static_cast<int>(rng.Below(3));
+  if (kind == 0) {
+    for (int i = 0; i < 8; ++i) {
+      const size_t pos = static_cast<size_t>(rng.Below(bytes.size()));
+      bytes[pos] = static_cast<char>(rng.Below(256));
+    }
+  } else if (kind == 1) {
+    bytes.resize(static_cast<size_t>(rng.Below(bytes.size())));
+  } else {
+    for (int i = 0; i < 32; ++i) {
+      bytes.push_back(static_cast<char>(rng.Below(256)));
+    }
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Result<Relation> loaded = ReadColumnFile(path);
+  std::remove(path.c_str());
+  if (loaded.ok()) {
+    // A lucky mutation may still parse (e.g. flipped value bytes): the
+    // result must be internally consistent and minable.
+    const Relation& rel = loaded.value();
+    for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+      for (AttributeId a = 0; a < rel.num_attributes(); ++a) {
+        EXPECT_LT(rel.Code(t, a), rel.DistinctCount(a));
+      }
+    }
+    Result<DepMinerResult> mined = MineDependencies(rel);
+    EXPECT_TRUE(mined.ok());
+  } else {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnFileFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class CsvFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzz, RandomBytesEitherParseOrError) {
+  Rng rng(GetParam() * 31 + 7);
+  std::string soup;
+  const size_t length = 1 + rng.Below(400);
+  const char alphabet[] = "ab,\"\n\r;x1 \t\\";
+  for (size_t i = 0; i < length; ++i) {
+    soup.push_back(alphabet[rng.Below(sizeof(alphabet) - 1)]);
+  }
+  Result<Relation> parsed = ParseCsvRelation(soup);
+  if (parsed.ok()) {
+    // Whatever parsed must be a well-formed relation and minable.
+    EXPECT_GT(parsed.value().num_attributes(), 0u);
+    Result<DepMinerResult> mined = MineDependencies(parsed.value());
+    EXPECT_TRUE(mined.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range<uint64_t>(0, 40));
+
+TEST(Robustness, HugeFieldLengthRejected) {
+  // A crafted header claiming a multi-GB string must be rejected, not
+  // allocated.
+  const std::string path = ::testing::TempDir() + "/depminer_huge.dmc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("DMC1", 4);
+    const uint32_t attrs = 1;
+    out.write(reinterpret_cast<const char*>(&attrs), 4);
+    const uint64_t tuples = 1;
+    out.write(reinterpret_cast<const char*>(&tuples), 8);
+    const uint32_t name_len = 0xFFFFFFFFu;  // absurd
+    out.write(reinterpret_cast<const char*>(&name_len), 4);
+  }
+  Result<Relation> loaded = ReadColumnFile(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,172 @@
+// Tests for the storage layer: the one-pass streaming extractor (the
+// paper's limited-memory operating model) and the binary column file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/dep_miner.h"
+#include "relation/csv.h"
+#include "relation/relation_builder.h"
+#include "storage/column_file.h"
+#include "storage/streaming.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+std::string WriteTempCsv(const std::string& content, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(Streaming, ExtractMatchesInMemoryPath) {
+  const Relation r = PaperExampleRelation();
+  const std::string csv = CsvToString(r);
+  Result<StreamingExtract> extract = ExtractFromCsvText(csv);
+  ASSERT_TRUE(extract.ok()) << extract.status().ToString();
+
+  const StrippedPartitionDatabase expected =
+      StrippedPartitionDatabase::FromRelation(r);
+  ASSERT_EQ(extract.value().partitions.num_attributes(), 5u);
+  EXPECT_EQ(extract.value().num_tuples, 7u);
+  for (AttributeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(extract.value().partitions.partition(a), expected.partition(a))
+        << "attribute " << a;
+    EXPECT_EQ(extract.value().distinct_counts[a], r.DistinctCount(a));
+    EXPECT_EQ(extract.value().value_samples[a], r.Dictionary(a));
+  }
+  EXPECT_EQ(extract.value().schema.names(), r.schema().names());
+}
+
+TEST(Streaming, SampleSizeCapsRetainedValues) {
+  StreamingOptions options;
+  options.value_sample_size = 2;
+  Result<StreamingExtract> extract =
+      ExtractFromCsvText("a\nx\ny\nz\nw\n", options);
+  ASSERT_TRUE(extract.ok());
+  EXPECT_EQ(extract.value().distinct_counts[0], 4u);  // true count kept
+  EXPECT_EQ(extract.value().value_samples[0],
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Streaming, RejectsRaggedAndEmpty) {
+  EXPECT_EQ(ExtractFromCsvText("a,b\n1\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ExtractFromCsvText("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Streaming, MineCsvStreamingMatchesInMemoryMining) {
+  const Relation r = RandomRelation(5, 120, 6, 99);
+  const std::string path =
+      WriteTempCsv(CsvToString(r), "depminer_streaming.csv");
+
+  Result<StreamingMineResult> streamed = MineCsvStreaming(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  Result<DepMinerResult> direct = MineDependencies(r);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(streamed.value().fds.fds(), direct.value().fds.fds());
+  ASSERT_EQ(streamed.value().armstrong.has_value(),
+            direct.value().armstrong.has_value());
+  if (streamed.value().armstrong.has_value()) {
+    EXPECT_EQ(streamed.value().armstrong->num_tuples(),
+              direct.value().armstrong->num_tuples());
+    // Cell-for-cell identical: same construction, same value order.
+    for (TupleId t = 0; t < streamed.value().armstrong->num_tuples(); ++t) {
+      for (AttributeId a = 0; a < 5; ++a) {
+        EXPECT_EQ(streamed.value().armstrong->Value(t, a),
+                  direct.value().armstrong->Value(t, a));
+      }
+    }
+  }
+}
+
+TEST(Streaming, TinySampleFailsArmstrongButNotDiscovery) {
+  const Relation r = RandomRelation(4, 100, 5, 3);
+  const std::string path =
+      WriteTempCsv(CsvToString(r), "depminer_tiny_sample.csv");
+  StreamingOptions options;
+  options.value_sample_size = 1;  // almost certainly too small
+  Result<StreamingMineResult> streamed = MineCsvStreaming(path, options);
+  std::remove(path.c_str());
+  ASSERT_TRUE(streamed.ok());
+  Result<DepMinerResult> direct = MineDependencies(r);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(streamed.value().fds.fds(), direct.value().fds.fds());
+  if (!direct.value().all_max_sets.empty()) {
+    EXPECT_FALSE(streamed.value().armstrong.has_value());
+    EXPECT_EQ(streamed.value().armstrong_status.code(),
+              StatusCode::kCapacityExceeded);
+  }
+}
+
+TEST(ColumnFile, RoundTrips) {
+  const Relation r = PaperExampleRelation();
+  const std::string path = ::testing::TempDir() + "/depminer_roundtrip.dmc";
+  ASSERT_TRUE(WriteColumnFile(r, path).ok());
+  Result<Relation> back = ReadColumnFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().num_tuples(), r.num_tuples());
+  ASSERT_EQ(back.value().schema().names(), r.schema().names());
+  for (TupleId t = 0; t < r.num_tuples(); ++t) {
+    for (AttributeId a = 0; a < r.num_attributes(); ++a) {
+      EXPECT_EQ(back.value().Value(t, a), r.Value(t, a));
+      EXPECT_EQ(back.value().Code(t, a), r.Code(t, a));
+    }
+  }
+}
+
+TEST(ColumnFile, MiningEquivalentAfterRoundTrip) {
+  const Relation r = RandomRelation(5, 80, 4, 17);
+  const std::string path = ::testing::TempDir() + "/depminer_mine.dmc";
+  ASSERT_TRUE(WriteColumnFile(r, path).ok());
+  Result<Relation> back = ReadColumnFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.ok());
+  Result<DepMinerResult> a = MineDependencies(r);
+  Result<DepMinerResult> b = MineDependencies(back.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().fds.fds(), b.value().fds.fds());
+}
+
+TEST(ColumnFile, RejectsBadMagicAndTruncation) {
+  const std::string path = ::testing::TempDir() + "/depminer_bad.dmc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACOLUMNFILE";
+  }
+  EXPECT_EQ(ReadColumnFile(path).status().code(), StatusCode::kIoError);
+
+  // Valid file, then truncate it.
+  const Relation r = PaperExampleRelation();
+  ASSERT_TRUE(WriteColumnFile(r, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(ReadColumnFile(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnFile, MissingFile) {
+  EXPECT_EQ(ReadColumnFile("/nonexistent/x.dmc").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace depminer

@@ -1,0 +1,97 @@
+// Wide-schema coverage: schemas beyond 64 attributes exercise the second
+// word of AttributeSet through the whole pipeline (partitions, agree
+// sets, transversals, TANE's lattice, Armstrong construction). The paper
+// stops at 60 attributes; the library supports 128.
+
+#include <gtest/gtest.h>
+
+#include "core/armstrong.h"
+#include "core/dep_miner.h"
+#include "datagen/synthetic.h"
+#include "fastfds/fastfds.h"
+#include "fd/satisfaction.h"
+#include "relation/relation_builder.h"
+#include "tane/tane.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+Relation WideRelation(size_t attrs, size_t tuples, double rate,
+                      uint64_t seed) {
+  SyntheticConfig config;
+  config.num_attributes = attrs;
+  config.num_tuples = tuples;
+  config.identical_rate = rate;
+  config.seed = seed;
+  Result<Relation> r = GenerateSynthetic(config);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(WideSchema, SeventyAttributesAllAlgorithmsAgree) {
+  const Relation r = WideRelation(70, 300, 0.5, 7);
+  Result<DepMinerResult> dm = MineDependencies(r);
+  ASSERT_TRUE(dm.ok());
+  Result<TaneResult> tane = TaneDiscover(r);
+  ASSERT_TRUE(tane.ok());
+  Result<FastFdsResult> fast = FastFdsDiscover(r);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(dm.value().fds.fds(), tane.value().fds.fds());
+  EXPECT_EQ(dm.value().fds.fds(), fast.value().fds.fds());
+  EXPECT_GT(dm.value().fds.size(), 0u);
+
+  // Spot-check FDs whose lhs straddles the 64-attribute word boundary.
+  size_t straddling = 0, checked = 0;
+  for (const FunctionalDependency& fd : dm.value().fds.fds()) {
+    const bool low = !fd.lhs.Empty() && fd.lhs.Min() < 64;
+    const bool high = (!fd.lhs.Empty() && fd.lhs.Max() >= 64) || fd.rhs >= 64;
+    if (low && high) {
+      ++straddling;
+      if (checked++ < 20) {
+        EXPECT_TRUE(Holds(r, fd)) << fd.ToString();
+        EXPECT_TRUE(IsMinimalFd(r, fd)) << fd.ToString();
+      }
+    }
+  }
+  EXPECT_GT(straddling, 0u) << "workload never crossed the word boundary";
+}
+
+TEST(WideSchema, ArmstrongAtHundredAttributes) {
+  const Relation r = WideRelation(100, 400, 0.4, 13);
+  Result<DepMinerResult> mined = MineDependencies(r);
+  ASSERT_TRUE(mined.ok());
+  if (mined.value().armstrong.has_value()) {
+    EXPECT_TRUE(IsArmstrongFor(*mined.value().armstrong,
+                               mined.value().all_max_sets));
+    Result<DepMinerResult> remined = MineDependencies(*mined.value().armstrong);
+    ASSERT_TRUE(remined.ok());
+    EXPECT_EQ(remined.value().fds.fds(), mined.value().fds.fds());
+  } else {
+    EXPECT_EQ(mined.value().armstrong_status.code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(WideSchema, MaximumWidthAccepted) {
+  // Exactly kMaxAttributes works; one more is rejected cleanly.
+  const size_t n = AttributeSet::kMaxAttributes;
+  RelationBuilder builder(Schema::Default(n));
+  std::vector<std::string> row(n);
+  for (size_t t = 0; t < 4; ++t) {
+    for (size_t a = 0; a < n; ++a) {
+      row[a] = std::to_string((t + a) % 3);
+    }
+    ASSERT_TRUE(builder.AddRow(row).ok());
+  }
+  Result<Relation> r = std::move(builder).Finish();
+  ASSERT_TRUE(r.ok());
+  Result<DepMinerResult> mined = MineDependencies(r.value());
+  ASSERT_TRUE(mined.ok());
+  Result<TaneResult> tane = TaneDiscover(r.value());
+  ASSERT_TRUE(tane.ok());
+  EXPECT_EQ(mined.value().fds.fds(), tane.value().fds.fds());
+}
+
+}  // namespace
+}  // namespace depminer
