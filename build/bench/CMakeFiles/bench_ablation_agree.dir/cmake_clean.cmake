@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_agree.dir/bench_ablation_agree.cc.o"
+  "CMakeFiles/bench_ablation_agree.dir/bench_ablation_agree.cc.o.d"
+  "bench_ablation_agree"
+  "bench_ablation_agree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

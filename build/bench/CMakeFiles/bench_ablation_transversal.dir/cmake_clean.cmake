@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transversal.dir/bench_ablation_transversal.cc.o"
+  "CMakeFiles/bench_ablation_transversal.dir/bench_ablation_transversal.cc.o.d"
+  "bench_ablation_transversal"
+  "bench_ablation_transversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_armstrong_route.dir/bench_armstrong_route.cc.o"
+  "CMakeFiles/bench_armstrong_route.dir/bench_armstrong_route.cc.o.d"
+  "bench_armstrong_route"
+  "bench_armstrong_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_armstrong_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

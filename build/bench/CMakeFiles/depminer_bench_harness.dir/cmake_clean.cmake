@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depminer_bench_harness.dir/table_harness.cc.o"
+  "CMakeFiles/depminer_bench_harness.dir/table_harness.cc.o.d"
+  "libdepminer_bench_harness.a"
+  "libdepminer_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depminer_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdepminer_bench_harness.a"
+)

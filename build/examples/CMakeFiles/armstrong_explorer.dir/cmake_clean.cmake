@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstrong_explorer.dir/armstrong_explorer.cpp.o"
+  "CMakeFiles/armstrong_explorer.dir/armstrong_explorer.cpp.o.d"
+  "armstrong_explorer"
+  "armstrong_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstrong_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdtool.dir/fdtool.cpp.o"
+  "CMakeFiles/fdtool.dir/fdtool.cpp.o.d"
+  "fdtool"
+  "fdtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

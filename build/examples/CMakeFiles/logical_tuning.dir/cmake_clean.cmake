@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_tuning.dir/logical_tuning.cpp.o"
+  "CMakeFiles/logical_tuning.dir/logical_tuning.cpp.o.d"
+  "logical_tuning"
+  "logical_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_mine.dir/streaming_mine.cpp.o"
+  "CMakeFiles/streaming_mine.dir/streaming_mine.cpp.o.d"
+  "streaming_mine"
+  "streaming_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/depminer.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/depminer.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/arg_parser.cc" "src/CMakeFiles/depminer.dir/common/arg_parser.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/arg_parser.cc.o.d"
+  "/root/repo/src/common/attribute_set.cc" "src/CMakeFiles/depminer.dir/common/attribute_set.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/attribute_set.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/depminer.dir/common/status.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/depminer.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/agree_sets.cc" "src/CMakeFiles/depminer.dir/core/agree_sets.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/agree_sets.cc.o.d"
+  "/root/repo/src/core/armstrong.cc" "src/CMakeFiles/depminer.dir/core/armstrong.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/armstrong.cc.o.d"
+  "/root/repo/src/core/armstrong_bounds.cc" "src/CMakeFiles/depminer.dir/core/armstrong_bounds.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/armstrong_bounds.cc.o.d"
+  "/root/repo/src/core/dep_miner.cc" "src/CMakeFiles/depminer.dir/core/dep_miner.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/dep_miner.cc.o.d"
+  "/root/repo/src/core/inversion.cc" "src/CMakeFiles/depminer.dir/core/inversion.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/inversion.cc.o.d"
+  "/root/repo/src/core/keys_from_max_sets.cc" "src/CMakeFiles/depminer.dir/core/keys_from_max_sets.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/keys_from_max_sets.cc.o.d"
+  "/root/repo/src/core/lhs.cc" "src/CMakeFiles/depminer.dir/core/lhs.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/lhs.cc.o.d"
+  "/root/repo/src/core/max_sets.cc" "src/CMakeFiles/depminer.dir/core/max_sets.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/max_sets.cc.o.d"
+  "/root/repo/src/datagen/embedded_fd.cc" "src/CMakeFiles/depminer.dir/datagen/embedded_fd.cc.o" "gcc" "src/CMakeFiles/depminer.dir/datagen/embedded_fd.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/CMakeFiles/depminer.dir/datagen/synthetic.cc.o" "gcc" "src/CMakeFiles/depminer.dir/datagen/synthetic.cc.o.d"
+  "/root/repo/src/fastfds/fastfds.cc" "src/CMakeFiles/depminer.dir/fastfds/fastfds.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fastfds/fastfds.cc.o.d"
+  "/root/repo/src/fd/chase.cc" "src/CMakeFiles/depminer.dir/fd/chase.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/chase.cc.o.d"
+  "/root/repo/src/fd/closed_sets.cc" "src/CMakeFiles/depminer.dir/fd/closed_sets.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/closed_sets.cc.o.d"
+  "/root/repo/src/fd/explain.cc" "src/CMakeFiles/depminer.dir/fd/explain.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/explain.cc.o.d"
+  "/root/repo/src/fd/fd_diff.cc" "src/CMakeFiles/depminer.dir/fd/fd_diff.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/fd_diff.cc.o.d"
+  "/root/repo/src/fd/fd_io.cc" "src/CMakeFiles/depminer.dir/fd/fd_io.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/fd_io.cc.o.d"
+  "/root/repo/src/fd/fd_set.cc" "src/CMakeFiles/depminer.dir/fd/fd_set.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/fd_set.cc.o.d"
+  "/root/repo/src/fd/functional_dependency.cc" "src/CMakeFiles/depminer.dir/fd/functional_dependency.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/functional_dependency.cc.o.d"
+  "/root/repo/src/fd/keys.cc" "src/CMakeFiles/depminer.dir/fd/keys.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/keys.cc.o.d"
+  "/root/repo/src/fd/naive_discovery.cc" "src/CMakeFiles/depminer.dir/fd/naive_discovery.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/naive_discovery.cc.o.d"
+  "/root/repo/src/fd/normalization.cc" "src/CMakeFiles/depminer.dir/fd/normalization.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/normalization.cc.o.d"
+  "/root/repo/src/fd/projection.cc" "src/CMakeFiles/depminer.dir/fd/projection.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/projection.cc.o.d"
+  "/root/repo/src/fd/repair.cc" "src/CMakeFiles/depminer.dir/fd/repair.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/repair.cc.o.d"
+  "/root/repo/src/fd/satisfaction.cc" "src/CMakeFiles/depminer.dir/fd/satisfaction.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/satisfaction.cc.o.d"
+  "/root/repo/src/fd/satisfaction_checker.cc" "src/CMakeFiles/depminer.dir/fd/satisfaction_checker.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fd/satisfaction_checker.cc.o.d"
+  "/root/repo/src/fdep/fdep.cc" "src/CMakeFiles/depminer.dir/fdep/fdep.cc.o" "gcc" "src/CMakeFiles/depminer.dir/fdep/fdep.cc.o.d"
+  "/root/repo/src/hypergraph/berge_transversals.cc" "src/CMakeFiles/depminer.dir/hypergraph/berge_transversals.cc.o" "gcc" "src/CMakeFiles/depminer.dir/hypergraph/berge_transversals.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/depminer.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/depminer.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/levelwise_transversals.cc" "src/CMakeFiles/depminer.dir/hypergraph/levelwise_transversals.cc.o" "gcc" "src/CMakeFiles/depminer.dir/hypergraph/levelwise_transversals.cc.o.d"
+  "/root/repo/src/ind/foreign_keys.cc" "src/CMakeFiles/depminer.dir/ind/foreign_keys.cc.o" "gcc" "src/CMakeFiles/depminer.dir/ind/foreign_keys.cc.o.d"
+  "/root/repo/src/ind/nary_ind.cc" "src/CMakeFiles/depminer.dir/ind/nary_ind.cc.o" "gcc" "src/CMakeFiles/depminer.dir/ind/nary_ind.cc.o.d"
+  "/root/repo/src/ind/unary_ind.cc" "src/CMakeFiles/depminer.dir/ind/unary_ind.cc.o" "gcc" "src/CMakeFiles/depminer.dir/ind/unary_ind.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "src/CMakeFiles/depminer.dir/partition/partition.cc.o" "gcc" "src/CMakeFiles/depminer.dir/partition/partition.cc.o.d"
+  "/root/repo/src/partition/partition_database.cc" "src/CMakeFiles/depminer.dir/partition/partition_database.cc.o" "gcc" "src/CMakeFiles/depminer.dir/partition/partition_database.cc.o.d"
+  "/root/repo/src/partition/partition_product.cc" "src/CMakeFiles/depminer.dir/partition/partition_product.cc.o" "gcc" "src/CMakeFiles/depminer.dir/partition/partition_product.cc.o.d"
+  "/root/repo/src/partition/stripped_partition.cc" "src/CMakeFiles/depminer.dir/partition/stripped_partition.cc.o" "gcc" "src/CMakeFiles/depminer.dir/partition/stripped_partition.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/CMakeFiles/depminer.dir/relation/csv.cc.o" "gcc" "src/CMakeFiles/depminer.dir/relation/csv.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/depminer.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/depminer.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/relation_builder.cc" "src/CMakeFiles/depminer.dir/relation/relation_builder.cc.o" "gcc" "src/CMakeFiles/depminer.dir/relation/relation_builder.cc.o.d"
+  "/root/repo/src/relation/relation_ops.cc" "src/CMakeFiles/depminer.dir/relation/relation_ops.cc.o" "gcc" "src/CMakeFiles/depminer.dir/relation/relation_ops.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/depminer.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/depminer.dir/relation/schema.cc.o.d"
+  "/root/repo/src/report/database_profile.cc" "src/CMakeFiles/depminer.dir/report/database_profile.cc.o" "gcc" "src/CMakeFiles/depminer.dir/report/database_profile.cc.o.d"
+  "/root/repo/src/report/json_writer.cc" "src/CMakeFiles/depminer.dir/report/json_writer.cc.o" "gcc" "src/CMakeFiles/depminer.dir/report/json_writer.cc.o.d"
+  "/root/repo/src/report/profile.cc" "src/CMakeFiles/depminer.dir/report/profile.cc.o" "gcc" "src/CMakeFiles/depminer.dir/report/profile.cc.o.d"
+  "/root/repo/src/storage/column_file.cc" "src/CMakeFiles/depminer.dir/storage/column_file.cc.o" "gcc" "src/CMakeFiles/depminer.dir/storage/column_file.cc.o.d"
+  "/root/repo/src/storage/streaming.cc" "src/CMakeFiles/depminer.dir/storage/streaming.cc.o" "gcc" "src/CMakeFiles/depminer.dir/storage/streaming.cc.o.d"
+  "/root/repo/src/tane/tane.cc" "src/CMakeFiles/depminer.dir/tane/tane.cc.o" "gcc" "src/CMakeFiles/depminer.dir/tane/tane.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

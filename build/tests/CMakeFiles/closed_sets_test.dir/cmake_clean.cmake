@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_sets_test.dir/closed_sets_test.cc.o"
+  "CMakeFiles/closed_sets_test.dir/closed_sets_test.cc.o.d"
+  "closed_sets_test"
+  "closed_sets_test.pdb"
+  "closed_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_miner_test.dir/dep_miner_test.cc.o"
+  "CMakeFiles/dep_miner_test.dir/dep_miner_test.cc.o.d"
+  "dep_miner_test"
+  "dep_miner_test.pdb"
+  "dep_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

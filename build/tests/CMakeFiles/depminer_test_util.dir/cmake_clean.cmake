@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depminer_test_util.dir/test_util.cc.o"
+  "CMakeFiles/depminer_test_util.dir/test_util.cc.o.d"
+  "libdepminer_test_util.a"
+  "libdepminer_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depminer_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdepminer_test_util.a"
+)

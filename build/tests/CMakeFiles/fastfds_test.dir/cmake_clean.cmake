@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfds_test.dir/fastfds_test.cc.o"
+  "CMakeFiles/fastfds_test.dir/fastfds_test.cc.o.d"
+  "fastfds_test"
+  "fastfds_test.pdb"
+  "fastfds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

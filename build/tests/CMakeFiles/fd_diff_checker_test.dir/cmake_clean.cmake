@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_diff_checker_test.dir/fd_diff_checker_test.cc.o"
+  "CMakeFiles/fd_diff_checker_test.dir/fd_diff_checker_test.cc.o.d"
+  "fd_diff_checker_test"
+  "fd_diff_checker_test.pdb"
+  "fd_diff_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_diff_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

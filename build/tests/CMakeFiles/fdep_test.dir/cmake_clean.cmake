@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdep_test.dir/fdep_test.cc.o"
+  "CMakeFiles/fdep_test.dir/fdep_test.cc.o.d"
+  "fdep_test"
+  "fdep_test.pdb"
+  "fdep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

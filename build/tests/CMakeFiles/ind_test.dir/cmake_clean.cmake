@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_test.dir/ind_test.cc.o"
+  "CMakeFiles/ind_test.dir/ind_test.cc.o.d"
+  "ind_test"
+  "ind_test.pdb"
+  "ind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

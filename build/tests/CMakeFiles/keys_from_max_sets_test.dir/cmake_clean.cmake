@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keys_from_max_sets_test.dir/keys_from_max_sets_test.cc.o"
+  "CMakeFiles/keys_from_max_sets_test.dir/keys_from_max_sets_test.cc.o.d"
+  "keys_from_max_sets_test"
+  "keys_from_max_sets_test.pdb"
+  "keys_from_max_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keys_from_max_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

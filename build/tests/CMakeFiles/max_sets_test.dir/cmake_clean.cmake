@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_sets_test.dir/max_sets_test.cc.o"
+  "CMakeFiles/max_sets_test.dir/max_sets_test.cc.o.d"
+  "max_sets_test"
+  "max_sets_test.pdb"
+  "max_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_fk_test.dir/repair_fk_test.cc.o"
+  "CMakeFiles/repair_fk_test.dir/repair_fk_test.cc.o.d"
+  "repair_fk_test"
+  "repair_fk_test.pdb"
+  "repair_fk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_fk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

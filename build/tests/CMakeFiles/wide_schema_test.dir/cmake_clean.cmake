@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_schema_test.dir/wide_schema_test.cc.o"
+  "CMakeFiles/wide_schema_test.dir/wide_schema_test.cc.o.d"
+  "wide_schema_test"
+  "wide_schema_test.pdb"
+  "wide_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
