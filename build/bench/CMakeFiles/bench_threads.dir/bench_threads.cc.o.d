@@ -208,8 +208,9 @@ bench/CMakeFiles/bench_threads.dir/bench_threads.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/dep_miner.h \
- /root/repo/src/core/agree_sets.h /root/repo/src/common/attribute_set.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/run_context.h /root/repo/src/core/agree_sets.h \
+ /root/repo/src/common/attribute_set.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

@@ -215,11 +215,11 @@ examples/CMakeFiles/paper_walkthrough.dir/paper_walkthrough.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/rng.h /root/repo/src/common/stopwatch.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/run_context.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
- /root/repo/src/core/agree_sets.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/stopwatch.h \
+ /root/repo/src/common/strings.h /root/repo/src/core/agree_sets.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \
  /root/repo/src/partition/partition.h /root/repo/src/core/armstrong.h \

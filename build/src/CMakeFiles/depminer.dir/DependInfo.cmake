@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/depminer.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/depminer.dir/catalog/catalog.cc.o.d"
   "/root/repo/src/common/arg_parser.cc" "src/CMakeFiles/depminer.dir/common/arg_parser.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/arg_parser.cc.o.d"
   "/root/repo/src/common/attribute_set.cc" "src/CMakeFiles/depminer.dir/common/attribute_set.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/attribute_set.cc.o.d"
+  "/root/repo/src/common/run_context.cc" "src/CMakeFiles/depminer.dir/common/run_context.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/run_context.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/depminer.dir/common/status.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/CMakeFiles/depminer.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/depminer.dir/common/strings.cc.o.d"
   "/root/repo/src/core/agree_sets.cc" "src/CMakeFiles/depminer.dir/core/agree_sets.cc.o" "gcc" "src/CMakeFiles/depminer.dir/core/agree_sets.cc.o.d"

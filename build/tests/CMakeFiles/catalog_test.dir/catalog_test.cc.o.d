@@ -305,6 +305,7 @@ tests/CMakeFiles/catalog_test.dir/catalog_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/dep_miner.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
  /root/repo/src/core/agree_sets.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \

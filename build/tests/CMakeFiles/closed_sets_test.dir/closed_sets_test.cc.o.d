@@ -302,7 +302,9 @@ tests/CMakeFiles/closed_sets_test.dir/closed_sets_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/armstrong.h /root/repo/src/relation/relation.h \
+ /root/repo/src/core/armstrong.h /root/repo/src/common/run_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/relation/relation.h \
  /root/repo/src/core/dep_miner.h /root/repo/src/core/agree_sets.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \

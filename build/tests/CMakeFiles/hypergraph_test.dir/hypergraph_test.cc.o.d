@@ -301,4 +301,7 @@ tests/CMakeFiles/hypergraph_test.dir/hypergraph_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/hypergraph/berge_transversals.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/status.h \
  /root/repo/src/hypergraph/levelwise_transversals.h

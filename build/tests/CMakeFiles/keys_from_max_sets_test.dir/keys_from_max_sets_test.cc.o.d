@@ -297,7 +297,9 @@ tests/CMakeFiles/keys_from_max_sets_test.dir/keys_from_max_sets_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/dep_miner.h /root/repo/src/common/status.h \
+ /root/repo/src/core/dep_miner.h /root/repo/src/common/run_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
  /root/repo/src/core/agree_sets.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \

@@ -297,13 +297,16 @@ tests/CMakeFiles/paper_example_test.dir/paper_example_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/agree_sets.h /root/repo/src/common/attribute_set.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/status.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \
  /root/repo/src/partition/partition.h /root/repo/src/relation/relation.h \
- /root/repo/src/relation/schema.h /root/repo/src/common/status.h \
- /root/repo/src/core/armstrong.h /root/repo/src/core/dep_miner.h \
- /root/repo/src/core/lhs.h /root/repo/src/core/max_sets.h \
- /root/repo/src/fd/fd_set.h /root/repo/src/fd/functional_dependency.h \
+ /root/repo/src/relation/schema.h /root/repo/src/core/armstrong.h \
+ /root/repo/src/core/dep_miner.h /root/repo/src/core/lhs.h \
+ /root/repo/src/core/max_sets.h /root/repo/src/fd/fd_set.h \
+ /root/repo/src/fd/functional_dependency.h \
  /root/repo/src/hypergraph/levelwise_transversals.h \
  /root/repo/src/hypergraph/hypergraph.h /root/repo/src/fd/satisfaction.h \
  /root/repo/tests/test_util.h

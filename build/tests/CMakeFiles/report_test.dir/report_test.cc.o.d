@@ -298,7 +298,9 @@ tests/CMakeFiles/report_test.dir/report_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/ind/unary_ind.h \
  /root/repo/src/relation/relation.h /root/repo/src/common/attribute_set.h \
  /root/repo/src/relation/schema.h /root/repo/src/report/profile.h \
- /root/repo/src/core/dep_miner.h /root/repo/src/core/agree_sets.h \
+ /root/repo/src/core/dep_miner.h /root/repo/src/common/run_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/agree_sets.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \
  /root/repo/src/partition/partition.h /root/repo/src/core/lhs.h \

@@ -297,7 +297,9 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/rng.h \
- /root/repo/src/core/dep_miner.h /root/repo/src/common/status.h \
+ /root/repo/src/core/dep_miner.h /root/repo/src/common/run_context.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
  /root/repo/src/core/agree_sets.h /root/repo/src/common/attribute_set.h \
  /root/repo/src/partition/partition_database.h \
  /root/repo/src/partition/stripped_partition.h \
@@ -306,5 +308,6 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/core/max_sets.h /root/repo/src/fd/fd_set.h \
  /root/repo/src/fd/functional_dependency.h \
  /root/repo/src/hypergraph/levelwise_transversals.h \
- /root/repo/src/hypergraph/hypergraph.h /root/repo/src/relation/csv.h \
- /root/repo/src/storage/column_file.h /root/repo/tests/test_util.h
+ /root/repo/src/hypergraph/hypergraph.h /root/repo/src/fd/fd_io.h \
+ /root/repo/src/relation/csv.h /root/repo/src/storage/column_file.h \
+ /root/repo/src/storage/streaming.h /root/repo/tests/test_util.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_context_test.dir/run_context_test.cc.o"
+  "CMakeFiles/run_context_test.dir/run_context_test.cc.o.d"
+  "run_context_test"
+  "run_context_test.pdb"
+  "run_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -297,6 +297,8 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/dep_miner.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/status.h /root/repo/src/core/agree_sets.h \
  /root/repo/src/common/attribute_set.h \
  /root/repo/src/partition/partition_database.h \

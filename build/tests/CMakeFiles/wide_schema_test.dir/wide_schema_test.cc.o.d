@@ -294,6 +294,8 @@ tests/CMakeFiles/wide_schema_test.dir/wide_schema_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/armstrong.h /root/repo/src/common/attribute_set.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/status.h /root/repo/src/relation/relation.h \
  /root/repo/src/relation/schema.h /root/repo/src/core/dep_miner.h \
  /root/repo/src/core/agree_sets.h \

@@ -20,8 +20,15 @@
 //
 // Every command also accepts .dmc column files as input.
 // Common flags: --no-header --delimiter=';' --nulls-distinct
-//               --null-token=NA
+//               --null-token=NA --timeout-ms=N --memory-budget-mb=N
+//
+// Resource governance: --timeout-ms bounds the wall-clock of the mining
+// commands and --memory-budget-mb their working set; Ctrl-C requests
+// cooperative cancellation. In all three cases `mine` stops cleanly and
+// reports the FDs found so far (exit 0 for Ctrl-C, 3 for a tripped
+// limit).
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 
@@ -30,6 +37,21 @@
 using namespace depminer;
 
 namespace {
+
+/// The one context governing this invocation. File-scope so the SIGINT
+/// handler — which may only touch lock-free atomics — can reach it;
+/// RunContext::RequestCancel is async-signal-safe by design.
+RunContext g_run_context;
+
+void HandleSigint(int /*signum*/) { g_run_context.RequestCancel(); }
+
+/// Exit code for a run interrupted by its RunContext: Ctrl-C is the user
+/// getting exactly what they asked for (0); a tripped limit is a
+/// distinct, scriptable failure (3, leaving 1 for errors and 2 for
+/// usage).
+int InterruptedExitCode(const Status& run_status) {
+  return run_status.code() == StatusCode::kCancelled ? 0 : 3;
+}
 
 int Usage() {
   std::fprintf(
@@ -63,7 +85,10 @@ int Usage() {
       "  convert   out.dmc|out.csv                           re-encode "
       "between formats\n"
       "common: --no-header --delimiter=';' --nulls-distinct "
-      "--null-token=NA\n");
+      "--null-token=NA\n"
+      "        --timeout-ms=N --memory-budget-mb=N   bound the run; "
+      "Ctrl-C stops it cleanly (partial report, exit 0; tripped limits "
+      "exit 3)\n");
   return 2;
 }
 
@@ -87,25 +112,49 @@ Result<Relation> Load(const ArgParser& args) {
   return ReadCsvRelation(path, options);
 }
 
-Result<FdSet> Mine(const Relation& relation, const std::string& algo) {
+/// What a mining command needs back: the FDs plus how the run ended.
+struct MineOutcome {
+  FdSet fds;
+  bool complete = true;
+  Status run_status;
+  std::string stats;  ///< one-line stats of the (possibly partial) run
+};
+
+Result<MineOutcome> Mine(const Relation& relation, const std::string& algo) {
+  MineOutcome out;
   if (algo == "tane") {
-    Result<TaneResult> tane = TaneDiscover(relation);
+    TaneOptions options;
+    options.run_context = &g_run_context;
+    Result<TaneResult> tane = TaneDiscover(relation, options);
     if (!tane.ok()) return tane.status();
-    return std::move(tane).value().fds;
+    out.fds = std::move(tane.value().fds);
+    out.complete = tane.value().complete;
+    out.run_status = tane.value().run_status;
+    out.stats = tane.value().stats.ToString();
+    return out;
   }
   if (algo == "fastfds") {
-    Result<FastFdsResult> fast = FastFdsDiscover(relation);
+    Result<FastFdsResult> fast = FastFdsDiscover(relation, &g_run_context);
     if (!fast.ok()) return fast.status();
-    return std::move(fast).value().fds;
+    out.fds = std::move(fast.value().fds);
+    out.complete = fast.value().complete;
+    out.run_status = fast.value().run_status;
+    out.stats = fast.value().stats.ToString();
+    return out;
   }
   DepMinerOptions options;
   options.build_armstrong = false;
+  options.run_context = &g_run_context;
   options.agree_set_algorithm = algo == "depminer2"
                                     ? AgreeSetAlgorithm::kIdentifiers
                                     : AgreeSetAlgorithm::kCouples;
   Result<DepMinerResult> mined = MineDependencies(relation, options);
   if (!mined.ok()) return mined.status();
-  return std::move(mined).value().fds;
+  out.fds = std::move(mined.value().fds);
+  out.complete = mined.value().complete;
+  out.run_status = mined.value().run_status;
+  out.stats = mined.value().stats.ToString();
+  return out;
 }
 
 /// Parses "A,B->C" using attribute names (or single letters for default
@@ -134,24 +183,33 @@ Result<FunctionalDependency> ParseFd(const Relation& relation,
 }
 
 int CmdMine(const Relation& relation, const ArgParser& args) {
-  Result<FdSet> fds = Mine(relation, args.GetString("algo", "depminer"));
-  if (!fds.ok()) {
-    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+  Result<MineOutcome> mined = Mine(relation, args.GetString("algo", "depminer"));
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
   }
+  const MineOutcome& outcome = mined.value();
   const std::string out = args.GetString("out", "");
   if (!out.empty()) {
-    Status st = SaveFdSet(fds.value(), relation.schema(), out);
+    Status st = SaveFdSet(outcome.fds, relation.schema(), out);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
     }
   } else {
-    for (const FunctionalDependency& fd : fds.value().fds()) {
+    for (const FunctionalDependency& fd : outcome.fds.fds()) {
       std::printf("%s\n", fd.ToString(relation.schema()).c_str());
     }
   }
-  std::fprintf(stderr, "%zu minimal FDs\n", fds.value().size());
+  if (!outcome.complete) {
+    std::fprintf(stderr, "run interrupted (%s); partial results:\n",
+                 outcome.run_status.ToString().c_str());
+    std::fprintf(stderr, "%s\n", outcome.stats.c_str());
+    std::fprintf(stderr, "%zu minimal FDs (possibly incomplete)\n",
+                 outcome.fds.size());
+    return InterruptedExitCode(outcome.run_status);
+  }
+  std::fprintf(stderr, "%zu minimal FDs\n", outcome.fds.size());
   return 0;
 }
 
@@ -186,10 +244,17 @@ int CmdProfile(const Relation& relation, const ArgParser& args) {
 }
 
 int CmdArmstrong(const Relation& relation, const ArgParser& args) {
-  Result<DepMinerResult> mined = MineDependencies(relation);
+  DepMinerOptions options;
+  options.run_context = &g_run_context;
+  Result<DepMinerResult> mined = MineDependencies(relation, options);
   if (!mined.ok()) {
     std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
+  }
+  if (!mined.value().complete) {
+    std::fprintf(stderr, "run interrupted (%s); no Armstrong relation\n",
+                 mined.value().run_status.ToString().c_str());
+    return InterruptedExitCode(mined.value().run_status);
   }
   Relation sample;
   if (args.GetBool("synthetic", false)) {
@@ -219,24 +284,36 @@ int CmdArmstrong(const Relation& relation, const ArgParser& args) {
 }
 
 int CmdKeys(const Relation& relation) {
-  Result<FdSet> fds = Mine(relation, "depminer");
-  if (!fds.ok()) {
-    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+  Result<MineOutcome> mined = Mine(relation, "depminer");
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
   }
-  for (const AttributeSet& key : CandidateKeys(fds.value())) {
+  if (!mined.value().complete) {
+    // Keys from a partial cover would merely be key *candidates*; say so
+    // rather than print something wrong.
+    std::fprintf(stderr, "run interrupted (%s); keys unavailable\n",
+                 mined.value().run_status.ToString().c_str());
+    return InterruptedExitCode(mined.value().run_status);
+  }
+  for (const AttributeSet& key : CandidateKeys(mined.value().fds)) {
     std::printf("%s\n", key.ToString(relation.schema().names()).c_str());
   }
   return 0;
 }
 
 int CmdNormalize(const Relation& relation) {
-  Result<FdSet> fds = Mine(relation, "depminer");
-  if (!fds.ok()) {
-    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+  Result<MineOutcome> mined = Mine(relation, "depminer");
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
   }
-  NormalizationAnalysis analysis(relation.schema(), fds.value());
+  if (!mined.value().complete) {
+    std::fprintf(stderr, "run interrupted (%s); analysis unavailable\n",
+                 mined.value().run_status.ToString().c_str());
+    return InterruptedExitCode(mined.value().run_status);
+  }
+  NormalizationAnalysis analysis(relation.schema(), mined.value().fds);
   std::printf("%s", analysis.Report().c_str());
   if (!analysis.InBcnf()) {
     std::printf("3NF synthesis:\n");
@@ -491,6 +568,31 @@ int main(int argc, char** argv) {
   ArgParser args;
   (void)args.Parse(argc, argv);
   if (args.positional().empty()) return Usage();
+
+  // GetInt maps unparsable values to 0, which for these two flags would
+  // silently mean "unlimited" — exactly what a user typing a limit did
+  // not ask for. Reject anything that is not a plain non-negative number.
+  for (const char* flag : {"timeout-ms", "memory-budget-mb"}) {
+    if (!args.Has(flag)) continue;
+    const std::string raw = args.GetString(flag, "");
+    if (raw.empty() ||
+        raw.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "error: --%s must be a non-negative integer, got \"%s\"\n",
+                   flag, raw.c_str());
+      return 2;
+    }
+  }
+  const int64_t timeout_ms = args.GetInt("timeout-ms", 0);
+  if (timeout_ms > 0) {
+    g_run_context.SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+  const int64_t budget_mb = args.GetInt("memory-budget-mb", 0);
+  if (budget_mb > 0) {
+    g_run_context.SetMemoryBudget(static_cast<size_t>(budget_mb) * 1024 *
+                                  1024);
+  }
+  (void)std::signal(SIGINT, HandleSigint);
+
   const std::string command = args.positional()[0];
   if (command == "inds") return CmdInds(args);
   if (command == "fks") return CmdFks(args);

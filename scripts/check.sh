@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate: configure and build both presets, run the test suite
+# under each. This is what CI runs; run it before sending a change.
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # just the plain Release build
+#   scripts/check.sh asan-ubsan # just the sanitizer build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure [${preset}]"
+  cmake --preset "${preset}"
+  echo "==> build [${preset}]"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> test [${preset}]"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "==> all checks passed"

@@ -1,26 +1,60 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <exception>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace depminer {
+
+namespace internal {
+
+/// True when `Stop` is callable as a stop predicate (no arguments,
+/// bool-ish result); used to disambiguate the ParallelFor overloads.
+template <typename Stop, typename = void>
+struct IsStopPredicate : std::false_type {};
+template <typename Stop>
+struct IsStopPredicate<
+    Stop, std::enable_if_t<std::is_convertible_v<
+              decltype(std::declval<Stop&>()()), bool>>> : std::true_type {};
+
+}  // namespace internal
 
 /// Runs `fn(i)` for every i in [begin, end) across up to `num_threads`
 /// OS threads, static contiguous partitioning. With `num_threads` ≤ 1 (or
 /// a single index) the loop runs inline on the calling thread.
 ///
-/// `fn` must be safe to call concurrently for distinct indices and must
-/// not throw. Used for the embarrassingly parallel per-attribute stages
-/// (stripped-partition extraction, per-attribute transversal searches);
-/// outputs are written to index-distinct slots, so results are
-/// deterministic regardless of thread count.
-template <typename Fn>
-void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn) {
+/// `stop` is polled before each index on every worker; once it returns
+/// true, workers stop scheduling their remaining indices (the index being
+/// processed finishes — cancellation is cooperative, never preemptive).
+/// Indices after the stop point may or may not have run; callers pair
+/// this with per-slot completion flags when they need to know. This is
+/// how a tripped `RunContext` drains the per-attribute stages
+/// (`RunContext::StopRequested` is the canonical predicate).
+///
+/// No-throw contract: `fn` must be safe to call concurrently for distinct
+/// indices and must not throw — an escaping exception would call
+/// std::terminate inside a detached-from-caller worker thread with no
+/// actionable context. Wrap unavoidably-throwing callables in
+/// `AssertNoThrow` to convert a contract violation into a debug assertion
+/// at the throw site instead. Used for the embarrassingly parallel
+/// per-attribute stages (stripped-partition extraction, per-attribute
+/// transversal searches); outputs are written to index-distinct slots, so
+/// results are deterministic regardless of thread count.
+template <typename Fn, typename Stop,
+          std::enable_if_t<internal::IsStopPredicate<Stop>::value, int> = 0>
+void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn,
+                 Stop&& stop) {
   const size_t count = end > begin ? end - begin : 0;
   if (count == 0) return;
   if (num_threads <= 1 || count == 1) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+    for (size_t i = begin; i < end; ++i) {
+      if (stop()) return;
+      fn(i);
+    }
     return;
   }
   const size_t workers = num_threads < count ? num_threads : count;
@@ -31,11 +65,41 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn) {
     const size_t lo = begin + w * chunk;
     const size_t hi = lo + chunk < end ? lo + chunk : end;
     if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    threads.emplace_back([lo, hi, &fn, &stop] {
+      for (size_t i = lo; i < hi; ++i) {
+        if (stop()) return;
+        fn(i);
+      }
     });
   }
   for (std::thread& t : threads) t.join();
+}
+
+/// The unconditional form: every index runs exactly once.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn) {
+  ParallelFor(begin, end, num_threads, std::forward<Fn>(fn),
+              [] { return false; });
+}
+
+/// Assertion-friendly wrapper for ParallelFor's no-throw contract: the
+/// returned callable runs `fn(i)` and turns any escaping exception into a
+/// debug assertion failure (release builds terminate, as any throw from a
+/// ParallelFor worker would anyway — but the assertion names the site).
+template <typename Fn>
+auto AssertNoThrow(Fn&& fn) {
+  return [fn = std::forward<Fn>(fn)](size_t i) noexcept {
+#if defined(__cpp_exceptions)
+    try {
+      fn(i);
+    } catch (...) {
+      assert(false && "ParallelFor body must not throw");
+      std::terminate();
+    }
+#else
+    fn(i);
+#endif
+  };
 }
 
 /// The hardware concurrency, with a sane floor of 1.

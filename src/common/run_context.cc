@@ -1,0 +1,34 @@
+#include "common/run_context.h"
+
+#include <string>
+
+namespace depminer {
+
+Status RunContext::Check() const {
+  if (!limited()) return Status::OK();
+
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("run cancelled");
+  }
+
+  const int64_t deadline_ns = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline_ns != kNoDeadline) {
+    const int64_t now_ns = Clock::now().time_since_epoch().count();
+    if (now_ns > deadline_ns) {
+      return Status::DeadlineExceeded("run deadline exceeded");
+    }
+  }
+
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget != 0) {
+    const size_t used = bytes_used_.load(std::memory_order_relaxed);
+    if (used > budget) {
+      return Status::CapacityExceeded(
+          "memory budget exceeded: " + std::to_string(used) + " bytes in use, "
+          "budget " + std::to_string(budget));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace depminer

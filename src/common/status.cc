@@ -16,6 +16,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

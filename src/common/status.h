@@ -17,6 +17,8 @@ enum class StatusCode {
   kNotFound,
   kCapacityExceeded,
   kFailedPrecondition,
+  kDeadlineExceeded,  ///< a RunContext wall-clock deadline expired
+  kCancelled,         ///< cooperative cancellation was requested
 };
 
 const char* StatusCodeToString(StatusCode code);
@@ -42,6 +44,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

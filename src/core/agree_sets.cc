@@ -46,6 +46,10 @@ class CoupleEnumerator {
     return keys_.size();
   }
 
+  /// The packed (lo, hi) couple keys, for loops that need to bail out
+  /// mid-enumeration (RunContext checks).
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
   size_t size() const { return keys_.size(); }
 
  private:
@@ -147,7 +151,8 @@ std::vector<EquivalenceClass> MaximalEquivalenceClasses(
   return kept;
 }
 
-AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation) {
+AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation,
+                                     RunContext* ctx) {
   AgreeSetResult result;
   result.num_tuples = relation.num_tuples();
   result.num_attributes = relation.num_attributes();
@@ -155,6 +160,10 @@ AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation) {
   std::vector<AttributeSet> distinct;
   const size_t p = relation.num_tuples();
   for (TupleId i = 0; i < p; ++i) {
+    if (ctx != nullptr && ctx->limited()) {
+      result.status = ctx->Check();
+      if (!result.status.ok()) break;
+    }
     for (TupleId j = i + 1; j < p; ++j) {
       ++result.couples_examined;
       const AttributeSet ag = relation.AgreeSetOf(i, j);
@@ -190,6 +199,12 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
   result.working_bytes =
       total_couples * (sizeof(uint64_t) + sizeof(std::pair<TupleId, TupleId>));
 
+  // The materialized couple list is this algorithm's dominant working
+  // structure; charge it so a memory budget can veto the run before the
+  // chunk loop touches every partition.
+  ScopedMemoryCharge memory(options.run_context);
+  memory.Set(result.working_bytes);
+
   std::vector<AttributeSet> distinct;
 
   // class_of[t]: 1-based id of t's class within the current partition.
@@ -201,6 +216,10 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
           ? std::max<size_t>(couples.size(), 1)
           : options.max_couples_per_chunk;
   for (size_t begin = 0; begin < couples.size(); begin += chunk_size) {
+    if (options.run_context != nullptr && options.run_context->limited()) {
+      result.status = options.run_context->Check();
+      if (!result.status.ok()) break;
+    }
     const size_t end = std::min(couples.size(), begin + chunk_size);
     ++result.chunks_processed;
     agree.assign(end - begin, AttributeSet());
@@ -240,8 +259,8 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
   return result;
 }
 
-AgreeSetResult ComputeAgreeSetsIdentifiers(
-    const StrippedPartitionDatabase& db) {
+AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
+                                           RunContext* ctx) {
   AgreeSetResult result;
   result.num_tuples = db.num_tuples();
   result.num_attributes = db.num_attributes();
@@ -262,11 +281,26 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(
 
   // Step 2 (lines 9-14): ag(t, t') from ec(t) ∩ ec(t') by sorted merge.
   const CoupleEnumerator enumerator(mc);
+  const size_t total_couples = enumerator.size();
+  result.couples_examined = total_couples;
+  result.working_bytes =
+      total_couples * sizeof(uint64_t) +
+      db.TotalMemberships() * sizeof(uint64_t);  // couple keys + ec lists
+
+  ScopedMemoryCharge memory(ctx);
+  memory.Set(result.working_bytes);
+
   std::vector<AttributeSet> distinct;
   distinct.reserve(enumerator.size());
-  const size_t total_couples = enumerator.ForEach([&](TupleId t, TupleId u) {
-    const std::vector<uint64_t>& x = ec[t];
-    const std::vector<uint64_t>& y = ec[u];
+  constexpr size_t kCheckEvery = 4096;  // couples between RunContext checks
+  for (size_t k = 0; k < enumerator.keys().size(); ++k) {
+    if (k % kCheckEvery == 0 && ctx != nullptr && ctx->limited()) {
+      result.status = ctx->Check();
+      if (!result.status.ok()) break;
+    }
+    const uint64_t key = enumerator.keys()[k];
+    const std::vector<uint64_t>& x = ec[static_cast<TupleId>(key >> 32)];
+    const std::vector<uint64_t>& y = ec[static_cast<TupleId>(key & 0xFFFFFFFFu)];
     AttributeSet ag;
     size_t i = 0, j = 0;
     while (i < x.size() && j < y.size()) {
@@ -281,11 +315,7 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(
       }
     }
     distinct.push_back(ag);
-  });
-  result.couples_examined = total_couples;
-  result.working_bytes =
-      total_couples * sizeof(uint64_t) +
-      db.TotalMemberships() * sizeof(uint64_t);  // couple keys + ec lists
+  }
 
   result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
   FinalizeSets(std::move(distinct), &result);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "common/run_context.h"
 #include "partition/partition_database.h"
 #include "relation/relation.h"
 
@@ -34,6 +35,13 @@ struct AgreeSetResult {
   /// `peak_partition_bytes`; see EXPERIMENTS.md.
   size_t working_bytes = 0;
 
+  /// OK for a completed computation. When the governing `RunContext`
+  /// trips mid-phase (deadline, cancellation, memory budget) the
+  /// algorithms stop at the next chunk/couple-batch boundary and return
+  /// here with the tripping status; `sets` then holds only the agree sets
+  /// of the couples processed so far.
+  Status status;
+
   /// All agree sets including ∅ if present — the paper's ag(r).
   std::vector<AttributeSet> All() const;
 };
@@ -49,6 +57,10 @@ struct AgreeSetOptions {
   /// quantifying the benefit of the paper's MC pruning. Results are
   /// identical (couples are deduplicated); only work changes.
   bool use_maximal_classes = true;
+  /// Optional resource governance: checked once per chunk (Algorithm 2)
+  /// or per couple batch (Algorithm 3); the materialized couple list and
+  /// ec lists are charged against its memory budget.
+  RunContext* run_context = nullptr;
 };
 
 /// Maximal equivalence classes MC = Max⊆{c ∈ π̂_A : π̂_A ∈ r̂} (paper §3.1).
@@ -59,8 +71,9 @@ std::vector<EquivalenceClass> MaximalEquivalenceClasses(
 
 /// Reference implementation: ag(ti, tj) for every pair of tuples —
 /// O(n·p²). Used as an oracle and as the "naive algorithm" baseline the
-/// paper argues against.
-AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation);
+/// paper argues against. `ctx` is checked once per outer tuple.
+AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation,
+                                     RunContext* ctx = nullptr);
 
 /// Paper Algorithm 2 (AGREE_SET): generate the couples inside maximal
 /// equivalence classes, then scan each stripped partition once, adding
@@ -73,7 +86,8 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
 /// Paper Algorithm 3 (AGREE_SET 2): build ec(t) = identifiers of the
 /// stripped classes containing t, then ag(t, t') = attributes of
 /// ec(t) ∩ ec(t') (Lemma 2). More efficient when couples are numerous.
-AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db);
+AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
+                                           RunContext* ctx = nullptr);
 
 /// Selects which agree-set algorithm a `DepMiner` run uses.
 enum class AgreeSetAlgorithm {

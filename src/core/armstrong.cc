@@ -64,7 +64,8 @@ Status RealWorldArmstrongExists(const Relation& relation,
 }
 
 Result<Relation> BuildRealWorldArmstrong(
-    const Relation& relation, const std::vector<AttributeSet>& max_sets) {
+    const Relation& relation, const std::vector<AttributeSet>& max_sets,
+    RunContext* ctx) {
   std::vector<std::vector<std::string>> samples;
   std::vector<size_t> counts;
   samples.reserve(relation.num_attributes());
@@ -74,14 +75,14 @@ Result<Relation> BuildRealWorldArmstrong(
     counts.push_back(relation.DistinctCount(a));
   }
   return BuildRealWorldArmstrongFromSamples(relation.schema(), samples,
-                                            counts, max_sets);
+                                            counts, max_sets, ctx);
 }
 
 Result<Relation> BuildRealWorldArmstrongFromSamples(
     const Schema& schema,
     const std::vector<std::vector<std::string>>& value_samples,
     const std::vector<size_t>& distinct_counts,
-    const std::vector<AttributeSet>& max_sets) {
+    const std::vector<AttributeSet>& max_sets, RunContext* ctx) {
   const size_t n = schema.num_attributes();
   if (value_samples.size() != n || distinct_counts.size() != n) {
     return Status::InvalidArgument("samples/counts arity mismatch");
@@ -125,6 +126,7 @@ Result<Relation> BuildRealWorldArmstrongFromSamples(
   DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
 
   for (const AttributeSet& x : max_sets) {
+    DEPMINER_CHECK_RUN(ctx);
     for (AttributeId a = 0; a < n; ++a) {
       const std::vector<std::string>& values = value_samples[a];
       row[a] = x.Contains(a) ? values[0] : values[next_value[a]++];

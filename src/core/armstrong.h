@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "relation/relation.h"
 
@@ -37,9 +38,11 @@ Status RealWorldArmstrongExists(const Relation& relation,
 /// holds a value actually occurring in r's column A.
 ///
 /// Fails with the Proposition 1 precondition when the initial relation
-/// lacks enough distinct values.
+/// lacks enough distinct values. `ctx` (optional) is checked once per
+/// emitted tuple — |r̄| = |MAX(dep(r))| + 1 can be exponential in |R|.
 Result<Relation> BuildRealWorldArmstrong(
-    const Relation& relation, const std::vector<AttributeSet>& max_sets);
+    const Relation& relation, const std::vector<AttributeSet>& max_sets,
+    RunContext* ctx = nullptr);
 
 /// Streaming variant of the real-world construction: builds from
 /// per-column value *samples* (first-occurrence-ordered distinct values)
@@ -51,7 +54,7 @@ Result<Relation> BuildRealWorldArmstrongFromSamples(
     const Schema& schema,
     const std::vector<std::vector<std::string>>& value_samples,
     const std::vector<size_t>& distinct_counts,
-    const std::vector<AttributeSet>& max_sets);
+    const std::vector<AttributeSet>& max_sets, RunContext* ctx = nullptr);
 
 /// Verifies the defining property via agree sets: every max set (= GEN
 /// member) appears in ag(r̄), and every agree set of r̄ is ⊆-contained in R

@@ -21,8 +21,22 @@ std::string DepMinerStats::ToString() const {
   return buf;
 }
 
+namespace {
+
+/// Marks `out` interrupted with the stage's tripping status and returns
+/// it as a *value*: the phases that completed keep their artifacts and
+/// timings (graceful degradation), the caller inspects `complete`.
+DepMinerResult Interrupted(DepMinerResult&& out, Status cause) {
+  out.complete = false;
+  out.run_status = std::move(cause);
+  return std::move(out);
+}
+
+}  // namespace
+
 Result<DepMinerResult> MineDependencies(const Relation& relation,
                                         const DepMinerOptions& options) {
+  DEPMINER_CHECK_RUN(options.run_context);
   Stopwatch timer;
   const StrippedPartitionDatabase db =
       StrippedPartitionDatabase::FromRelation(relation, options.num_threads);
@@ -43,6 +57,7 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
     return Status::CapacityExceeded("too many attributes");
   }
 
+  RunContext* ctx = options.run_context;
   DepMinerResult out;
   Stopwatch timer;
 
@@ -53,17 +68,18 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
         return Status::InvalidArgument(
             "naive agree-set computation needs the relation");
       }
-      out.agree_sets = ComputeAgreeSetsNaive(*relation);
+      out.agree_sets = ComputeAgreeSetsNaive(*relation, ctx);
       break;
     }
     case AgreeSetAlgorithm::kCouples: {
       AgreeSetOptions agree_options;
       agree_options.max_couples_per_chunk = options.max_couples_per_chunk;
+      agree_options.run_context = ctx;
       out.agree_sets = ComputeAgreeSetsCouples(db, agree_options);
       break;
     }
     case AgreeSetAlgorithm::kIdentifiers: {
-      out.agree_sets = ComputeAgreeSetsIdentifiers(db);
+      out.agree_sets = ComputeAgreeSetsIdentifiers(db, ctx);
       break;
     }
   }
@@ -72,22 +88,37 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   out.stats.num_agree_sets = out.agree_sets.sets.size();
   out.stats.chunks = out.agree_sets.chunks_processed;
   out.stats.agree_working_bytes = out.agree_sets.working_bytes;
+  if (!out.agree_sets.status.ok()) {
+    // A partial ag(r) would make every downstream artifact silently
+    // wrong (missing agree sets inflate the FD cover), so the pipeline
+    // stops here; only the stats describe the interrupted phase.
+    return Interrupted(std::move(out), out.agree_sets.status);
+  }
 
   // Step 2 (line 2): CMAX_SET.
   timer.Restart();
-  out.max_sets = ComputeMaxSets(out.agree_sets);
+  out.max_sets = ComputeMaxSets(out.agree_sets, ctx);
   out.all_max_sets = out.max_sets.AllMaxSets();
   out.stats.max_seconds = timer.ElapsedSeconds();
   out.stats.num_max_sets = out.all_max_sets.size();
+  if (ctx != nullptr && ctx->limited()) {
+    Status st = ctx->Check();
+    if (!st.ok()) return Interrupted(std::move(out), std::move(st));
+  }
 
   // Step 3 (line 3): LEFT_HAND_SIDE.
   timer.Restart();
-  out.lhs = ComputeLhs(out.max_sets, options.num_threads);
+  out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx);
   out.stats.lhs_seconds = timer.ElapsedSeconds();
 
-  // Step 4 (line 4): FD_OUTPUT.
+  // Step 4 (line 4): FD_OUTPUT. On an interrupted lhs phase this keeps
+  // the FDs of the attributes whose transversal search completed — they
+  // are final, since attributes are independent.
   out.fds = OutputFds(out.lhs);
   out.stats.num_fds = out.fds.size();
+  if (!out.lhs.status.ok()) {
+    return Interrupted(std::move(out), out.lhs.status);
+  }
 
   // Step 5 (line 5): ARMSTRONG_RELATION.
   if (options.build_armstrong) {
@@ -97,13 +128,18 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
     } else {
       timer.Restart();
       Result<Relation> armstrong =
-          BuildRealWorldArmstrong(*relation, out.all_max_sets);
+          BuildRealWorldArmstrong(*relation, out.all_max_sets, ctx);
       out.stats.armstrong_seconds = timer.ElapsedSeconds();
       if (armstrong.ok()) {
         out.armstrong = std::move(armstrong).value();
         out.armstrong_status = Status::OK();
       } else {
         out.armstrong_status = armstrong.status();
+        const StatusCode code = armstrong.status().code();
+        if (code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kCancelled) {
+          return Interrupted(std::move(out), armstrong.status());
+        }
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/agree_sets.h"
 #include "core/lhs.h"
@@ -29,6 +30,12 @@ struct DepMinerOptions {
   /// DefaultThreadCount() for all cores. Output is identical for any
   /// value.
   size_t num_threads = 1;
+  /// Optional resource governance (deadline, cancellation, memory
+  /// budget). Checked at chunk/level granularity by every pipeline stage;
+  /// when it trips, `MineDependencies` returns a *value* with
+  /// `DepMinerResult::complete == false`, the tripping status in
+  /// `run_status`, and every artifact completed so far intact.
+  RunContext* run_context = nullptr;
 };
 
 /// Per-phase wall-clock timings and size statistics of a run, mirroring
@@ -70,6 +77,16 @@ struct DepMinerResult {
   std::optional<Relation> armstrong;
   Status armstrong_status;
   DepMinerStats stats;
+  /// Graceful degradation under a `RunContext`: false when the run was
+  /// interrupted (deadline / cancellation / memory budget). `run_status`
+  /// then carries the tripping status (`kDeadlineExceeded`, `kCancelled`
+  /// or `kCapacityExceeded`), `stats` covers the phases that ran, and the
+  /// artifacts hold everything completed before the trip — in particular
+  /// `fds` keeps the per-attribute lhs families whose transversal search
+  /// finished (see `LhsResult::attribute_complete`). Always true when no
+  /// context (or an unarmed one) governs the run.
+  bool complete = true;
+  Status run_status;
 };
 
 /// Algorithm 1: the combined discovery of minimal FDs and a real-world

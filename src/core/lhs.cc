@@ -6,22 +6,46 @@
 
 namespace depminer {
 
-LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads) {
+LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
+                     RunContext* ctx) {
   LhsResult result;
   const size_t n = max_sets.num_attributes;
   result.num_attributes = n;
   result.lhs.resize(n);
+  result.attribute_complete.assign(n, false);
 
+  // done[a] is written only by the worker owning index a; the ParallelFor
+  // join publishes it. vector<bool> is not byte-addressable, hence char.
+  std::vector<char> done(n, 0);
   std::vector<LevelwiseStats> per_attr_stats(n);
-  ParallelFor(0, n, num_threads, [&](size_t a) {
-    Hypergraph graph(n, max_sets.cmax_sets[a]);
-    result.lhs[a] = LevelwiseMinimalTransversals(graph, &per_attr_stats[a]);
-    SortSets(&result.lhs[a]);
-  });
+  ParallelFor(
+      0, n, num_threads,
+      [&](size_t a) {
+        Hypergraph graph(n, max_sets.cmax_sets[a]);
+        std::vector<AttributeSet> tr =
+            LevelwiseMinimalTransversals(graph, &per_attr_stats[a], ctx);
+        if (!per_attr_stats[a].complete) return;  // partial Tr is unusable
+        SortSets(&tr);
+        result.lhs[a] = std::move(tr);
+        done[a] = 1;
+      },
+      [ctx] { return ctx != nullptr && ctx->StopRequested(); });
+
+  bool all_done = true;
+  for (size_t a = 0; a < n; ++a) {
+    result.attribute_complete[a] = done[a] != 0;
+    all_done = all_done && result.attribute_complete[a];
+  }
   for (const LevelwiseStats& stats : per_attr_stats) {
     result.stats.levels = std::max(result.stats.levels, stats.levels);
     result.stats.candidates_generated += stats.candidates_generated;
     result.stats.transversals_found += stats.transversals_found;
+  }
+  result.stats.complete = all_done;
+  if (!all_done) {
+    result.status = ctx != nullptr && !ctx->Check().ok()
+                        ? ctx->Check()
+                        : Status::Cancelled("LEFT_HAND_SIDE interrupted");
   }
   return result;
 }

@@ -18,12 +18,22 @@ struct LhsResult {
   size_t num_attributes = 0;
   std::vector<std::vector<AttributeSet>> lhs;  ///< lhs[A], sorted
   LevelwiseStats stats;                        ///< summed over attributes
+  /// attribute_complete[A] is true iff A's transversal search finished.
+  /// When a RunContext trips, completed attributes keep their full
+  /// lhs[A] (graceful degradation — those FDs are final); interrupted or
+  /// unstarted attributes have lhs[A] empty and the flag false.
+  std::vector<bool> attribute_complete;
+  /// OK for a full run; the tripping RunContext status otherwise.
+  Status status;
 };
 
 /// Runs Algorithm 5 (LEFT_HAND_SIDE) on every attribute's cmax
 /// hypergraph. Attributes are independent; `num_threads` > 1 distributes
-/// them across threads with identical output.
-LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads = 1);
+/// them across threads with identical output. `ctx` is checked per
+/// transversal level within each attribute and stops the distribution of
+/// further attributes once tripped.
+LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads = 1,
+                     RunContext* ctx = nullptr);
 
 /// Algorithm 6 (FD_OUTPUT): the minimal non-trivial FDs — every X → A with
 /// X ∈ lhs(dep(r), A) and X ≠ {A}. FDs with an empty lhs (constant

@@ -15,7 +15,7 @@ std::vector<AttributeSet> MaxSetResult::AllMaxSets() const {
   return out;
 }
 
-MaxSetResult ComputeMaxSets(const AgreeSetResult& agree) {
+MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, RunContext* ctx) {
   MaxSetResult result;
   const size_t n = agree.num_attributes;
   result.num_attributes = n;
@@ -25,6 +25,7 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree) {
   const AttributeSet universe = AttributeSet::Universe(n);
 
   for (AttributeId a = 0; a < n; ++a) {
+    if (ctx != nullptr && ctx->StopRequested()) break;
     // Lemma 3: max(dep(r), A) = Max⊆ {X ∈ ag(r) : A ∉ X}.
     std::vector<AttributeSet> candidates;
     for (const AttributeSet& x : agree.sets) {

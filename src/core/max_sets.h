@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "common/run_context.h"
 #include "core/agree_sets.h"
 
 namespace depminer {
@@ -30,6 +31,13 @@ struct MaxSetResult {
 
 /// Algorithm 4 (CMAX_SET). `agree` must describe the full ag(r), including
 /// the ∅ flag.
-MaxSetResult ComputeMaxSets(const AgreeSetResult& agree);
+///
+/// `ctx` (optional) is checked once per attribute — the per-attribute
+/// maximality filter is quadratic in |ag(r)|, which on wide random data
+/// dominates the pipeline. On a trip the remaining attributes are left
+/// empty; callers that passed a context must gate on `ctx->Check()`
+/// afterwards, as a partial result here is not a usable CMAX family.
+MaxSetResult ComputeMaxSets(const AgreeSetResult& agree,
+                            RunContext* ctx = nullptr);
 
 }  // namespace depminer

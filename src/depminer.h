@@ -18,6 +18,7 @@
 #include "common/attribute_set.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"

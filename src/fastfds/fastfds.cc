@@ -19,22 +19,35 @@ namespace {
 /// this enumerates every cover exactly once.
 class CoverSearch {
  public:
-  CoverSearch(const std::vector<AttributeSet>& sets, FastFdsStats* stats)
-      : sets_(sets), stats_(stats) {}
+  CoverSearch(const std::vector<AttributeSet>& sets, FastFdsStats* stats,
+              RunContext* ctx)
+      : sets_(sets), stats_(stats), ctx_(ctx) {}
 
-  /// Runs the search; calls emit(lhs) for every minimal cover.
+  /// Runs the search; calls emit(lhs) for every minimal cover. Returns
+  /// false when a governing RunContext tripped and the search aborted —
+  /// the covers emitted so far are valid but possibly not exhaustive.
   template <typename Emit>
-  void Run(const AttributeSet& candidates, Emit&& emit) {
+  bool Run(const AttributeSet& candidates, Emit&& emit) {
     std::vector<size_t> uncovered(sets_.size());
     for (size_t i = 0; i < sets_.size(); ++i) uncovered[i] = i;
     Dfs(AttributeSet(), candidates, uncovered, emit);
+    return !aborted_;
   }
 
  private:
+  /// The DFS is exponential in the worst case, so the context is polled
+  /// in batches of nodes rather than per recursion frame.
+  static constexpr size_t kCheckEveryNodes = 1024;
+
   template <typename Emit>
   void Dfs(const AttributeSet& path, const AttributeSet& allowed,
            const std::vector<size_t>& uncovered, Emit&& emit) {
-    ++stats_->search_nodes;
+    if (aborted_) return;
+    if (++stats_->search_nodes % kCheckEveryNodes == 0 && ctx_ != nullptr &&
+        ctx_->StopRequested()) {
+      aborted_ = true;
+      return;
+    }
     if (uncovered.empty()) {
       if (IsMinimalCover(path)) emit(path);
       return;
@@ -74,6 +87,7 @@ class CoverSearch {
         if (!sets_[i].Contains(s.attr)) still_uncovered.push_back(i);
       }
       Dfs(grown, remaining_allowed, still_uncovered, emit);
+      if (aborted_) return;
     }
   }
 
@@ -97,6 +111,8 @@ class CoverSearch {
 
   const std::vector<AttributeSet>& sets_;
   FastFdsStats* stats_;
+  RunContext* ctx_;
+  bool aborted_ = false;
 };
 
 }  // namespace
@@ -109,12 +125,14 @@ std::string FastFdsStats::ToString() const {
   return buf;
 }
 
-Result<FastFdsResult> FastFdsDiscover(const Relation& relation) {
+Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
+                                      RunContext* ctx) {
   const size_t n = relation.num_attributes();
   if (n == 0) return Status::InvalidArgument("relation has no attributes");
   if (n > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
   }
+  DEPMINER_CHECK_RUN(ctx);
 
   Stopwatch timer;
   FastFdsResult result;
@@ -124,7 +142,15 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation) {
   // disagreeing everywhere) contributes the difference set R.
   const StrippedPartitionDatabase db =
       StrippedPartitionDatabase::FromRelation(relation);
-  const AgreeSetResult agree = ComputeAgreeSetsIdentifiers(db);
+  const AgreeSetResult agree = ComputeAgreeSetsIdentifiers(db, ctx);
+  if (!agree.status.ok()) {
+    // A partial ag(r) yields a wrong (not merely partial) difference-set
+    // family, so no cover search runs; only the front-end stats survive.
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    result.complete = false;
+    result.run_status = agree.status;
+    return result;
+  }
   const AttributeSet universe = AttributeSet::Universe(n);
   std::vector<AttributeSet> difference_sets;
   difference_sets.reserve(agree.sets.size() + 1);
@@ -135,6 +161,14 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation) {
 
   std::vector<FunctionalDependency> found;
   for (AttributeId a = 0; a < n; ++a) {
+    if (ctx != nullptr && ctx->limited()) {
+      Status st = ctx->Check();
+      if (!st.ok()) {
+        result.complete = false;
+        result.run_status = std::move(st);
+        break;
+      }
+    }
     // D_A: difference sets containing A, with A removed, minimized.
     std::vector<AttributeSet> da;
     for (const AttributeSet& d : difference_sets) {
@@ -149,11 +183,24 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation) {
     // If ∅ ∈ D_A, a pair agrees on everything except A: nothing
     // (non-trivially) determines A, and the search naturally finds no
     // cover because the empty set cannot be hit.
-    CoverSearch search(da, &result.stats);
-    search.Run(universe.Minus(AttributeSet::Single(a)),
-               [&found, a](const AttributeSet& lhs) {
-                 found.push_back({lhs, a});
-               });
+    CoverSearch search(da, &result.stats, ctx);
+    const size_t found_before = found.size();
+    if (!search.Run(universe.Minus(AttributeSet::Single(a)),
+                    [&found, a](const AttributeSet& lhs) {
+                      found.push_back({lhs, a});
+                    })) {
+      // An aborted per-attribute search may have missed covers, which
+      // would make this attribute's FD list non-exhaustive; drop its
+      // partial covers and report the trip (attributes already finished
+      // keep their — final — FDs).
+      found.resize(found_before);
+      result.complete = false;
+      result.run_status = ctx != nullptr ? ctx->Check() : Status::OK();
+      if (result.run_status.ok()) {
+        result.run_status = Status::Cancelled("FastFDs cover search aborted");
+      }
+      break;
+    }
   }
 
   result.fds = FdSet(n, std::move(found));

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
 #include "relation/relation.h"
@@ -21,6 +22,10 @@ struct FastFdsStats {
 struct FastFdsResult {
   FdSet fds;
   FastFdsStats stats;
+  /// False when a governing RunContext tripped mid-search; `fds` then
+  /// holds the covers emitted before the trip and `run_status` the cause.
+  bool complete = true;
+  Status run_status;
 };
 
 /// FastFDs (Wyss, Giannella, Robertson; DaWaK 2001) — the follow-up to
@@ -33,6 +38,10 @@ struct FastFdsResult {
 /// greedy coverage ordering, instead of the levelwise transversal search
 /// of Algorithm 5. The output is the identical minimal FD cover
 /// (asserted by tests).
-Result<FastFdsResult> FastFdsDiscover(const Relation& relation);
+///
+/// `ctx` (optional) governs the run: it is threaded into the agree-set
+/// front end and checked every ~1024 DFS nodes of the cover search.
+Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
+                                      RunContext* ctx = nullptr);
 
 }  // namespace depminer

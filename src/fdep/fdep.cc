@@ -16,12 +16,13 @@ std::string FdepStats::ToString() const {
   return buf;
 }
 
-Result<FdepResult> FdepDiscover(const Relation& relation) {
+Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   const size_t n = relation.num_attributes();
   if (n == 0) return Status::InvalidArgument("relation has no attributes");
   if (n > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
   }
+  DEPMINER_CHECK_RUN(ctx);
 
   Stopwatch timer;
   FdepResult result;
@@ -30,21 +31,52 @@ Result<FdepResult> FdepDiscover(const Relation& relation) {
   // O(n·p²) bottom-up step — deliberately kept, it is what distinguishes
   // the baseline); the maximal agree sets avoiding A are the maximal
   // invalid left-hand sides for A.
-  const AgreeSetResult agree = ComputeAgreeSetsNaive(relation);
-  const MaxSetResult negative = ComputeMaxSets(agree);
+  const AgreeSetResult agree = ComputeAgreeSetsNaive(relation, ctx);
+  if (!agree.status.ok()) {
+    // A partial negative cover would under-constrain specialization and
+    // admit invalid FDs, so induction never starts.
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    result.complete = false;
+    result.run_status = agree.status;
+    return result;
+  }
+  const MaxSetResult negative = ComputeMaxSets(agree, ctx);
+  if (ctx != nullptr && ctx->limited()) {
+    Status st = ctx->Check();
+    if (!st.ok()) {
+      // Attributes skipped by an interrupted CMAX_SET have an *empty* list
+      // of invalid lhs, which specialization would read as "∅ → A holds".
+      result.stats.total_seconds = timer.ElapsedSeconds();
+      result.complete = false;
+      result.run_status = std::move(st);
+      return result;
+    }
+  }
   for (const auto& per_attr : negative.max_sets) {
     result.stats.negative_cover_size += per_attr.size();
   }
 
   const AttributeSet universe = AttributeSet::Universe(n);
   std::vector<FunctionalDependency> found;
-  for (AttributeId a = 0; a < n; ++a) {
+  bool interrupted = false;
+  for (AttributeId a = 0; a < n && !interrupted; ++a) {
     // Positive cover by specialization: start from the most general
     // hypothesis ∅ → A; each maximal invalid lhs M contradicts every
     // hypothesis H ⊆ M, which is replaced by its minimal specializations
     // H ∪ {b}, b ∉ M ∪ {A}; non-minimal survivors are dropped.
     std::vector<AttributeSet> hypotheses = {AttributeSet()};
     for (const AttributeSet& m : negative.max_sets[a]) {
+      if (ctx != nullptr && ctx->limited()) {
+        Status st = ctx->Check();
+        if (!st.ok()) {
+          // Hypotheses not yet refined against every invalid lhs are not
+          // FDs; the attribute's partial state is dropped wholesale.
+          result.complete = false;
+          result.run_status = std::move(st);
+          interrupted = true;
+          break;
+        }
+      }
       std::vector<AttributeSet> next;
       next.reserve(hypotheses.size());
       for (const AttributeSet& h : hypotheses) {
@@ -63,6 +95,7 @@ Result<FdepResult> FdepDiscover(const Relation& relation) {
       }
       hypotheses = MinimalSets(std::move(next));
     }
+    if (interrupted) break;
     for (const AttributeSet& h : hypotheses) {
       found.push_back({h, a});
     }

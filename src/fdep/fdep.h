@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
 #include "relation/relation.h"
@@ -21,6 +22,11 @@ struct FdepStats {
 struct FdepResult {
   FdSet fds;
   FdepStats stats;
+  /// False when a governing RunContext tripped mid-run; `fds` then holds
+  /// the positive covers of the attributes finished before the trip and
+  /// `run_status` the cause.
+  bool complete = true;
+  Status run_status;
 };
 
 /// FDEP — bottom-up induction of functional dependencies (Savnik & Flach
@@ -37,6 +43,11 @@ struct FdepResult {
 ///
 /// Produces the same minimal cover as Dep-Miner, TANE and FastFDs
 /// (asserted by tests).
-Result<FdepResult> FdepDiscover(const Relation& relation);
+///
+/// `ctx` (optional) governs the run: it is threaded into the pairwise
+/// negative-cover scan and checked per attribute and per maximal invalid
+/// lhs during specialization.
+Result<FdepResult> FdepDiscover(const Relation& relation,
+                                RunContext* ctx = nullptr);
 
 }  // namespace depminer

@@ -3,7 +3,7 @@
 namespace depminer {
 
 std::vector<AttributeSet> BergeMinimalTransversals(
-    const Hypergraph& hypergraph) {
+    const Hypergraph& hypergraph, RunContext* ctx) {
   const Hypergraph simple =
       hypergraph.IsSimple() ? hypergraph : hypergraph.Minimized();
 
@@ -11,6 +11,7 @@ std::vector<AttributeSet> BergeMinimalTransversals(
   // edges.
   std::vector<AttributeSet> transversals = {AttributeSet()};
   for (const AttributeSet& edge : simple.edges()) {
+    if (ctx != nullptr && ctx->StopRequested()) break;
     std::vector<AttributeSet> extended;
     extended.reserve(transversals.size() * edge.Count());
     for (const AttributeSet& t : transversals) {
@@ -31,11 +32,12 @@ std::vector<AttributeSet> BergeMinimalTransversals(
   return transversals;
 }
 
-std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph) {
+std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph,
+                                            RunContext* ctx) {
   const Hypergraph simple = hypergraph.Minimized();
-  std::vector<AttributeSet> tr = BergeMinimalTransversals(simple);
+  std::vector<AttributeSet> tr = BergeMinimalTransversals(simple, ctx);
   Hypergraph tr_graph(simple.num_vertices(), std::move(tr));
-  return BergeMinimalTransversals(tr_graph);
+  return BergeMinimalTransversals(tr_graph, ctx);
 }
 
 }  // namespace depminer

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "hypergraph/hypergraph.h"
 
 namespace depminer {
@@ -17,11 +18,19 @@ namespace depminer {
 /// sides.
 ///
 /// Returns transversals sorted by (cardinality, members).
-std::vector<AttributeSet> BergeMinimalTransversals(const Hypergraph& hypergraph);
+///
+/// `ctx` (optional) is checked once per edge — the partial-transversal
+/// family can blow up multiplicatively with each edge. On a trip the
+/// incremental construction stops and the (meaningless-as-Tr(H)) prefix
+/// transversals computed so far are returned; callers distinguish this by
+/// re-checking `ctx->Check()`.
+std::vector<AttributeSet> BergeMinimalTransversals(
+    const Hypergraph& hypergraph, RunContext* ctx = nullptr);
 
 /// Applies Tr twice: for a simple hypergraph H, Tr(Tr(H)) = H. Exposed so
 /// the TANE comparator can rebuild cmax sets from lhs sets the way the
 /// paper describes. Result is minimized and sorted.
-std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph);
+std::vector<AttributeSet> DoubleTransversal(const Hypergraph& hypergraph,
+                                            RunContext* ctx = nullptr);
 
 }  // namespace depminer

@@ -72,7 +72,7 @@ std::vector<Candidate> GenerateNextLevel(const std::vector<Candidate>& level) {
 }  // namespace
 
 std::vector<AttributeSet> LevelwiseMinimalTransversals(
-    const Hypergraph& hypergraph, LevelwiseStats* stats) {
+    const Hypergraph& hypergraph, LevelwiseStats* stats, RunContext* ctx) {
   LevelwiseStats local_stats;
   std::vector<AttributeSet> result;
 
@@ -95,6 +95,10 @@ std::vector<AttributeSet> LevelwiseMinimalTransversals(
   local_stats.candidates_generated += level.size();
 
   while (!level.empty()) {
+    if (ctx != nullptr && ctx->StopRequested()) {
+      local_stats.complete = false;
+      break;
+    }
     ++local_stats.levels;
     std::vector<Candidate> survivors;
     survivors.reserve(level.size());

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "hypergraph/hypergraph.h"
 
 namespace depminer {
@@ -12,6 +13,9 @@ struct LevelwiseStats {
   size_t levels = 0;
   size_t candidates_generated = 0;
   size_t transversals_found = 0;
+  /// False when a governing RunContext tripped mid-search; the returned
+  /// transversals are then the ones found before the interrupted level.
+  bool complete = true;
 };
 
 /// Computes the minimal transversals Tr(H) of a simple hypergraph with the
@@ -26,7 +30,14 @@ struct LevelwiseStats {
 ///
 /// `hypergraph` is minimized internally if it is not already simple; the
 /// transversals of H and of its ⊆-minimal edge set coincide.
+///
+/// `ctx` (optional) is checked once per level — the candidate count can
+/// explode combinatorially between levels, so this is the natural
+/// cooperative-cancellation granularity. On a trip the search stops,
+/// `stats->complete` turns false and the transversals found so far are
+/// returned.
 std::vector<AttributeSet> LevelwiseMinimalTransversals(
-    const Hypergraph& hypergraph, LevelwiseStats* stats = nullptr);
+    const Hypergraph& hypergraph, LevelwiseStats* stats = nullptr,
+    RunContext* ctx = nullptr);
 
 }  // namespace depminer

@@ -43,27 +43,43 @@ std::vector<std::string> SplitRecord(const std::string& line,
   return fields;
 }
 
+enum class ReadOutcome { kRecord, kEndOfInput, kMalformed };
+
 /// Reads one logical record (handles newlines inside quoted fields).
-/// Returns false at end of stream with nothing read.
-bool ReadRecord(std::istream& in, const CsvOptions& options,
-                std::string* record) {
+/// kMalformed covers input no well-formed CSV contains: a quoted field
+/// still open at end of input, or a NUL byte (text CSV never carries NUL;
+/// one almost always means a binary file was passed by mistake, and NULs
+/// silently truncate C-string comparisons downstream).
+ReadOutcome ReadRecord(std::istream& in, const CsvOptions& options,
+                       std::string* record, Status* error) {
   record->clear();
   std::string line;
   bool got_any = false;
   while (std::getline(in, line)) {
     got_any = true;
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find('\0') != std::string::npos) {
+      *error = Status::InvalidArgument("embedded NUL byte in CSV input");
+      return ReadOutcome::kMalformed;
+    }
     if (!record->empty()) *record += '\n';
     *record += line;
-    if (!options.allow_quoting) return true;
+    if (!options.allow_quoting) return ReadOutcome::kRecord;
     // A record is complete when it contains an even number of quotes.
     size_t quotes = 0;
     for (char c : *record) {
       if (c == '"') ++quotes;
     }
-    if (quotes % 2 == 0) return true;
+    if (quotes % 2 == 0) return ReadOutcome::kRecord;
   }
-  return got_any;
+  if (got_any) {
+    // Only reachable with quoting enabled and an odd quote count: the
+    // stream ended inside a quoted field.
+    *error = Status::InvalidArgument(
+        "unterminated quoted field at end of input");
+    return ReadOutcome::kMalformed;
+  }
+  return ReadOutcome::kEndOfInput;
 }
 
 Result<Relation> ParseStream(std::istream& in, const CsvOptions& options,
@@ -94,6 +110,9 @@ Result<Relation> ParseStream(std::istream& in, const CsvOptions& options,
                              std::to_string(schema.num_attributes()));
     }
     DEPMINER_RETURN_NOT_OK(builder->AddRow(fields));
+  }
+  if (!reader.status().ok()) {
+    return Status::InvalidArgument(origin + ": " + reader.status().message());
   }
 
   if (!builder) {
@@ -128,8 +147,25 @@ void AppendField(const std::string& value, const CsvOptions& options,
 }  // namespace
 
 bool CsvRecordReader::Next(std::vector<std::string>* fields) {
-  if (!ReadRecord(in_, options_, &record_)) return false;
-  if (record_.empty() && in_.eof()) return false;  // trailing newline
+  if (!status_.ok()) return false;
+  for (;;) {
+    Status error;
+    switch (ReadRecord(in_, options_, &record_, &error)) {
+      case ReadOutcome::kMalformed:
+        status_ = std::move(error);
+        return false;
+      case ReadOutcome::kEndOfInput:
+        return false;
+      case ReadOutcome::kRecord:
+        break;
+    }
+    // Blank records before the first real one are skipped (a file of only
+    // (CR)LFs is empty input, not a sequence of one-empty-field records);
+    // a blank record at the very end is the file's trailing newline.
+    if (record_.empty() && records_read_ == 0) continue;
+    if (record_.empty() && in_.eof()) return false;
+    break;
+  }
   *fields = SplitRecord(record_, options_);
   ++records_read_;
   return true;

@@ -31,13 +31,23 @@ struct CsvOptions {
 /// embedded delimiters, escaped quotes and newlines inside quoted
 /// fields), CRLF endings and custom delimiters. Shared by the relation
 /// loader and the streaming partition extractor.
+///
+/// Malformed input — an unterminated quoted field at end of input, or an
+/// embedded NUL byte — stops iteration with a sticky non-OK `status()`;
+/// callers must distinguish "end of input" (`status().ok()`) from "bad
+/// input" after `Next` returns false. Blank records before the first real
+/// record are skipped, so a file of only (CR)LFs reads as empty input.
 class CsvRecordReader {
  public:
   CsvRecordReader(std::istream& in, const CsvOptions& options)
       : in_(in), options_(options) {}
 
-  /// Reads the next record into `fields`; returns false at end of input.
+  /// Reads the next record into `fields`; returns false at end of input
+  /// or on malformed input (then `status()` is non-OK).
   bool Next(std::vector<std::string>* fields);
+
+  /// OK until malformed input is hit, then the (sticky) parse error.
+  const Status& status() const { return status_; }
 
   size_t records_read() const { return records_read_; }
 
@@ -45,6 +55,7 @@ class CsvRecordReader {
   std::istream& in_;
   const CsvOptions options_;
   std::string record_;
+  Status status_;
   size_t records_read_ = 0;
 };
 

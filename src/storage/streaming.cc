@@ -15,6 +15,8 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
                                            const StreamingOptions& options,
                                            const std::string& origin) {
   CsvRecordReader reader(in, options.csv);
+  RunContext* ctx = options.run_context;
+  ScopedMemoryCharge memory(ctx);
 
   StreamingExtract out;
   // Per column: value → dense code, and the tuple ids per code (the
@@ -22,11 +24,25 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
   std::vector<std::unordered_map<std::string, ValueCode>> code_of;
   std::vector<std::vector<EquivalenceClass>> buckets;
 
+  // Running working-set estimate charged against a memory budget: one
+  // TupleId per cell (the partition memberships) plus the dictionary
+  // strings with a nominal per-entry overhead.
+  constexpr size_t kDictEntryOverhead = 64;
+  constexpr size_t kCheckEveryRecords = 1024;
+  size_t working_bytes = 0;
+
   std::vector<std::string> fields;
   size_t record_no = 0;
   bool have_schema = false;
   while (reader.Next(&fields)) {
     ++record_no;
+    if (record_no % kCheckEveryRecords == 0 && ctx != nullptr &&
+        ctx->limited()) {
+      memory.Set(working_bytes);
+      // A partial extraction has wrong (not partial) partitions, so a
+      // trip here fails the pass outright.
+      DEPMINER_CHECK_RUN(ctx);
+    }
     if (!have_schema) {
       if (options.csv.has_header) {
         out.schema = Schema(std::move(fields));
@@ -69,13 +85,18 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
       if (inserted) {
         buckets[a].emplace_back();
         ++out.distinct_counts[a];
+        working_bytes += fields[a].size() + kDictEntryOverhead;
         if (out.value_samples[a].size() < options.value_sample_size) {
           out.value_samples[a].push_back(fields[a]);
         }
       }
       buckets[a][it->second].push_back(tuple);
+      working_bytes += sizeof(TupleId);
     }
     ++out.num_tuples;
+  }
+  if (!reader.status().ok()) {
+    return Status::InvalidArgument(origin + ": " + reader.status().message());
   }
 
   if (!have_schema) {
@@ -122,19 +143,36 @@ Result<StreamingMineResult> MineCsvStreaming(const std::string& path,
 
   DepMinerOptions mine_options;
   mine_options.build_armstrong = false;  // built from samples below
+  mine_options.run_context = options.run_context;
   Result<DepMinerResult> mined =
       MineDependencies(out.extract.partitions, nullptr, mine_options);
   if (!mined.ok()) return mined.status();
   out.fds = std::move(mined.value().fds);
+  if (!mined.value().complete) {
+    // Whatever mining salvaged (FDs of finished attributes) is kept; the
+    // Armstrong relation needs the full MAX(dep(r)) family, so it is not
+    // attempted.
+    out.complete = false;
+    out.run_status = mined.value().run_status;
+    out.armstrong_status = out.run_status;
+    return out;
+  }
 
   Result<Relation> armstrong = BuildRealWorldArmstrongFromSamples(
       out.extract.schema, out.extract.value_samples,
-      out.extract.distinct_counts, mined.value().all_max_sets);
+      out.extract.distinct_counts, mined.value().all_max_sets,
+      options.run_context);
   if (armstrong.ok()) {
     out.armstrong = std::move(armstrong).value();
     out.armstrong_status = Status::OK();
   } else {
     out.armstrong_status = armstrong.status();
+    const StatusCode code = armstrong.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
+      out.complete = false;
+      out.run_status = armstrong.status();
+    }
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
 #include "partition/partition_database.h"
@@ -21,6 +22,14 @@ struct StreamingOptions {
   /// the first `value_sample_size` in first-occurrence order). 0 keeps
   /// none (discovery only).
   size_t value_sample_size = 4096;
+  /// Optional resource governance: the extraction pass checks it every
+  /// ~1024 records and charges its growing working set (dictionaries +
+  /// partition buckets) against the memory budget; mining and Armstrong
+  /// construction inherit it. A trip during extraction fails the whole
+  /// pass (a partial partition database would yield wrong FDs, not
+  /// partial ones); a trip later degrades gracefully — see
+  /// StreamingMineResult::complete.
+  RunContext* run_context = nullptr;
 };
 
 /// What one streaming pass over a CSV produces: exactly the inputs
@@ -64,6 +73,11 @@ struct StreamingMineResult {
   FdSet fds;
   std::optional<Relation> armstrong;
   Status armstrong_status;
+  /// False when StreamingOptions::run_context tripped after extraction;
+  /// `fds` then holds whatever the interrupted mining phase completed and
+  /// `run_status` the cause.
+  bool complete = true;
+  Status run_status;
 };
 
 Result<StreamingMineResult> MineCsvStreaming(

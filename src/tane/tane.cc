@@ -53,12 +53,23 @@ class TaneRun {
     cplus_memo_[AttributeSet()] = universe_;
     error_empty_ = p_ > 0 ? p_ - 1 : 0;
 
+    RunContext* ctx = options_.run_context;
+    ScopedMemoryCharge memory(ctx);
+
     std::vector<Node> level = BuildFirstLevel();
     result_.stats.candidates_generated += level.size();
 
     while (!level.empty()) {
+      if (ctx != nullptr && ctx->limited()) {
+        Status st = ctx->Check();
+        if (!st.ok()) {
+          result_.complete = false;
+          result_.run_status = std::move(st);
+          break;
+        }
+      }
       ++result_.stats.levels;
-      RecordPartitionFootprint(level);
+      memory.Set(RecordPartitionFootprint(level));
       ComputeDependencies(&level);
       Prune(&level);
       // The surviving nodes become the "previous level": their partitions
@@ -68,6 +79,11 @@ class TaneRun {
       RebuildPreviousIndex();
       level = GenerateNextLevel();
       result_.stats.candidates_generated += level.size();
+      if (!trip_status_.ok()) {
+        result_.complete = false;
+        result_.run_status = trip_status_;
+        break;
+      }
     }
 
     result_.fds = FdSet(n_, std::move(found_));
@@ -200,7 +216,9 @@ class TaneRun {
     *level = std::move(kept);
   }
 
-  void RecordPartitionFootprint(const std::vector<Node>& level) {
+  /// Returns the current two-level partition footprint (the quantity a
+  /// RunContext memory budget governs) and folds it into the peak stat.
+  size_t RecordPartitionFootprint(const std::vector<Node>& level) {
     size_t bytes = 0;
     for (const Node& node : level) {
       bytes += node.partition.CoveredTuples() * sizeof(TupleId);
@@ -210,6 +228,7 @@ class TaneRun {
     }
     result_.stats.peak_partition_bytes =
         std::max(result_.stats.peak_partition_bytes, bytes);
+    return bytes;
   }
 
   void RebuildPreviousIndex() {
@@ -263,9 +282,16 @@ class TaneRun {
     // The partition products — the dominant per-level cost — run in
     // parallel over the independent candidates (per-thread workspaces;
     // results land in index-distinct slots, so output is deterministic).
+    // A governing RunContext is consulted once per product; on a trip the
+    // remaining products are skipped and Run() discards this level.
     result_.stats.partition_products += next.size();
+    RunContext* ctx = options_.run_context;
     if (options_.num_threads <= 1 || next.size() <= 1) {
       for (Node& node : next) {
+        if (ctx != nullptr && ctx->limited()) {
+          trip_status_ = ctx->Check();
+          if (!trip_status_.ok()) break;
+        }
         node.partition = workspace_.Product(level[node.parent_i].partition,
                                             level[node.parent_j].partition);
         node.error = PartitionError(node.partition);
@@ -280,12 +306,17 @@ class TaneRun {
             std::make_unique<PartitionProductWorkspace>(p_));
       }
       std::atomic<size_t> cursor{0};
+      std::atomic<bool> tripped{false};
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
           PartitionProductWorkspace& ws = *workspaces[w];
           while (true) {
+            if (ctx != nullptr && ctx->StopRequested()) {
+              tripped.store(true, std::memory_order_relaxed);
+              break;
+            }
             const size_t k = cursor.fetch_add(1);
             if (k >= next.size()) break;
             Node& node = next[k];
@@ -296,6 +327,14 @@ class TaneRun {
         });
       }
       for (std::thread& t : threads) t.join();
+      if (tripped.load(std::memory_order_relaxed)) {
+        trip_status_ = ctx->Check();
+        if (trip_status_.ok()) {
+          // Non-sticky budget trips can clear between the worker's
+          // observation and this check; record the interruption anyway.
+          trip_status_ = Status::Cancelled("TANE level generation interrupted");
+        }
+      }
     }
     return next;
   }
@@ -333,6 +372,7 @@ class TaneRun {
   std::vector<Node> prev_level_;
   std::unordered_map<AttributeSet, Node*, AttributeSetHash> previous_;
   std::unordered_map<AttributeSet, AttributeSet, AttributeSetHash> cplus_memo_;
+  Status trip_status_;  ///< first RunContext trip seen inside GenerateNextLevel
   TaneResult result_;
 };
 

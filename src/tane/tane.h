@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
 #include "relation/relation.h"
@@ -24,6 +25,10 @@ struct TaneOptions {
   /// dominant cost; candidates within one level are independent).
   /// 1 = serial. Output is identical for any value.
   size_t num_threads = 1;
+  /// Optional resource governance: checked once per lattice level and
+  /// once per partition product (the per-level dominant cost); the live
+  /// two-level partition footprint is charged against its memory budget.
+  RunContext* run_context = nullptr;
 };
 
 /// Statistics of a TANE run, for the bench harness.
@@ -46,6 +51,11 @@ struct TaneStats {
 struct TaneResult {
   FdSet fds;  ///< minimal non-trivial (approximate) FDs
   TaneStats stats;
+  /// False when a governing RunContext tripped mid-search; `fds` then
+  /// holds the (minimal, but possibly not exhaustive) FDs validated on
+  /// the levels completed before the trip, and `run_status` the cause.
+  bool complete = true;
+  Status run_status;
 };
 
 /// The TANE algorithm of Huhtala, Kärkkäinen, Porkka and Toivonen

@@ -49,6 +49,16 @@ add_test(NAME cli.inds COMMAND fdtool inds ${DATA}/orders.csv
 add_test(NAME cli.missing_file COMMAND fdtool mine /nonexistent.csv)
 set_tests_properties(cli.missing_file PROPERTIES WILL_FAIL TRUE)
 
+# Generous resource limits must not change results.
+add_test(NAME cli.mine_governed COMMAND fdtool mine ${DATA}/employees.csv
+         --timeout-ms=60000 --memory-budget-mb=1024)
+set_tests_properties(cli.mine_governed PROPERTIES
+    PASS_REGULAR_EXPRESSION "depname -> depnum")
+
+add_test(NAME cli.bad_timeout COMMAND fdtool mine ${DATA}/employees.csv
+         --timeout-ms=-5)
+set_tests_properties(cli.bad_timeout PROPERTIES WILL_FAIL TRUE)
+
 add_test(NAME cli.usage COMMAND fdtool)
 set_tests_properties(cli.usage PROPERTIES WILL_FAIL TRUE)
 

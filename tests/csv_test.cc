@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace depminer {
 namespace {
@@ -116,6 +117,59 @@ TEST(Csv, QuotingDisabled) {
   Result<Relation> r = ParseCsvRelation("a,b\n\"x\",2\n", options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().Value(0, 0), "\"x\"");  // quotes kept literal
+}
+
+TEST(Csv, RejectsUnterminatedQuoteAtEof) {
+  Result<Relation> r = ParseCsvRelation("a,b\n\"open,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Csv, RejectsUnterminatedQuoteSpanningLines) {
+  // The open quote swallows the rest of the file; still unterminated.
+  Result<Relation> r = ParseCsvRelation("a,b\n\"open,2\n3,4\n5,6\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csv, RejectsEmbeddedNulByte) {
+  std::string csv = "a,b\n1,2\n";
+  csv[5] = '\0';  // overwrite the '1' cell with a NUL
+  Result<Relation> r = ParseCsvRelation(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("NUL"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Csv, CrLfOnlyFileIsEmptyInput) {
+  for (const std::string content : {"\r\n", "\r\n\r\n\r\n", "\n\n", "\r\n\n"}) {
+    Result<Relation> r = ParseCsvRelation(content);
+    ASSERT_FALSE(r.ok()) << '"' << content << '"';
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("empty CSV input"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(Csv, LeadingBlankLinesBeforeHeaderAreSkipped) {
+  Result<Relation> r = ParseCsvRelation("\r\n\na,b\n1,2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().schema().names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.value().num_tuples(), 1u);
+}
+
+TEST(Csv, ReaderStatusIsStickyAfterMalformedInput) {
+  std::istringstream in("a,b\n\"open\n");
+  CsvRecordReader reader(in, CsvOptions{});
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));  // the header
+  EXPECT_FALSE(reader.Next(&fields));
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reader.Next(&fields));  // still failed, no crash
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -48,6 +48,42 @@ TEST(ParallelFor, DefaultThreadCountPositive) {
   EXPECT_GE(DefaultThreadCount(), 1u);
 }
 
+TEST(ParallelFor, StopPredicateHaltsInlineLoop) {
+  size_t calls = 0;
+  ParallelFor(
+      0, 1000, 1, [&](size_t) { ++calls; },
+      [&] { return calls >= 10; });
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(ParallelFor, StopPredicateHaltsWorkers) {
+  std::atomic<size_t> calls{0};
+  std::atomic<bool> stop{false};
+  ParallelFor(
+      0, 100000, 8,
+      [&](size_t) {
+        if (calls.fetch_add(1) == 50) stop = true;
+      },
+      [&] { return stop.load(); });
+  // Every worker quits at its next poll after the flag flips: well under
+  // the full range, but at least the 51 calls it took to flip it.
+  EXPECT_GE(calls.load(), 51u);
+  EXPECT_LT(calls.load(), 100000u);
+}
+
+TEST(ParallelFor, FalseStopPredicateRunsEverything) {
+  std::atomic<size_t> calls{0};
+  ParallelFor(
+      0, 500, 4, [&](size_t) { ++calls; }, [] { return false; });
+  EXPECT_EQ(calls.load(), 500u);
+}
+
+TEST(ParallelFor, AssertNoThrowPassesThrough) {
+  std::atomic<size_t> sum{0};
+  ParallelFor(0, 10, 2, AssertNoThrow([&](size_t i) { sum += i; }));
+  EXPECT_EQ(sum.load(), 45u);
+}
+
 TEST(ParallelPipeline, ThreadCountDoesNotChangeResults) {
   const Relation r = RandomRelation(8, 300, 4, 77);
   DepMinerOptions serial;

@@ -9,8 +9,10 @@
 
 #include "common/rng.h"
 #include "core/dep_miner.h"
+#include "fd/fd_io.h"
 #include "relation/csv.h"
 #include "storage/column_file.h"
+#include "storage/streaming.h"
 #include "test_util.h"
 
 namespace depminer {
@@ -96,6 +98,70 @@ TEST_P(CsvFuzz, RandomBytesEitherParseOrError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range<uint64_t>(0, 40));
+
+class StreamingFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingFuzz, RandomBytesEitherExtractOrError) {
+  Rng rng(GetParam() * 131 + 3);
+  std::string soup;
+  const size_t length = 1 + rng.Below(400);
+  const char alphabet[] = "ab,\"\n\r;x1 \t\\";
+  for (size_t i = 0; i < length; ++i) {
+    soup.push_back(alphabet[rng.Below(sizeof(alphabet) - 1)]);
+  }
+  Result<StreamingExtract> extract = ExtractFromCsvText(soup);
+  // The streaming extractor shares the CSV reader with the relation
+  // loader: the same soup must be accepted or rejected identically, and
+  // an accepted extract must be internally consistent.
+  Result<Relation> parsed = ParseCsvRelation(soup);
+  EXPECT_EQ(extract.ok(), parsed.ok())
+      << "streaming: " << extract.status().ToString()
+      << " loader: " << parsed.status().ToString();
+  if (extract.ok()) {
+    const StreamingExtract& e = extract.value();
+    const size_t n = e.schema.num_attributes();
+    ASSERT_GT(n, 0u);
+    ASSERT_EQ(e.distinct_counts.size(), n);
+    ASSERT_EQ(e.value_samples.size(), n);
+    for (size_t a = 0; a < n; ++a) {
+      EXPECT_LE(e.value_samples[a].size(), e.distinct_counts[a]);
+      EXPECT_LE(e.distinct_counts[a], e.num_tuples);
+    }
+    Result<DepMinerResult> mined =
+        MineDependencies(e.partitions, nullptr, DepMinerOptions{});
+    EXPECT_TRUE(mined.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class FdTextFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdTextFuzz, RandomFdTextEitherParsesOrErrors) {
+  Rng rng(GetParam() * 977 + 11);
+  std::string soup;
+  const size_t length = 1 + rng.Below(300);
+  // Biased toward the .fds grammar so some seeds parse: names, commas,
+  // arrows, separators — plus junk.
+  const char alphabet[] = "ABC,->;\n #ab2\t\r.";
+  for (size_t i = 0; i < length; ++i) {
+    soup.push_back(alphabet[rng.Below(sizeof(alphabet) - 1)]);
+  }
+  Schema schema;
+  Result<FdSet> parsed = FdSetFromText(soup, &schema);
+  if (parsed.ok()) {
+    // Whatever parsed must be in bounds of the schema it announced.
+    const size_t n = schema.num_attributes();
+    for (const FunctionalDependency& fd : parsed.value().fds()) {
+      EXPECT_LT(fd.rhs, n);
+      fd.lhs.ForEach([&](AttributeId a) { EXPECT_LT(a, n); });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdTextFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
 
 TEST(Robustness, HugeFieldLengthRejected) {
   // A crafted header claiming a multi-GB string must be rejected, not
