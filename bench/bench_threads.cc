@@ -1,20 +1,43 @@
-// Thread-scaling of the parallelized pipeline stages: Dep-Miner's
-// per-attribute extraction + transversal searches, and TANE's per-level
-// partition products. Results are verified identical across thread
-// counts before times are reported.
+// Thread-scaling of the parallelized pipeline stages: the agree-set
+// stage of both Dep-Miner algorithms (measured in isolation on a
+// pre-built stripped partition database), the end-to-end Dep-Miner
+// pipeline, and TANE's per-level partition products. Results are
+// verified identical across thread counts before times are reported.
 //
 // Flags: --attrs=N --tuples=N --rate=PERCENT --seed=N --threads=1,2,4,8
+//        --json=PATH   also emit machine-readable results
+//        (scripts/bench_agree.sh writes BENCH_agree_threads.json)
 
 #include <cstdio>
+#include <string>
 
 #include "common/arg_parser.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/dep_miner.h"
 #include "datagen/synthetic.h"
+#include "report/json_writer.h"
 #include "tane/tane.h"
 
 using namespace depminer;
+
+namespace {
+
+/// One measured row of the scaling table.
+struct Row {
+  size_t threads = 0;
+  double agree_couples_s = 0;
+  double agree_identifiers_s = 0;
+  double depminer_s = 0;
+  double tane_s = 0;
+};
+
+bool SameAgreeResult(const AgreeSetResult& a, const AgreeSetResult& b) {
+  return a.sets == b.sets && a.contains_empty == b.contains_empty &&
+         a.couples_examined == b.couples_examined;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser parser;
@@ -24,6 +47,7 @@ int main(int argc, char** argv) {
   const double rate = parser.GetDouble("rate", 50.0) / 100.0;
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
   std::vector<int64_t> threads = parser.GetIntList("threads", {1, 2, 4, 8});
+  const std::string json_path = parser.GetString("json", "");
 
   SyntheticConfig config;
   config.num_attributes = attrs;
@@ -36,20 +60,41 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Relation& r = data.value();
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r, DefaultThreadCount());
 
   std::printf("== Thread scaling (|R|=%zu, |r|=%zu, c=%.0f%%, %zu cores "
               "available) ==\n",
               attrs, tuples, rate * 100, DefaultThreadCount());
-  std::printf("%-10s %-14s %-10s\n", "threads", "depminer_s", "tane_s");
+  std::printf("%-10s %-16s %-16s %-14s %-10s\n", "threads", "agree2_s",
+              "agree3_s", "depminer_s", "tane_s");
 
-  FdSet reference;
+  FdSet fd_reference;
+  AgreeSetResult couples_reference;
+  AgreeSetResult identifiers_reference;
+  std::vector<Row> rows;
   for (int64_t t : threads) {
-    DepMinerOptions dm_options;
-    dm_options.num_threads = static_cast<size_t>(t);
-    dm_options.build_armstrong = false;
+    Row row;
+    row.threads = static_cast<size_t>(t);
+
+    // The agree-set stage in isolation — the pipeline cost §6 singles
+    // out — on the shared pre-built partition database.
+    AgreeSetOptions agree_options;
+    agree_options.num_threads = row.threads;
     Stopwatch timer;
+    const AgreeSetResult couples = ComputeAgreeSetsCouples(db, agree_options);
+    row.agree_couples_s = timer.ElapsedSeconds();
+    timer.Restart();
+    const AgreeSetResult identifiers =
+        ComputeAgreeSetsIdentifiers(db, agree_options);
+    row.agree_identifiers_s = timer.ElapsedSeconds();
+
+    DepMinerOptions dm_options;
+    dm_options.num_threads = row.threads;
+    dm_options.build_armstrong = false;
+    timer.Restart();
     Result<DepMinerResult> mined = MineDependencies(r, dm_options);
-    const double dm_seconds = timer.ElapsedSeconds();
+    row.depminer_s = timer.ElapsedSeconds();
     if (!mined.ok()) {
       std::fprintf(stderr, "dep-miner: %s\n",
                    mined.status().ToString().c_str());
@@ -57,27 +102,80 @@ int main(int argc, char** argv) {
     }
 
     TaneOptions tane_options;
-    tane_options.num_threads = static_cast<size_t>(t);
+    tane_options.num_threads = row.threads;
     timer.Restart();
     Result<TaneResult> tane = TaneDiscover(r, tane_options);
-    const double tane_seconds = timer.ElapsedSeconds();
+    row.tane_s = timer.ElapsedSeconds();
     if (!tane.ok()) {
       std::fprintf(stderr, "tane: %s\n", tane.status().ToString().c_str());
       return 1;
     }
 
-    if (reference.Empty()) {
-      reference = mined.value().fds;
+    // Byte-identical output at every measured thread count, for both
+    // agree-set algorithms and both end-to-end miners.
+    if (rows.empty()) {
+      fd_reference = mined.value().fds;
+      couples_reference = couples;
+      identifiers_reference = identifiers;
     }
-    if (mined.value().fds.fds() != reference.fds() ||
-        tane.value().fds.fds() != reference.fds()) {
+    if (!SameAgreeResult(couples, couples_reference) ||
+        !SameAgreeResult(identifiers, identifiers_reference) ||
+        mined.value().fds.fds() != fd_reference.fds() ||
+        tane.value().fds.fds() != fd_reference.fds()) {
       std::fprintf(stderr, "MISMATCH at %lld threads\n",
                    static_cast<long long>(t));
       return 1;
     }
 
-    std::printf("%-10lld %-14.3f %-10.3f\n", static_cast<long long>(t),
-                dm_seconds, tane_seconds);
+    std::printf("%-10lld %-16.3f %-16.3f %-14.3f %-10.3f\n",
+                static_cast<long long>(t), row.agree_couples_s,
+                row.agree_identifiers_s, row.depminer_s, row.tane_s);
+    rows.push_back(row);
+  }
+
+  if (!json_path.empty() && !rows.empty()) {
+    const Row& first = rows.front();
+    const Row& last = rows.back();
+    JsonWriter json;
+    json.OpenObject();
+    json.Key("bench").Value("agree_threads");
+    json.Key("attrs").Value(static_cast<uint64_t>(attrs));
+    json.Key("tuples").Value(static_cast<uint64_t>(tuples));
+    json.Key("identical_rate").Value(rate);
+    json.Key("seed").Value(static_cast<uint64_t>(seed));
+    json.Key("hardware_threads")
+        .Value(static_cast<uint64_t>(DefaultThreadCount()));
+    json.Key("results").OpenArray();
+    for (const Row& row : rows) {
+      json.OpenObject();
+      json.Key("threads").Value(static_cast<uint64_t>(row.threads));
+      json.Key("agree_couples_s").Value(row.agree_couples_s);
+      json.Key("agree_identifiers_s").Value(row.agree_identifiers_s);
+      json.Key("depminer_s").Value(row.depminer_s);
+      json.Key("tane_s").Value(row.tane_s);
+      json.Key("identical").Value(true);
+      json.CloseObject();
+    }
+    json.CloseArray();
+    // Speedups of the agree-set stage: first row (expected: 1 thread)
+    // over last row (expected: the largest measured count).
+    json.Key("agree_couples_speedup")
+        .Value(last.agree_couples_s > 0
+                   ? first.agree_couples_s / last.agree_couples_s
+                   : 0.0);
+    json.Key("agree_identifiers_speedup")
+        .Value(last.agree_identifiers_s > 0
+                   ? first.agree_identifiers_s / last.agree_identifiers_s
+                   : 0.0);
+    json.CloseObject();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.str().c_str());
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
   }
   return 0;
 }

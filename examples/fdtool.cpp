@@ -21,6 +21,7 @@
 // Every command also accepts .dmc column files as input.
 // Common flags: --no-header --delimiter=';' --nulls-distinct
 //               --null-token=NA --timeout-ms=N --memory-budget-mb=N
+//               --threads=N (mine: pool lanes; 0 = all cores)
 //
 // Resource governance: --timeout-ms bounds the wall-clock of the mining
 // commands and --memory-budget-mb their working set; Ctrl-C requests
@@ -88,7 +89,9 @@ int Usage() {
       "--null-token=NA\n"
       "        --timeout-ms=N --memory-budget-mb=N   bound the run; "
       "Ctrl-C stops it cleanly (partial report, exit 0; tripped limits "
-      "exit 3)\n");
+      "exit 3)\n"
+      "        --threads=N   pool lanes for mine (default 1; 0 = all "
+      "cores; results are identical for any value)\n");
   return 2;
 }
 
@@ -120,10 +123,18 @@ struct MineOutcome {
   std::string stats;  ///< one-line stats of the (possibly partial) run
 };
 
-Result<MineOutcome> Mine(const Relation& relation, const std::string& algo) {
+/// The --threads flag: 1 (serial) by default, 0 means "all cores".
+size_t ThreadsFlag(const ArgParser& args) {
+  const int64_t t = args.GetInt("threads", 1);
+  return t <= 0 ? DefaultThreadCount() : static_cast<size_t>(t);
+}
+
+Result<MineOutcome> Mine(const Relation& relation, const std::string& algo,
+                         size_t num_threads = 1) {
   MineOutcome out;
   if (algo == "tane") {
     TaneOptions options;
+    options.num_threads = num_threads;
     options.run_context = &g_run_context;
     Result<TaneResult> tane = TaneDiscover(relation, options);
     if (!tane.ok()) return tane.status();
@@ -144,6 +155,7 @@ Result<MineOutcome> Mine(const Relation& relation, const std::string& algo) {
   }
   DepMinerOptions options;
   options.build_armstrong = false;
+  options.num_threads = num_threads;
   options.run_context = &g_run_context;
   options.agree_set_algorithm = algo == "depminer2"
                                     ? AgreeSetAlgorithm::kIdentifiers
@@ -183,7 +195,8 @@ Result<FunctionalDependency> ParseFd(const Relation& relation,
 }
 
 int CmdMine(const Relation& relation, const ArgParser& args) {
-  Result<MineOutcome> mined = Mine(relation, args.GetString("algo", "depminer"));
+  Result<MineOutcome> mined =
+      Mine(relation, args.GetString("algo", "depminer"), ThreadsFlag(args));
   if (!mined.ok()) {
     std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
@@ -572,7 +585,7 @@ int main(int argc, char** argv) {
   // GetInt maps unparsable values to 0, which for these two flags would
   // silently mean "unlimited" — exactly what a user typing a limit did
   // not ask for. Reject anything that is not a plain non-negative number.
-  for (const char* flag : {"timeout-ms", "memory-budget-mb"}) {
+  for (const char* flag : {"timeout-ms", "memory-budget-mb", "threads"}) {
     if (!args.Has(flag)) continue;
     const std::string raw = args.GetString(flag, "");
     if (raw.empty() ||

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Records the agree-set stage's thread-scaling trajectory: runs
+# bench_threads on the default synthetic grid (40 attrs x 10k tuples,
+# c = 50%) and writes machine-readable results to
+# BENCH_agree_threads.json at the repo root. The checked-in copy of that
+# file is the perf baseline; re-run this script after touching the
+# parallel engine and compare.
+#
+#   scripts/bench_agree.sh                 # default grid, 1/2/4/8 threads
+#   scripts/bench_agree.sh --tuples=20000  # extra flags pass through
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/bench/bench_threads ]; then
+  echo "==> building bench_threads"
+  cmake --preset default >/dev/null
+  cmake --build build --target bench_threads -j \
+    "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fi
+
+./build/bench/bench_threads --threads=1,2,4,8 \
+  --json=BENCH_agree_threads.json "$@"
+
+echo "==> baseline written to BENCH_agree_threads.json"

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Full local gate: configure and build both presets, run the test suite
-# under each. This is what CI runs; run it before sending a change.
+# Full local gate: configure and build the given presets, run the test
+# suite under each. This is what CI runs; run it before sending a change.
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # default + asan-ubsan
 #   scripts/check.sh default    # just the plain Release build
 #   scripts/check.sh asan-ubsan # just the sanitizer build
+#   scripts/check.sh tsan       # parallel suites under ThreadSanitizer
+#
+# The tsan preset is opt-in (slow; ~5-15x): its test preset filters down
+# to the concurrency-heavy suites (worker pool, agree sets, partitions,
+# TANE, Dep-Miner, RunContext) — see CMakePresets.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -1,0 +1,162 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace depminer {
+namespace internal {
+namespace {
+
+/// One pooled loop in flight: the work cursor the lanes claim blocks
+/// from, the type-erased body/stop, and the helper bookkeeping the pool
+/// mutex guards. Lives on the calling thread's stack for the duration of
+/// PooledLoop; helpers can only touch it between the enqueue and the
+/// caller's final purge-and-wait, which is exactly the window the pool
+/// mutex arbitrates.
+struct LoopState {
+  size_t begin = 0;
+  size_t count = 0;
+  size_t block = 1;
+  std::atomic<size_t> next{0};
+  /// Next lane id; the caller is lane 0, each helper that picks the loop
+  /// up claims the following one. Bounded by the number of queue entries
+  /// + 1, i.e. by the loop's max_workers.
+  std::atomic<size_t> next_slot{1};
+  void* ctx = nullptr;
+  LoopBody body = nullptr;
+  LoopStop stop = nullptr;
+  /// Helpers currently executing this loop. Guarded by the pool mutex;
+  /// the caller's completion wait on it is what publishes helper writes
+  /// (mutex release/acquire) back to the caller.
+  int active = 0;
+};
+
+/// Set inside pool workers so a nested parallel loop degrades to an
+/// inline serial loop instead of deadlocking on its own pool.
+thread_local bool t_in_pool_worker = false;
+
+/// Claims blocks off `state`'s cursor until the range is exhausted or
+/// the stop predicate fires. Runs on the caller (slot 0) and on every
+/// helper that picked the loop up.
+void Drain(LoopState* state, size_t slot) {
+  while (true) {
+    if (state->stop(state->ctx)) return;
+    const size_t lo =
+        state->next.fetch_add(state->block, std::memory_order_relaxed);
+    if (lo >= state->count) return;
+    const size_t hi = std::min(state->count, lo + state->block);
+    for (size_t i = lo; i < hi; ++i) {
+      if (state->stop(state->ctx)) return;
+      state->body(state->ctx, slot, state->begin + i);
+    }
+  }
+}
+
+/// The shared, persistent worker pool. Lazily started: the first loop
+/// that asks for N lanes spawns up to N-1 workers (capped at
+/// kMaxPoolWorkers), and every later loop reuses them — no per-call
+/// std::thread spawn/join. Torn down (cooperatively) at process exit.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool pool;
+    return pool;
+  }
+
+  void Run(LoopState* state, size_t helpers_wanted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (workers_.size() < helpers_wanted &&
+             workers_.size() < kMaxPoolWorkers) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+      for (size_t h = 0; h < helpers_wanted; ++h) queue_.push_back(state);
+      work_cv_.notify_all();
+    }
+    Drain(state, 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Un-started entries are withdrawn so no new helper can join a loop
+    // whose state is about to leave scope; helpers already counted in
+    // `active` finish their (empty or stopped) cursor drain first.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      it = *it == state ? queue_.erase(it) : std::next(it);
+    }
+    idle_cv_.wait(lock, [state] { return state->active == 0; });
+  }
+
+  size_t workers_started() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+      work_cv_.notify_all();
+    }
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void WorkerLoop() {
+    t_in_pool_worker = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      LoopState* state = queue_.front();
+      queue_.pop_front();
+      ++state->active;
+      lock.unlock();
+      const size_t slot =
+          state->next_slot.fetch_add(1, std::memory_order_relaxed);
+      Drain(state, slot);
+      lock.lock();
+      if (--state->active == 0) idle_cv_.notify_all();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<LoopState*> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
+                LoopBody body, LoopStop stop) {
+  const size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  if (max_workers <= 1 || count == 1 || t_in_pool_worker) {
+    // Inline (and for nested calls: a pool worker must not block on its
+    // own pool). The stop contract — polled before each index — holds.
+    for (size_t i = begin; i < end; ++i) {
+      if (stop(ctx)) return;
+      body(ctx, 0, i);
+    }
+    return;
+  }
+  LoopState state;
+  state.begin = begin;
+  state.count = count;
+  // Blocks amortize cursor contention on cheap bodies while staying at 1
+  // for small ranges of expensive bodies (partition products).
+  state.block = std::clamp<size_t>(count / (max_workers * 8), 1, 4096);
+  state.ctx = ctx;
+  state.body = body;
+  state.stop = stop;
+  Pool::Get().Run(&state, max_workers - 1);
+}
+
+}  // namespace internal
+
+size_t PoolWorkersStarted() { return internal::Pool::Get().workers_started(); }
+
+}  // namespace depminer

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <exception>
@@ -21,58 +22,105 @@ struct IsStopPredicate<
     Stop, std::enable_if_t<std::is_convertible_v<
               decltype(std::declval<Stop&>()()), bool>>> : std::true_type {};
 
+/// Type-erased loop body and stop predicate for the pooled loop. `slot`
+/// identifies the executing lane (0 = calling thread, then one per pool
+/// helper that joined the loop) and is always < the `max_workers` passed
+/// to PooledLoop, so callers may index per-worker scratch buffers by it.
+using LoopBody = void (*)(void* ctx, size_t slot, size_t index);
+using LoopStop = bool (*)(void* ctx);
+
+/// Runs `body(ctx, slot, i)` for every i in [begin, end) on the shared
+/// persistent worker pool, dynamic chunked scheduling, with the calling
+/// thread participating as slot 0. `stop` is polled before each index on
+/// every lane (cooperative cancellation, same contract as ParallelFor).
+/// Blocks until every lane has finished; outputs written to
+/// index-distinct slots are therefore published to the caller.
+///
+/// Called from inside a pool worker (a nested parallel loop) this runs
+/// inline on the calling thread — the pool never deadlocks on itself.
+void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
+                LoopBody body, LoopStop stop);
+
 }  // namespace internal
 
-/// Runs `fn(i)` for every i in [begin, end) across up to `num_threads`
-/// OS threads, static contiguous partitioning. With `num_threads` ≤ 1 (or
-/// a single index) the loop runs inline on the calling thread.
+/// Number of OS threads the shared pool has started so far. The pool is
+/// lazy and persistent: threads are spawned the first time a loop asks
+/// for them and are reused by every later loop (introspection for tests
+/// and diagnostics).
+size_t PoolWorkersStarted();
+
+/// Hard cap on the shared pool's size; `num_threads` requests beyond it
+/// are served by the existing workers (every index still runs).
+inline constexpr size_t kMaxPoolWorkers = 256;
+
+/// Runs `fn(slot, i)` for every i in [begin, end) across up to
+/// `num_threads` lanes of the shared persistent pool (the calling thread
+/// is lane 0). `slot` < min(num_threads, count) and is unique among
+/// concurrently executing lanes, so `fn` may index per-worker scratch
+/// state (workspaces, accumulators) by it without synchronization.
+/// Scheduling is dynamic (work is claimed in blocks), so which indices a
+/// slot receives is not deterministic — only index-distinct outputs are.
 ///
-/// `stop` is polled before each index on every worker; once it returns
-/// true, workers stop scheduling their remaining indices (the index being
-/// processed finishes — cancellation is cooperative, never preemptive).
-/// Indices after the stop point may or may not have run; callers pair
-/// this with per-slot completion flags when they need to know. This is
-/// how a tripped `RunContext` drains the per-attribute stages
-/// (`RunContext::StopRequested` is the canonical predicate).
+/// `stop` is polled before each index on every lane; once it returns
+/// true, lanes stop claiming work (the index being processed finishes —
+/// cancellation is cooperative, never preemptive). Indices after the
+/// stop point may or may not have run; callers pair this with per-slot
+/// completion flags when they need to know. This is how a tripped
+/// `RunContext` drains the pipeline stages (`RunContext::StopRequested`
+/// is the canonical predicate).
 ///
-/// No-throw contract: `fn` must be safe to call concurrently for distinct
-/// indices and must not throw — an escaping exception would call
-/// std::terminate inside a detached-from-caller worker thread with no
-/// actionable context. Wrap unavoidably-throwing callables in
-/// `AssertNoThrow` to convert a contract violation into a debug assertion
-/// at the throw site instead. Used for the embarrassingly parallel
-/// per-attribute stages (stripped-partition extraction, per-attribute
-/// transversal searches); outputs are written to index-distinct slots, so
-/// results are deterministic regardless of thread count.
+/// No-throw contract: `fn` must be safe to call concurrently for
+/// distinct indices and must not throw — an escaping exception would
+/// cross into a pooled worker with no actionable context. Wrap
+/// unavoidably-throwing callables in `AssertNoThrow`.
 template <typename Fn, typename Stop,
           std::enable_if_t<internal::IsStopPredicate<Stop>::value, int> = 0>
-void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn,
-                 Stop&& stop) {
+void ParallelForSlotted(size_t begin, size_t end, size_t num_threads, Fn&& fn,
+                        Stop&& stop) {
   const size_t count = end > begin ? end - begin : 0;
   if (count == 0) return;
   if (num_threads <= 1 || count == 1) {
     for (size_t i = begin; i < end; ++i) {
       if (stop()) return;
-      fn(i);
+      fn(size_t{0}, i);
     }
     return;
   }
-  const size_t workers = num_threads < count ? num_threads : count;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const size_t chunk = (count + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t lo = begin + w * chunk;
-    const size_t hi = lo + chunk < end ? lo + chunk : end;
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn, &stop] {
-      for (size_t i = lo; i < hi; ++i) {
-        if (stop()) return;
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  struct Ctx {
+    std::remove_reference_t<Fn>* fn;
+    std::remove_reference_t<Stop>* stop;
+  } ctx{&fn, &stop};
+  internal::PooledLoop(
+      begin, end, std::min(num_threads, count), &ctx,
+      [](void* c, size_t slot, size_t i) {
+        (*static_cast<Ctx*>(c)->fn)(slot, i);
+      },
+      [](void* c) {
+        return static_cast<bool>((*static_cast<Ctx*>(c)->stop)());
+      });
+}
+
+/// Slotted form without a stop predicate: every index runs exactly once.
+template <typename Fn>
+void ParallelForSlotted(size_t begin, size_t end, size_t num_threads,
+                        Fn&& fn) {
+  ParallelForSlotted(begin, end, num_threads, std::forward<Fn>(fn),
+                     [] { return false; });
+}
+
+/// Runs `fn(i)` for every i in [begin, end) across up to `num_threads`
+/// lanes of the shared persistent pool. With `num_threads` ≤ 1 (or a
+/// single index) the loop runs inline on the calling thread. Outputs
+/// written to index-distinct slots are deterministic regardless of
+/// thread count. See ParallelForSlotted for the stop-predicate and
+/// no-throw contracts.
+template <typename Fn, typename Stop,
+          std::enable_if_t<internal::IsStopPredicate<Stop>::value, int> = 0>
+void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn,
+                 Stop&& stop) {
+  ParallelForSlotted(
+      begin, end, num_threads, [&fn](size_t /*slot*/, size_t i) { fn(i); },
+      std::forward<Stop>(stop));
 }
 
 /// The unconditional form: every index runs exactly once.
@@ -100,6 +148,50 @@ auto AssertNoThrow(Fn&& fn) {
     fn(i);
 #endif
   };
+}
+
+/// Sorts [begin, end) with `cmp` using up to `num_threads` pool lanes:
+/// contiguous segments are sorted in parallel, then merged in rounds of
+/// pairwise std::inplace_merge. The sorted sequence is the same for any
+/// thread count whenever cmp-equal elements are indistinguishable (true
+/// for the packed couple keys and for classes compared by content);
+/// like std::sort, relative order of cmp-equal distinct elements is
+/// unspecified. Small ranges fall back to a plain std::sort.
+template <typename Iter, typename Cmp>
+void ParallelSort(Iter begin, Iter end, size_t num_threads, Cmp cmp) {
+  const size_t count = static_cast<size_t>(end - begin);
+  constexpr size_t kSerialCutoff = 1u << 14;
+  if (num_threads <= 1 || count < kSerialCutoff) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  const size_t ways = std::min(num_threads, count / (kSerialCutoff / 2));
+  if (ways <= 1) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  // boundary(i) of segment i in [0, ways]; segments are near-equal.
+  std::vector<size_t> bounds(ways + 1);
+  for (size_t i = 0; i <= ways; ++i) bounds[i] = count * i / ways;
+  ParallelFor(0, ways, num_threads, [&](size_t i) {
+    std::sort(begin + bounds[i], begin + bounds[i + 1], cmp);
+  });
+  for (size_t width = 1; width < ways; width *= 2) {
+    const size_t pairs = (ways + 2 * width - 1) / (2 * width);
+    ParallelFor(0, pairs, num_threads, [&](size_t j) {
+      const size_t lo = 2 * j * width;
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, ways);
+      if (mid >= hi) return;  // odd tail, already sorted
+      std::inplace_merge(begin + bounds[lo], begin + bounds[mid],
+                         begin + bounds[hi], cmp);
+    });
+  }
+}
+
+template <typename Iter>
+void ParallelSort(Iter begin, Iter end, size_t num_threads) {
+  ParallelSort(begin, end, num_threads, std::less<>());
 }
 
 /// The hardware concurrency, with a sane floor of 1.

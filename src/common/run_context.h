@@ -148,6 +148,34 @@ class ScopedMemoryCharge {
   size_t charged_ = 0;
 };
 
+/// Amortized stop poller for tight (often per-lane) loops: polls the
+/// governing context's atomics on the first call and then once every
+/// `stride` calls, so the cancellation check costs a local counter
+/// increment on the fast path. Polling the very first call matters for
+/// determinism: an already-tripped context stops every lane before it
+/// processes anything, for any thread count. Once a poll observes a trip
+/// the answer latches to true. Each parallel lane owns its own instance
+/// (the class is not thread-safe; the context it polls is).
+class StridedStopPoller {
+ public:
+  explicit StridedStopPoller(const RunContext* ctx, uint32_t stride = 1024)
+      : ctx_(ctx), stride_(stride == 0 ? 1 : stride) {}
+
+  bool StopRequested() {
+    if (ctx_ == nullptr || !ctx_->limited()) return false;
+    if (stopped_) return true;
+    if (calls_++ % stride_ != 0) return false;
+    stopped_ = ctx_->StopRequested();
+    return stopped_;
+  }
+
+ private:
+  const RunContext* ctx_;
+  uint32_t stride_;
+  uint32_t calls_ = 0;
+  bool stopped_ = false;
+};
+
 /// Hot-loop guard: propagates a tripped context as its non-OK `Status`.
 /// Use in functions returning `Status` or `Result<T>`; stages returning
 /// plain structs record `ctx->Check()` in their result instead.

@@ -1,6 +1,9 @@
 #include "core/agree_sets.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/parallel.h"
 
 namespace depminer {
 
@@ -16,23 +19,29 @@ uint64_t CoupleKey(TupleId a, TupleId b) {
 /// (overlapping maximal classes) and is reported once — "couples" is a
 /// set in the paper's Algorithm 2. Deduplication is sort+unique over
 /// packed (lo, hi) keys, which beats hashing at the couple counts the
-/// benchmark grids produce.
+/// benchmark grids produce. Generation writes each class's couples at a
+/// precomputed offset and the sort runs on the pool, so enumeration
+/// parallelizes without changing the (sorted, deduplicated) output.
 class CoupleEnumerator {
  public:
-  explicit CoupleEnumerator(const std::vector<EquivalenceClass>& classes) {
-    size_t bound = 0;
-    for (const EquivalenceClass& c : classes) {
-      bound += c.size() * (c.size() - 1) / 2;
+  explicit CoupleEnumerator(const std::vector<EquivalenceClass>& classes,
+                            size_t num_threads = 1) {
+    std::vector<size_t> offsets(classes.size() + 1, 0);
+    for (size_t i = 0; i < classes.size(); ++i) {
+      const size_t n = classes[i].size();
+      offsets[i + 1] = offsets[i] + n * (n - 1) / 2;
     }
-    keys_.reserve(bound);
-    for (const EquivalenceClass& c : classes) {
+    keys_.resize(offsets.back());
+    ParallelFor(0, classes.size(), num_threads, [&](size_t ci) {
+      uint64_t* out = keys_.data() + offsets[ci];
+      const EquivalenceClass& c = classes[ci];
       for (size_t i = 0; i < c.size(); ++i) {
         for (size_t j = i + 1; j < c.size(); ++j) {
-          keys_.push_back(CoupleKey(c[i], c[j]));
+          *out++ = CoupleKey(c[i], c[j]);
         }
       }
-    }
-    std::sort(keys_.begin(), keys_.end());
+    });
+    ParallelSort(keys_.begin(), keys_.end(), num_threads);
     keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
   }
 
@@ -60,8 +69,9 @@ class CoupleEnumerator {
 /// classes (the paper's MC, Lemma 1) or — for the ablation measuring what
 /// MC pruning buys — every stripped class of every attribute.
 std::vector<EquivalenceClass> CoupleSourceClasses(
-    const StrippedPartitionDatabase& db, bool use_maximal_classes) {
-  if (use_maximal_classes) return MaximalEquivalenceClasses(db);
+    const StrippedPartitionDatabase& db, bool use_maximal_classes,
+    size_t num_threads) {
+  if (use_maximal_classes) return MaximalEquivalenceClasses(db, num_threads);
   std::vector<EquivalenceClass> all;
   for (const StrippedPartition& p : db.partitions()) {
     all.insert(all.end(), p.classes().begin(), p.classes().end());
@@ -93,6 +103,31 @@ bool EmptyAgreeSetPresent(size_t num_tuples, size_t distinct_couples) {
   return distinct_couples < total_pairs;
 }
 
+/// Contiguous per-lane split of [begin, end): lane w of `workers` owns
+/// [begin + w*per, ...). Static and therefore deterministic — each lane's
+/// output depends only on its range, never on scheduling.
+struct RangeSplit {
+  size_t begin, count, workers, per;
+  RangeSplit(size_t begin_, size_t end_, size_t num_threads)
+      : begin(begin_),
+        count(end_ - begin_),
+        workers(std::max<size_t>(1, std::min(num_threads, count))),
+        per((count + workers - 1) / workers) {}
+  size_t lo(size_t w) const { return begin + w * per; }
+  size_t hi(size_t w) const { return std::min(begin + count, lo(w) + per); }
+};
+
+/// The tripping status after a parallel stage observed `stopped`:
+/// whatever the context reports, with a cancellation fallback for the
+/// (theoretical) race where the trip is no longer observable.
+Status TripStatus(const RunContext* ctx) {
+  if (ctx != nullptr) {
+    Status st = ctx->Check();
+    if (!st.ok()) return st;
+  }
+  return Status::Cancelled("agree-set computation interrupted");
+}
+
 }  // namespace
 
 std::vector<AttributeSet> AgreeSetResult::All() const {
@@ -114,39 +149,52 @@ const char* ToString(AgreeSetAlgorithm algorithm) {
 }
 
 std::vector<EquivalenceClass> MaximalEquivalenceClasses(
-    const StrippedPartitionDatabase& db) {
-  // Gather every stripped class, largest first, then keep the ⊆-maximal
-  // ones. Subset tests use a per-tuple index over the classes kept so far,
-  // so each candidate only compares against classes sharing its first
-  // tuple.
+    const StrippedPartitionDatabase& db, size_t num_threads) {
+  // Gather every stripped class, sort largest first (parallel), then keep
+  // the ⊆-maximal ones. A class is dominated iff some class *earlier in
+  // the sorted order* contains it: strict supersets are larger and so
+  // sort earlier, duplicates keep only their first occurrence, and ⊆ is
+  // transitive, so checking against all earlier classes (dominated ones
+  // included) marks exactly the classes the incremental kept-only scan
+  // would drop — but every class's check is now independent, so the scan
+  // partitions across pool lanes. Each check only compares against the
+  // classes sharing its first tuple, via a per-tuple index.
   std::vector<const EquivalenceClass*> all;
   for (const StrippedPartition& p : db.partitions()) {
     for (const EquivalenceClass& c : p.classes()) all.push_back(&c);
   }
-  std::sort(all.begin(), all.end(),
-            [](const EquivalenceClass* a, const EquivalenceClass* b) {
-              if (a->size() != b->size()) return a->size() > b->size();
-              return *a < *b;  // deterministic order; also groups duplicates
-            });
+  ParallelSort(all.begin(), all.end(), num_threads,
+               [](const EquivalenceClass* a, const EquivalenceClass* b) {
+                 if (a->size() != b->size()) return a->size() > b->size();
+                 return *a < *b;  // deterministic order; groups duplicates
+               });
 
-  std::vector<EquivalenceClass> kept;
-  std::vector<std::vector<uint32_t>> kept_with_tuple(db.num_tuples());
-  for (const EquivalenceClass* c : all) {
-    bool dominated = false;
-    // A superset of c (kept classes are at least as large) must contain
-    // c's first tuple.
-    for (uint32_t k : kept_with_tuple[c->front()]) {
-      const EquivalenceClass& cand = kept[k];
+  std::vector<std::vector<uint32_t>> with_tuple(db.num_tuples());
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (TupleId t : *all[i]) {
+      with_tuple[t].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<char> dominated(all.size(), 0);
+  ParallelFor(0, all.size(), num_threads, [&](size_t i) {
+    const EquivalenceClass& c = *all[i];
+    // Ascending index lists: once k ≥ i only later (no larger) classes
+    // remain, none of which can dominate i.
+    for (uint32_t k : with_tuple[c.front()]) {
+      if (k >= i) break;
+      const EquivalenceClass& cand = *all[k];
       // both sorted: subset test by inclusion scan
-      if (std::includes(cand.begin(), cand.end(), c->begin(), c->end())) {
-        dominated = true;
+      if (std::includes(cand.begin(), cand.end(), c.begin(), c.end())) {
+        dominated[i] = 1;
         break;
       }
     }
-    if (dominated) continue;
-    const uint32_t index = static_cast<uint32_t>(kept.size());
-    kept.push_back(*c);
-    for (TupleId t : *c) kept_with_tuple[t].push_back(index);
+  });
+
+  std::vector<EquivalenceClass> kept;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (!dominated[i]) kept.push_back(*all[i]);
   }
   return kept;
 }
@@ -185,64 +233,90 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
   result.num_attributes = db.num_attributes();
   result.chunks_processed = 0;
 
+  const size_t num_threads = std::max<size_t>(1, options.num_threads);
   const std::vector<EquivalenceClass> sources =
-      CoupleSourceClasses(db, options.use_maximal_classes);
+      CoupleSourceClasses(db, options.use_maximal_classes, num_threads);
 
   // Materialize the distinct couples (Algorithm 2 lines 4-9), possibly in
   // chunks (the paper's memory threshold).
   std::vector<std::pair<TupleId, TupleId>> couples;
-  const CoupleEnumerator enumerator(sources);
+  const CoupleEnumerator enumerator(sources, num_threads);
   couples.reserve(enumerator.size());
   const size_t total_couples = enumerator.ForEach(
       [&couples](TupleId a, TupleId b) { couples.emplace_back(a, b); });
   result.couples_examined = total_couples;
-  result.working_bytes =
-      total_couples * (sizeof(uint64_t) + sizeof(std::pair<TupleId, TupleId>));
 
-  // The materialized couple list is this algorithm's dominant working
-  // structure; charge it so a memory budget can veto the run before the
-  // chunk loop touches every partition.
-  ScopedMemoryCharge memory(options.run_context);
-  memory.Set(result.working_bytes);
-
-  std::vector<AttributeSet> distinct;
-
-  // class_of[t]: 1-based id of t's class within the current partition.
-  std::vector<uint32_t> class_of(db.num_tuples(), 0);
-  std::vector<AttributeSet> agree;
+  // Each attribute's class labels, computed once per run (they used to be
+  // recomputed per chunk) and laid out as one contiguous row per
+  // attribute so the per-chunk scans below stream through memory.
+  const ClassLabelTable labels = ClassLabelTable::Build(db, num_threads);
 
   const size_t chunk_size =
       options.max_couples_per_chunk == 0
           ? std::max<size_t>(couples.size(), 1)
           : options.max_couples_per_chunk;
+
+  // The dominant working structures: the materialized couple list, the
+  // label table, and the per-lane agree buffers of one chunk. Charged so
+  // a memory budget can veto the run before the chunk loop starts.
+  result.working_bytes =
+      total_couples * (sizeof(uint64_t) + sizeof(std::pair<TupleId, TupleId>)) +
+      labels.bytes() +
+      std::min(chunk_size, std::max<size_t>(couples.size(), 1)) *
+          sizeof(AttributeSet);
+  ScopedMemoryCharge memory(options.run_context);
+  memory.Set(result.working_bytes);
+
+  RunContext* ctx = options.run_context;
+  std::vector<AttributeSet> distinct;
+
   for (size_t begin = 0; begin < couples.size(); begin += chunk_size) {
-    if (options.run_context != nullptr && options.run_context->limited()) {
-      result.status = options.run_context->Check();
+    if (ctx != nullptr && ctx->limited()) {
+      result.status = ctx->Check();
       if (!result.status.ok()) break;
     }
     const size_t end = std::min(couples.size(), begin + chunk_size);
-    ++result.chunks_processed;
-    agree.assign(end - begin, AttributeSet());
 
-    // Lines 10-18: one scan over every stripped partition per chunk. The
-    // membership test "t ∈ c and t' ∈ c" is realized by labelling each
-    // tuple with its class id and comparing labels.
-    for (AttributeId a = 0; a < db.num_attributes(); ++a) {
-      const StrippedPartition& part = db.partition(a);
-      uint32_t id = 1;
-      for (const EquivalenceClass& c : part.classes()) {
-        for (TupleId t : c) class_of[t] = id;
-        ++id;
-      }
-      for (size_t k = begin; k < end; ++k) {
-        const auto [t, u] = couples[k];
-        if (class_of[t] != 0 && class_of[t] == class_of[u]) {
-          agree[k - begin].Add(a);
-        }
-      }
-      for (const EquivalenceClass& c : part.classes()) {
-        for (TupleId t : c) class_of[t] = 0;
-      }
+    // Lines 10-18 of the chunk, partitioned: each lane owns a contiguous
+    // couple sub-range, walks every label row over it (cache-friendly:
+    // label rows are scanned, not rebuilt), accumulates its agree sets
+    // locally and deduplicates before the merge. The split is static, so
+    // every lane's output is a pure function of its range — merging in
+    // slot order keeps the result bit-identical for any thread count.
+    const RangeSplit split(begin, end, num_threads);
+    std::vector<std::vector<AttributeSet>> lane_sets(split.workers);
+    std::atomic<bool> stopped{false};
+    ParallelFor(
+        0, split.workers, split.workers,
+        [&](size_t w) {
+          const size_t lo = split.lo(w), hi = split.hi(w);
+          std::vector<AttributeSet> agree(hi - lo);
+          StridedStopPoller poll(ctx, 4096);
+          for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+            const uint32_t* row = labels.Row(a);
+            for (size_t k = lo; k < hi; ++k) {
+              if (poll.StopRequested()) {
+                stopped.store(true, std::memory_order_relaxed);
+                return;
+              }
+              const auto [t, u] = couples[k];
+              if (row[t] != 0 && row[t] == row[u]) {
+                agree[k - lo].Add(a);
+              }
+            }
+          }
+          DedupSets(&agree);
+          lane_sets[w] = std::move(agree);
+        },
+        [&stopped] { return stopped.load(std::memory_order_relaxed); });
+
+    if (stopped.load(std::memory_order_relaxed)) {
+      // A chunk is all-or-nothing: a lane that bailed mid-scan has agree
+      // sets missing attributes, so the whole chunk is discarded and the
+      // result keeps only the chunks completed before the trip — the
+      // same granularity the serial path degrades at.
+      result.status = TripStatus(ctx);
+      break;
     }
 
     // Lines 19-21: fold the chunk's agree sets into ag(r). Couples
@@ -250,7 +324,10 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
     // agree set here is empty. Deduplicating after every chunk keeps the
     // accumulator at O(distinct sets), preserving the bounded-memory
     // property chunking exists for.
-    distinct.insert(distinct.end(), agree.begin(), agree.end());
+    ++result.chunks_processed;
+    for (std::vector<AttributeSet>& sets : lane_sets) {
+      distinct.insert(distinct.end(), sets.begin(), sets.end());
+    }
     DedupSets(&distinct);
   }
 
@@ -260,10 +337,13 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
 }
 
 AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
-                                           RunContext* ctx) {
+                                           const AgreeSetOptions& options) {
   AgreeSetResult result;
   result.num_tuples = db.num_tuples();
   result.num_attributes = db.num_attributes();
+
+  const size_t num_threads = std::max<size_t>(1, options.num_threads);
+  RunContext* ctx = options.run_context;
 
   // Step 1 (lines 2-8): ec(t), the list of stripped-class identifiers
   // containing t. Built attribute by attribute, so each list is sorted by
@@ -277,49 +357,87 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
     }
   }
 
-  const std::vector<EquivalenceClass> mc = MaximalEquivalenceClasses(db);
+  const std::vector<EquivalenceClass> mc =
+      MaximalEquivalenceClasses(db, num_threads);
 
   // Step 2 (lines 9-14): ag(t, t') from ec(t) ∩ ec(t') by sorted merge.
-  const CoupleEnumerator enumerator(mc);
+  const CoupleEnumerator enumerator(mc, num_threads);
   const size_t total_couples = enumerator.size();
   result.couples_examined = total_couples;
   result.working_bytes =
-      total_couples * sizeof(uint64_t) +
-      db.TotalMemberships() * sizeof(uint64_t);  // couple keys + ec lists
+      total_couples * sizeof(uint64_t) +           // couple keys
+      db.TotalMemberships() * sizeof(uint64_t) +   // ec lists
+      total_couples * sizeof(AttributeSet);        // per-lane ag buffers
 
   ScopedMemoryCharge memory(ctx);
   memory.Set(result.working_bytes);
 
+  // The couple-key range is split into contiguous per-lane sub-ranges;
+  // each lane intersects its couples into a private vector. The split is
+  // static, so lane contents are deterministic; merging in slot order
+  // before the final sort/dedup keeps the result bit-identical for any
+  // thread count. A lane that observes a tripped context stops at its
+  // current couple — its prefix is still valid (every pushed set is a
+  // complete ag(t, t')), matching the serial partial-result contract.
+  const std::vector<uint64_t>& keys = enumerator.keys();
+  const RangeSplit split(0, keys.size(), num_threads);
+  std::vector<std::vector<AttributeSet>> lane_sets(split.workers);
+  std::atomic<bool> stopped{false};
+  ParallelFor(
+      0, split.workers, split.workers,
+      [&](size_t w) {
+        const size_t lo = split.lo(w), hi = split.hi(w);
+        std::vector<AttributeSet> local;
+        local.reserve(hi - lo);
+        StridedStopPoller poll(ctx, 4096);
+        for (size_t k = lo; k < hi; ++k) {
+          if (poll.StopRequested()) {
+            stopped.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const uint64_t key = keys[k];
+          const std::vector<uint64_t>& x = ec[static_cast<TupleId>(key >> 32)];
+          const std::vector<uint64_t>& y =
+              ec[static_cast<TupleId>(key & 0xFFFFFFFFu)];
+          AttributeSet ag;
+          size_t i = 0, j = 0;
+          while (i < x.size() && j < y.size()) {
+            if (x[i] == y[j]) {
+              ag.Add(static_cast<AttributeId>(x[i] >> 32));
+              ++i;
+              ++j;
+            } else if (x[i] < y[j]) {
+              ++i;
+            } else {
+              ++j;
+            }
+          }
+          local.push_back(ag);
+        }
+        lane_sets[w] = std::move(local);
+      },
+      [&stopped] { return stopped.load(std::memory_order_relaxed); });
+
+  if (stopped.load(std::memory_order_relaxed)) {
+    result.status = TripStatus(ctx);
+  }
+
   std::vector<AttributeSet> distinct;
-  distinct.reserve(enumerator.size());
-  constexpr size_t kCheckEvery = 4096;  // couples between RunContext checks
-  for (size_t k = 0; k < enumerator.keys().size(); ++k) {
-    if (k % kCheckEvery == 0 && ctx != nullptr && ctx->limited()) {
-      result.status = ctx->Check();
-      if (!result.status.ok()) break;
-    }
-    const uint64_t key = enumerator.keys()[k];
-    const std::vector<uint64_t>& x = ec[static_cast<TupleId>(key >> 32)];
-    const std::vector<uint64_t>& y = ec[static_cast<TupleId>(key & 0xFFFFFFFFu)];
-    AttributeSet ag;
-    size_t i = 0, j = 0;
-    while (i < x.size() && j < y.size()) {
-      if (x[i] == y[j]) {
-        ag.Add(static_cast<AttributeId>(x[i] >> 32));
-        ++i;
-        ++j;
-      } else if (x[i] < y[j]) {
-        ++i;
-      } else {
-        ++j;
-      }
-    }
-    distinct.push_back(ag);
+  distinct.reserve(total_couples);
+  for (std::vector<AttributeSet>& sets : lane_sets) {
+    distinct.insert(distinct.end(), sets.begin(), sets.end());
   }
 
   result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
   FinalizeSets(std::move(distinct), &result);
   return result;
+}
+
+AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
+                                           RunContext* ctx) {
+  AgreeSetOptions options;
+  options.run_context = ctx;
+  return ComputeAgreeSetsIdentifiers(db, options);
 }
 
 }  // namespace depminer

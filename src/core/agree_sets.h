@@ -46,28 +46,39 @@ struct AgreeSetResult {
   std::vector<AttributeSet> All() const;
 };
 
-/// Options for the couple-based Algorithm 2.
+/// Options for the couple-based Algorithm 2 and the identifier-based
+/// Algorithm 3.
 struct AgreeSetOptions {
   /// Maximum number of couples materialized at once (the paper's memory
   /// threshold, §3.1: "computing agree sets as soon as a fixed number of
-  /// couples was generated"). 0 means unlimited.
+  /// couples was generated"). 0 means unlimited. Algorithm 2 only.
   size_t max_couples_per_chunk = 0;
   /// Ablation switch: when false, couples are enumerated from *every*
   /// stripped equivalence class rather than only the maximal ones,
   /// quantifying the benefit of the paper's MC pruning. Results are
   /// identical (couples are deduplicated); only work changes.
   bool use_maximal_classes = true;
+  /// Pool lanes for couple enumeration, dominance filtering and the
+  /// per-couple agree-set loops. 1 = serial. Results are bit-identical
+  /// for any value: couples are split into deterministic contiguous
+  /// ranges and per-lane accumulators are merged in slot order before
+  /// the final sort/dedup.
+  size_t num_threads = 1;
   /// Optional resource governance: checked once per chunk (Algorithm 2)
-  /// or per couple batch (Algorithm 3); the materialized couple list and
-  /// ec lists are charged against its memory budget.
+  /// or every few thousand couples per lane (Algorithm 3); the
+  /// materialized couple list, the class-label table, the ec lists and
+  /// the per-lane accumulation buffers are charged against its memory
+  /// budget.
   RunContext* run_context = nullptr;
 };
 
 /// Maximal equivalence classes MC = Max⊆{c ∈ π̂_A : π̂_A ∈ r̂} (paper §3.1).
 /// Couples of tuples that can have a non-empty agree set live inside these
-/// classes (Lemma 1).
+/// classes (Lemma 1). Dominance filtering runs as a parallel sort plus
+/// per-class subset checks partitioned over `num_threads` pool lanes
+/// (identical output for any value).
 std::vector<EquivalenceClass> MaximalEquivalenceClasses(
-    const StrippedPartitionDatabase& db);
+    const StrippedPartitionDatabase& db, size_t num_threads = 1);
 
 /// Reference implementation: ag(ti, tj) for every pair of tuples —
 /// O(n·p²). Used as an oracle and as the "naive algorithm" baseline the
@@ -86,6 +97,13 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
 /// Paper Algorithm 3 (AGREE_SET 2): build ec(t) = identifiers of the
 /// stripped classes containing t, then ag(t, t') = attributes of
 /// ec(t) ∩ ec(t') (Lemma 2). More efficient when couples are numerous.
+/// The couple-key range is split across `options.num_threads` lanes with
+/// per-lane result vectors merged in slot order (chunking options do not
+/// apply).
+AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
+                                           const AgreeSetOptions& options);
+
+/// Convenience overload governing the run with just a context (serial).
 AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
                                            RunContext* ctx = nullptr);
 

@@ -74,12 +74,16 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
     case AgreeSetAlgorithm::kCouples: {
       AgreeSetOptions agree_options;
       agree_options.max_couples_per_chunk = options.max_couples_per_chunk;
+      agree_options.num_threads = options.num_threads;
       agree_options.run_context = ctx;
       out.agree_sets = ComputeAgreeSetsCouples(db, agree_options);
       break;
     }
     case AgreeSetAlgorithm::kIdentifiers: {
-      out.agree_sets = ComputeAgreeSetsIdentifiers(db, ctx);
+      AgreeSetOptions agree_options;
+      agree_options.num_threads = options.num_threads;
+      agree_options.run_context = ctx;
+      out.agree_sets = ComputeAgreeSetsIdentifiers(db, agree_options);
       break;
     }
   }

@@ -25,10 +25,11 @@ struct DepMinerOptions {
   /// additional execution time" — it is a few tuples assembled from the
   /// already-computed maximal sets).
   bool build_armstrong = true;
-  /// Threads for the embarrassingly parallel per-attribute stages
-  /// (stripped-partition extraction, transversal searches). 1 = serial;
-  /// DefaultThreadCount() for all cores. Output is identical for any
-  /// value.
+  /// Pool lanes for the parallel pipeline stages: stripped-partition
+  /// extraction, couple enumeration, the agree-set scans of Algorithms
+  /// 2 and 3, and the per-attribute transversal searches. 1 = serial;
+  /// DefaultThreadCount() for all cores. Output is bit-identical for
+  /// any value.
   size_t num_threads = 1;
   /// Optional resource governance (deadline, cancellation, memory
   /// budget). Checked at chunk/level granularity by every pipeline stage;

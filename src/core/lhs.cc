@@ -14,8 +14,9 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
   result.lhs.resize(n);
   result.attribute_complete.assign(n, false);
 
-  // done[a] is written only by the worker owning index a; the ParallelFor
-  // join publishes it. vector<bool> is not byte-addressable, hence char.
+  // done[a] is written only by the lane owning index a; the pooled
+  // ParallelFor's completion wait publishes it. vector<bool> is not
+  // byte-addressable, hence char.
   std::vector<char> done(n, 0);
   std::vector<LevelwiseStats> per_attr_stats(n);
   ParallelFor(

@@ -30,4 +30,22 @@ size_t StrippedPartitionDatabase::TotalMemberships() const {
   return total;
 }
 
+ClassLabelTable ClassLabelTable::Build(const StrippedPartitionDatabase& db,
+                                       size_t num_threads) {
+  ClassLabelTable table;
+  table.num_tuples_ = db.num_tuples();
+  table.num_attributes_ = db.num_attributes();
+  table.labels_.assign(table.num_attributes_ * table.num_tuples_, 0);
+  ParallelFor(0, table.num_attributes_, num_threads, [&](size_t a) {
+    uint32_t* row = table.labels_.data() + a * table.num_tuples_;
+    uint32_t id = 1;
+    for (const EquivalenceClass& c :
+         db.partition(static_cast<AttributeId>(a)).classes()) {
+      for (TupleId t : c) row[t] = id;
+      ++id;
+    }
+  });
+  return table;
+}
+
 }  // namespace depminer

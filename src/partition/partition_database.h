@@ -47,4 +47,36 @@ class StrippedPartitionDatabase {
   size_t num_tuples_ = 0;
 };
 
+/// Cache-friendly per-attribute class labels over a stripped partition
+/// database: row a stores, for every tuple t, the 1-based id of t's class
+/// within π̂_a (0 for stripped-away singletons). Rows are contiguous, so
+/// the agree-set inner loops scan them sequentially instead of
+/// re-labelling every partition once per couple chunk (Algorithm 2 used
+/// to pay that relabel per chunk). Size is num_attributes × num_tuples
+/// uint32s; `bytes()` is what memory budgets should be charged.
+class ClassLabelTable {
+ public:
+  ClassLabelTable() = default;
+
+  /// Labels every partition of `db`, one row per attribute, on up to
+  /// `num_threads` pool lanes (rows are independent; identical output
+  /// for any thread count).
+  static ClassLabelTable Build(const StrippedPartitionDatabase& db,
+                               size_t num_threads = 1);
+
+  /// Row of per-tuple labels for attribute `a` (num_tuples entries).
+  const uint32_t* Row(AttributeId a) const {
+    return labels_.data() + static_cast<size_t>(a) * num_tuples_;
+  }
+
+  size_t num_tuples() const { return num_tuples_; }
+  size_t num_attributes() const { return num_attributes_; }
+  size_t bytes() const { return labels_.size() * sizeof(uint32_t); }
+
+ private:
+  std::vector<uint32_t> labels_;
+  size_t num_tuples_ = 0;
+  size_t num_attributes_ = 0;
+};
+
 }  // namespace depminer

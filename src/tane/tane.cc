@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "partition/partition_database.h"
 #include "partition/partition_product.h"
@@ -280,10 +281,11 @@ class TaneRun {
     }
 
     // The partition products — the dominant per-level cost — run in
-    // parallel over the independent candidates (per-thread workspaces;
-    // results land in index-distinct slots, so output is deterministic).
-    // A governing RunContext is consulted once per product; on a trip the
-    // remaining products are skipped and Run() discards this level.
+    // parallel over the independent candidates on the shared pool
+    // (per-slot workspaces; results land in index-distinct slots, so
+    // output is deterministic). A governing RunContext is consulted once
+    // per product; on a trip the remaining products are skipped and
+    // Run() discards this level.
     result_.stats.partition_products += next.size();
     RunContext* ctx = options_.run_context;
     if (options_.num_threads <= 1 || next.size() <= 1) {
@@ -297,36 +299,30 @@ class TaneRun {
         node.error = PartitionError(node.partition);
       }
     } else {
-      const size_t workers =
-          std::min(options_.num_threads, next.size());
+      const size_t workers = std::min(options_.num_threads, next.size());
       std::vector<std::unique_ptr<PartitionProductWorkspace>> workspaces;
       workspaces.reserve(workers);
       for (size_t w = 0; w < workers; ++w) {
         workspaces.push_back(
             std::make_unique<PartitionProductWorkspace>(p_));
       }
-      std::atomic<size_t> cursor{0};
       std::atomic<bool> tripped{false};
-      std::vector<std::thread> threads;
-      threads.reserve(workers);
-      for (size_t w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w] {
-          PartitionProductWorkspace& ws = *workspaces[w];
-          while (true) {
+      ParallelForSlotted(
+          0, next.size(), workers,
+          [&](size_t slot, size_t k) {
+            Node& node = next[k];
+            node.partition = workspaces[slot]->Product(
+                level[node.parent_i].partition,
+                level[node.parent_j].partition);
+            node.error = PartitionError(node.partition);
+          },
+          [&] {
             if (ctx != nullptr && ctx->StopRequested()) {
               tripped.store(true, std::memory_order_relaxed);
-              break;
+              return true;
             }
-            const size_t k = cursor.fetch_add(1);
-            if (k >= next.size()) break;
-            Node& node = next[k];
-            node.partition = ws.Product(level[node.parent_i].partition,
-                                        level[node.parent_j].partition);
-            node.error = PartitionError(node.partition);
-          }
-        });
-      }
-      for (std::thread& t : threads) t.join();
+            return tripped.load(std::memory_order_relaxed);
+          });
       if (tripped.load(std::memory_order_relaxed)) {
         trip_status_ = ctx->Check();
         if (trip_status_.ok()) {

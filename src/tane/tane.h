@@ -21,7 +21,7 @@ struct TaneOptions {
   /// dependency test instead of the key-pruning rule. Results are
   /// identical; cost grows.
   bool enable_key_pruning = true;
-  /// Threads for the partition products of each lattice level (the
+  /// Pool lanes for the partition products of each lattice level (the
   /// dominant cost; candidates within one level are independent).
   /// 1 = serial. Output is identical for any value.
   size_t num_threads = 1;

@@ -135,6 +135,118 @@ TEST(AgreeSetsCouples, MaximalClassAblationGivesSameResult) {
   EXPECT_EQ(unpruned.couples_examined, pruned.couples_examined);
 }
 
+// The parallel engine's promise: both agree-set algorithms produce
+// bit-identical results for any thread count (contiguous per-lane
+// ranges, lane results merged in slot order before the final
+// sort/dedup).
+TEST(AgreeSetsParallel, ThreadCountInvariance) {
+  const Relation r = RandomRelation(12, 400, 3, 2024);
+  const StrippedPartitionDatabase db = Db(r);
+
+  AgreeSetOptions serial;
+  serial.num_threads = 1;
+  const AgreeSetResult couples_1 = ComputeAgreeSetsCouples(db, serial);
+  const AgreeSetResult ids_1 = ComputeAgreeSetsIdentifiers(db, serial);
+
+  for (size_t threads : {2u, 8u}) {
+    AgreeSetOptions options;
+    options.num_threads = threads;
+    const AgreeSetResult couples = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(couples.sets, couples_1.sets) << threads << " threads";
+    EXPECT_EQ(couples.contains_empty, couples_1.contains_empty);
+    EXPECT_EQ(couples.couples_examined, couples_1.couples_examined);
+    EXPECT_EQ(couples.chunks_processed, couples_1.chunks_processed);
+
+    const AgreeSetResult ids = ComputeAgreeSetsIdentifiers(db, options);
+    EXPECT_EQ(ids.sets, ids_1.sets) << threads << " threads";
+    EXPECT_EQ(ids.contains_empty, ids_1.contains_empty);
+    EXPECT_EQ(ids.couples_examined, ids_1.couples_examined);
+  }
+}
+
+TEST(AgreeSetsParallel, ThreadCountInvarianceUnderChunking) {
+  const Relation r = RandomRelation(8, 200, 3, 31);
+  const StrippedPartitionDatabase db = Db(r);
+  AgreeSetOptions serial;
+  serial.num_threads = 1;
+  serial.max_couples_per_chunk = 97;
+  const AgreeSetResult expected = ComputeAgreeSetsCouples(db, serial);
+  for (size_t threads : {2u, 8u}) {
+    AgreeSetOptions options = serial;
+    options.num_threads = threads;
+    const AgreeSetResult got = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(got.sets, expected.sets) << threads << " threads";
+    EXPECT_EQ(got.chunks_processed, expected.chunks_processed);
+  }
+}
+
+// A context tripped before the run stops every lane at its first couple,
+// so even the degraded result is identical at every thread count.
+TEST(AgreeSetsParallel, PreCancelledContextIsDeterministicAcrossThreads) {
+  const Relation r = RandomRelation(6, 120, 3, 7);
+  const StrippedPartitionDatabase db = Db(r);
+  for (size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx;
+    ctx.RequestCancel();
+    AgreeSetOptions options;
+    options.num_threads = threads;
+    options.run_context = &ctx;
+
+    const AgreeSetResult couples = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(couples.status.code(), StatusCode::kCancelled)
+        << threads << " threads";
+    EXPECT_TRUE(couples.sets.empty());
+    EXPECT_EQ(couples.chunks_processed, 0u);
+
+    const AgreeSetResult ids = ComputeAgreeSetsIdentifiers(db, options);
+    EXPECT_EQ(ids.status.code(), StatusCode::kCancelled);
+    EXPECT_TRUE(ids.sets.empty());
+  }
+}
+
+// A memory budget below the charged working set trips at the first check
+// site — before any couple is processed — identically for any thread
+// count (the mid-run analogue of the pre-cancelled case: the run is
+// under way when the charge lands).
+TEST(AgreeSetsParallel, MemoryBudgetTripIsDeterministicAcrossThreads) {
+  const Relation r = RandomRelation(6, 120, 3, 7);
+  const StrippedPartitionDatabase db = Db(r);
+  for (size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx;
+    ctx.SetMemoryBudget(1);  // below any real working set
+    AgreeSetOptions options;
+    options.num_threads = threads;
+    options.run_context = &ctx;
+
+    const AgreeSetResult couples = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(couples.status.code(), StatusCode::kCapacityExceeded)
+        << threads << " threads";
+    EXPECT_TRUE(couples.sets.empty());
+  }
+  for (size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx;
+    ctx.SetMemoryBudget(1);
+    AgreeSetOptions options;
+    options.num_threads = threads;
+    options.run_context = &ctx;
+    const AgreeSetResult ids = ComputeAgreeSetsIdentifiers(db, options);
+    EXPECT_EQ(ids.status.code(), StatusCode::kCapacityExceeded)
+        << threads << " threads";
+    EXPECT_TRUE(ids.sets.empty());
+  }
+}
+
+TEST(MaximalEquivalenceClasses, ThreadCountInvariance) {
+  const Relation r = RandomRelation(10, 300, 3, 99);
+  const StrippedPartitionDatabase db = Db(r);
+  const std::vector<EquivalenceClass> serial =
+      MaximalEquivalenceClasses(db, 1);
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(MaximalEquivalenceClasses(db, threads), serial)
+        << threads << " threads";
+  }
+}
+
 TEST(AgreeSetResult, AllPrependsEmptySet) {
   AgreeSetResult r;
   r.sets = {AttributeSet::FromLetters("A")};

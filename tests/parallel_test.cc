@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 
+#include "common/rng.h"
 #include "core/dep_miner.h"
 #include "test_util.h"
 
@@ -82,6 +84,82 @@ TEST(ParallelFor, AssertNoThrowPassesThrough) {
   std::atomic<size_t> sum{0};
   ParallelFor(0, 10, 2, AssertNoThrow([&](size_t i) { sum += i; }));
   EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelPool, ReusesWorkersAcrossCalls) {
+  // Warm the pool up to 4 lanes (3 helpers), then hammer it: the
+  // persistent pool must serve every later 4-lane loop with the same
+  // workers instead of spawning fresh threads per call.
+  std::atomic<size_t> sum{0};
+  ParallelFor(0, 64, 4, [&](size_t i) { sum += i; });
+  const size_t started = PoolWorkersStarted();
+  EXPECT_GE(started, 1u);
+  for (int round = 0; round < 50; ++round) {
+    ParallelFor(0, 64, 4, [&](size_t i) { sum += i; });
+  }
+  EXPECT_EQ(PoolWorkersStarted(), started);
+}
+
+TEST(ParallelPool, RunsFullyAfterAStoppedLoop) {
+  // Regression: a loop abandoned by its stop predicate must leave the
+  // pool fully functional — no stuck queue entries, no lost workers.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> first{0};
+  ParallelFor(
+      0, 100000, 8,
+      [&](size_t) {
+        if (first.fetch_add(1) == 20) stop = true;
+      },
+      [&] { return stop.load(); });
+  EXPECT_LT(first.load(), 100000u);
+
+  std::vector<std::atomic<int>> hits(5000);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, hits.size(), 8, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForSlotted, SlotsAreBoundedAndConcurrentlyDistinct) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kCount = 20000;
+  std::vector<std::atomic<bool>> in_use(kThreads);
+  for (auto& f : in_use) f = false;
+  std::atomic<bool> collision{false};
+  std::atomic<size_t> calls{0};
+  ParallelForSlotted(0, kCount, kThreads, [&](size_t slot, size_t) {
+    ASSERT_LT(slot, kThreads);
+    // Two lanes sharing a slot would trip this exchange.
+    if (in_use[slot].exchange(true)) collision = true;
+    calls.fetch_add(1);
+    in_use[slot].store(false);
+  });
+  EXPECT_FALSE(collision.load());
+  EXPECT_EQ(calls.load(), kCount);
+}
+
+TEST(ParallelForSlotted, NestedLoopRunsInlineWithoutDeadlock) {
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 8, 4, [&](size_t) {
+    // A nested parallel loop inside a pool lane must degrade to an
+    // inline loop rather than block on the pool it is running on.
+    ParallelFor(0, 100, 4, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ParallelSort, MatchesStdSortAtEveryThreadCount) {
+  Rng rng(7);
+  std::vector<uint64_t> data(100000);
+  for (uint64_t& v : data) v = rng.Next() % 5000;  // plenty of duplicates
+  std::vector<uint64_t> expected = data;
+  std::sort(expected.begin(), expected.end());
+  for (size_t threads : {1u, 2u, 8u}) {
+    std::vector<uint64_t> got = data;
+    ParallelSort(got.begin(), got.end(), threads);
+    EXPECT_EQ(got, expected) << threads << " threads";
+  }
 }
 
 TEST(ParallelPipeline, ThreadCountDoesNotChangeResults) {

@@ -164,5 +164,40 @@ TEST_P(PartitionProductSweep, TripleProductsMatchForSet) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProductSweep,
                          ::testing::Range<uint64_t>(0, 12));
 
+TEST(ClassLabelTable, LabelsMatchPartitionClasses) {
+  const Relation r = RandomRelation(5, 60, 3, 11);
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  const ClassLabelTable table = ClassLabelTable::Build(db);
+  ASSERT_EQ(table.num_attributes(), db.num_attributes());
+  ASSERT_EQ(table.num_tuples(), db.num_tuples());
+  for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+    const uint32_t* row = table.Row(a);
+    std::vector<uint32_t> expected(db.num_tuples(), 0);
+    uint32_t id = 1;
+    for (const EquivalenceClass& c : db.partition(a).classes()) {
+      for (TupleId t : c) expected[t] = id;
+      ++id;
+    }
+    for (TupleId t = 0; t < db.num_tuples(); ++t) {
+      ASSERT_EQ(row[t], expected[t]) << "attr " << a << " tuple " << t;
+    }
+  }
+}
+
+TEST(ClassLabelTable, ThreadCountInvariance) {
+  const Relation r = RandomRelation(9, 120, 4, 5);
+  const StrippedPartitionDatabase db =
+      StrippedPartitionDatabase::FromRelation(r);
+  const ClassLabelTable serial = ClassLabelTable::Build(db, 1);
+  const ClassLabelTable parallel = ClassLabelTable::Build(db, 8);
+  ASSERT_EQ(serial.bytes(), parallel.bytes());
+  for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+    for (TupleId t = 0; t < db.num_tuples(); ++t) {
+      ASSERT_EQ(serial.Row(a)[t], parallel.Row(a)[t]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace depminer
