@@ -1,0 +1,290 @@
+// Ablation: the subset-dominance kernel against the quadratic scans it
+// replaced.
+//
+// Two measurements. First, Max⊆/Min⊆ in isolation on random families of
+// growing size — the inverted posting-list index (common/dominance.h)
+// versus the retained O(|S|²) survivor scan, same survivors either way.
+// Second, the full CMAX_SET stage (core/max_sets.h): the single-pass
+// shared-index kernel versus the pre-kernel per-attribute loop
+// (`ComputeMaxSetsNaive`), on every bundled dataset in data/ plus one
+// synthetic relation. The bundled datasets are tiny, so each is mined in
+// an iteration loop and per-iteration times are reported; the synthetic
+// row provides a family large enough for the index to matter.
+//
+// Flags: --sizes=64,256,1024,4096  random-family sizes for part one
+//        --attrs=N                 attribute count for random families
+//        --density=PERCENT         attribute membership probability
+//        --iters=N                 CMAX repetitions per bundled dataset
+//        --seed=N
+//        --json=PATH               machine-readable results
+//        (scripts/bench_cmax.sh writes BENCH_cmax_dominance.json)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.h"
+#include "common/attribute_set.h"
+#include "common/dominance.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/agree_sets.h"
+#include "core/max_sets.h"
+#include "datagen/synthetic.h"
+#include "relation/csv.h"
+#include "report/json_writer.h"
+
+using namespace depminer;
+
+namespace {
+
+std::vector<AttributeSet> RandomFamily(size_t size, size_t attrs,
+                                       uint64_t density_pct, Rng* rng) {
+  std::vector<AttributeSet> family;
+  family.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    AttributeSet s;
+    for (AttributeId a = 0; a < attrs; ++a) {
+      if (rng->Below(100) < density_pct) s.Add(a);
+    }
+    family.push_back(s);
+  }
+  return family;
+}
+
+std::vector<AttributeSet> Canonical(std::vector<AttributeSet> sets) {
+  SortSets(&sets);
+  return sets;
+}
+
+/// One Max⊆/Min⊆ measurement row.
+struct FamilyRow {
+  size_t size = 0;
+  double max_kernel_s = 0;
+  double max_naive_s = 0;
+  double min_kernel_s = 0;
+  double min_naive_s = 0;
+};
+
+/// One CMAX_SET measurement row.
+struct DatasetRow {
+  std::string name;
+  size_t tuples = 0;
+  size_t attrs = 0;
+  size_t agree_sets = 0;
+  size_t iters = 0;
+  double cmax_kernel_s = 0;  // per iteration
+  double cmax_naive_s = 0;   // per iteration
+};
+
+double Speedup(double naive_s, double kernel_s) {
+  return kernel_s > 0 ? naive_s / kernel_s : 0.0;
+}
+
+/// Times kernel vs naive CMAX on one agree-set result, `iters` times
+/// each, and cross-checks the outputs. Returns false on mismatch.
+bool MeasureCmax(const AgreeSetResult& agree, size_t iters, DatasetRow* row) {
+  row->attrs = agree.num_attributes;
+  row->agree_sets = agree.sets.size();
+  row->iters = iters;
+
+  Stopwatch timer;
+  MaxSetResult kernel;
+  for (size_t i = 0; i < iters; ++i) kernel = ComputeMaxSets(agree);
+  row->cmax_kernel_s = timer.ElapsedSeconds() / static_cast<double>(iters);
+
+  timer.Restart();
+  MaxSetResult naive;
+  for (size_t i = 0; i < iters; ++i) naive = ComputeMaxSetsNaive(agree);
+  row->cmax_naive_s = timer.ElapsedSeconds() / static_cast<double>(iters);
+
+  return kernel.max_sets == naive.max_sets &&
+         kernel.cmax_sets == naive.cmax_sets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser;
+  (void)parser.Parse(argc, argv);
+  const std::vector<int64_t> sizes =
+      parser.GetIntList("sizes", {64, 256, 1024, 4096});
+  const size_t attrs = static_cast<size_t>(parser.GetInt("attrs", 40));
+  const uint64_t density =
+      static_cast<uint64_t>(parser.GetInt("density", 50));
+  const size_t iters = static_cast<size_t>(parser.GetInt("iters", 2000));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
+  const std::string json_path = parser.GetString("json", "");
+
+  // Part one: Max⊆/Min⊆ on random families of growing size.
+  std::printf("== Ablation: Max⊆/Min⊆ kernel vs naive (|R|=%zu, d=%llu%%) "
+              "==\n",
+              attrs, static_cast<unsigned long long>(density));
+  std::printf("%-8s %-14s %-12s %-14s %-12s %-12s\n", "sets",
+              "max_kernel_s", "max_naive_s", "min_kernel_s", "min_naive_s",
+              "max_speedup");
+
+  Rng rng(seed);
+  std::vector<FamilyRow> family_rows;
+  for (int64_t size : sizes) {
+    FamilyRow row;
+    row.size = static_cast<size_t>(size);
+    const std::vector<AttributeSet> family =
+        RandomFamily(row.size, attrs, density, &rng);
+
+    Stopwatch timer;
+    const auto max_kernel = MaximalSets(family);
+    row.max_kernel_s = timer.ElapsedSeconds();
+    timer.Restart();
+    const auto max_naive = MaximalSetsNaive(family);
+    row.max_naive_s = timer.ElapsedSeconds();
+    timer.Restart();
+    const auto min_kernel = MinimalSets(family);
+    row.min_kernel_s = timer.ElapsedSeconds();
+    timer.Restart();
+    const auto min_naive = MinimalSetsNaive(family);
+    row.min_naive_s = timer.ElapsedSeconds();
+
+    if (Canonical(max_kernel) != Canonical(max_naive) ||
+        Canonical(min_kernel) != Canonical(min_naive)) {
+      std::fprintf(stderr, "MISMATCH at %zu sets\n", row.size);
+      return 1;
+    }
+    std::printf("%-8zu %-14.4f %-12.4f %-14.4f %-12.4f %-12.2f\n", row.size,
+                row.max_kernel_s, row.max_naive_s, row.min_kernel_s,
+                row.min_naive_s, Speedup(row.max_naive_s, row.max_kernel_s));
+    family_rows.push_back(row);
+  }
+
+  // Part two: the CMAX_SET stage on the bundled datasets plus one
+  // synthetic relation. The largest bundled dataset (most cells) is the
+  // acceptance anchor recorded at the top level of the JSON.
+  std::printf("\n== Ablation: CMAX_SET kernel vs naive ==\n");
+  std::printf("%-26s %-8s %-7s %-11s %-15s %-14s %-10s\n", "dataset",
+              "tuples", "attrs", "agree_sets", "cmax_kernel_s",
+              "cmax_naive_s", "speedup");
+
+  std::vector<DatasetRow> dataset_rows;
+  std::string largest_name;
+  size_t largest_cells = 0;
+  const char* kDatasets[] = {"courses.csv", "customers.csv",
+                             "employees.csv", "orders.csv"};
+  for (const char* name : kDatasets) {
+    const std::string path = std::string(DEPMINER_BENCH_DATA_DIR "/") + name;
+    Result<Relation> data = ReadCsvRelation(path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name,
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const Relation& r = data.value();
+    DatasetRow row;
+    row.name = name;
+    row.tuples = r.num_tuples();
+    const AgreeSetResult agree = ComputeAgreeSetsIdentifiers(
+        StrippedPartitionDatabase::FromRelation(r));
+    if (!MeasureCmax(agree, iters, &row)) {
+      std::fprintf(stderr, "MISMATCH on %s\n", name);
+      return 1;
+    }
+    if (row.tuples * row.attrs > largest_cells) {
+      largest_cells = row.tuples * row.attrs;
+      largest_name = name;
+    }
+    std::printf("%-26s %-8zu %-7zu %-11zu %-15.6f %-14.6f %-10.2f\n",
+                row.name.c_str(), row.tuples, row.attrs, row.agree_sets,
+                row.cmax_kernel_s, row.cmax_naive_s,
+                Speedup(row.cmax_naive_s, row.cmax_kernel_s));
+    dataset_rows.push_back(row);
+  }
+
+  {
+    SyntheticConfig config;
+    config.num_attributes = 30;
+    config.num_tuples = 3000;
+    config.identical_rate = 0.5;
+    config.seed = seed;
+    Result<Relation> data = GenerateSynthetic(config);
+    if (!data.ok()) {
+      std::fprintf(stderr, "datagen: %s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    const Relation& r = data.value();
+    DatasetRow row;
+    row.name = "synthetic-30x3000-c50";
+    row.tuples = r.num_tuples();
+    const AgreeSetResult agree = ComputeAgreeSetsIdentifiers(
+        StrippedPartitionDatabase::FromRelation(r, DefaultThreadCount()));
+    // The synthetic family is thousands of sets; a handful of
+    // repetitions is enough.
+    if (!MeasureCmax(agree, std::min<size_t>(iters, 5), &row)) {
+      std::fprintf(stderr, "MISMATCH on %s\n", row.name.c_str());
+      return 1;
+    }
+    std::printf("%-26s %-8zu %-7zu %-11zu %-15.6f %-14.6f %-10.2f\n",
+                row.name.c_str(), row.tuples, row.attrs, row.agree_sets,
+                row.cmax_kernel_s, row.cmax_naive_s,
+                Speedup(row.cmax_naive_s, row.cmax_kernel_s));
+    dataset_rows.push_back(row);
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.OpenObject();
+    json.Key("bench").Value("cmax_dominance");
+    json.Key("attrs").Value(static_cast<uint64_t>(attrs));
+    json.Key("density_pct").Value(static_cast<uint64_t>(density));
+    json.Key("seed").Value(static_cast<uint64_t>(seed));
+    json.Key("hardware_threads")
+        .Value(static_cast<uint64_t>(DefaultThreadCount()));
+    json.Key("families").OpenArray();
+    for (const FamilyRow& row : family_rows) {
+      json.OpenObject();
+      json.Key("sets").Value(static_cast<uint64_t>(row.size));
+      json.Key("max_kernel_s").Value(row.max_kernel_s);
+      json.Key("max_naive_s").Value(row.max_naive_s);
+      json.Key("min_kernel_s").Value(row.min_kernel_s);
+      json.Key("min_naive_s").Value(row.min_naive_s);
+      json.Key("max_speedup")
+          .Value(Speedup(row.max_naive_s, row.max_kernel_s));
+      json.Key("min_speedup")
+          .Value(Speedup(row.min_naive_s, row.min_kernel_s));
+      json.Key("identical").Value(true);
+      json.CloseObject();
+    }
+    json.CloseArray();
+    json.Key("datasets").OpenArray();
+    double largest_speedup = 0;
+    for (const DatasetRow& row : dataset_rows) {
+      json.OpenObject();
+      json.Key("name").Value(row.name);
+      json.Key("tuples").Value(static_cast<uint64_t>(row.tuples));
+      json.Key("attrs").Value(static_cast<uint64_t>(row.attrs));
+      json.Key("agree_sets").Value(static_cast<uint64_t>(row.agree_sets));
+      json.Key("iters").Value(static_cast<uint64_t>(row.iters));
+      json.Key("cmax_kernel_s").Value(row.cmax_kernel_s);
+      json.Key("cmax_naive_s").Value(row.cmax_naive_s);
+      json.Key("cmax_speedup")
+          .Value(Speedup(row.cmax_naive_s, row.cmax_kernel_s));
+      json.Key("identical").Value(true);
+      json.CloseObject();
+      if (row.name == largest_name) {
+        largest_speedup = Speedup(row.cmax_naive_s, row.cmax_kernel_s);
+      }
+    }
+    json.CloseArray();
+    json.Key("largest_dataset").Value(largest_name);
+    json.Key("largest_dataset_cmax_speedup").Value(largest_speedup);
+    json.CloseObject();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.str().c_str());
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,8 +1,10 @@
 // Thread-scaling of the parallelized pipeline stages: the agree-set
 // stage of both Dep-Miner algorithms (measured in isolation on a
-// pre-built stripped partition database), the end-to-end Dep-Miner
-// pipeline, and TANE's per-level partition products. Results are
-// verified identical across thread counts before times are reported.
+// pre-built stripped partition database), the CMAX_SET stage (measured
+// in isolation on a pre-computed agree-set result), the end-to-end
+// Dep-Miner pipeline, and TANE's per-level partition products. Results
+// are verified identical across thread counts before times are
+// reported.
 //
 // Flags: --attrs=N --tuples=N --rate=PERCENT --seed=N --threads=1,2,4,8
 //        --json=PATH   also emit machine-readable results
@@ -15,6 +17,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/dep_miner.h"
+#include "core/max_sets.h"
 #include "datagen/synthetic.h"
 #include "report/json_writer.h"
 #include "tane/tane.h"
@@ -28,6 +31,7 @@ struct Row {
   size_t threads = 0;
   double agree_couples_s = 0;
   double agree_identifiers_s = 0;
+  double cmax_s = 0;
   double depminer_s = 0;
   double tane_s = 0;
 };
@@ -66,12 +70,13 @@ int main(int argc, char** argv) {
   std::printf("== Thread scaling (|R|=%zu, |r|=%zu, c=%.0f%%, %zu cores "
               "available) ==\n",
               attrs, tuples, rate * 100, DefaultThreadCount());
-  std::printf("%-10s %-16s %-16s %-14s %-10s\n", "threads", "agree2_s",
-              "agree3_s", "depminer_s", "tane_s");
+  std::printf("%-10s %-16s %-16s %-10s %-14s %-10s\n", "threads",
+              "agree2_s", "agree3_s", "cmax_s", "depminer_s", "tane_s");
 
   FdSet fd_reference;
   AgreeSetResult couples_reference;
   AgreeSetResult identifiers_reference;
+  MaxSetResult cmax_reference;
   std::vector<Row> rows;
   for (int64_t t : threads) {
     Row row;
@@ -88,6 +93,12 @@ int main(int argc, char** argv) {
     const AgreeSetResult identifiers =
         ComputeAgreeSetsIdentifiers(db, agree_options);
     row.agree_identifiers_s = timer.ElapsedSeconds();
+
+    // The CMAX_SET stage in isolation: the shared-pass dominance kernel
+    // deriving every max(dep(r), A) over `row.threads` lanes.
+    timer.Restart();
+    const MaxSetResult cmax = ComputeMaxSets(identifiers, row.threads);
+    row.cmax_s = timer.ElapsedSeconds();
 
     DepMinerOptions dm_options;
     dm_options.num_threads = row.threads;
@@ -117,9 +128,12 @@ int main(int argc, char** argv) {
       fd_reference = mined.value().fds;
       couples_reference = couples;
       identifiers_reference = identifiers;
+      cmax_reference = cmax;
     }
     if (!SameAgreeResult(couples, couples_reference) ||
         !SameAgreeResult(identifiers, identifiers_reference) ||
+        cmax.max_sets != cmax_reference.max_sets ||
+        cmax.cmax_sets != cmax_reference.cmax_sets ||
         mined.value().fds.fds() != fd_reference.fds() ||
         tane.value().fds.fds() != fd_reference.fds()) {
       std::fprintf(stderr, "MISMATCH at %lld threads\n",
@@ -127,9 +141,10 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::printf("%-10lld %-16.3f %-16.3f %-14.3f %-10.3f\n",
+    std::printf("%-10lld %-16.3f %-16.3f %-10.3f %-14.3f %-10.3f\n",
                 static_cast<long long>(t), row.agree_couples_s,
-                row.agree_identifiers_s, row.depminer_s, row.tane_s);
+                row.agree_identifiers_s, row.cmax_s, row.depminer_s,
+                row.tane_s);
     rows.push_back(row);
   }
 
@@ -151,6 +166,7 @@ int main(int argc, char** argv) {
       json.Key("threads").Value(static_cast<uint64_t>(row.threads));
       json.Key("agree_couples_s").Value(row.agree_couples_s);
       json.Key("agree_identifiers_s").Value(row.agree_identifiers_s);
+      json.Key("cmax_s").Value(row.cmax_s);
       json.Key("depminer_s").Value(row.depminer_s);
       json.Key("tane_s").Value(row.tane_s);
       json.Key("identical").Value(true);
@@ -167,6 +183,8 @@ int main(int argc, char** argv) {
         .Value(last.agree_identifiers_s > 0
                    ? first.agree_identifiers_s / last.agree_identifiers_s
                    : 0.0);
+    json.Key("cmax_speedup")
+        .Value(last.cmax_s > 0 ? first.cmax_s / last.cmax_s : 0.0);
     json.CloseObject();
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records the subset-dominance kernel's ablation baseline: runs
+# bench_ablation_dominance (Max⊆/Min⊆ kernel vs the retained quadratic
+# scan on growing random families, and the single-pass CMAX_SET kernel
+# vs the pre-kernel per-attribute loop on every bundled dataset) and
+# writes machine-readable results to BENCH_cmax_dominance.json at the
+# repo root. The checked-in copy of that file is the perf baseline;
+# re-run this script after touching the dominance kernel and compare.
+#
+#   scripts/bench_cmax.sh               # default grid
+#   scripts/bench_cmax.sh --iters=5000  # extra flags pass through
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/bench/bench_ablation_dominance ]; then
+  echo "==> building bench_ablation_dominance"
+  cmake --preset default >/dev/null
+  cmake --build build --target bench_ablation_dominance -j \
+    "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fi
+
+./build/bench/bench_ablation_dominance \
+  --json=BENCH_cmax_dominance.json "$@"
+
+echo "==> baseline written to BENCH_cmax_dominance.json"

@@ -9,7 +9,9 @@
 #
 # The tsan preset is opt-in (slow; ~5-15x): its test preset filters down
 # to the concurrency-heavy suites (worker pool, agree sets, partitions,
-# TANE, Dep-Miner, RunContext) — see CMakePresets.json.
+# TANE, Dep-Miner, RunContext, the dominance kernel and the parallel
+# CMAX determinism suites) — see CMakePresets.json. The dominance/CMAX
+# suites can also run in isolation: ctest -L dominance.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -93,52 +93,6 @@ std::string AttributeSet::ToString(const std::vector<std::string>& names) const 
   return out;
 }
 
-std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
-  // Deduplicate, then sort by descending cardinality so that any strict
-  // superset of `sets[i]` appears before it.
-  std::sort(sets.begin(), sets.end());
-  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
-  std::stable_sort(sets.begin(), sets.end(),
-                   [](const AttributeSet& a, const AttributeSet& b) {
-                     return a.Count() > b.Count();
-                   });
-  std::vector<AttributeSet> out;
-  out.reserve(sets.size());
-  for (const AttributeSet& s : sets) {
-    bool dominated = false;
-    for (const AttributeSet& kept : out) {
-      if (s.IsSubsetOf(kept)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) out.push_back(s);
-  }
-  return out;
-}
-
-std::vector<AttributeSet> MinimalSets(std::vector<AttributeSet> sets) {
-  std::sort(sets.begin(), sets.end());
-  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
-  std::stable_sort(sets.begin(), sets.end(),
-                   [](const AttributeSet& a, const AttributeSet& b) {
-                     return a.Count() < b.Count();
-                   });
-  std::vector<AttributeSet> out;
-  out.reserve(sets.size());
-  for (const AttributeSet& s : sets) {
-    bool dominated = false;
-    for (const AttributeSet& kept : out) {
-      if (kept.IsSubsetOf(s)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) out.push_back(s);
-  }
-  return out;
-}
-
 void SortSets(std::vector<AttributeSet>* sets) {
   std::sort(sets->begin(), sets->end(),
             [](const AttributeSet& a, const AttributeSet& b) {

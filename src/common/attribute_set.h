@@ -172,11 +172,15 @@ struct AttributeSetHash {
 };
 
 /// Removes every set that is a proper subset of another: keeps the
-/// ⊆-maximal elements. Order of survivors is unspecified.
+/// ⊆-maximal elements. Order of survivors is unspecified. Implemented by
+/// the subset-dominance kernel (common/dominance.h): large families go
+/// through an inverted posting-list index, small ones through the
+/// quadratic survivor scan — identical output either way.
 std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets);
 
 /// Removes every set that is a proper superset of another: keeps the
-/// ⊆-minimal elements. Order of survivors is unspecified.
+/// ⊆-minimal elements. Order of survivors is unspecified. Same kernel
+/// dispatch as `MaximalSets`.
 std::vector<AttributeSet> MinimalSets(std::vector<AttributeSet> sets);
 
 /// Sorts by cardinality then lexicographically; used for stable output.

@@ -113,7 +113,10 @@ struct RangeSplit {
         count(end_ - begin_),
         workers(std::max<size_t>(1, std::min(num_threads, count))),
         per((count + workers - 1) / workers) {}
-  size_t lo(size_t w) const { return begin + w * per; }
+  // Both bounds clamp to the range end: ceil division can hand the last
+  // lanes a start past it (count = 9, workers = 8 → per = 2, lo(5) = 10),
+  // and an unclamped lo would make hi - lo underflow to ~2^64.
+  size_t lo(size_t w) const { return std::min(begin + count, begin + w * per); }
   size_t hi(size_t w) const { return std::min(begin + count, lo(w) + per); }
 };
 

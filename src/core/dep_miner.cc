@@ -101,13 +101,16 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
 
   // Step 2 (line 2): CMAX_SET.
   timer.Restart();
-  out.max_sets = ComputeMaxSets(out.agree_sets, ctx);
+  out.max_sets = ComputeMaxSets(out.agree_sets, options.num_threads, ctx);
   out.all_max_sets = out.max_sets.AllMaxSets();
   out.stats.max_seconds = timer.ElapsedSeconds();
   out.stats.num_max_sets = out.all_max_sets.size();
-  if (ctx != nullptr && ctx->limited()) {
-    Status st = ctx->Check();
-    if (!st.ok()) return Interrupted(std::move(out), std::move(st));
+  if (!out.max_sets.status.ok()) {
+    // Attributes skipped by an interrupted CMAX_SET have empty max/cmax
+    // families, which the transversal phase would read as "∅ → A holds";
+    // the result carries the trip because a budget verdict is only
+    // observable while the stage's charge is held.
+    return Interrupted(std::move(out), out.max_sets.status);
   }
 
   // Step 3 (line 3): LEFT_HAND_SIDE.

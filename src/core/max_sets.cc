@@ -1,21 +1,122 @@
 #include "core/max_sets.h"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/dominance.h"
+#include "common/parallel.h"
+
 namespace depminer {
 
 std::vector<AttributeSet> MaxSetResult::AllMaxSets() const {
   // MAX(dep(r)) is the plain (deduplicated) union of the per-attribute
   // families: across attributes one max set may contain another, and both
-  // belong to MAX(dep(r)).
+  // belong to MAX(dep(r)). The families arrive individually sorted, so
+  // duplicates are filtered by hash on the way in and only the (much
+  // smaller) distinct union pays the canonical sort.
+  size_t total = 0;
+  for (const auto& per_attr : max_sets) total += per_attr.size();
+  std::unordered_set<AttributeSet, AttributeSetHash> seen;
+  seen.reserve(total);
   std::vector<AttributeSet> out;
+  out.reserve(total);
   for (const auto& per_attr : max_sets) {
-    out.insert(out.end(), per_attr.begin(), per_attr.end());
+    for (const AttributeSet& x : per_attr) {
+      if (seen.insert(x).second) out.push_back(x);
+    }
   }
   SortSets(&out);
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, RunContext* ctx) {
+MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
+                            RunContext* ctx) {
+  MaxSetResult result;
+  const size_t n = agree.num_attributes;
+  result.num_attributes = n;
+  result.max_sets.resize(n);
+  result.cmax_sets.resize(n);
+  if (n == 0) return result;
+
+  const AttributeSet universe = AttributeSet::Universe(n);
+  const size_t lanes = std::max<size_t>(1, std::min(num_threads, n));
+
+  // The single shared pass: sort ag(r) by descending cardinality once
+  // (stably, on the canonical agree-set order — deterministic) and build
+  // one global inverted index over it. Every per-attribute family below
+  // is derived read-only against this index, so nothing is re-filtered
+  // or re-indexed per attribute.
+  std::vector<AttributeSet> family = agree.sets;
+  std::stable_sort(family.begin(), family.end(),
+                   [](const AttributeSet& a, const AttributeSet& b) {
+                     return a.Count() > b.Count();
+                   });
+  const DominanceIndex index(family, DominanceIndex::Order::kNonIncreasing, n);
+
+  // The stage's working set — shared family, postings, per-lane scratch
+  // bitmaps — charged before any lane starts, so a too-small budget
+  // vetoes the stage deterministically instead of mid-flight.
+  const size_t words = index.words_per_bitmap();
+  result.working_bytes = family.size() * sizeof(AttributeSet) +
+                         index.bytes() + lanes * words * sizeof(uint64_t);
+  ScopedMemoryCharge memory(ctx);
+  memory.Set(result.working_bytes);
+
+  std::vector<std::vector<uint64_t>> scratch(
+      lanes, std::vector<uint64_t>(std::max<size_t>(words, 1)));
+
+  ParallelForSlotted(
+      0, n, lanes,
+      [&](size_t slot, size_t a_index) {
+        const AttributeId a = static_cast<AttributeId>(a_index);
+        std::vector<AttributeSet>& max = result.max_sets[a_index];
+        // Lemma 3: max(dep(r), A) = Max⊆ {X ∈ ag(r) : A ∉ X}. The ids
+        // containing A are excluded both as candidates and as dominators
+        // via A's own posting row.
+        const uint64_t* avoid = index.Postings(a);
+        StridedStopPoller poll(ctx, 256);
+        for (size_t id = 0; id < family.size(); ++id) {
+          if (poll.StopRequested()) {
+            // A partially derived family is not max(dep(r), A); drop it
+            // (same contract as the serial loop's skipped attributes).
+            max.clear();
+            return;
+          }
+          const AttributeSet& x = family[id];
+          if (x.Contains(a)) continue;
+          if (!index.HasProperSupersetOf(x, avoid, scratch[slot].data())) {
+            max.push_back(x);
+          }
+        }
+        if (max.empty() && agree.contains_empty) {
+          // Only the empty agree set (if present) avoids A: then ∅ is the
+          // largest set not determining A. Without it, every pair of
+          // tuples agrees on A and max(dep(r), A) is empty (∅ → A holds).
+          max.push_back(AttributeSet());
+        }
+        SortSets(&max);
+
+        // Algorithm 4 lines 4-9: complements.
+        std::vector<AttributeSet>& cmax = result.cmax_sets[a_index];
+        cmax.reserve(max.size());
+        for (const AttributeSet& x : max) {
+          cmax.push_back(universe.Minus(x));
+        }
+        SortSets(&cmax);
+      },
+      [ctx] { return ctx != nullptr && ctx->StopRequested(); });
+
+  // Capture the verdict while the stage's charge is still held: once
+  // `memory` releases it, a pure budget trip is no longer observable
+  // from the context, yet the dropped families above make this result
+  // unusable. Deadline/cancellation trips are sticky, and a budget trip
+  // stays visible here because our own charge is what trips it.
+  if (ctx != nullptr && ctx->limited()) result.status = ctx->Check();
+  return result;
+}
+
+MaxSetResult ComputeMaxSetsNaive(const AgreeSetResult& agree,
+                                 RunContext* ctx) {
   MaxSetResult result;
   const size_t n = agree.num_attributes;
   result.num_attributes = n;
@@ -25,24 +126,22 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, RunContext* ctx) {
   const AttributeSet universe = AttributeSet::Universe(n);
 
   for (AttributeId a = 0; a < n; ++a) {
-    if (ctx != nullptr && ctx->StopRequested()) break;
-    // Lemma 3: max(dep(r), A) = Max⊆ {X ∈ ag(r) : A ∉ X}.
+    if (ctx != nullptr && ctx->limited()) {
+      result.status = ctx->Check();
+      if (!result.status.ok()) break;
+    }
     std::vector<AttributeSet> candidates;
     for (const AttributeSet& x : agree.sets) {
       if (!x.Contains(a)) candidates.push_back(x);
     }
     if (candidates.empty()) {
-      // Only the empty agree set (if present) avoids A: then ∅ is the
-      // largest set not determining A. Without it, every pair of tuples
-      // agrees on A and max(dep(r), A) is empty (∅ → A holds).
       if (agree.contains_empty) candidates.push_back(AttributeSet());
       result.max_sets[a] = std::move(candidates);
     } else {
-      result.max_sets[a] = MaximalSets(std::move(candidates));
+      result.max_sets[a] = MaximalSetsNaive(std::move(candidates));
     }
     SortSets(&result.max_sets[a]);
 
-    // Algorithm 4 lines 4-9: complements.
     std::vector<AttributeSet>& cmax = result.cmax_sets[a];
     cmax.reserve(result.max_sets[a].size());
     for (const AttributeSet& x : result.max_sets[a]) {

@@ -40,17 +40,14 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
     result.run_status = agree.status;
     return result;
   }
-  const MaxSetResult negative = ComputeMaxSets(agree, ctx);
-  if (ctx != nullptr && ctx->limited()) {
-    Status st = ctx->Check();
-    if (!st.ok()) {
-      // Attributes skipped by an interrupted CMAX_SET have an *empty* list
-      // of invalid lhs, which specialization would read as "∅ → A holds".
-      result.stats.total_seconds = timer.ElapsedSeconds();
-      result.complete = false;
-      result.run_status = std::move(st);
-      return result;
-    }
+  const MaxSetResult negative = ComputeMaxSets(agree, /*num_threads=*/1, ctx);
+  if (!negative.status.ok()) {
+    // Attributes skipped by an interrupted CMAX_SET have an *empty* list
+    // of invalid lhs, which specialization would read as "∅ → A holds".
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    result.complete = false;
+    result.run_status = negative.status;
+    return result;
   }
   for (const auto& per_attr : negative.max_sets) {
     result.stats.negative_cover_size += per_attr.size();

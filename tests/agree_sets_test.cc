@@ -164,6 +164,37 @@ TEST(AgreeSetsParallel, ThreadCountInvariance) {
   }
 }
 
+// Regression: when the couple count barely exceeds the thread count,
+// ceil division hands the last lanes a start past the range end (e.g.
+// 9 couples, 8 threads → per-lane 2, lane 5 starts at 10); an unclamped
+// lane range underflowed to a ~2^64-element allocation
+// (std::length_error). Mirrors `fdtool mine data/customers.csv
+// --threads=8`.
+TEST(AgreeSetsParallel, MoreThreadsThanLaneCapacityDoesNotOverflow) {
+  Result<Relation> r = MakeRelation({{"1", "a", "p"},
+                                     {"1", "b", "p"},
+                                     {"2", "b", "q"},
+                                     {"2", "c", "q"},
+                                     {"3", "c", "r"},
+                                     {"3", "a", "r"},
+                                     {"4", "d", "p"},
+                                     {"4", "e", "q"}});
+  ASSERT_TRUE(r.ok());
+  const StrippedPartitionDatabase db = Db(r.value());
+  AgreeSetOptions serial;
+  serial.num_threads = 1;
+  const AgreeSetResult couples_1 = ComputeAgreeSetsCouples(db, serial);
+  const AgreeSetResult ids_1 = ComputeAgreeSetsIdentifiers(db, serial);
+  for (size_t threads : {7u, 8u, 13u, 64u}) {
+    AgreeSetOptions options;
+    options.num_threads = threads;
+    const AgreeSetResult couples = ComputeAgreeSetsCouples(db, options);
+    EXPECT_EQ(couples.sets, couples_1.sets) << threads << " threads";
+    const AgreeSetResult ids = ComputeAgreeSetsIdentifiers(db, options);
+    EXPECT_EQ(ids.sets, ids_1.sets) << threads << " threads";
+  }
+}
+
 TEST(AgreeSetsParallel, ThreadCountInvarianceUnderChunking) {
   const Relation r = RandomRelation(8, 200, 3, 31);
   const StrippedPartitionDatabase db = Db(r);

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "core/agree_sets.h"
+#include "core/max_sets.h"
+#include "relation/relation_builder.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::RandomRelation;
+using ::depminer::testing::SetsToString;
+
+AgreeSetResult Agree(const Relation& r) {
+  return ComputeAgreeSetsIdentifiers(
+      StrippedPartitionDatabase::FromRelation(r));
+}
+
+bool SameMaxSets(const MaxSetResult& a, const MaxSetResult& b) {
+  return a.num_attributes == b.num_attributes && a.max_sets == b.max_sets &&
+         a.cmax_sets == b.cmax_sets;
+}
+
+/// The shared-pass kernel CMAX must be bit-identical at every thread
+/// count, and equal to the retained naive per-attribute reference.
+TEST(CmaxDeterminism, ThreadCountsAgreeWithEachOtherAndWithNaive) {
+  for (const uint64_t seed : {3u, 17u, 51u}) {
+    const Relation r = RandomRelation(9, 120, 4, seed);
+    const AgreeSetResult agree = Agree(r);
+    const MaxSetResult reference = ComputeMaxSetsNaive(agree);
+    for (const size_t threads : {1u, 2u, 8u}) {
+      const MaxSetResult got = ComputeMaxSets(agree, threads);
+      EXPECT_TRUE(SameMaxSets(got, reference))
+          << "seed " << seed << ", " << threads << " threads: "
+          << SetsToString(got.AllMaxSets()) << " vs "
+          << SetsToString(reference.AllMaxSets());
+      EXPECT_EQ(got.AllMaxSets(), reference.AllMaxSets());
+    }
+  }
+}
+
+TEST(CmaxDeterminism, KeyLikeRelationYieldsEmptySetFamilies) {
+  // Every pair of tuples disagrees everywhere, so ag(r) = {∅}: for each
+  // attribute ∅ is the largest set not determining it, and cmax = {R}.
+  Result<Relation> rel = MakeRelation({{"1", "x"}, {"2", "y"}, {"3", "z"}});
+  ASSERT_TRUE(rel.ok());
+  const AgreeSetResult agree = Agree(rel.value());
+  ASSERT_TRUE(agree.contains_empty);
+  const MaxSetResult reference = ComputeMaxSetsNaive(agree);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    const MaxSetResult got = ComputeMaxSets(agree, threads);
+    EXPECT_TRUE(SameMaxSets(got, reference)) << threads << " threads";
+    for (size_t a = 0; a < got.num_attributes; ++a) {
+      ASSERT_EQ(got.max_sets[a].size(), 1u);
+      EXPECT_TRUE(got.max_sets[a][0].Empty());
+      ASSERT_EQ(got.cmax_sets[a].size(), 1u);
+      EXPECT_EQ(got.cmax_sets[a][0], AttributeSet::Universe(2));
+    }
+  }
+}
+
+TEST(CmaxDeterminism, ConstantColumn) {
+  // C is constant, so every pair agrees exactly on {C}: ag(r) = {{C}},
+  // ∅ ∉ ag(r). For A and B the only candidate is {C}; for C itself no
+  // agree set avoids it and ∅ is absent, so max(dep(r), C) = {} (every
+  // pair agrees on C, i.e. ∅ → C holds).
+  Result<Relation> rel = MakeRelation(
+      {{"1", "x", "c"}, {"2", "y", "c"}, {"3", "z", "c"}});
+  ASSERT_TRUE(rel.ok());
+  const AgreeSetResult agree = Agree(rel.value());
+  ASSERT_FALSE(agree.contains_empty);
+  const MaxSetResult reference = ComputeMaxSetsNaive(agree);
+  const std::vector<AttributeSet> only_c = {AttributeSet::Single(2)};
+  for (const size_t threads : {1u, 2u, 8u}) {
+    const MaxSetResult got = ComputeMaxSets(agree, threads);
+    EXPECT_TRUE(SameMaxSets(got, reference)) << threads << " threads";
+    EXPECT_EQ(got.max_sets[0], only_c);
+    EXPECT_EQ(got.max_sets[1], only_c);
+    EXPECT_TRUE(got.max_sets[2].empty());
+    EXPECT_TRUE(got.cmax_sets[2].empty());
+  }
+}
+
+TEST(CmaxDeterminism, PreTrippedDeadlineYieldsEmptyFamiliesAtAnyThreadCount) {
+  const Relation r = RandomRelation(8, 80, 3, 29);
+  const AgreeSetResult agree = Agree(r);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx;
+    ctx.SetTimeout(std::chrono::milliseconds(0));
+    ASSERT_TRUE(ctx.StopRequested());
+    const MaxSetResult got = ComputeMaxSets(agree, threads, &ctx);
+    // The stop predicate is polled before the first attribute on every
+    // lane, so an already-tripped context produces the same (all-empty)
+    // partial result for any thread count.
+    for (size_t a = 0; a < got.num_attributes; ++a) {
+      EXPECT_TRUE(got.max_sets[a].empty()) << threads << " threads";
+      EXPECT_TRUE(got.cmax_sets[a].empty()) << threads << " threads";
+    }
+    EXPECT_FALSE(got.status.ok()) << threads << " threads";
+    EXPECT_FALSE(ctx.Check().ok());
+  }
+}
+
+TEST(CmaxDeterminism, TinyMemoryBudgetVetoesTheStageDeterministically) {
+  const Relation r = RandomRelation(8, 80, 3, 31);
+  const AgreeSetResult agree = Agree(r);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx;
+    ctx.SetMemoryBudget(1);
+    const MaxSetResult got = ComputeMaxSets(agree, threads, &ctx);
+    // The family/index/scratch charge trips the 1-byte budget before any
+    // lane derives anything.
+    EXPECT_GT(got.working_bytes, 1u);
+    for (size_t a = 0; a < got.num_attributes; ++a) {
+      EXPECT_TRUE(got.max_sets[a].empty()) << threads << " threads";
+    }
+    // The stage released its charge on return, so the *context* reads OK
+    // again — the trip must be carried by the result's status.
+    EXPECT_EQ(ctx.bytes_used(), 0u);
+    EXPECT_TRUE(ctx.Check().ok());
+    EXPECT_FALSE(got.status.ok()) << threads << " threads";
+    EXPECT_EQ(got.status.code(), StatusCode::kCapacityExceeded);
+  }
+}
+
+TEST(CmaxDeterminism, WorkingBytesAreChargedAndReleased) {
+  const Relation r = RandomRelation(7, 60, 3, 37);
+  const AgreeSetResult agree = Agree(r);
+  RunContext ctx;
+  ctx.SetMemoryBudget(64u << 20);
+  const MaxSetResult got = ComputeMaxSets(agree, 2, &ctx);
+  EXPECT_GT(got.working_bytes, 0u);
+  EXPECT_GE(ctx.high_water_bytes(), got.working_bytes);
+  EXPECT_EQ(ctx.bytes_used(), 0u) << "stage must release its charge";
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(got.status.ok());
+  EXPECT_TRUE(SameMaxSets(got, ComputeMaxSetsNaive(agree)));
+}
+
+}  // namespace
+}  // namespace depminer
