@@ -9,9 +9,10 @@
 #
 # The tsan preset is opt-in (slow; ~5-15x): its test preset filters down
 # to the concurrency-heavy suites (worker pool, agree sets, partitions,
-# TANE, Dep-Miner, RunContext, the dominance kernel and the parallel
-# CMAX determinism suites) — see CMakePresets.json. The dominance/CMAX
-# suites can also run in isolation: ctest -L dominance.
+# TANE, Dep-Miner, RunContext, the dominance kernel, the parallel CMAX
+# determinism suites and the tracing suites) — see CMakePresets.json. The
+# dominance/CMAX suites can also run in isolation (ctest -L dominance),
+# as can tracing (ctest -L trace).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +30,24 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==> test [${preset}]"
   ctest --preset "${preset}" -j "${jobs}"
+done
+
+# Tracing smoke-run: a traced mine must produce parseable chrome://tracing
+# JSON end to end (the Release build is the one benchmarks ship with).
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "default" ] && [ -x build/examples/fdtool ]; then
+    echo "==> trace smoke-run [default]"
+    trace_out=/tmp/depminer_trace_smoke.json
+    build/examples/fdtool mine data/orders.csv --threads=2 \
+      --trace="${trace_out}" --metrics >/dev/null 2>&1
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "${trace_out}" >/dev/null
+      echo "    trace JSON parses: ${trace_out}"
+    else
+      echo "    python3 not found; skipping JSON parse check"
+    fi
+    rm -f "${trace_out}"
+  fi
 done
 
 echo "==> all checks passed"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace.h"
+
 namespace depminer {
 
 namespace {
@@ -174,6 +176,7 @@ std::vector<AttributeSet> FilterDominated(std::vector<AttributeSet> sets,
                                           bool maximal) {
   CanonicalOrder(&sets, /*largest_first=*/maximal);
   if (sets.size() < kKernelCutoff) return SurvivorScan(sets, maximal);
+  DEPMINER_TRACE_COUNTER("dominance.index_queries", sets.size());
   const DominanceIndex index(sets, maximal
                                        ? DominanceIndex::Order::kNonIncreasing
                                        : DominanceIndex::Order::kNonDecreasing);

@@ -5,6 +5,8 @@
 #include <deque>
 #include <mutex>
 
+#include "common/trace.h"
+
 namespace depminer {
 namespace internal {
 namespace {
@@ -41,17 +43,31 @@ thread_local bool t_in_pool_worker = false;
 /// the stop predicate fires. Runs on the caller (slot 0) and on every
 /// helper that picked the loop up.
 void Drain(LoopState* state, size_t slot) {
+  // The lane's utilization span: how long this lane (caller or pool
+  // helper) spent inside the loop, with the blocks it claimed as the
+  // payload — lanes that arrive late or starve show short spans / low
+  // counts. One span + one batched counter per lane per loop, never
+  // per index, so an inactive session costs a single atomic load here.
+  DEPMINER_TRACE_SPAN(lane_span, "pool/lane");
+  uint64_t blocks_claimed = 0;
   while (true) {
-    if (state->stop(state->ctx)) return;
+    if (state->stop(state->ctx)) break;
     const size_t lo =
         state->next.fetch_add(state->block, std::memory_order_relaxed);
-    if (lo >= state->count) return;
+    if (lo >= state->count) break;
+    ++blocks_claimed;
     const size_t hi = std::min(state->count, lo + state->block);
     for (size_t i = lo; i < hi; ++i) {
-      if (state->stop(state->ctx)) return;
+      if (state->stop(state->ctx)) {
+        lane_span.SetValue(blocks_claimed);
+        DEPMINER_TRACE_COUNTER("pool.blocks_claimed", blocks_claimed);
+        return;
+      }
       state->body(state->ctx, slot, state->begin + i);
     }
   }
+  lane_span.SetValue(blocks_claimed);
+  DEPMINER_TRACE_COUNTER("pool.blocks_claimed", blocks_claimed);
 }
 
 /// The shared, persistent worker pool. Lazily started: the first loop
@@ -143,6 +159,7 @@ void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
     }
     return;
   }
+  DEPMINER_TRACE_COUNTER("pool.loops", 1);
   LoopState state;
   state.begin = begin;
   state.count = count;

@@ -1,0 +1,337 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "report/json_writer.h"
+
+namespace depminer {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The active session and a generation stamp. Threads cache a pointer to
+/// their per-session buffer in a thread_local; the generation check
+/// invalidates that cache when a session stops or a new one starts, so a
+/// stale pointer from a previous session is never dereferenced.
+std::atomic<TraceSession*> g_current{nullptr};
+std::atomic<uint64_t> g_generation{0};
+
+}  // namespace
+
+namespace trace_internal {
+
+/// One thread's slice of a session. Appends take `mu` — uncontended on
+/// the hot path (only the owner appends; the merge at `Stop()` is the one
+/// cross-thread reader, and it runs after instrumented work has joined).
+/// `depth` is owner-only state (touched exclusively by the owning thread
+/// between Span open/close), so it lives outside the mutex.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  int64_t session_start_ns = 0;  // rebase spans to session-relative time
+  uint32_t tid = 0;
+  uint32_t depth = 0;  // owner-only; not guarded
+};
+
+}  // namespace trace_internal
+
+using trace_internal::ThreadBuffer;
+
+struct TraceSession::Impl {
+  std::mutex mu;  // guards `buffers` registration and merged state
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  bool active = false;
+  int64_t start_ns = 0;
+  double wall_seconds = 0.0;
+
+  // Merged at Stop().
+  std::vector<TraceEvent> events;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+
+  ThreadBuffer* RegisterThread() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!active) return nullptr;
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<uint32_t>(buffers.size());
+    buf->session_start_ns = start_ns;
+    buffers.push_back(std::move(buf));
+    return buffers.back().get();
+  }
+};
+
+namespace trace_internal {
+
+ThreadBuffer* CurrentBuffer() {
+  // Per-thread cache: {generation, buffer}. A mismatch with the global
+  // generation means the cached buffer belongs to a dead (or different)
+  // session and must be re-resolved.
+  thread_local uint64_t t_generation = 0;
+  thread_local ThreadBuffer* t_buffer = nullptr;
+
+  const uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (t_generation == gen) return t_buffer;
+
+  TraceSession* session = g_current.load(std::memory_order_acquire);
+  t_buffer = session != nullptr ? session->impl_->RegisterThread() : nullptr;
+  t_generation = gen;
+  return t_buffer;
+}
+
+}  // namespace trace_internal
+
+TraceSession::TraceSession() : impl_(std::make_unique<Impl>()) {}
+
+TraceSession::~TraceSession() {
+  Stop();
+}
+
+void TraceSession::Start() {
+#if DEPMINER_TRACING_ENABLED
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->buffers.clear();
+  impl_->events.clear();
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->wall_seconds = 0.0;
+  impl_->start_ns = NowNs();
+  impl_->active = true;
+  g_current.store(this, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+#endif
+}
+
+void TraceSession::Stop() {
+  if (!impl_->active) return;
+  // Uninstall first so instrumentation sites stop resolving buffers, then
+  // merge. Per the class contract, no instrumented work races this.
+  g_current.store(nullptr, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->active = false;
+  impl_->wall_seconds = static_cast<double>(NowNs() - impl_->start_ns) * 1e-9;
+  for (const auto& buf : impl_->buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    impl_->events.insert(impl_->events.end(), buf->events.begin(),
+                         buf->events.end());
+    for (const auto& [name, v] : buf->counters) impl_->counters[name] += v;
+    for (const auto& [name, v] : buf->gauges) {
+      uint64_t& g = impl_->gauges[name];
+      g = std::max(g, v);
+    }
+  }
+  std::stable_sort(impl_->events.begin(), impl_->events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.depth < b.depth;
+                   });
+  // Buffers stay alive until the next Start() (or destruction): a thread
+  // that cached a pointer but has not yet noticed the generation bump
+  // must not be left holding freed memory.
+}
+
+TraceSession* TraceSession::Current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+bool TraceSession::active() const { return impl_->active; }
+
+const std::vector<TraceEvent>& TraceSession::events() const {
+  return impl_->events;
+}
+const std::map<std::string, uint64_t>& TraceSession::counters() const {
+  return impl_->counters;
+}
+const std::map<std::string, uint64_t>& TraceSession::gauges() const {
+  return impl_->gauges;
+}
+double TraceSession::wall_seconds() const { return impl_->wall_seconds; }
+
+Status TraceSession::WriteChromeTrace(const std::string& path) const {
+  JsonWriter w;
+  w.OpenObject();
+  w.Key("traceEvents").OpenArray();
+  for (const TraceEvent& e : impl_->events) {
+    w.OpenObject();
+    w.Key("name").Value(e.name);
+    w.Key("ph").Value("X");  // complete event: ts + dur in one record
+    w.Key("ts").Value(static_cast<double>(e.start_ns) * 1e-3);
+    w.Key("dur").Value(static_cast<double>(e.dur_ns) * 1e-3);
+    w.Key("pid").Value(static_cast<int64_t>(1));
+    w.Key("tid").Value(static_cast<uint64_t>(e.tid));
+    if (e.has_arg) {
+      w.Key("args").OpenObject();
+      w.Key("value").Value(e.arg);
+      w.CloseObject();
+    }
+    w.CloseObject();
+  }
+  w.CloseArray();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("metrics").OpenObject();
+  w.Key("wall_seconds").Value(impl_->wall_seconds);
+  w.Key("counters").OpenObject();
+  for (const auto& [name, v] : impl_->counters) w.Key(name).Value(v);
+  w.CloseObject();
+  w.Key("gauges").OpenObject();
+  for (const auto& [name, v] : impl_->gauges) w.Key(name).Value(v);
+  w.CloseObject();
+  w.CloseObject();
+  w.CloseObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const std::string& json = w.str();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != json.size() || !closed_ok) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string TraceSession::MetricsSummary() const {
+  // Aggregate spans by name: count, total self-thread duration. For the
+  // `phase/*` spans — which are top-level and non-overlapping within a
+  // run — the durations additionally tell what share of session wall
+  // clock each pipeline phase took.
+  struct Agg {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> phases;
+  std::map<std::string, Agg> others;
+  for (const TraceEvent& e : impl_->events) {
+    const std::string name(e.name);
+    Agg& a = name.rfind("phase/", 0) == 0 ? phases[name] : others[name];
+    a.count += 1;
+    a.total_ns += e.dur_ns;
+  }
+
+  std::string out;
+  char line[192];
+  const double wall = impl_->wall_seconds;
+  std::snprintf(line, sizeof(line), "wall clock           %10.3fs\n", wall);
+  out += line;
+  if (!phases.empty()) {
+    out += "-- phases ------------------------------------\n";
+    double phase_sum = 0.0;
+    for (const auto& [name, a] : phases) {
+      const double secs = static_cast<double>(a.total_ns) * 1e-9;
+      phase_sum += secs;
+      const double pct = wall > 0.0 ? 100.0 * secs / wall : 0.0;
+      std::snprintf(line, sizeof(line), "%-20s %10.3fs %5.1f%%  n=%llu\n",
+                    name.c_str(), secs, pct,
+                    static_cast<unsigned long long>(a.count));
+      out += line;
+    }
+    const double pct = wall > 0.0 ? 100.0 * phase_sum / wall : 0.0;
+    std::snprintf(line, sizeof(line), "%-20s %10.3fs %5.1f%%\n",
+                  "phases total", phase_sum, pct);
+    out += line;
+  }
+  if (!others.empty()) {
+    out += "-- spans -------------------------------------\n";
+    for (const auto& [name, a] : others) {
+      const double secs = static_cast<double>(a.total_ns) * 1e-9;
+      std::snprintf(line, sizeof(line), "%-20s %10.3fs        n=%llu\n",
+                    name.c_str(), secs,
+                    static_cast<unsigned long long>(a.count));
+      out += line;
+    }
+  }
+  if (!impl_->counters.empty()) {
+    out += "-- counters ----------------------------------\n";
+    for (const auto& [name, v] : impl_->counters) {
+      std::snprintf(line, sizeof(line), "%-28s %15llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += line;
+    }
+  }
+  if (!impl_->gauges.empty()) {
+    out += "-- gauges (max) ------------------------------\n";
+    for (const auto& [name, v] : impl_->gauges) {
+      std::snprintf(line, sizeof(line), "%-28s %15llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += line;
+    }
+  }
+  return out;
+}
+
+Span::Span(const char* name) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  buffer_ = buf;
+  name_ = name;
+  depth_ = buf->depth++;
+  start_ns_ = NowNs();  // absolute; rebased to session time at close
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  const int64_t end_ns = NowNs();
+  buffer_->depth--;
+  // Only record if the buffer still belongs to the active session: if the
+  // session stopped while this span was open (contract violation, but be
+  // safe) CurrentBuffer() re-resolves to null or a fresh buffer and the
+  // span is dropped rather than written through a stale pointer.
+  if (trace_internal::CurrentBuffer() != buffer_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.tid = buffer_->tid;
+  e.depth = depth_;
+  e.start_ns = start_ns_ - buffer_->session_start_ns;
+  e.dur_ns = end_ns - start_ns_;
+  e.arg = arg_;
+  e.has_arg = has_arg_;
+  std::lock_guard<std::mutex> lock(buffer_->mu);
+  buffer_->events.push_back(e);
+}
+
+void TraceCounterAdd(const char* name, uint64_t delta) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->counters[name] += delta;
+}
+
+void TraceGaugeMax(const char* name, uint64_t value) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  uint64_t& g = buf->gauges[name];
+  g = std::max(g, value);
+}
+
+PhaseTimer::PhaseTimer(const char* span_name, double* accumulate_seconds)
+    : span_(span_name),
+      accumulate_seconds_(accumulate_seconds),
+      start_ns_(NowNs()) {}
+
+PhaseTimer::~PhaseTimer() { Stop(); }
+
+void PhaseTimer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (accumulate_seconds_ != nullptr) {
+    *accumulate_seconds_ += static_cast<double>(NowNs() - start_ns_) * 1e-9;
+  }
+}
+
+}  // namespace depminer

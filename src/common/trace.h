@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Compile-time tracing switch. On by default; configure with
+/// `-DDEPMINER_TRACING=OFF` (which defines DEPMINER_TRACING_ENABLED=0) to
+/// strip every instrumentation site out of the hot paths: the
+/// DEPMINER_TRACE_* macros below expand to nothing, so a disabled build
+/// references no tracing symbol from the miners at all. The classes keep
+/// one definition in both modes (no ODR hazard for mixed translation
+/// units); only the macro expansions and the out-of-line bodies change.
+#ifndef DEPMINER_TRACING_ENABLED
+#define DEPMINER_TRACING_ENABLED 1
+#endif
+
+namespace depminer {
+
+/// One closed span, as merged into a stopped `TraceSession`.
+struct TraceEvent {
+  const char* name;   ///< static string, the span taxonomy name
+  uint32_t tid;       ///< session-scoped thread id (0 = first thread seen)
+  uint32_t depth;     ///< nesting depth on its thread when the span opened
+  int64_t start_ns;   ///< steady-clock ns, relative to session start
+  int64_t dur_ns;     ///< span duration
+  uint64_t arg;       ///< optional payload (Span::SetValue)
+  bool has_arg;
+};
+
+namespace trace_internal {
+struct ThreadBuffer;
+/// The calling thread's buffer of the active session, registering the
+/// thread on first use; nullptr when no session is active (one relaxed
+/// atomic load — the entire cost of an instrumentation site at rest).
+ThreadBuffer* CurrentBuffer();
+}  // namespace trace_internal
+
+/// In-process tracing session: collects spans, counters and gauges from
+/// every thread that runs instrumented code between `Start()` and
+/// `Stop()`, with per-thread buffers so the hot path never contends on a
+/// shared structure (each event append takes only the owning thread's
+/// uncontended mutex; threads meet once, at the final merge).
+///
+/// Contract: at most one session is active at a time, and `Stop()` must
+/// not race with instrumented work — every pipeline stage in this library
+/// joins its parallel loops before returning, so stopping after a miner
+/// returns is always safe. Spans must close before the session stops;
+/// a span still open at `Stop()` is dropped, not corrupted.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Installs this session as the process-wide active one and resets any
+  /// previously collected data. No-op in a tracing-disabled build.
+  void Start();
+
+  /// Uninstalls the session and merges every thread's buffer: events are
+  /// sorted by start time, counters summed, gauges maxed. Idempotent.
+  void Stop();
+
+  /// The active session, or nullptr. What `Span`/counter sites consult.
+  static TraceSession* Current();
+
+  bool active() const;
+
+  /// Merged data; valid after `Stop()`.
+  const std::vector<TraceEvent>& events() const;
+  const std::map<std::string, uint64_t>& counters() const;
+  const std::map<std::string, uint64_t>& gauges() const;
+  /// Wall-clock seconds between Start() and Stop().
+  double wall_seconds() const;
+
+  /// Writes the merged events as a chrome://tracing / Perfetto-loadable
+  /// JSON object ("traceEvents" complete events, ts/dur in microseconds
+  /// relative to session start) plus the counters and gauges under a
+  /// "metrics" key. Call after `Stop()`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Human-readable summary: the `phase/*` spans as a table with their
+  /// share of session wall clock, every other span name aggregated, then
+  /// counters and gauges. Call after `Stop()`.
+  std::string MetricsSummary() const;
+
+ private:
+  friend trace_internal::ThreadBuffer* trace_internal::CurrentBuffer();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// RAII span: records [construction, destruction) on the calling thread
+/// into the active session, with the thread's nesting depth. When no
+/// session is active the constructor is a single atomic load and the
+/// destructor a null test. Instantiate through DEPMINER_TRACE_SPAN so a
+/// tracing-disabled build compiles the site away entirely.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a payload (a per-level candidate count, a per-lane block
+  /// count, ...) emitted with the event as `args.value`.
+  void SetValue(uint64_t value) {
+    arg_ = value;
+    has_arg_ = true;
+  }
+
+ private:
+  trace_internal::ThreadBuffer* buffer_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint64_t arg_ = 0;
+  uint32_t depth_ = 0;
+  bool has_arg_ = false;
+};
+
+/// The disabled-build stand-in DEPMINER_TRACE_SPAN instantiates: an empty
+/// type whose methods compile to nothing.
+struct NoopSpan {
+  explicit NoopSpan(const char*) {}
+  void SetValue(uint64_t) {}
+};
+
+/// Monotonic counter: adds `delta` to the session counter `name` (a
+/// static string). Call with *batched* per-chunk / per-lane totals, never
+/// per element — each call takes the thread buffer's (uncontended) lock.
+void TraceCounterAdd(const char* name, uint64_t delta);
+
+/// Gauge: folds `value` into session gauge `name` keeping the maximum
+/// (high-water marks: RunContext bytes charged, peak partition bytes).
+void TraceGaugeMax(const char* name, uint64_t value);
+
+/// Span-owned, *accumulating* phase timer: `Stop()` (or destruction) adds
+/// the elapsed seconds to `*accumulate_seconds` and closes the span named
+/// `span_name`. Because the stat field is accumulated into rather than
+/// overwritten, a phase that restarts — e.g. a miner retried after a
+/// tripped RunContext, or a chunked stage timed per chunk — sums its
+/// attempts instead of keeping only the last one (the `Stopwatch::Restart`
+/// double-counting hazard this replaces). Always times, even in a
+/// tracing-disabled build; only the span emission is trace-gated.
+class PhaseTimer {
+ public:
+  PhaseTimer(const char* span_name, double* accumulate_seconds);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Commits the elapsed time to the stat. Idempotent — functions with
+  /// several exit paths (or that `std::move` their result out before the
+  /// timer's scope closes) call it before each return; the destructor
+  /// then contributes nothing further. The owned span still closes at
+  /// destruction, recording the full scope.
+  void Stop();
+
+ private:
+  Span span_;
+  double* accumulate_seconds_;
+  int64_t start_ns_;
+  bool stopped_ = false;
+};
+
+#if DEPMINER_TRACING_ENABLED
+#define DEPMINER_TRACE_SPAN(var, name) ::depminer::Span var(name)
+#define DEPMINER_TRACE_COUNTER(name, delta) \
+  ::depminer::TraceCounterAdd((name), (delta))
+#define DEPMINER_TRACE_GAUGE_MAX(name, value) \
+  ::depminer::TraceGaugeMax((name), (value))
+#else
+// Expansions reference no tracing symbol and leave their arguments
+// unevaluated (sizeof), so a disabled build's hot paths carry nothing.
+#define DEPMINER_TRACE_SPAN(var, name) ::depminer::NoopSpan var(name)
+#define DEPMINER_TRACE_COUNTER(name, delta)          \
+  do {                                               \
+    (void)sizeof(char[1]); /* keep shape */          \
+    (void)sizeof((name));                            \
+    (void)sizeof((delta));                           \
+  } while (false)
+#define DEPMINER_TRACE_GAUGE_MAX(name, value) \
+  do {                                        \
+    (void)sizeof((name));                     \
+    (void)sizeof((value));                    \
+  } while (false)
+#endif
+
+}  // namespace depminer

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace depminer {
 
@@ -153,6 +154,7 @@ const char* ToString(AgreeSetAlgorithm algorithm) {
 
 std::vector<EquivalenceClass> MaximalEquivalenceClasses(
     const StrippedPartitionDatabase& db, size_t num_threads) {
+  DEPMINER_TRACE_SPAN(span, "agree/maximal_classes");
   // Gather every stripped class, sort largest first (parallel), then keep
   // the ⊆-maximal ones. A class is dominated iff some class *earlier in
   // the sorted order* contains it: strict supersets are larger and so
@@ -199,6 +201,7 @@ std::vector<EquivalenceClass> MaximalEquivalenceClasses(
   for (size_t i = 0; i < all.size(); ++i) {
     if (!dominated[i]) kept.push_back(*all[i]);
   }
+  span.SetValue(kept.size());
   return kept;
 }
 
@@ -226,6 +229,8 @@ AgreeSetResult ComputeAgreeSetsNaive(const Relation& relation,
     }
   }
   FinalizeSets(std::move(distinct), &result);
+  DEPMINER_TRACE_COUNTER("agree.couples", result.couples_examined);
+  DEPMINER_TRACE_COUNTER("agree.sets", result.sets.size());
   return result;
 }
 
@@ -243,16 +248,25 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
   // Materialize the distinct couples (Algorithm 2 lines 4-9), possibly in
   // chunks (the paper's memory threshold).
   std::vector<std::pair<TupleId, TupleId>> couples;
-  const CoupleEnumerator enumerator(sources, num_threads);
-  couples.reserve(enumerator.size());
-  const size_t total_couples = enumerator.ForEach(
-      [&couples](TupleId a, TupleId b) { couples.emplace_back(a, b); });
+  {
+    DEPMINER_TRACE_SPAN(couples_span, "agree/couples");
+    const CoupleEnumerator enumerator(sources, num_threads);
+    couples.reserve(enumerator.size());
+    enumerator.ForEach(
+        [&couples](TupleId a, TupleId b) { couples.emplace_back(a, b); });
+    couples_span.SetValue(couples.size());
+  }
+  const size_t total_couples = couples.size();
   result.couples_examined = total_couples;
+  DEPMINER_TRACE_COUNTER("agree.couples", total_couples);
 
   // Each attribute's class labels, computed once per run (they used to be
   // recomputed per chunk) and laid out as one contiguous row per
   // attribute so the per-chunk scans below stream through memory.
-  const ClassLabelTable labels = ClassLabelTable::Build(db, num_threads);
+  const ClassLabelTable labels = [&] {
+    DEPMINER_TRACE_SPAN(labels_span, "agree/labels");
+    return ClassLabelTable::Build(db, num_threads);
+  }();
 
   const size_t chunk_size =
       options.max_couples_per_chunk == 0
@@ -279,6 +293,8 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
       if (!result.status.ok()) break;
     }
     const size_t end = std::min(couples.size(), begin + chunk_size);
+    DEPMINER_TRACE_SPAN(chunk_span, "agree/chunk");
+    chunk_span.SetValue(end - begin);
 
     // Lines 10-18 of the chunk, partitioned: each lane owns a contiguous
     // couple sub-range, walks every label row over it (cache-friendly:
@@ -336,6 +352,9 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
 
   result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
   FinalizeSets(std::move(distinct), &result);
+  DEPMINER_TRACE_COUNTER("agree.chunks", result.chunks_processed);
+  DEPMINER_TRACE_COUNTER("agree.sets", result.sets.size());
+  DEPMINER_TRACE_GAUGE_MAX("agree.working_bytes", result.working_bytes);
   return result;
 }
 
@@ -352,11 +371,14 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
   // containing t. Built attribute by attribute, so each list is sorted by
   // attribute; identifiers pack (attribute, class index) into one word.
   std::vector<std::vector<uint64_t>> ec(db.num_tuples());
-  for (AttributeId a = 0; a < db.num_attributes(); ++a) {
-    const StrippedPartition& part = db.partition(a);
-    for (size_t i = 0; i < part.classes().size(); ++i) {
-      const uint64_t id = (static_cast<uint64_t>(a) << 32) | i;
-      for (TupleId t : part.classes()[i]) ec[t].push_back(id);
+  {
+    DEPMINER_TRACE_SPAN(ec_span, "agree/ec_lists");
+    for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+      const StrippedPartition& part = db.partition(a);
+      for (size_t i = 0; i < part.classes().size(); ++i) {
+        const uint64_t id = (static_cast<uint64_t>(a) << 32) | i;
+        for (TupleId t : part.classes()[i]) ec[t].push_back(id);
+      }
     }
   }
 
@@ -364,9 +386,12 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
       MaximalEquivalenceClasses(db, num_threads);
 
   // Step 2 (lines 9-14): ag(t, t') from ec(t) ∩ ec(t') by sorted merge.
+  DEPMINER_TRACE_SPAN(intersect_span, "agree/intersect");
   const CoupleEnumerator enumerator(mc, num_threads);
   const size_t total_couples = enumerator.size();
   result.couples_examined = total_couples;
+  intersect_span.SetValue(total_couples);
+  DEPMINER_TRACE_COUNTER("agree.couples", total_couples);
   result.working_bytes =
       total_couples * sizeof(uint64_t) +           // couple keys
       db.TotalMemberships() * sizeof(uint64_t) +   // ec lists
@@ -433,6 +458,8 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
 
   result.contains_empty = EmptyAgreeSetPresent(db.num_tuples(), total_couples);
   FinalizeSets(std::move(distinct), &result);
+  DEPMINER_TRACE_COUNTER("agree.sets", result.sets.size());
+  DEPMINER_TRACE_GAUGE_MAX("agree.working_bytes", result.working_bytes);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace.h"
 #include "relation/relation_builder.h"
 
 namespace depminer {
@@ -83,6 +84,8 @@ Result<Relation> BuildRealWorldArmstrongFromSamples(
     const std::vector<std::vector<std::string>>& value_samples,
     const std::vector<size_t>& distinct_counts,
     const std::vector<AttributeSet>& max_sets, RunContext* ctx) {
+  DEPMINER_TRACE_SPAN(span, "armstrong/build");
+  span.SetValue(max_sets.size());
   const size_t n = schema.num_attributes();
   if (value_samples.size() != n || distinct_counts.size() != n) {
     return Status::InvalidArgument("samples/counts arity mismatch");

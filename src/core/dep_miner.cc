@@ -1,24 +1,27 @@
 #include "core/dep_miner.h"
 
-#include <cstdio>
-
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/armstrong.h"
+#include "report/stats_format.h"
 
 namespace depminer {
 
 std::string DepMinerStats::ToString() const {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "strip=%.3fs agree=%.3fs (couples=%zu, chunks=%zu, "
-                "agree_sets=%zu, working_mb=%.1f) max=%.3fs (max_sets=%zu) "
-                "lhs=%.3fs armstrong=%.3fs fds=%zu total=%.3fs",
-                strip_seconds, agree_seconds, num_couples, chunks,
-                num_agree_sets,
-                static_cast<double>(agree_working_bytes) / (1024.0 * 1024.0),
-                max_seconds, num_max_sets, lhs_seconds, armstrong_seconds,
-                num_fds, Total());
-  return buf;
+  StatsLineBuilder b;
+  b.Seconds("strip", strip_seconds).Seconds("agree", agree_seconds);
+  b.BeginGroup()
+      .Count("couples", num_couples)
+      .Count("chunks", chunks)
+      .Count("agree_sets", num_agree_sets)
+      .Megabytes("working_mb", agree_working_bytes)
+      .EndGroup();
+  b.Seconds("max", max_seconds);
+  b.BeginGroup().Count("max_sets", num_max_sets).EndGroup();
+  b.Seconds("lhs", lhs_seconds)
+      .Seconds("armstrong", armstrong_seconds)
+      .Count("fds", num_fds)
+      .Seconds("total", Total());
+  return b.str();
 }
 
 namespace {
@@ -37,13 +40,16 @@ DepMinerResult Interrupted(DepMinerResult&& out, Status cause) {
 Result<DepMinerResult> MineDependencies(const Relation& relation,
                                         const DepMinerOptions& options) {
   DEPMINER_CHECK_RUN(options.run_context);
-  Stopwatch timer;
-  const StrippedPartitionDatabase db =
-      StrippedPartitionDatabase::FromRelation(relation, options.num_threads);
-  const double strip_seconds = timer.ElapsedSeconds();
+  double strip_seconds = 0;
+  std::optional<StrippedPartitionDatabase> db;
+  {
+    PhaseTimer strip_timer("phase/strip", &strip_seconds);
+    db = StrippedPartitionDatabase::FromRelation(relation,
+                                                 options.num_threads);
+  }
 
-  Result<DepMinerResult> result = MineDependencies(db, &relation, options);
-  if (result.ok()) result.value().stats.strip_seconds = strip_seconds;
+  Result<DepMinerResult> result = MineDependencies(*db, &relation, options);
+  if (result.ok()) result.value().stats.strip_seconds += strip_seconds;
   return result;
 }
 
@@ -59,35 +65,40 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
 
   RunContext* ctx = options.run_context;
   DepMinerResult out;
-  Stopwatch timer;
 
-  // Step 1 (Algorithm 1, line 1): AGREE_SET.
-  switch (options.agree_set_algorithm) {
-    case AgreeSetAlgorithm::kNaive: {
-      if (relation == nullptr) {
-        return Status::InvalidArgument(
-            "naive agree-set computation needs the relation");
+  // Step 1 (Algorithm 1, line 1): AGREE_SET. Each phase is timed by a
+  // span-owned PhaseTimer that *accumulates* into its stat when the
+  // block closes — a phase re-entered (retry after a tripped context on
+  // the same result) sums its attempts instead of overwriting them, the
+  // double-counting hazard the old restarted Stopwatch had.
+  {
+    PhaseTimer agree_timer("phase/agree", &out.stats.agree_seconds);
+    switch (options.agree_set_algorithm) {
+      case AgreeSetAlgorithm::kNaive: {
+        if (relation == nullptr) {
+          return Status::InvalidArgument(
+              "naive agree-set computation needs the relation");
+        }
+        out.agree_sets = ComputeAgreeSetsNaive(*relation, ctx);
+        break;
       }
-      out.agree_sets = ComputeAgreeSetsNaive(*relation, ctx);
-      break;
-    }
-    case AgreeSetAlgorithm::kCouples: {
-      AgreeSetOptions agree_options;
-      agree_options.max_couples_per_chunk = options.max_couples_per_chunk;
-      agree_options.num_threads = options.num_threads;
-      agree_options.run_context = ctx;
-      out.agree_sets = ComputeAgreeSetsCouples(db, agree_options);
-      break;
-    }
-    case AgreeSetAlgorithm::kIdentifiers: {
-      AgreeSetOptions agree_options;
-      agree_options.num_threads = options.num_threads;
-      agree_options.run_context = ctx;
-      out.agree_sets = ComputeAgreeSetsIdentifiers(db, agree_options);
-      break;
+      case AgreeSetAlgorithm::kCouples: {
+        AgreeSetOptions agree_options;
+        agree_options.max_couples_per_chunk = options.max_couples_per_chunk;
+        agree_options.num_threads = options.num_threads;
+        agree_options.run_context = ctx;
+        out.agree_sets = ComputeAgreeSetsCouples(db, agree_options);
+        break;
+      }
+      case AgreeSetAlgorithm::kIdentifiers: {
+        AgreeSetOptions agree_options;
+        agree_options.num_threads = options.num_threads;
+        agree_options.run_context = ctx;
+        out.agree_sets = ComputeAgreeSetsIdentifiers(db, agree_options);
+        break;
+      }
     }
   }
-  out.stats.agree_seconds = timer.ElapsedSeconds();
   out.stats.num_couples = out.agree_sets.couples_examined;
   out.stats.num_agree_sets = out.agree_sets.sets.size();
   out.stats.chunks = out.agree_sets.chunks_processed;
@@ -100,10 +111,11 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   }
 
   // Step 2 (line 2): CMAX_SET.
-  timer.Restart();
-  out.max_sets = ComputeMaxSets(out.agree_sets, options.num_threads, ctx);
-  out.all_max_sets = out.max_sets.AllMaxSets();
-  out.stats.max_seconds = timer.ElapsedSeconds();
+  {
+    PhaseTimer max_timer("phase/cmax", &out.stats.max_seconds);
+    out.max_sets = ComputeMaxSets(out.agree_sets, options.num_threads, ctx);
+    out.all_max_sets = out.max_sets.AllMaxSets();
+  }
   out.stats.num_max_sets = out.all_max_sets.size();
   if (!out.max_sets.status.ok()) {
     // Attributes skipped by an interrupted CMAX_SET have empty max/cmax
@@ -114,9 +126,10 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   }
 
   // Step 3 (line 3): LEFT_HAND_SIDE.
-  timer.Restart();
-  out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx);
-  out.stats.lhs_seconds = timer.ElapsedSeconds();
+  {
+    PhaseTimer lhs_timer("phase/lhs", &out.stats.lhs_seconds);
+    out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx);
+  }
 
   // Step 4 (line 4): FD_OUTPUT. On an interrupted lhs phase this keeps
   // the FDs of the attributes whose transversal search completed — they
@@ -133,10 +146,11 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
       out.armstrong_status = Status::InvalidArgument(
           "real-world Armstrong construction needs the relation values");
     } else {
-      timer.Restart();
+      PhaseTimer armstrong_timer("phase/armstrong",
+                                 &out.stats.armstrong_seconds);
       Result<Relation> armstrong =
           BuildRealWorldArmstrong(*relation, out.all_max_sets, ctx);
-      out.stats.armstrong_seconds = timer.ElapsedSeconds();
+      armstrong_timer.Stop();
       if (armstrong.ok()) {
         out.armstrong = std::move(armstrong).value();
         out.armstrong_status = Status::OK();

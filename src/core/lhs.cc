@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace depminer {
 
@@ -22,9 +23,11 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
   ParallelFor(
       0, n, num_threads,
       [&](size_t a) {
+        DEPMINER_TRACE_SPAN(attr_span, "lhs/attribute");
         Hypergraph graph(n, max_sets.cmax_sets[a]);
         std::vector<AttributeSet> tr =
             LevelwiseMinimalTransversals(graph, &per_attr_stats[a], ctx);
+        attr_span.SetValue(per_attr_stats[a].candidates_generated);
         if (!per_attr_stats[a].complete) return;  // partial Tr is unusable
         SortSets(&tr);
         result.lhs[a] = std::move(tr);
@@ -42,6 +45,9 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
     result.stats.candidates_generated += stats.candidates_generated;
     result.stats.transversals_found += stats.transversals_found;
   }
+  DEPMINER_TRACE_COUNTER("lhs.transversal_candidates",
+                         result.stats.candidates_generated);
+  DEPMINER_TRACE_COUNTER("lhs.transversals", result.stats.transversals_found);
   result.stats.complete = all_done;
   if (!all_done) {
     result.status = ctx != nullptr && !ctx->Check().ok()

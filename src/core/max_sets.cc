@@ -5,6 +5,7 @@
 
 #include "common/dominance.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace depminer {
 
@@ -47,11 +48,15 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
   // is derived read-only against this index, so nothing is re-filtered
   // or re-indexed per attribute.
   std::vector<AttributeSet> family = agree.sets;
-  std::stable_sort(family.begin(), family.end(),
-                   [](const AttributeSet& a, const AttributeSet& b) {
-                     return a.Count() > b.Count();
-                   });
-  const DominanceIndex index(family, DominanceIndex::Order::kNonIncreasing, n);
+  const DominanceIndex index = [&] {
+    DEPMINER_TRACE_SPAN(index_span, "cmax/index");
+    index_span.SetValue(family.size());
+    std::stable_sort(family.begin(), family.end(),
+                     [](const AttributeSet& a, const AttributeSet& b) {
+                       return a.Count() > b.Count();
+                     });
+    return DominanceIndex(family, DominanceIndex::Order::kNonIncreasing, n);
+  }();
 
   // The stage's working set — shared family, postings, per-lane scratch
   // bitmaps — charged before any lane starts, so a too-small budget
@@ -64,7 +69,12 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
 
   std::vector<std::vector<uint64_t>> scratch(
       lanes, std::vector<uint64_t>(std::max<size_t>(words, 1)));
+  // Per-lane probe tallies, summed into the session counter after the
+  // join (one counter call per stage, not per probe).
+  std::vector<uint64_t> lane_probes(lanes, 0);
 
+  DEPMINER_TRACE_SPAN(derive_span, "cmax/derive");
+  derive_span.SetValue(n);
   ParallelForSlotted(
       0, n, lanes,
       [&](size_t slot, size_t a_index) {
@@ -84,6 +94,7 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
           }
           const AttributeSet& x = family[id];
           if (x.Contains(a)) continue;
+          ++lane_probes[slot];
           if (!index.HasProperSupersetOf(x, avoid, scratch[slot].data())) {
             max.push_back(x);
           }
@@ -105,6 +116,11 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
         SortSets(&cmax);
       },
       [ctx] { return ctx != nullptr && ctx->StopRequested(); });
+
+  uint64_t probes = 0;
+  for (const uint64_t p : lane_probes) probes += p;
+  DEPMINER_TRACE_COUNTER("cmax.dominance_probes", probes);
+  DEPMINER_TRACE_GAUGE_MAX("cmax.working_bytes", result.working_bytes);
 
   // Capture the verdict while the stage's charge is still held: once
   // `memory` releases it, a pure budget trip is no longer observable

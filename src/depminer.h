@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/agree_sets.h"
 #include "core/armstrong.h"
 #include "core/armstrong_bounds.h"

@@ -1,11 +1,11 @@
 #include "fastfds/fastfds.h"
 
 #include <algorithm>
-#include <cstdio>
 
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/agree_sets.h"
 #include "partition/partition_database.h"
+#include "report/stats_format.h"
 
 namespace depminer {
 
@@ -118,11 +118,12 @@ class CoverSearch {
 }  // namespace
 
 std::string FastFdsStats::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "difference_sets=%zu search_nodes=%zu fds=%zu total=%.3fs",
-                difference_sets, search_nodes, num_fds, total_seconds);
-  return buf;
+  StatsLineBuilder b;
+  b.Count("difference_sets", difference_sets)
+      .Count("search_nodes", search_nodes)
+      .Count("fds", num_fds)
+      .Seconds("total", total_seconds);
+  return b.str();
 }
 
 Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
@@ -134,8 +135,11 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
   }
   DEPMINER_CHECK_RUN(ctx);
 
-  Stopwatch timer;
   FastFdsResult result;
+  // Span-owned accumulating timer; each exit path commits the elapsed
+  // time with an explicit Stop() (multi-exit functions cannot rely on a
+  // destructor that runs after the return value is built).
+  PhaseTimer phase_timer("phase/fastfds", &result.stats.total_seconds);
 
   // Front end shared with Dep-Miner: agree sets from stripped partitions,
   // then difference sets D(r) = complements. The empty agree set (pairs
@@ -146,7 +150,7 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
   if (!agree.status.ok()) {
     // A partial ag(r) yields a wrong (not merely partial) difference-set
     // family, so no cover search runs; only the front-end stats survive.
-    result.stats.total_seconds = timer.ElapsedSeconds();
+    phase_timer.Stop();
     result.complete = false;
     result.run_status = agree.status;
     return result;
@@ -158,7 +162,9 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
     difference_sets.push_back(universe.Minus(x));
   }
   result.stats.difference_sets = difference_sets.size();
+  DEPMINER_TRACE_COUNTER("fastfds.difference_sets", difference_sets.size());
 
+  DEPMINER_TRACE_SPAN(search_span, "fastfds/cover_search");
   std::vector<FunctionalDependency> found;
   for (AttributeId a = 0; a < n; ++a) {
     if (ctx != nullptr && ctx->limited()) {
@@ -205,7 +211,8 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
 
   result.fds = FdSet(n, std::move(found));
   result.stats.num_fds = result.fds.size();
-  result.stats.total_seconds = timer.ElapsedSeconds();
+  DEPMINER_TRACE_COUNTER("fastfds.search_nodes", result.stats.search_nodes);
+  phase_timer.Stop();
   return result;
 }
 

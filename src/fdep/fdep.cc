@@ -1,19 +1,19 @@
 #include "fdep/fdep.h"
 
-#include <cstdio>
-
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/agree_sets.h"
 #include "core/max_sets.h"
+#include "report/stats_format.h"
 
 namespace depminer {
 
 std::string FdepStats::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "negative_cover=%zu specializations=%zu fds=%zu total=%.3fs",
-                negative_cover_size, specializations, num_fds, total_seconds);
-  return buf;
+  StatsLineBuilder b;
+  b.Count("negative_cover", negative_cover_size)
+      .Count("specializations", specializations)
+      .Count("fds", num_fds)
+      .Seconds("total", total_seconds);
+  return b.str();
 }
 
 Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
@@ -24,8 +24,10 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   }
   DEPMINER_CHECK_RUN(ctx);
 
-  Stopwatch timer;
   FdepResult result;
+  // Span-owned accumulating timer; each exit path commits the elapsed
+  // time with an explicit Stop() before returning.
+  PhaseTimer phase_timer("phase/fdep", &result.stats.total_seconds);
 
   // Negative cover: FDEP compares every pair of tuples (its defining
   // O(n·p²) bottom-up step — deliberately kept, it is what distinguishes
@@ -35,7 +37,7 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   if (!agree.status.ok()) {
     // A partial negative cover would under-constrain specialization and
     // admit invalid FDs, so induction never starts.
-    result.stats.total_seconds = timer.ElapsedSeconds();
+    phase_timer.Stop();
     result.complete = false;
     result.run_status = agree.status;
     return result;
@@ -44,7 +46,7 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   if (!negative.status.ok()) {
     // Attributes skipped by an interrupted CMAX_SET have an *empty* list
     // of invalid lhs, which specialization would read as "∅ → A holds".
-    result.stats.total_seconds = timer.ElapsedSeconds();
+    phase_timer.Stop();
     result.complete = false;
     result.run_status = negative.status;
     return result;
@@ -52,6 +54,9 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   for (const auto& per_attr : negative.max_sets) {
     result.stats.negative_cover_size += per_attr.size();
   }
+  DEPMINER_TRACE_COUNTER("fdep.negative_cover",
+                         result.stats.negative_cover_size);
+  DEPMINER_TRACE_SPAN(specialize_span, "fdep/specialize");
 
   const AttributeSet universe = AttributeSet::Universe(n);
   std::vector<FunctionalDependency> found;
@@ -100,7 +105,8 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
 
   result.fds = FdSet(n, std::move(found));
   result.stats.num_fds = result.fds.size();
-  result.stats.total_seconds = timer.ElapsedSeconds();
+  DEPMINER_TRACE_COUNTER("fdep.specializations", result.stats.specializations);
+  phase_timer.Stop();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/attribute_set.h"
+#include "common/trace.h"
 
 namespace depminer {
 
@@ -100,6 +101,8 @@ std::vector<AttributeSet> LevelwiseMinimalTransversals(
       break;
     }
     ++local_stats.levels;
+    DEPMINER_TRACE_SPAN(level_span, "transversal/level");
+    level_span.SetValue(level.size());
     std::vector<Candidate> survivors;
     survivors.reserve(level.size());
     for (Candidate& cand : level) {

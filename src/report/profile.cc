@@ -114,10 +114,26 @@ std::string ProfileToJson(const RelationProfile& profile) {
   }
   json.CloseObject();
 
+  // Per-phase timings — every PhaseTimer-owned stat, so bench tables and
+  // scripts/plot_figures.py consume the same numbers `--metrics` prints.
   json.Key("timings").OpenObject();
   json.Key("total_seconds").Value(profile.stats.Total());
+  json.Key("strip_seconds").Value(profile.stats.strip_seconds);
   json.Key("agree_seconds").Value(profile.stats.agree_seconds);
+  json.Key("max_seconds").Value(profile.stats.max_seconds);
   json.Key("lhs_seconds").Value(profile.stats.lhs_seconds);
+  json.Key("armstrong_seconds").Value(profile.stats.armstrong_seconds);
+  json.CloseObject();
+
+  json.Key("metrics").OpenObject();
+  json.Key("couples").Value(static_cast<uint64_t>(profile.stats.num_couples));
+  json.Key("chunks").Value(static_cast<uint64_t>(profile.stats.chunks));
+  json.Key("agree_sets").Value(
+      static_cast<uint64_t>(profile.stats.num_agree_sets));
+  json.Key("max_sets").Value(static_cast<uint64_t>(profile.stats.num_max_sets));
+  json.Key("fds").Value(static_cast<uint64_t>(profile.stats.num_fds));
+  json.Key("agree_working_bytes")
+      .Value(static_cast<uint64_t>(profile.stats.agree_working_bytes));
   json.CloseObject();
 
   json.CloseObject();

@@ -1,0 +1,54 @@
+#include "report/stats_format.h"
+
+#include <cstdio>
+
+namespace depminer {
+
+void StatsLineBuilder::Separate() {
+  if (in_group_) {
+    if (!group_empty_) out_ += ", ";
+    group_empty_ = false;
+    return;
+  }
+  if (!out_.empty()) out_ += ' ';
+}
+
+StatsLineBuilder& StatsLineBuilder::Count(const char* key, size_t value) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%zu", key, value);
+  out_ += buf;
+  return *this;
+}
+
+StatsLineBuilder& StatsLineBuilder::Seconds(const char* key, double seconds) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.3fs", key, seconds);
+  out_ += buf;
+  return *this;
+}
+
+StatsLineBuilder& StatsLineBuilder::Megabytes(const char* key, size_t bytes) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.1f", key,
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  out_ += buf;
+  return *this;
+}
+
+StatsLineBuilder& StatsLineBuilder::BeginGroup() {
+  out_ += " (";
+  in_group_ = true;
+  group_empty_ = true;
+  return *this;
+}
+
+StatsLineBuilder& StatsLineBuilder::EndGroup() {
+  out_ += ')';
+  in_group_ = false;
+  return *this;
+}
+
+}  // namespace depminer

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace depminer {
+
+/// Builder for the one-line `key=value` stats strings every miner prints
+/// (`DepMinerStats`, `TaneStats`, `FastFdsStats`, `FdepStats`). Before
+/// this, each struct hand-rolled its own snprintf format; the builder
+/// pins the shared conventions in one place — counts bare, seconds as
+/// `%.3f` with an `s` suffix, byte quantities as `%.1f` megabytes —
+/// while reproducing the legacy formats byte for byte:
+///
+///   StatsLineBuilder b;
+///   b.Count("levels", 3).Seconds("total", 0.1234);
+///   b.str() == "levels=3 total=0.123s"
+///
+/// Entries are space-separated; a group (`BeginGroup`/`EndGroup`)
+/// parenthesizes detail entries after the preceding entry, separated by
+/// commas: `agree=0.5s (couples=10, chunks=1)`.
+class StatsLineBuilder {
+ public:
+  StatsLineBuilder& Count(const char* key, size_t value);
+  StatsLineBuilder& Seconds(const char* key, double seconds);
+  /// `key` names the unit itself (e.g. "working_mb"); `bytes` is
+  /// converted to mebibytes and printed with one decimal.
+  StatsLineBuilder& Megabytes(const char* key, size_t bytes);
+
+  StatsLineBuilder& BeginGroup();
+  StatsLineBuilder& EndGroup();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  bool in_group_ = false;
+  bool group_empty_ = true;
+};
+
+}  // namespace depminer

@@ -9,9 +9,10 @@
 #include <vector>
 
 #include "common/parallel.h"
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "partition/partition_database.h"
 #include "partition/partition_product.h"
+#include "report/stats_format.h"
 
 namespace depminer {
 
@@ -49,7 +50,10 @@ class TaneRun {
         owner_of_(relation.num_tuples(), UINT32_MAX) {}
 
   TaneResult Run() {
-    Stopwatch timer;
+    // Span-owned timer, stopped explicitly before the result is moved
+    // out: a destructor-based write would land *after* the move and be
+    // lost (NRVO is not guaranteed for `std::move(result_)`).
+    PhaseTimer phase_timer("phase/tane", &result_.stats.total_seconds);
     // C⁺(∅) = R; π̂_∅'s error is p − 1 (a single class of all tuples).
     cplus_memo_[AttributeSet()] = universe_;
     error_empty_ = p_ > 0 ? p_ - 1 : 0;
@@ -70,6 +74,8 @@ class TaneRun {
         }
       }
       ++result_.stats.levels;
+      DEPMINER_TRACE_SPAN(level_span, "tane/level");
+      level_span.SetValue(level.size());
       memory.Set(RecordPartitionFootprint(level));
       ComputeDependencies(&level);
       Prune(&level);
@@ -89,7 +95,14 @@ class TaneRun {
 
     result_.fds = FdSet(n_, std::move(found_));
     result_.stats.num_fds = result_.fds.size();
-    result_.stats.total_seconds = timer.ElapsedSeconds();
+    DEPMINER_TRACE_COUNTER("tane.levels", result_.stats.levels);
+    DEPMINER_TRACE_COUNTER("tane.candidates",
+                           result_.stats.candidates_generated);
+    DEPMINER_TRACE_COUNTER("tane.products",
+                           result_.stats.partition_products);
+    DEPMINER_TRACE_GAUGE_MAX("tane.peak_partition_bytes",
+                             result_.stats.peak_partition_bytes);
+    phase_timer.Stop();
     return std::move(result_);
   }
 
@@ -287,6 +300,8 @@ class TaneRun {
     // per product; on a trip the remaining products are skipped and
     // Run() discards this level.
     result_.stats.partition_products += next.size();
+    DEPMINER_TRACE_SPAN(products_span, "tane/products");
+    products_span.SetValue(next.size());
     RunContext* ctx = options_.run_context;
     if (options_.num_threads <= 1 || next.size() <= 1) {
       for (Node& node : next) {
@@ -375,14 +390,14 @@ class TaneRun {
 }  // namespace
 
 std::string TaneStats::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "levels=%zu candidates=%zu products=%zu fds=%zu "
-                "peak_partition_mb=%.1f total=%.3fs",
-                levels, candidates_generated, partition_products, num_fds,
-                static_cast<double>(peak_partition_bytes) / (1024.0 * 1024.0),
-                total_seconds);
-  return buf;
+  StatsLineBuilder b;
+  b.Count("levels", levels)
+      .Count("candidates", candidates_generated)
+      .Count("products", partition_products)
+      .Count("fds", num_fds)
+      .Megabytes("peak_partition_mb", peak_partition_bytes)
+      .Seconds("total", total_seconds);
+  return b.str();
 }
 
 Result<TaneResult> TaneDiscover(const Relation& relation,

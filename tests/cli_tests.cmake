@@ -49,6 +49,24 @@ add_test(NAME cli.inds COMMAND fdtool inds ${DATA}/orders.csv
 add_test(NAME cli.missing_file COMMAND fdtool mine /nonexistent.csv)
 set_tests_properties(cli.missing_file PROPERTIES WILL_FAIL TRUE)
 
+# Tracing: a traced mine run writes the chrome://tracing JSON and prints
+# the metrics summary (phase table on stderr, confirmation on stdout).
+# A -DDEPMINER_TRACING=OFF build collects no spans, so only the flags'
+# basic plumbing can be asserted there.
+if(DEPMINER_TRACING)
+  add_test(NAME cli.mine_trace COMMAND fdtool mine ${DATA}/orders.csv
+           --threads=2 --trace=${CMAKE_CURRENT_BINARY_DIR}/cli_trace.json
+           --metrics)
+  set_tests_properties(cli.mine_trace PROPERTIES
+      PASS_REGULAR_EXPRESSION "phase/agree")
+else()
+  add_test(NAME cli.mine_trace COMMAND fdtool mine ${DATA}/orders.csv
+           --threads=2 --trace=${CMAKE_CURRENT_BINARY_DIR}/cli_trace.json
+           --metrics)
+  set_tests_properties(cli.mine_trace PROPERTIES
+      PASS_REGULAR_EXPRESSION "trace written to")
+endif()
+
 # Generous resource limits must not change results.
 add_test(NAME cli.mine_governed COMMAND fdtool mine ${DATA}/employees.csv
          --timeout-ms=60000 --memory-budget-mb=1024)

@@ -1,0 +1,420 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dep_miner.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::RandomRelation;
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Everything except the PhaseTimer accumulation tests needs the library
+// itself instrumented; in a -DDEPMINER_TRACING=OFF build Start() is a
+// no-op and there is nothing to observe.
+#if DEPMINER_TRACING_ENABLED
+
+/// Runs Dep-Miner on a small random relation under a fresh session and
+/// returns the stopped session through `session`.
+void MineUnderSession(TraceSession& session, size_t num_threads) {
+  const Relation r = RandomRelation(6, 200, 4, /*seed=*/7);
+  session.Start();
+  DepMinerOptions options;
+  options.num_threads = num_threads;
+  Result<DepMinerResult> mined = MineDependencies(r, options);
+  session.Stop();
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+}
+
+TEST(TraceSession, MineEmitsPhaseSpansOnTwoThreads) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  ASSERT_FALSE(session.events().empty());
+  std::set<std::string> names;
+  for (const TraceEvent& e : session.events()) {
+    names.insert(e.name);
+    EXPECT_GE(e.start_ns, 0) << e.name;
+    EXPECT_GE(e.dur_ns, 0) << e.name;
+  }
+  // Every pipeline phase of Figure 1 shows up.
+  EXPECT_TRUE(names.count("phase/strip"));
+  EXPECT_TRUE(names.count("phase/agree"));
+  EXPECT_TRUE(names.count("phase/cmax"));
+  EXPECT_TRUE(names.count("phase/lhs"));
+  EXPECT_TRUE(names.count("phase/armstrong"));
+  // And the finer-grained stage spans beneath them.
+  EXPECT_TRUE(names.count("agree/couples"));
+  EXPECT_TRUE(names.count("lhs/attribute"));
+  EXPECT_TRUE(names.count("pool/lane"));
+}
+
+TEST(TraceSession, SpansRecordDistinctThreadIds) {
+  // Deterministic multi-thread check (a pooled mine run may legitimately
+  // drain all work on one lane): every thread gets its own buffer, so
+  // spans from two std::threads must carry two distinct tids.
+  TraceSession session;
+  session.Start();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([] { DEPMINER_TRACE_SPAN(span, "test/thread"); });
+  }
+  for (std::thread& w : workers) w.join();
+  session.Stop();
+
+  std::set<uint32_t> tids;
+  for (const TraceEvent& e : session.events()) tids.insert(e.tid);
+  EXPECT_EQ(session.events().size(), 2u);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TraceSession, SpansNestProperlyPerThread) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  // Within a thread, spans must be either disjoint or fully nested, and a
+  // contained span must sit at a strictly greater depth — the invariant
+  // chrome://tracing relies on to stack complete events.
+  const std::vector<TraceEvent>& events = session.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const TraceEvent& a = events[i];
+      const TraceEvent& b = events[j];
+      if (a.tid != b.tid) continue;
+      const int64_t a_end = a.start_ns + a.dur_ns;
+      const int64_t b_end = b.start_ns + b.dur_ns;
+      const bool partial_overlap =
+          a.start_ns < b.start_ns && b.start_ns < a_end && a_end < b_end;
+      EXPECT_FALSE(partial_overlap)
+          << a.name << " [" << a.start_ns << "," << a_end << ") and "
+          << b.name << " [" << b.start_ns << "," << b_end
+          << ") partially overlap on tid " << a.tid;
+      // Strict containment implies deeper nesting.
+      if (a.start_ns < b.start_ns && b_end < a_end) {
+        EXPECT_GT(b.depth, a.depth)
+            << b.name << " inside " << a.name << " on tid " << a.tid;
+      }
+    }
+  }
+}
+
+TEST(TraceSession, PhaseDurationsSumBelowWallClock) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  int64_t phase_ns = 0;
+  for (const TraceEvent& e : session.events()) {
+    if (std::string(e.name).rfind("phase/", 0) == 0) phase_ns += e.dur_ns;
+  }
+  const double phase_seconds = static_cast<double>(phase_ns) * 1e-9;
+  EXPECT_GT(phase_seconds, 0.0);
+  // Phases are sequential top-level spans; their sum cannot exceed the
+  // session wall clock (small tolerance for clock granularity).
+  EXPECT_LE(phase_seconds, session.wall_seconds() * 1.05 + 1e-3);
+}
+
+TEST(TraceSession, MineRecordsPipelineCounters) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  const auto& counters = session.counters();
+  EXPECT_GT(counters.at("agree.couples"), 0u);
+  EXPECT_GT(counters.at("agree.sets"), 0u);
+  EXPECT_GT(counters.at("lhs.transversals"), 0u);
+  EXPECT_GT(counters.at("pool.loops"), 0u);
+  const auto& gauges = session.gauges();
+  EXPECT_GT(gauges.at("agree.working_bytes"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace JSON output.
+
+/// Minimal JSON well-formedness scan: brace/bracket balance outside of
+/// strings, with escape handling. Not a parser, but catches truncation,
+/// unbalanced structure and unescaped quotes.
+::testing::AssertionResult JsonBalanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return ::testing::AssertionFailure() << "underflow";
+    }
+  }
+  if (in_string) return ::testing::AssertionFailure() << "unclosed string";
+  if (depth != 0) {
+    return ::testing::AssertionFailure() << "unbalanced depth " << depth;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(TraceSession, WriteChromeTraceProducesWellFormedJson) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  const std::string path = ::testing::TempDir() + "depminer_trace_test.json";
+  const Status status = session.WriteChromeTrace(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  EXPECT_NE(json.find("phase/agree"), std::string::npos);
+  EXPECT_NE(json.find("agree.couples"), std::string::npos);
+}
+
+TEST(TraceSession, WriteChromeTraceReportsIoError) {
+  TraceSession session;
+  session.Start();
+  session.Stop();
+  const Status status =
+      session.WriteChromeTrace("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------------
+// Counter / gauge merge semantics.
+
+TEST(TraceSession, CountersSumAcrossThreads) {
+  TraceSession session;
+  session.Start();
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        DEPMINER_TRACE_COUNTER("test.adds", 2);
+      }
+      DEPMINER_TRACE_GAUGE_MAX("test.high_water",
+                               static_cast<uint64_t>(10 * (t + 1)));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  session.Stop();
+
+  EXPECT_EQ(session.counters().at("test.adds"),
+            static_cast<uint64_t>(2 * kThreads * kAddsPerThread));
+  // Gauges keep the maximum across threads, not the sum.
+  EXPECT_EQ(session.gauges().at("test.high_water"), 10u * kThreads);
+}
+
+TEST(TraceSession, GaugeKeepsMaximumWithinThread) {
+  TraceSession session;
+  session.Start();
+  DEPMINER_TRACE_GAUGE_MAX("test.gauge", 5);
+  DEPMINER_TRACE_GAUGE_MAX("test.gauge", 17);
+  DEPMINER_TRACE_GAUGE_MAX("test.gauge", 3);
+  session.Stop();
+  EXPECT_EQ(session.gauges().at("test.gauge"), 17u);
+}
+
+// ---------------------------------------------------------------------
+// Inactive / lifecycle behavior.
+
+TEST(TraceSession, NoSessionMeansNothingRecorded) {
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  {
+    DEPMINER_TRACE_SPAN(span, "orphan/span");
+    span.SetValue(42);
+    DEPMINER_TRACE_COUNTER("orphan.counter", 1);
+    DEPMINER_TRACE_GAUGE_MAX("orphan.gauge", 1);
+  }
+  // A session started afterwards sees none of it.
+  TraceSession session;
+  session.Start();
+  session.Stop();
+  EXPECT_TRUE(session.events().empty());
+  EXPECT_TRUE(session.counters().empty());
+  EXPECT_TRUE(session.gauges().empty());
+}
+
+TEST(TraceSession, SpanOpenAcrossStopIsDroppedNotCorrupted) {
+  TraceSession session;
+  session.Start();
+  {
+    DEPMINER_TRACE_SPAN(outer, "lifecycle/closed");
+  }
+  auto straddler = std::make_unique<Span>("lifecycle/straddler");
+  session.Stop();
+  straddler.reset();  // closes after the session stopped
+
+  ASSERT_EQ(session.events().size(), 1u);
+  EXPECT_STREQ(session.events()[0].name, "lifecycle/closed");
+}
+
+TEST(TraceSession, RestartResetsCollectedData) {
+  TraceSession session;
+  session.Start();
+  DEPMINER_TRACE_COUNTER("test.first_run", 1);
+  session.Stop();
+  EXPECT_EQ(session.counters().count("test.first_run"), 1u);
+
+  session.Start();
+  DEPMINER_TRACE_COUNTER("test.second_run", 1);
+  session.Stop();
+  EXPECT_EQ(session.counters().count("test.first_run"), 0u);
+  EXPECT_EQ(session.counters().at("test.second_run"), 1u);
+}
+
+TEST(TraceSession, StopIsIdempotent) {
+  TraceSession session;
+  session.Start();
+  DEPMINER_TRACE_COUNTER("test.once", 1);
+  session.Stop();
+  session.Stop();
+  EXPECT_EQ(session.counters().at("test.once"), 1u);
+}
+
+#endif  // DEPMINER_TRACING_ENABLED
+
+// ---------------------------------------------------------------------
+// PhaseTimer: accumulation semantics (the Stopwatch double-counting
+// regression this replaces).
+
+TEST(PhaseTimer, SequentialTimersAccumulateIntoSameStat) {
+  double seconds = 0.0;
+  {
+    PhaseTimer t("phase/test", &seconds);
+    SleepMs(10);
+  }
+  const double after_first = seconds;
+  EXPECT_GE(after_first, 0.005);
+  {
+    PhaseTimer t("phase/test", &seconds);
+    SleepMs(10);
+  }
+  // Second timer adds to — never overwrites — the accumulated stat.
+  EXPECT_GE(seconds, after_first + 0.005);
+}
+
+TEST(PhaseTimer, StopIsIdempotentAndDestructorAddsNothingAfterStop) {
+  double seconds = 0.0;
+  double committed = 0.0;
+  {
+    PhaseTimer t("phase/test", &seconds);
+    SleepMs(5);
+    t.Stop();
+    committed = seconds;
+    EXPECT_GT(committed, 0.0);
+    t.Stop();
+    EXPECT_EQ(seconds, committed);
+    SleepMs(5);  // elapses after Stop(); must not be charged at destruction
+  }
+  EXPECT_EQ(seconds, committed);  // only the pre-Stop interval counted
+}
+
+#if DEPMINER_TRACING_ENABLED
+
+TEST(PhaseTimer, EmitsSpanIntoActiveSession) {
+  TraceSession session;
+  session.Start();
+  double seconds = 0.0;
+  {
+    PhaseTimer t("phase/timer_span", &seconds);
+    SleepMs(2);
+  }
+  session.Stop();
+  ASSERT_EQ(session.events().size(), 1u);
+  EXPECT_STREQ(session.events()[0].name, "phase/timer_span");
+  EXPECT_GT(session.events()[0].dur_ns, 0);
+  EXPECT_GT(seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Metrics summary.
+
+TEST(TraceSession, MetricsSummaryListsPhasesCountersAndGauges) {
+  TraceSession session;
+  MineUnderSession(session, /*num_threads=*/2);
+
+  const std::string summary = session.MetricsSummary();
+  EXPECT_NE(summary.find("wall clock"), std::string::npos);
+  EXPECT_NE(summary.find("-- phases"), std::string::npos);
+  EXPECT_NE(summary.find("phase/agree"), std::string::npos);
+  EXPECT_NE(summary.find("phases total"), std::string::npos);
+  EXPECT_NE(summary.find("-- spans"), std::string::npos);
+  EXPECT_NE(summary.find("-- counters"), std::string::npos);
+  EXPECT_NE(summary.find("agree.couples"), std::string::npos);
+  EXPECT_NE(summary.find("-- gauges (max)"), std::string::npos);
+  EXPECT_NE(summary.find("agree.working_bytes"), std::string::npos);
+}
+
+TEST(TraceSession, EmptySessionSummaryIsJustWallClock) {
+  TraceSession session;
+  session.Start();
+  session.Stop();
+  const std::string summary = session.MetricsSummary();
+  EXPECT_NE(summary.find("wall clock"), std::string::npos);
+  EXPECT_EQ(summary.find("-- phases"), std::string::npos);
+  EXPECT_EQ(summary.find("-- counters"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Span payloads.
+
+TEST(Span, SetValueSurfacesAsEventArg) {
+  TraceSession session;
+  session.Start();
+  {
+    DEPMINER_TRACE_SPAN(span, "test/payload");
+    span.SetValue(123);
+  }
+  {
+    DEPMINER_TRACE_SPAN(span, "test/bare");
+  }
+  session.Stop();
+  ASSERT_EQ(session.events().size(), 2u);
+  const TraceEvent& with_arg = session.events()[0].has_arg
+                                   ? session.events()[0]
+                                   : session.events()[1];
+  const TraceEvent& bare = session.events()[0].has_arg ? session.events()[1]
+                                                       : session.events()[0];
+  EXPECT_STREQ(with_arg.name, "test/payload");
+  EXPECT_EQ(with_arg.arg, 123u);
+  EXPECT_STREQ(bare.name, "test/bare");
+  EXPECT_FALSE(bare.has_arg);
+}
+
+#endif  // DEPMINER_TRACING_ENABLED
+
+}  // namespace
+}  // namespace depminer
