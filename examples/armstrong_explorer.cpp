@@ -58,13 +58,18 @@ int main(int argc, char** argv) {
                 have >= need ? "ok" : "INSUFFICIENT");
   }
 
-  // The classical construction always exists.
-  const Relation synthetic =
+  // The classical construction exists for every non-empty schema.
+  Result<Relation> synthetic =
       BuildSyntheticArmstrong(relation.schema(), max_sets);
+  if (!synthetic.ok()) {
+    std::printf("\nSynthetic Armstrong construction failed: %s\n",
+                synthetic.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nSynthetic Armstrong relation (Equation 1): %zu tuples, "
               "verification %s\n",
-              synthetic.num_tuples(),
-              IsArmstrongFor(synthetic, max_sets) ? "ok" : "FAILED");
+              synthetic.value().num_tuples(),
+              IsArmstrongFor(synthetic.value(), max_sets) ? "ok" : "FAILED");
 
   // The real-world construction exists iff Proposition 1 holds.
   Result<Relation> real = BuildRealWorldArmstrong(relation, max_sets);

@@ -17,6 +17,8 @@
 //   fdtool catalog   dir <list|put NAME data.csv|get NAME|drop NAME>
 //   fdtool convert   data.csv out.dmc           (either direction by
 //                                                extension)
+//   fdtool fuzz      [--iterations=N] [--seed=S] [--shrink=false]
+//                    [--repro-dir=DIR]          differential verification
 //
 // Every command also accepts .dmc column files as input.
 // Common flags: --no-header --delimiter=';' --nulls-distinct
@@ -39,6 +41,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <iostream>
 #include <string>
 
 #include "depminer.h"
@@ -91,6 +94,13 @@ int Usage() {
       "drift between covers\n"
       "  catalog   dir list|put NAME f.csv|get NAME|drop NAME  manage a "
       ".dmc workspace\n"
+      "  fuzz      [--iterations=N] [--seed=S] [--shrink=false]\n"
+      "            [--repro-dir=DIR]   differential verification harness: "
+      "run all five miners\n"
+      "            on adversarial relations, diff the covers, check the "
+      "Armstrong round-trip;\n"
+      "            failing seeds are shrunk and written to DIR (exit 1, "
+      "repro path on the last line)\n"
       "  convert   out.dmc|out.csv                           re-encode "
       "between formats\n"
       "common: --no-header --delimiter=';' --nulls-distinct "
@@ -283,8 +293,14 @@ int CmdArmstrong(const Relation& relation, const ArgParser& args) {
   }
   Relation sample;
   if (args.GetBool("synthetic", false)) {
-    sample =
+    Result<Relation> synthetic =
         BuildSyntheticArmstrong(relation.schema(), mined.value().all_max_sets);
+    if (!synthetic.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   synthetic.status().ToString().c_str());
+      return 1;
+    }
+    sample = std::move(synthetic).value();
   } else if (mined.value().armstrong.has_value()) {
     sample = *mined.value().armstrong;
   } else {
@@ -542,6 +558,45 @@ int CmdDiff(const ArgParser& args) {
   return diff.Equivalent() ? 0 : 1;
 }
 
+/// `fdtool fuzz`: the differential verification harness
+/// (docs/VERIFICATION.md). Needs no input file — relations come from the
+/// seed-reproducible adversarial generator. On divergence the failing
+/// relation is shrunk, written under --repro-dir, and the repro CSV path
+/// is the last line on stdout (scriptable: exit 1 + tail -1).
+int CmdFuzz(const ArgParser& args) {
+  FuzzOptions options;
+  options.iterations =
+      static_cast<size_t>(args.GetInt("iterations", 100));
+  options.start_seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.shrink = args.GetBool("shrink", true);
+  options.repro_dir = args.GetString("repro-dir", "fuzz-repros");
+  if (args.Has("threads")) {
+    options.oracle.thread_counts = {1, ThreadsFlag(args)};
+  }
+  Result<FuzzResult> run = RunFuzzHarness(options, &std::cerr);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const FuzzResult& result = run.value();
+  std::fprintf(stderr,
+               "fuzz: %zu cases (seeds %llu..%llu), %zu miner runs, "
+               "%zu failing seed(s)\n",
+               result.cases_run,
+               static_cast<unsigned long long>(options.start_seed),
+               static_cast<unsigned long long>(options.start_seed +
+                                               options.iterations - 1),
+               result.miner_runs, result.failures.size());
+  if (result.ok()) return 0;
+  for (const FuzzFailure& failure : result.failures) {
+    std::printf("%s\n", failure.repro_path.empty()
+                            ? ("seed " + std::to_string(failure.seed))
+                                  .c_str()
+                            : failure.repro_path.c_str());
+  }
+  return 1;
+}
+
 int CmdCatalog(const ArgParser& args) {
   if (args.positional().size() < 3) return Usage();
   Result<Catalog> catalog = Catalog::Open(args.positional()[1]);
@@ -597,7 +652,8 @@ int main(int argc, char** argv) {
   // GetInt maps unparsable values to 0, which for these two flags would
   // silently mean "unlimited" — exactly what a user typing a limit did
   // not ask for. Reject anything that is not a plain non-negative number.
-  for (const char* flag : {"timeout-ms", "memory-budget-mb", "threads"}) {
+  for (const char* flag :
+       {"timeout-ms", "memory-budget-mb", "threads", "iterations", "seed"}) {
     if (!args.Has(flag)) continue;
     const std::string raw = args.GetString(flag, "");
     if (raw.empty() ||
@@ -624,6 +680,7 @@ int main(int argc, char** argv) {
   if (command == "implies") return CmdImplies(args);
   if (command == "diff") return CmdDiff(args);
   if (command == "catalog") return CmdCatalog(args);
+  if (command == "fuzz") return CmdFuzz(args);
 
   Result<Relation> input = Load(args);
   if (!input.ok()) {

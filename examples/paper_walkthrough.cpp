@@ -99,9 +99,13 @@ int main() {
   const std::vector<AttributeSet> all_max = max.AllMaxSets();
   std::printf("\n== Example 12: synthetic Armstrong relation "
               "(Equation 1) ==\n");
-  const Relation synthetic = BuildSyntheticArmstrong(r.schema(), all_max);
-  for (TupleId t = 0; t < synthetic.num_tuples(); ++t) {
-    std::printf("  %s\n", synthetic.TupleToString(t).c_str());
+  Result<Relation> synthetic = BuildSyntheticArmstrong(r.schema(), all_max);
+  if (!synthetic.ok()) {
+    std::printf("  %s\n", synthetic.status().ToString().c_str());
+    return 1;
+  }
+  for (TupleId t = 0; t < synthetic.value().num_tuples(); ++t) {
+    std::printf("  %s\n", synthetic.value().TupleToString(t).c_str());
   }
 
   std::printf("\n== Example 13: real-world Armstrong relation "

@@ -50,4 +50,22 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# Fuzz smoke-run: a deterministic slice of the differential verification
+# harness (docs/VERIFICATION.md) — all five miners cross-checked on 25
+# adversarial relations, Armstrong round-trips included. Runs under the
+# plain Release build and the sanitizer build; on divergence fdtool exits
+# non-zero with the repro path on the last line.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) fdtool=build/examples/fdtool ;;
+    asan-ubsan) fdtool=build-asan-ubsan/examples/fdtool ;;
+    *) continue ;;
+  esac
+  if [ -x "${fdtool}" ]; then
+    echo "==> fuzz smoke-run [${preset}]"
+    "${fdtool}" fuzz --iterations=25 --seed=7 \
+      --repro-dir=/tmp/depminer_fuzz_repros_${preset}
+  fi
+done
+
 echo "==> all checks passed"

@@ -1,7 +1,6 @@
 #include "core/armstrong.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/trace.h"
 #include "relation/relation_builder.h"
@@ -24,26 +23,34 @@ AttributeSet ClosureViaMaxSets(const AttributeSet& x, size_t n,
 
 }  // namespace
 
-Relation BuildSyntheticArmstrong(const Schema& schema,
-                                 const std::vector<AttributeSet>& max_sets) {
+Result<Relation> BuildSyntheticArmstrong(
+    const Schema& schema, const std::vector<AttributeSet>& max_sets) {
   const size_t n = schema.num_attributes();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "synthetic Armstrong construction needs a non-empty schema");
+  }
+  const AttributeSet universe = AttributeSet::Universe(n);
+  for (const AttributeSet& m : max_sets) {
+    if (!m.IsSubsetOf(universe)) {
+      return Status::InvalidArgument(
+          "max set " + m.ToString() + " names attributes outside the " +
+          std::to_string(n) + "-attribute schema");
+    }
+  }
   RelationBuilder builder(schema);
 
   // C = {X_0 = R} ∪ MAX(dep(r)); tuple i gets 0 on X_i and i elsewhere
   // (Equation 1).
   std::vector<std::string> row(n, "0");
-  Status st = builder.AddRow(row);
-  assert(st.ok());
+  DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
   for (size_t i = 0; i < max_sets.size(); ++i) {
     for (AttributeId a = 0; a < n; ++a) {
       row[a] = max_sets[i].Contains(a) ? "0" : std::to_string(i + 1);
     }
-    st = builder.AddRow(row);
-    assert(st.ok());
+    DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
   }
-  Result<Relation> rel = std::move(builder).Finish();
-  assert(rel.ok());
-  return std::move(rel).value();
+  return std::move(builder).Finish();
 }
 
 Status RealWorldArmstrongExists(const Relation& relation,

@@ -22,8 +22,12 @@ namespace depminer {
 /// Classical synthetic construction (paper Equation 1, after [BDFS84,
 /// MR86]): tuple t_i has t_i[A] = 0 if A ∈ X_i, i otherwise. Values are
 /// rendered as decimal strings over the given schema.
-Relation BuildSyntheticArmstrong(const Schema& schema,
-                                 const std::vector<AttributeSet>& max_sets);
+///
+/// Fails with InvalidArgument when the schema is empty or a max set names
+/// an attribute outside it — conditions a Release build must surface as a
+/// status, not silently build a corrupt relation from.
+Result<Relation> BuildSyntheticArmstrong(
+    const Schema& schema, const std::vector<AttributeSet>& max_sets);
 
 /// Existence condition for a *real-world* Armstrong relation (paper
 /// Proposition 1): for every attribute A the initial relation must carry

@@ -1,0 +1,227 @@
+#include "verify/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/embedded_fd.h"
+#include "datagen/synthetic.h"
+#include "relation/relation_builder.h"
+
+namespace depminer {
+
+namespace {
+
+/// Shape families, cycled by seed. Keep the order stable: repro notes
+/// reference labels, and a given seed must regenerate the same case
+/// forever.
+enum class Shape : uint64_t {
+  kEmpty = 0,
+  kSingleRow,
+  kConstantColumns,
+  kAllDistinctColumns,
+  kDuplicateRows,
+  kEmptyStrings,
+  kWideSchema,
+  kZipfSkew,
+  kDenseRandom,
+  kPlantedFds,
+  kCount,
+};
+
+const char* ShapeLabel(Shape s) {
+  switch (s) {
+    case Shape::kEmpty: return "empty";
+    case Shape::kSingleRow: return "single-row";
+    case Shape::kConstantColumns: return "constant-columns";
+    case Shape::kAllDistinctColumns: return "all-distinct-columns";
+    case Shape::kDuplicateRows: return "duplicate-rows";
+    case Shape::kEmptyStrings: return "empty-strings";
+    case Shape::kWideSchema: return "wide-schema";
+    case Shape::kZipfSkew: return "zipf-skew";
+    case Shape::kDenseRandom: return "dense-random";
+    case Shape::kPlantedFds: return "planted-fds";
+    case Shape::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string Value(uint64_t v) {
+  std::string out = "v";
+  out += std::to_string(v);
+  return out;
+}
+
+/// Builds a relation row-wise from a per-cell value function.
+template <typename CellFn>
+Result<Relation> BuildRows(size_t attrs, size_t rows, CellFn&& cell) {
+  RelationBuilder builder(Schema::Default(attrs));
+  std::vector<std::string> row(attrs);
+  for (size_t t = 0; t < rows; ++t) {
+    for (size_t a = 0; a < attrs; ++a) row[a] = cell(t, a);
+    DEPMINER_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<Relation> MakeShape(Shape shape, Rng& rng) {
+  switch (shape) {
+    case Shape::kEmpty: {
+      const size_t attrs = 1 + rng.Below(6);
+      return BuildRows(attrs, 0, [](size_t, size_t) { return ""; });
+    }
+    case Shape::kSingleRow: {
+      const size_t attrs = 1 + rng.Below(6);
+      std::vector<std::string> row(attrs);
+      for (auto& v : row) v = Value(rng.Below(10));
+      return BuildRows(attrs, 1,
+                       [&](size_t, size_t a) { return row[a]; });
+    }
+    case Shape::kConstantColumns: {
+      // A few columns with one value each; the rest draw from a small
+      // domain, so constant columns sit inside every agree set.
+      const size_t attrs = 2 + rng.Below(5);
+      const size_t rows = 2 + rng.Below(18);
+      std::vector<bool> constant(attrs);
+      for (size_t a = 0; a < attrs; ++a) constant[a] = rng.Below(2) == 0;
+      constant[rng.Below(attrs)] = true;  // at least one
+      const size_t domain = 2 + rng.Below(3);
+      return BuildRows(attrs, rows, [&](size_t, size_t a) {
+        return constant[a] ? Value(0) : Value(rng.Below(domain));
+      });
+    }
+    case Shape::kAllDistinctColumns: {
+      // Key-like columns (every value distinct) next to tiny-domain ones:
+      // singleton stripped partitions vs few huge classes.
+      const size_t attrs = 2 + rng.Below(5);
+      const size_t rows = 2 + rng.Below(20);
+      std::vector<bool> distinct(attrs);
+      for (size_t a = 0; a < attrs; ++a) distinct[a] = rng.Below(2) == 0;
+      distinct[rng.Below(attrs)] = true;
+      return BuildRows(attrs, rows, [&](size_t t, size_t a) {
+        return distinct[a] ? Value(t) : Value(rng.Below(2));
+      });
+    }
+    case Shape::kDuplicateRows: {
+      // A handful of base rows, each repeated: duplicate tuples agree on
+      // the full universe R, the edge the agree-set front ends strip.
+      const size_t attrs = 2 + rng.Below(5);
+      const size_t base = 1 + rng.Below(5);
+      const size_t domain = 2 + rng.Below(4);
+      std::vector<std::vector<std::string>> rows;
+      for (size_t b = 0; b < base; ++b) {
+        std::vector<std::string> row(attrs);
+        for (auto& v : row) v = Value(rng.Below(domain));
+        const size_t copies = 1 + rng.Below(4);
+        for (size_t c = 0; c < copies; ++c) rows.push_back(row);
+      }
+      // Deterministic interleave so duplicates are not adjacent.
+      for (size_t i = rows.size(); i > 1; --i) {
+        std::swap(rows[i - 1], rows[rng.Below(i)]);
+      }
+      return BuildRows(attrs, rows.size(),
+                       [&](size_t t, size_t a) { return rows[t][a]; });
+    }
+    case Shape::kEmptyStrings: {
+      // NULL-like empty strings as ordinary values (the default CSV
+      // semantics: two empty cells agree).
+      const size_t attrs = 2 + rng.Below(5);
+      const size_t rows = 2 + rng.Below(18);
+      const size_t domain = 2 + rng.Below(4);
+      return BuildRows(attrs, rows, [&](size_t, size_t) {
+        return rng.Below(3) == 0 ? std::string()
+                                 : Value(rng.Below(domain));
+      });
+    }
+    case Shape::kWideSchema: {
+      // Crosses the 64-attribute word boundary of AttributeSet. Rows are
+      // near-duplicates of one base row (a few perturbed cells each):
+      // agree sets stay close to the universe, so max-set complements —
+      // and with them Dep-Miner's transversal hypergraphs — stay small.
+      // Fully random wide rows make dep(r) itself astronomically large
+      // (tens of thousands of minimal FDs from a handful of tuples).
+      const size_t attrs = 65 + rng.Below(32);
+      const size_t rows = 2 + rng.Below(6);
+      std::vector<std::string> base(attrs);
+      for (auto& v : base) v = Value(rng.Below(3));
+      std::vector<std::vector<std::string>> data;
+      data.push_back(base);
+      for (size_t t = 1; t < rows; ++t) {
+        std::vector<std::string> row = base;
+        const size_t perturbed = 1 + rng.Below(3);
+        for (size_t p = 0; p < perturbed; ++p) {
+          row[rng.Below(attrs)] = "w" + std::to_string(rng.Below(3));
+        }
+        data.push_back(std::move(row));
+      }
+      return BuildRows(attrs, rows,
+                       [&](size_t t, size_t a) { return data[t][a]; });
+    }
+    case Shape::kZipfSkew: {
+      SyntheticConfig config;
+      config.num_attributes = 3 + rng.Below(4);
+      config.num_tuples = 10 + rng.Below(30);
+      config.fixed_domain = 2 + rng.Below(5);
+      config.zipf_exponent = 0.8 + rng.NextDouble() * 1.2;
+      config.seed = rng.Next();
+      return GenerateSynthetic(config);
+    }
+    case Shape::kDenseRandom: {
+      const size_t attrs = 3 + rng.Below(5);
+      const size_t rows = 4 + rng.Below(26);
+      const size_t domain = 2 + rng.Below(4);
+      return BuildRows(attrs, rows, [&](size_t, size_t) {
+        return Value(rng.Below(domain));
+      });
+    }
+    case Shape::kPlantedFds: {
+      EmbeddedFdConfig config;
+      config.num_attributes = 4 + rng.Below(3);
+      config.num_tuples = 12 + rng.Below(28);
+      config.domain_size = 3 + rng.Below(6);
+      config.seed = rng.Next();
+      // Plant one or two acyclic FDs with random small left-hand sides.
+      const size_t count = 1 + rng.Below(2);
+      for (size_t i = 0; i < count; ++i) {
+        FunctionalDependency fd;
+        fd.rhs = static_cast<AttributeId>(config.num_attributes - 1 - i);
+        const size_t lhs_size = 1 + rng.Below(2);
+        while (fd.lhs.Count() < lhs_size) {
+          fd.lhs.Add(static_cast<AttributeId>(rng.Below(fd.rhs)));
+        }
+        config.fds.push_back(fd);
+      }
+      return GenerateWithEmbeddedFds(config);
+    }
+    case Shape::kCount:
+      break;
+  }
+  return Status::InvalidArgument("unknown shape");
+}
+
+}  // namespace
+
+size_t AdversarialShapeCount() {
+  return static_cast<size_t>(Shape::kCount);
+}
+
+Result<GeneratedCase> GenerateAdversarialCase(uint64_t seed) {
+  const Shape shape =
+      static_cast<Shape>(seed % static_cast<uint64_t>(Shape::kCount));
+  // Decouple the parameter stream from the shape index so neighbouring
+  // seeds explore different parameters, not shifted copies.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  Result<Relation> relation = MakeShape(shape, rng);
+  if (!relation.ok()) return relation.status();
+
+  GeneratedCase out;
+  out.relation = std::move(relation).value();
+  out.label = ShapeLabel(shape);
+  out.seed = seed;
+  // The reference oracle enumerates all 2^attrs left-hand sides; cap
+  // where that stays sub-millisecond.
+  out.oracle_checkable = out.relation.num_attributes() <= 8 &&
+                         out.relation.num_tuples() <= 48;
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Seed-reproducible adversarial relation generator for the differential
+/// verification harness (docs/VERIFICATION.md).
+///
+/// Every case is a deterministic function of its seed: the seed picks a
+/// *shape family* (the adversarial structure) and then drives an `Rng`
+/// stream for the shape's free parameters. The families deliberately hit
+/// the regions where FD miners historically disagree:
+///
+///   - empty (0-tuple) and single-row relations — vacuous dep(r)
+///   - constant columns — |π_A(r)| = 1, Proposition 1 edge
+///   - all-distinct (key) columns — singleton stripped partitions
+///   - duplicate rows — full-universe agree sets
+///   - NULL-like empty-string cells — ordinary-value semantics
+///   - wide schemas (> 64 attributes) — the AttributeSet word boundary
+///   - skewed (Zipf) duplicate-heavy columns — huge equivalence classes
+///   - small dense-domain relations — rich minimal covers, cheap enough
+///     for the quadratic reference oracle
+///   - planted FDs — relations where a known cover must be implied
+struct GeneratedCase {
+  Relation relation;
+  /// Shape family name, e.g. "wide-schema"; stable across versions of the
+  /// generator for a given seed so repro notes stay meaningful.
+  std::string label;
+  uint64_t seed = 0;
+  /// True when the case is small enough (attributes and tuples) for the
+  /// exponential `NaiveFdDiscovery` completeness cross-check.
+  bool oracle_checkable = false;
+};
+
+/// Number of distinct shape families the generator cycles through.
+size_t AdversarialShapeCount();
+
+/// Builds the adversarial case for `seed`. Deterministic and
+/// platform-independent (xoshiro256** streams, no iteration-order
+/// dependence). Fails only on internal construction errors, which the
+/// harness reports as divergences of kind `kGeneratorError`.
+Result<GeneratedCase> GenerateAdversarialCase(uint64_t seed);
+
+}  // namespace depminer

@@ -1,0 +1,116 @@
+#include "verify/harness.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "relation/csv.h"
+#include "verify/generator.h"
+#include "verify/shrinker.h"
+
+namespace depminer {
+
+namespace {
+
+Status WriteRepro(const FuzzOptions& options, FuzzFailure* failure) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options.repro_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create repro directory " +
+                           options.repro_dir + ": " + ec.message());
+  }
+  const std::string stem =
+      options.repro_dir + "/seed-" + std::to_string(failure->seed);
+  DEPMINER_RETURN_NOT_OK(
+      WriteCsvRelation(failure->relation, stem + ".csv"));
+
+  std::ofstream note(stem + ".txt");
+  note << "seed: " << failure->seed << "\n"
+       << "shape: " << failure->label << "\n"
+       << "replay: fdtool fuzz --iterations=1 --seed="
+       << failure->seed << "\n\n"
+       << failure->report.ToString() << "\n";
+  if (!note) {
+    return Status::IoError("cannot write repro note " + stem + ".txt");
+  }
+  failure->repro_path = stem + ".csv";
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options,
+                                  std::ostream* log) {
+  FuzzResult result;
+  for (size_t i = 0; i < options.iterations; ++i) {
+    const uint64_t seed = options.start_seed + i;
+    Result<GeneratedCase> generated = GenerateAdversarialCase(seed);
+    if (!generated.ok()) {
+      // The generator failing on its own seed is itself a harness
+      // finding, not a crash: report it like a divergence.
+      FuzzFailure failure;
+      failure.seed = seed;
+      failure.label = "generator";
+      failure.report.divergences.push_back(
+          {CheckKind::kMinerError, "generator",
+           generated.status().ToString()});
+      result.failures.push_back(std::move(failure));
+      continue;
+    }
+    GeneratedCase c = std::move(generated).value();
+
+    OracleOptions oracle_options = options.oracle;
+    oracle_options.check_reference_oracle =
+        options.oracle.check_reference_oracle && c.oracle_checkable;
+    OracleReport report =
+        RunDifferentialOracle(c.relation, oracle_options);
+    ++result.cases_run;
+    result.miner_runs += report.miner_runs;
+
+    if (!report.ok()) {
+      FuzzFailure failure;
+      failure.seed = seed;
+      failure.label = c.label;
+      failure.report = std::move(report);
+      failure.relation = c.relation;
+      if (options.shrink) {
+        // Shrink against the cheap deterministic predicate: "the oracle
+        // still reports some divergence". Tripped-context and Armstrong
+        // phases stay on so any failure kind keeps reproducing.
+        Result<ShrinkOutcome> shrunk = ShrinkFailingRelation(
+            c.relation,
+            [&](const Relation& candidate) {
+              return !RunDifferentialOracle(candidate, oracle_options)
+                          .ok();
+            });
+        if (shrunk.ok()) {
+          failure.relation = std::move(shrunk).value().relation;
+        }
+      }
+      if (!options.repro_dir.empty()) {
+        DEPMINER_RETURN_NOT_OK(WriteRepro(options, &failure));
+      }
+      if (log != nullptr) {
+        *log << "seed " << seed << " (" << failure.label
+             << "): " << failure.report.divergences.size()
+             << " divergence(s)\n"
+             << failure.report.ToString() << "\n";
+        if (!failure.repro_path.empty()) {
+          *log << "repro written to " << failure.repro_path << "\n";
+        }
+      }
+      result.failures.push_back(std::move(failure));
+    }
+
+    if (log != nullptr && options.log_every != 0 &&
+        (i + 1) % options.log_every == 0) {
+      *log << "fuzz: " << (i + 1) << "/" << options.iterations
+           << " cases, " << result.miner_runs << " miner runs, "
+           << result.failures.size() << " failing seed(s)\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace depminer

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+#include "verify/oracle.h"
+
+namespace depminer {
+
+/// Options of the fuzzing harness (`fdtool fuzz`).
+struct FuzzOptions {
+  uint64_t start_seed = 1;
+  size_t iterations = 100;
+  /// Minimize failing relations with `ShrinkFailingRelation` before
+  /// writing the repro.
+  bool shrink = true;
+  /// Directory for repro artifacts (created on demand). For every failing
+  /// seed S two files are written: `seed-S.csv` (the failing — shrunken,
+  /// when enabled — relation) and `seed-S.txt` (seed, shape label and the
+  /// oracle report). Empty disables artifact writing.
+  std::string repro_dir = "fuzz-repros";
+  /// Oracle configuration applied to every generated case.
+  OracleOptions oracle;
+  /// Progress line every this many seeds on the harness's log stream
+  /// (0 = silent).
+  size_t log_every = 50;
+};
+
+/// One failing seed.
+struct FuzzFailure {
+  uint64_t seed = 0;
+  std::string label;        ///< generator shape family
+  OracleReport report;      ///< divergences of the *original* relation
+  Relation relation;        ///< shrunken (or original) failing relation
+  std::string repro_path;   ///< CSV path, empty when writing is disabled
+};
+
+/// Aggregate outcome of a fuzz run.
+struct FuzzResult {
+  size_t cases_run = 0;
+  size_t miner_runs = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the differential oracle over `options.iterations` consecutive
+/// seeds starting at `options.start_seed`. Deterministic: the same
+/// options always exercise the same relations. Failures are shrunk and
+/// written to the repro directory as they are found; the run continues
+/// past failures so one invocation reports every bad seed in range.
+/// Returns non-OK only for harness-level errors (e.g. an unwritable
+/// repro directory); divergences are reported in the value.
+Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options,
+                                  std::ostream* log = nullptr);
+
+}  // namespace depminer

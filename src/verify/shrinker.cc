@@ -1,0 +1,85 @@
+#include "verify/shrinker.h"
+
+#include <numeric>
+#include <vector>
+
+#include "relation/relation_ops.h"
+
+namespace depminer {
+
+namespace {
+
+/// Sub-relation of `r` keeping exactly the rows whose indices are in
+/// `rows` (increasing) — a thin wrapper so the shrink loops read clearly.
+Result<Relation> KeepRows(const Relation& r,
+                          const std::vector<TupleId>& rows) {
+  return SelectRows(r, rows);
+}
+
+}  // namespace
+
+Result<ShrinkOutcome> ShrinkFailingRelation(const Relation& relation,
+                                            const FailurePredicate& fails,
+                                            const ShrinkOptions& options) {
+  ShrinkOutcome out;
+  out.probes = 1;
+  if (!fails(relation)) {
+    return Status::InvalidArgument(
+        "shrink input does not exhibit the failure");
+  }
+  out.relation = relation;
+
+  const auto budget_left = [&] { return out.probes < options.max_probes; };
+
+  // Pass 1: rows, greedily to a fixpoint. Dropping one row can make
+  // another droppable (agree sets are pairwise), so loop until a full
+  // sweep removes nothing.
+  bool changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+    for (size_t i = 0; i < out.relation.num_tuples() && budget_left();
+         ++i) {
+      std::vector<TupleId> keep;
+      keep.reserve(out.relation.num_tuples() - 1);
+      for (TupleId t = 0; t < out.relation.num_tuples(); ++t) {
+        if (t != i) keep.push_back(t);
+      }
+      Result<Relation> candidate = KeepRows(out.relation, keep);
+      if (!candidate.ok()) continue;
+      ++out.probes;
+      if (fails(candidate.value())) {
+        out.relation = std::move(candidate).value();
+        ++out.rows_removed;
+        changed = true;
+        --i;  // the next original row slid into this index
+      }
+    }
+  }
+
+  // Pass 2: columns, keeping at least one. One sweep suffices in
+  // practice, but loop to a fixpoint for 1-minimality like the row pass.
+  changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+    for (AttributeId a = 0;
+         a < out.relation.num_attributes() && budget_left(); ++a) {
+      if (out.relation.num_attributes() <= 1) break;
+      AttributeSet keep =
+          AttributeSet::Universe(out.relation.num_attributes());
+      keep.Remove(a);
+      Result<Relation> candidate = ProjectRelation(out.relation, keep);
+      if (!candidate.ok()) continue;
+      ++out.probes;
+      if (fails(candidate.value())) {
+        out.relation = std::move(candidate).value();
+        ++out.columns_removed;
+        changed = true;
+        --a;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace depminer

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// True when the relation still exhibits the failure being minimized
+/// (e.g. "the differential oracle still reports a divergence").
+using FailurePredicate = std::function<bool(const Relation&)>;
+
+/// Outcome of `ShrinkFailingRelation`.
+struct ShrinkOutcome {
+  Relation relation;          ///< smallest failing relation found
+  size_t rows_removed = 0;
+  size_t columns_removed = 0;
+  size_t probes = 0;          ///< predicate evaluations spent
+};
+
+/// Options for `ShrinkFailingRelation`.
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations. Each probe re-runs the full
+  /// failure check (typically the whole differential oracle), so this is
+  /// the shrinker's real cost knob. Greedy descent stops early when the
+  /// budget runs out; the best relation found so far is returned.
+  size_t max_probes = 400;
+};
+
+/// Greedy delta-debugging minimizer: repeatedly drops rows (to a
+/// fixpoint), then columns (keeping at least one), keeping a candidate
+/// only when `fails` still returns true. The input must itself satisfy
+/// `fails`; returns InvalidArgument otherwise. The result is 1-minimal
+/// within the probe budget: no single further row or column removal
+/// (among those probed) preserves the failure.
+Result<ShrinkOutcome> ShrinkFailingRelation(const Relation& relation,
+                                            const FailurePredicate& fails,
+                                            const ShrinkOptions& options = {});
+
+}  // namespace depminer

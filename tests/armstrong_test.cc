@@ -22,18 +22,26 @@ std::vector<AttributeSet> MaxSetsOf(const Relation& r) {
   return mined.value().all_max_sets;
 }
 
+/// Unwraps the now-fallible synthetic construction for the happy-path
+/// tests below.
+Relation MustBuildSynthetic(const Schema& schema,
+                            const std::vector<AttributeSet>& max_sets) {
+  Result<Relation> built = BuildSyntheticArmstrong(schema, max_sets);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
 TEST(SyntheticArmstrong, SizeIsMaxSetsPlusOne) {
   const Schema schema = Schema::Default(4);
   const std::vector<AttributeSet> max_sets = Sets({"AB", "CD", "A"});
-  const Relation armstrong = BuildSyntheticArmstrong(schema, max_sets);
+  const Relation armstrong = MustBuildSynthetic(schema, max_sets);
   EXPECT_EQ(armstrong.num_tuples(), 4u);
   EXPECT_EQ(armstrong.num_attributes(), 4u);
 }
 
 TEST(SyntheticArmstrong, EquationOnePattern) {
   const Schema schema = Schema::Default(3);
-  const Relation armstrong =
-      BuildSyntheticArmstrong(schema, Sets({"AB"}));
+  const Relation armstrong = MustBuildSynthetic(schema, Sets({"AB"}));
   // Tuple 0 is all zeros; tuple 1 agrees with it exactly on AB.
   EXPECT_EQ(armstrong.Value(0, 0), "0");
   EXPECT_EQ(armstrong.Value(0, 2), "0");
@@ -45,10 +53,28 @@ TEST(SyntheticArmstrong, EquationOnePattern) {
 
 TEST(SyntheticArmstrong, NoMaxSetsGivesSingleTuple) {
   // |r| ≤ 1 or all FDs hold: MAX empty, Armstrong relation is one tuple.
-  const Relation armstrong =
-      BuildSyntheticArmstrong(Schema::Default(3), {});
+  const Relation armstrong = MustBuildSynthetic(Schema::Default(3), {});
   EXPECT_EQ(armstrong.num_tuples(), 1u);
   EXPECT_TRUE(IsArmstrongFor(armstrong, {}));
+}
+
+// These failure paths must surface as a Status in every build mode — the
+// old assert(st.ok()) guard compiled out under NDEBUG and let a Release
+// build hand back a corrupt relation.
+TEST(SyntheticArmstrong, EmptySchemaFailsWithStatus) {
+  Result<Relation> built = BuildSyntheticArmstrong(Schema(), {});
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticArmstrong, OutOfSchemaMaxSetFailsWithStatus) {
+  // Max set {D} over a 3-attribute schema: Equation 1 could only drop the
+  // out-of-range attribute and silently build the wrong relation.
+  Result<Relation> built =
+      BuildSyntheticArmstrong(Schema::Default(3), Sets({"AD"}));
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("schema"), std::string::npos);
 }
 
 TEST(RealWorldArmstrong, Proposition1Failure) {
@@ -81,7 +107,7 @@ TEST(RealWorldArmstrong, ValuesComeFromInitialRelation) {
 TEST(IsArmstrongFor, AcceptsExactAndRejectsWrong) {
   const Schema schema = Schema::Default(3);
   const std::vector<AttributeSet> max_sets = Sets({"AB", "C"});
-  const Relation good = BuildSyntheticArmstrong(schema, max_sets);
+  const Relation good = MustBuildSynthetic(schema, max_sets);
   EXPECT_TRUE(IsArmstrongFor(good, max_sets));
   // Against a different max family the same relation must fail: either a
   // generator is missing or an agree set is not closed.
@@ -112,7 +138,7 @@ TEST(ArmstrongBounds, ConstructionsRespectTheBound) {
     const std::vector<AttributeSet> max_sets = MaxSetsOf(r);
     const size_t built = ArmstrongConstructionSize(max_sets.size());
     EXPECT_GE(built, ArmstrongSizeLowerBound(max_sets.size()));
-    const Relation synthetic = BuildSyntheticArmstrong(r.schema(), max_sets);
+    const Relation synthetic = MustBuildSynthetic(r.schema(), max_sets);
     EXPECT_EQ(synthetic.num_tuples(), built);
   }
 }
@@ -132,7 +158,7 @@ TEST_P(ArmstrongSweep, BothConstructionsAreArmstrong) {
   ASSERT_TRUE(mined.ok());
   const std::vector<AttributeSet>& max_sets = mined.value().all_max_sets;
 
-  const Relation synthetic = BuildSyntheticArmstrong(r.schema(), max_sets);
+  const Relation synthetic = MustBuildSynthetic(r.schema(), max_sets);
   EXPECT_TRUE(IsArmstrongFor(synthetic, max_sets));
   Result<DepMinerResult> resynth = MineDependencies(synthetic);
   ASSERT_TRUE(resynth.ok());

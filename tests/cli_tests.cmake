@@ -131,6 +131,17 @@ add_test(NAME cli.repair COMMAND fdtool repair ${DATA}/orders.csv
 set_tests_properties(cli.repair PROPERTIES
     PASS_REGULAR_EXPRESSION "0 tuple")
 
+# Differential verification harness: a deterministic clean slice must
+# report zero failing seeds, and a bad flag must be a usage error.
+add_test(NAME cli.fuzz COMMAND fdtool fuzz --iterations=5 --seed=1
+         --repro-dir=${CMAKE_CURRENT_BINARY_DIR}/cli_fuzz_repros)
+set_tests_properties(cli.fuzz PROPERTIES
+    PASS_REGULAR_EXPRESSION "0 failing seed")
+
+add_test(NAME cli.fuzz_bad_seed COMMAND fdtool fuzz --iterations=5
+         --seed=ten)
+set_tests_properties(cli.fuzz_bad_seed PROPERTIES WILL_FAIL TRUE)
+
 add_test(NAME cli.catalog
     COMMAND ${CMAKE_COMMAND}
         -DFDTOOL=$<TARGET_FILE:fdtool>

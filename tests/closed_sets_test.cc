@@ -123,8 +123,10 @@ TEST_P(MaxEqualsGenSweep, ArmstrongAgreeSetsAreClosed) {
   const Relation r = RandomRelation(4, 30, 3, seed);
   Result<DepMinerResult> mined = MineDependencies(r);
   ASSERT_TRUE(mined.ok());
-  const Relation armstrong =
+  Result<Relation> built =
       BuildSyntheticArmstrong(r.schema(), mined.value().all_max_sets);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Relation& armstrong = built.value();
   const std::vector<AttributeSet> closed = ClosedSets(mined.value().fds);
   for (TupleId i = 0; i < armstrong.num_tuples(); ++i) {
     for (TupleId j = i + 1; j < armstrong.num_tuples(); ++j) {

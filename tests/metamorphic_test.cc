@@ -1,0 +1,224 @@
+// Metamorphic properties of all five miners: transformations of the input
+// relation that provably leave dep(r) — and with it the canonical set of
+// minimal non-trivial FDs — invariant (or map it through a known
+// renaming). Run at 1 and 8 pool lanes for the thread-aware miners.
+//
+//   - row shuffling        (dep(r) is set-of-tuples semantics)
+//   - column permutation   (dep(π(r)) = π(dep(r)))
+//   - duplicate-row injection (agree sets gain only R, already implied)
+//   - empty / single-row relations (every FD holds; all miners agree)
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dep_miner.h"
+#include "fastfds/fastfds.h"
+#include "fdep/fdep.h"
+#include "relation/relation_builder.h"
+#include "relation/relation_ops.h"
+#include "tane/tane.h"
+#include "test_util.h"
+
+namespace depminer {
+namespace {
+
+using ::depminer::testing::PaperExampleRelation;
+using ::depminer::testing::RandomRelation;
+
+struct MinerParam {
+  std::string name;
+  size_t threads;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<MinerParam>& info) {
+  return info.param.name + "_" + std::to_string(info.param.threads) + "t";
+}
+
+/// Canonical minimal cover from the given miner. All five emit exactly
+/// the set of minimal non-trivial FDs, so outputs are comparable with
+/// plain equality, not just cover equivalence.
+FdSet MineCover(const MinerParam& p, const Relation& r) {
+  if (p.name == "tane") {
+    TaneOptions options;
+    options.num_threads = p.threads;
+    Result<TaneResult> mined = TaneDiscover(r, options);
+    EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+    return mined.ok() ? mined.value().fds : FdSet();
+  }
+  if (p.name == "fastfds") {
+    Result<FastFdsResult> mined = FastFdsDiscover(r);
+    EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+    return mined.ok() ? mined.value().fds : FdSet();
+  }
+  if (p.name == "fdep") {
+    Result<FdepResult> mined = FdepDiscover(r);
+    EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+    return mined.ok() ? mined.value().fds : FdSet();
+  }
+  DepMinerOptions options;
+  options.build_armstrong = false;
+  options.num_threads = p.threads;
+  options.agree_set_algorithm = p.name == "depminer2"
+                                    ? AgreeSetAlgorithm::kIdentifiers
+                                    : AgreeSetAlgorithm::kCouples;
+  Result<DepMinerResult> mined = MineDependencies(r, options);
+  EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+  return mined.ok() ? mined.value().fds : FdSet();
+}
+
+/// Deterministic row permutation of `r`.
+Relation ShuffleRows(const Relation& r, uint64_t seed) {
+  std::vector<TupleId> order(r.num_tuples());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  Result<Relation> shuffled = SelectRows(r, order);
+  EXPECT_TRUE(shuffled.ok());
+  return std::move(shuffled).value();
+}
+
+/// Relation with attribute `perm[j]` of `r` at position `j`, names moved
+/// along with the data.
+Relation PermuteColumns(const Relation& r,
+                        const std::vector<AttributeId>& perm) {
+  std::vector<std::string> names(perm.size());
+  for (size_t j = 0; j < perm.size(); ++j) {
+    names[j] = r.schema().name(perm[j]);
+  }
+  RelationBuilder builder{Schema(names)};
+  std::vector<std::string> row(perm.size());
+  for (TupleId t = 0; t < r.num_tuples(); ++t) {
+    for (size_t j = 0; j < perm.size(); ++j) {
+      row[j] = r.Value(t, perm[j]);
+    }
+    EXPECT_TRUE(builder.AddRow(row).ok());
+  }
+  Result<Relation> permuted = std::move(builder).Finish();
+  EXPECT_TRUE(permuted.ok());
+  return std::move(permuted).value();
+}
+
+/// Maps a cover through the same column permutation: attribute `perm[j]`
+/// is renamed to `j`.
+FdSet MapCover(const FdSet& cover, const std::vector<AttributeId>& perm) {
+  std::vector<AttributeId> inverse(perm.size());
+  for (size_t j = 0; j < perm.size(); ++j) inverse[perm[j]] = j;
+  FdSet mapped(cover.num_attributes());
+  for (const FunctionalDependency& fd : cover.fds()) {
+    FunctionalDependency m;
+    m.rhs = inverse[fd.rhs];
+    for (AttributeId a = 0; a < perm.size(); ++a) {
+      if (fd.lhs.Contains(a)) m.lhs.Add(inverse[a]);
+    }
+    mapped.Add(m);
+  }
+  mapped.Normalize();
+  return mapped;
+}
+
+class Metamorphic : public ::testing::TestWithParam<MinerParam> {
+ protected:
+  std::vector<Relation> BaseRelations() {
+    std::vector<Relation> bases;
+    bases.push_back(PaperExampleRelation());
+    bases.push_back(RandomRelation(4, 20, 3, 11));
+    bases.push_back(RandomRelation(5, 16, 2, 23));
+    return bases;
+  }
+};
+
+TEST_P(Metamorphic, RowShufflingLeavesTheCoverInvariant) {
+  for (const Relation& r : BaseRelations()) {
+    const FdSet expected = MineCover(GetParam(), r);
+    for (uint64_t seed : {1ull, 2ull}) {
+      const FdSet shuffled = MineCover(GetParam(), ShuffleRows(r, seed));
+      EXPECT_EQ(shuffled.fds(), expected.fds())
+          << "row shuffle (seed " << seed << ") changed the cover";
+    }
+  }
+}
+
+TEST_P(Metamorphic, ColumnPermutationRenamesTheCover) {
+  for (const Relation& r : BaseRelations()) {
+    const FdSet expected = MineCover(GetParam(), r);
+    std::vector<AttributeId> perm(r.num_attributes());
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(5);
+    for (size_t rounds = 0; rounds < 2; ++rounds) {
+      for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.Below(i)]);
+      }
+      const FdSet mined = MineCover(GetParam(), PermuteColumns(r, perm));
+      EXPECT_EQ(mined.fds(), MapCover(expected, perm).fds())
+          << "column permutation did not commute with mining";
+    }
+  }
+}
+
+TEST_P(Metamorphic, DuplicateRowInjectionLeavesTheCoverInvariant) {
+  for (const Relation& r : BaseRelations()) {
+    const FdSet expected = MineCover(GetParam(), r);
+    // Duplicate every row once, then a prefix once more.
+    Result<Relation> doubled = ConcatRelations(r, r);
+    ASSERT_TRUE(doubled.ok());
+    std::vector<TupleId> prefix;
+    for (TupleId t = 0; t < r.num_tuples() / 2; ++t) prefix.push_back(t);
+    if (!prefix.empty()) {
+      Result<Relation> extra = SelectRows(r, prefix);
+      ASSERT_TRUE(extra.ok());
+      doubled = ConcatRelations(doubled.value(), extra.value());
+      ASSERT_TRUE(doubled.ok());
+    }
+    const FdSet mined = MineCover(GetParam(), doubled.value());
+    EXPECT_EQ(mined.fds(), expected.fds())
+        << "duplicate rows changed the cover";
+  }
+}
+
+TEST_P(Metamorphic, EmptyAndSingleRowRelationsMatchTheReference) {
+  // In both cases every FD holds vacuously; all miners must emit the
+  // same canonical cover as the reference implementation (Dep-Miner
+  // serial), and duplicating a single row must not change it.
+  for (size_t attrs : {1u, 3u, 5u}) {
+    RelationBuilder empty_builder(Schema::Default(attrs));
+    Result<Relation> empty = std::move(empty_builder).Finish();
+    ASSERT_TRUE(empty.ok());
+
+    std::vector<std::string> row(attrs, "x");
+    Result<Relation> single = MakeRelation(Schema::Default(attrs), {row});
+    ASSERT_TRUE(single.ok());
+    Result<Relation> twice =
+        MakeRelation(Schema::Default(attrs), {row, row});
+    ASSERT_TRUE(twice.ok());
+
+    const MinerParam reference{"depminer", 1};
+    for (const Relation* r :
+         {&empty.value(), &single.value(), &twice.value()}) {
+      const FdSet expected = MineCover(reference, *r);
+      const FdSet mined = MineCover(GetParam(), *r);
+      EXPECT_EQ(mined.fds(), expected.fds())
+          << attrs << " attributes, " << r->num_tuples() << " tuple(s)";
+    }
+    // dep(single row) = dep(two identical rows).
+    EXPECT_EQ(MineCover(GetParam(), single.value()).fds(),
+              MineCover(GetParam(), twice.value()).fds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMiners, Metamorphic,
+    ::testing::Values(MinerParam{"depminer", 1}, MinerParam{"depminer", 8},
+                      MinerParam{"depminer2", 1},
+                      MinerParam{"depminer2", 8}, MinerParam{"tane", 1},
+                      MinerParam{"tane", 8}, MinerParam{"fastfds", 1},
+                      MinerParam{"fdep", 1}),
+    ParamName);
+
+}  // namespace
+}  // namespace depminer

@@ -183,7 +183,9 @@ TEST(PaperExample, Example12SyntheticArmstrong) {
   ASSERT_TRUE(mined.ok());
   const std::vector<AttributeSet>& max_sets = mined.value().all_max_sets;
 
-  const Relation armstrong = BuildSyntheticArmstrong(r.schema(), max_sets);
+  Result<Relation> built = BuildSyntheticArmstrong(r.schema(), max_sets);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Relation& armstrong = built.value();
   EXPECT_EQ(armstrong.num_tuples(), max_sets.size() + 1);
   EXPECT_EQ(armstrong.num_tuples(), 4u);
   EXPECT_TRUE(IsArmstrongFor(armstrong, max_sets));
