@@ -2,7 +2,7 @@
 // dba would actually run against exported CSV data.
 //
 //   fdtool mine      data.csv [--algo=depminer|depminer2|tane|fastfds]
-//                             [--out=deps.fds]
+//                             [--out=deps.fds] [--checkpoint-dir=DIR]
 //   fdtool armstrong data.csv [--out=sample.csv] [--synthetic]
 //   fdtool keys      data.csv
 //   fdtool normalize data.csv
@@ -19,6 +19,8 @@
 //                                                extension)
 //   fdtool fuzz      [--iterations=N] [--seed=S] [--shrink=false]
 //                    [--repro-dir=DIR]          differential verification
+//   fdtool fuzz      --faults [--iterations=N] [--seed=S] [--site=NAME,..]
+//                                               fault-injection sweep
 //
 // Every command also accepts .dmc column files as input.
 // Common flags: --no-header --delimiter=';' --nulls-distinct
@@ -26,12 +28,26 @@
 //               --threads=N (mine: pool lanes; 0 = all cores)
 //               --trace=out.json --metrics (observability; see
 //               docs/OBSERVABILITY.md)
+//               --fault-site=NAME [--fault-hit=N] [--fault-repeat]
+//               [--fault-stall-ms=N] (deterministic fault injection for
+//               the whole command; see docs/ROBUSTNESS.md)
 //
 // Resource governance: --timeout-ms bounds the wall-clock of the mining
 // commands and --memory-budget-mb their working set; Ctrl-C requests
 // cooperative cancellation. In all three cases `mine` stops cleanly and
-// reports the FDs found so far (exit 0 for Ctrl-C, 3 for a tripped
-// limit).
+// reports the FDs found so far before exiting nonzero.
+//
+// Exit codes: 0 success; 1 error (or a fuzz/verify finding); 2 usage;
+// 3 a tripped --timeout-ms/--memory-budget-mb limit (partial results
+// flushed); 130 interrupted by Ctrl-C (partial results flushed, matching
+// the shell's 128+SIGINT convention). README.md tabulates these.
+//
+// Crash-safe mining: `mine --checkpoint-dir=DIR` (depminer/depminer2)
+// writes a checkpoint at every pipeline phase boundary, keyed by a
+// content fingerprint of the input; re-running the same command after an
+// interruption — Ctrl-C, a tripped limit, even kill -9 — resumes at the
+// last completed phase and produces the identical cover. See
+// docs/ROBUSTNESS.md.
 //
 // Observability: --trace=FILE records every pipeline phase, parallel
 // lane and counter of the run into a chrome://tracing / Perfetto
@@ -42,6 +58,7 @@
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "depminer.h"
@@ -57,12 +74,13 @@ RunContext g_run_context;
 
 void HandleSigint(int /*signum*/) { g_run_context.RequestCancel(); }
 
-/// Exit code for a run interrupted by its RunContext: Ctrl-C is the user
-/// getting exactly what they asked for (0); a tripped limit is a
-/// distinct, scriptable failure (3, leaving 1 for errors and 2 for
-/// usage).
+/// Exit code for a run interrupted by its RunContext: Ctrl-C follows the
+/// shell convention for a SIGINT death (128 + 2 = 130) so wrappers and
+/// Makefiles see the interruption even though we exit cleanly after
+/// flushing partial results; a tripped limit is a distinct, scriptable
+/// failure (3, leaving 1 for errors and 2 for usage).
 int InterruptedExitCode(const Status& run_status) {
-  return run_status.code() == StatusCode::kCancelled ? 0 : 3;
+  return run_status.code() == StatusCode::kCancelled ? 130 : 3;
 }
 
 int Usage() {
@@ -101,13 +119,26 @@ int Usage() {
       "Armstrong round-trip;\n"
       "            failing seeds are shrunk and written to DIR (exit 1, "
       "repro path on the last line)\n"
+      "  fuzz --faults [--iterations=N] [--seed=S] [--site=NAME,...]\n"
+      "            fault-injection sweep: inject every registered fault "
+      "into every miner and\n"
+      "            the CSV reader, assert a clean error or a sound "
+      "partial result each time\n"
       "  convert   out.dmc|out.csv                           re-encode "
       "between formats\n"
       "common: --no-header --delimiter=';' --nulls-distinct "
       "--null-token=NA\n"
       "        --timeout-ms=N --memory-budget-mb=N   bound the run; "
-      "Ctrl-C stops it cleanly (partial report, exit 0; tripped limits "
+      "Ctrl-C stops it cleanly (partial report, exit 130; tripped limits "
       "exit 3)\n"
+      "        --checkpoint-dir=DIR   (mine, depminer/depminer2 on CSV) "
+      "checkpoint at phase\n"
+      "            boundaries; re-running resumes an interrupted mine "
+      "bit-identically\n"
+      "        --fault-site=NAME [--fault-hit=N] [--fault-repeat] "
+      "[--fault-stall-ms=N]\n"
+      "            deterministic fault injection for the whole command "
+      "(docs/ROBUSTNESS.md)\n"
       "        --threads=N   pool lanes for mine (default 1; 0 = all "
       "cores; results are identical for any value)\n"
       "        --trace=out.json   write a chrome://tracing / Perfetto "
@@ -245,6 +276,79 @@ int CmdMine(const Relation& relation, const ArgParser& args) {
     return InterruptedExitCode(outcome.run_status);
   }
   std::fprintf(stderr, "%zu minimal FDs\n", outcome.fds.size());
+  return 0;
+}
+
+/// `mine --checkpoint-dir=DIR`: crash-safe mining over the CSV path
+/// itself (the checkpoint job is keyed by a content fingerprint of the
+/// file, so this bypasses the generic relation loader). Restricted to
+/// the Dep-Miner pipelines — they are the ones with phase boundaries to
+/// checkpoint at.
+int CmdMineCheckpointed(const ArgParser& args) {
+  if (args.positional().size() < 2) return Usage();
+  const std::string& path = args.positional()[1];
+  if (HasSuffix(path, ".dmc")) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-dir mines CSV input (the checkpoint "
+                 "job is keyed by the CSV's content fingerprint)\n");
+    return 2;
+  }
+  const std::string algo = args.GetString("algo", "depminer");
+  if (algo != "depminer" && algo != "depminer2") {
+    std::fprintf(stderr,
+                 "error: --checkpoint-dir supports --algo=depminer or "
+                 "depminer2, got \"%s\"\n",
+                 algo.c_str());
+    return 2;
+  }
+  CheckpointedMineOptions options;
+  options.checkpoint_dir = args.GetString("checkpoint-dir", "");
+  options.algorithm = algo == "depminer2" ? AgreeSetAlgorithm::kIdentifiers
+                                          : AgreeSetAlgorithm::kCouples;
+  options.num_threads = ThreadsFlag(args);
+  options.run_context = &g_run_context;
+  options.csv.has_header = !args.GetBool("no-header", false);
+  const std::string delim = args.GetString("delimiter", ",");
+  if (!delim.empty()) options.csv.delimiter = delim[0];
+  options.csv.nulls_distinct = args.GetBool("nulls-distinct", false);
+  options.csv.null_token = args.GetString("null-token", "");
+
+  Result<CheckpointedMineResult> mined = MineCsvWithCheckpoints(path, options);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  const CheckpointedMineResult& outcome = mined.value();
+  if (outcome.resumed_from != MinePhase::kNone) {
+    std::fprintf(stderr, "resumed from phase '%s' (%s)\n",
+                 ToString(outcome.resumed_from),
+                 outcome.checkpoint_path.c_str());
+  }
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    Status st = SaveFdSet(outcome.fds, outcome.schema, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    for (const FunctionalDependency& fd : outcome.fds.fds()) {
+      std::printf("%s\n", fd.ToString(outcome.schema).c_str());
+    }
+  }
+  if (!outcome.complete) {
+    std::fprintf(stderr, "run interrupted (%s); partial results:\n",
+                 outcome.run_status.ToString().c_str());
+    std::fprintf(stderr, "%zu minimal FDs (possibly incomplete)\n",
+                 outcome.fds.size());
+    std::fprintf(stderr,
+                 "checkpoint: %s\n"
+                 "re-run the same command to resume from it\n",
+                 outcome.checkpoint_path.c_str());
+    return InterruptedExitCode(outcome.run_status);
+  }
+  std::fprintf(stderr, "%zu minimal FDs (fingerprint %s)\n",
+               outcome.fds.size(), outcome.fingerprint.ToHex().c_str());
   return 0;
 }
 
@@ -563,7 +667,37 @@ int CmdDiff(const ArgParser& args) {
 /// seed-reproducible adversarial generator. On divergence the failing
 /// relation is shrunk, written under --repro-dir, and the repro CSV path
 /// is the last line on stdout (scriptable: exit 1 + tail -1).
+/// `fdtool fuzz --faults`: the fault-injection sweep (docs/ROBUSTNESS.md).
+/// Walks seeds × registered fault sites × miners and asserts every
+/// injected fault yields a well-formed error or a sound partial result.
+/// The summary line (printed to stdout) carries the fired-fault count the
+/// smoke scripts assert on.
+int CmdFaultSweep(const ArgParser& args) {
+  FaultSweepOptions options;
+  options.iterations = static_cast<size_t>(args.GetInt("iterations", 50));
+  options.start_seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  // Two lanes by default so the pool sites (lane stalls) are reachable;
+  // --threads overrides as usual.
+  options.num_threads = args.Has("threads") ? ThreadsFlag(args) : 2;
+  const std::string sites = args.GetString("site", "");
+  if (!sites.empty()) {
+    for (const std::string& raw : Split(sites, ',')) {
+      const std::string name = std::string(StripAsciiWhitespace(raw));
+      if (!name.empty()) options.sites.push_back(name);
+    }
+  }
+  options.log_every = options.iterations >= 20 ? 10 : 0;
+  Result<FaultSweepReport> run = RunFaultSweep(options, &std::cerr);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fault sweep: %s\n", run.value().ToString().c_str());
+  return run.value().ok() ? 0 : 1;
+}
+
 int CmdFuzz(const ArgParser& args) {
+  if (args.GetBool("faults", false)) return CmdFaultSweep(args);
   FuzzOptions options;
   options.iterations =
       static_cast<size_t>(args.GetInt("iterations", 100));
@@ -652,8 +786,9 @@ int main(int argc, char** argv) {
   // GetInt maps unparsable values to 0, which for these two flags would
   // silently mean "unlimited" — exactly what a user typing a limit did
   // not ask for. Reject anything that is not a plain non-negative number.
-  for (const char* flag :
-       {"timeout-ms", "memory-budget-mb", "threads", "iterations", "seed"}) {
+  for (const char* flag : {"timeout-ms", "memory-budget-mb", "threads",
+                           "iterations", "seed", "fault-hit",
+                           "fault-stall-ms"}) {
     if (!args.Has(flag)) continue;
     const std::string raw = args.GetString(flag, "");
     if (raw.empty() ||
@@ -674,7 +809,37 @@ int main(int argc, char** argv) {
   }
   (void)std::signal(SIGINT, HandleSigint);
 
+  // Debug fault injection: install the requested plan for the whole
+  // command. In a -DDEPMINER_FAULTS=OFF build the scope is inert; warn
+  // instead of silently doing nothing.
+  std::optional<FaultScope> fault_scope;
+  if (args.Has("fault-site")) {
+    FaultPlan plan;
+    plan.site = args.GetString("fault-site", "");
+    if (!plan.site.empty() && FindFaultSite(plan.site) == nullptr) {
+      std::fprintf(stderr, "error: unknown fault site \"%s\"; sites:\n",
+                   plan.site.c_str());
+      for (const FaultSite& s : FaultSiteRegistry()) {
+        std::fprintf(stderr, "  %s\n", s.name);
+      }
+      return 2;
+    }
+    plan.trigger_hit = static_cast<uint64_t>(args.GetInt("fault-hit", 0));
+    plan.repeat = args.GetBool("fault-repeat", false);
+    const int64_t stall = args.GetInt("fault-stall-ms", 2);
+    plan.stall_ms = static_cast<uint32_t>(stall);
+#if !DEPMINER_FAULTS_ENABLED
+    std::fprintf(stderr,
+                 "warning: this build has fault injection compiled out "
+                 "(-DDEPMINER_FAULTS=OFF); --fault-site is inert\n");
+#endif
+    fault_scope.emplace(plan);
+  }
+
   const std::string command = args.positional()[0];
+  if (command == "mine" && args.Has("checkpoint-dir")) {
+    return CmdMineCheckpointed(args);
+  }
   if (command == "inds") return CmdInds(args);
   if (command == "fks") return CmdFks(args);
   if (command == "implies") return CmdImplies(args);

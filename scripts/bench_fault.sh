@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Measures the cost of the fault-injection layer and records it to
+# BENCH_fault_overhead.json at the repo root: the same deterministic
+# workload (a fuzz-harness slice exercising all five miners end to end)
+# timed under
+#   - the default build, no plan installed (every site polls one relaxed
+#     atomic load — the "inactive" cost production binaries pay), and
+#   - a -DDEPMINER_FAULTS=OFF build (every site compiled away — the
+#     floor).
+# The two medians must agree within run-to-run noise; the checked-in
+# copy of the JSON is the baseline to compare against after touching the
+# fault layer.
+#
+#   scripts/bench_fault.sh            # default: 5 timed runs each
+#   scripts/bench_fault.sh --runs=9
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+runs=5
+for arg in "$@"; do
+  case "${arg}" in
+    --runs=*) runs="${arg#--runs=}" ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+workload=(fuzz --iterations=10 --seed=1 --shrink=false
+          --repro-dir=/tmp/depminer_bench_fault_repros)
+
+echo "==> building default preset (faults compiled in)"
+cmake --preset default >/dev/null
+cmake --build build --target fdtool -j "${jobs}" >/dev/null
+
+echo "==> building faults-off build"
+cmake -B build-faults-off -S . -DCMAKE_BUILD_TYPE=Release \
+  -DDEPMINER_FAULTS=OFF -DDEPMINER_BUILD_TESTS=OFF \
+  -DDEPMINER_BUILD_BENCHMARKS=OFF >/dev/null
+cmake --build build-faults-off --target fdtool -j "${jobs}" >/dev/null
+
+# Times one run in milliseconds.
+time_one() {
+  local binary=$1
+  local start end
+  start=$(date +%s%N)
+  "${binary}" "${workload[@]}" >/dev/null 2>&1
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+
+# Runs the workload `runs` times (after one warmup) and echoes the
+# sorted, comma-separated series.
+series() {
+  local binary=$1
+  "${binary}" "${workload[@]}" >/dev/null 2>&1  # warmup
+  local times=()
+  for _ in $(seq 1 "${runs}"); do
+    times+=("$(time_one "${binary}")")
+  done
+  printf '%s\n' "${times[@]}" | sort -n | paste -sd, -
+}
+
+median_of() {
+  echo "$1" | tr ',' '\n' | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+
+echo "==> timing inactive (faults compiled in, no plan): ${runs} runs"
+on_series="$(series build/examples/fdtool)"
+echo "    [${on_series}] ms"
+echo "==> timing compiled-out (-DDEPMINER_FAULTS=OFF): ${runs} runs"
+off_series="$(series build-faults-off/examples/fdtool)"
+echo "    [${off_series}] ms"
+
+on_median="$(median_of "${on_series}")"
+off_median="$(median_of "${off_series}")"
+
+cat > BENCH_fault_overhead.json <<EOF
+{
+  "benchmark": "fault_overhead",
+  "workload": "fdtool fuzz --iterations=10 --seed=1 --shrink=false",
+  "runs_per_mode": ${runs},
+  "inactive": {
+    "description": "default build, no FaultPlan installed (one relaxed atomic load per site poll)",
+    "times_ms": [${on_series}],
+    "median_ms": ${on_median}
+  },
+  "compiled_out": {
+    "description": "-DDEPMINER_FAULTS=OFF build (sites expand to constants)",
+    "times_ms": [${off_series}],
+    "median_ms": ${off_median}
+  },
+  "inactive_over_compiled_out_median_ratio": $(awk -v a="${on_median}" -v b="${off_median}" 'BEGIN {printf "%.4f", b > 0 ? a / b : 0}')
+}
+EOF
+
+echo "==> inactive median ${on_median} ms, compiled-out median ${off_median} ms"
+echo "==> baseline written to BENCH_fault_overhead.json"

@@ -68,4 +68,65 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# Fault-sweep smoke-run: inject every registered fault into every miner
+# and the CSV reader over 10 seeds (docs/ROBUSTNESS.md) and require both
+# that every expectation held AND that faults actually fired — a sweep
+# that fires nothing proves nothing. Runs under the plain Release build
+# and the sanitizer build.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) fdtool=build/examples/fdtool ;;
+    asan-ubsan) fdtool=build-asan-ubsan/examples/fdtool ;;
+    *) continue ;;
+  esac
+  if [ -x "${fdtool}" ]; then
+    echo "==> fault-sweep smoke-run [${preset}]"
+    sweep_out="$("${fdtool}" fuzz --faults --iterations=10 --seed=3)"
+    echo "    ${sweep_out}"
+    case "${sweep_out}" in
+      *" 0 with a fired fault"*)
+        echo "    ERROR: the sweep never fired a fault" >&2; exit 1 ;;
+      *"all expectations held"*) ;;
+      *)
+        echo "    ERROR: fault-sweep expectations violated" >&2; exit 1 ;;
+    esac
+  fi
+done
+
+# Kill-and-resume smoke-run: SIGKILL a checkpointed mine while the
+# job/stall fault site holds it at a phase boundary (checkpoint already
+# on disk), then resume and require the exact cover an uninterrupted
+# mine produces. The harshest crash model we can deliver from a script.
+if [ -x build/examples/fdtool ]; then
+  echo "==> kill-and-resume smoke-run [default]"
+  ckpt_dir=/tmp/depminer_ckpt_smoke
+  rm -rf "${ckpt_dir}"
+  reference="$(build/examples/fdtool mine data/orders.csv)"
+  build/examples/fdtool mine data/orders.csv \
+    --checkpoint-dir="${ckpt_dir}" \
+    --fault-site=job/stall --fault-hit=0 --fault-stall-ms=60000 \
+    >/dev/null 2>&1 &
+  mine_pid=$!
+  # Wait for the first phase-boundary checkpoint to appear, then kill -9.
+  for _ in $(seq 1 100); do
+    if ls "${ckpt_dir}"/*.dmk >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  if ! ls "${ckpt_dir}"/*.dmk >/dev/null 2>&1; then
+    echo "    ERROR: no checkpoint appeared before the kill" >&2
+    kill -9 "${mine_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -9 "${mine_pid}" 2>/dev/null || true
+  wait "${mine_pid}" 2>/dev/null || true
+  resumed="$(build/examples/fdtool mine data/orders.csv \
+      --checkpoint-dir="${ckpt_dir}" 2>/dev/null)"
+  if [ "${resumed}" != "${reference}" ]; then
+    echo "    ERROR: resumed cover differs from the uninterrupted one" >&2
+    exit 1
+  fi
+  echo "    resumed cover matches after kill -9"
+  rm -rf "${ckpt_dir}"
+fi
+
 echo "==> all checks passed"

@@ -1,0 +1,91 @@
+#include "catalog/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/file_reader.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+namespace {
+
+// 128-bit FNV-1a constants (offset basis and prime per the FNV spec).
+constexpr unsigned __int128 Fnv128Basis() {
+  return (static_cast<unsigned __int128>(0x6c62272e07bb0142ULL) << 64) |
+         0x62b821756295c58dULL;
+}
+constexpr unsigned __int128 Fnv128Prime() {
+  return (static_cast<unsigned __int128>(0x0000000001000000ULL) << 64) |
+         0x000000000000013bULL;
+}
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf, 32);
+}
+
+Fingerprinter::Fingerprinter() : state_(Fnv128Basis()) {}
+
+void Fingerprinter::UpdateBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  unsigned __int128 h = state_;
+  const unsigned __int128 prime = Fnv128Prime();
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= prime;
+  }
+  state_ = h;
+}
+
+void Fingerprinter::UpdateString(const std::string& s) {
+  UpdateU64(s.size());
+  UpdateBytes(s.data(), s.size());
+}
+
+void Fingerprinter::UpdateU64(uint64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<unsigned char>(v >> (8 * i));
+  UpdateBytes(le, sizeof(le));
+}
+
+Fingerprint Fingerprinter::Finish() const {
+  Fingerprint fp;
+  fp.hi = static_cast<uint64_t>(state_ >> 64);
+  fp.lo = static_cast<uint64_t>(state_);
+  return fp;
+}
+
+Result<Fingerprint> FingerprintFile(const std::string& path) {
+  RetryingFileStream in(path);
+  if (!in.is_open()) return in.status();
+  Fingerprinter hasher;
+  char buf[64 * 1024];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    hasher.UpdateBytes(buf, static_cast<size_t>(in.gcount()));
+  }
+  if (!in.status().ok()) return in.status();
+  return hasher.Finish();
+}
+
+Fingerprint FingerprintRelation(const Relation& relation) {
+  Fingerprinter hasher;
+  const size_t n = relation.num_attributes();
+  hasher.UpdateU64(n);
+  for (size_t a = 0; a < n; ++a) {
+    hasher.UpdateString(relation.schema().name(static_cast<AttributeId>(a)));
+  }
+  hasher.UpdateU64(relation.num_tuples());
+  for (TupleId t = 0; t < relation.num_tuples(); ++t) {
+    for (size_t a = 0; a < n; ++a) {
+      hasher.UpdateString(relation.Value(t, static_cast<AttributeId>(a)));
+    }
+  }
+  return hasher.Finish();
+}
+
+}  // namespace depminer

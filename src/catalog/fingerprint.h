@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace depminer {
+
+class Relation;
+
+/// 128-bit content fingerprint. Used to key job checkpoints (and, later,
+/// the serve-mode result cache) on *what the data is*, not where it
+/// lives: a dataset copied, renamed, or re-downloaded keeps its
+/// fingerprint; a dataset edited in place loses it.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator!=(const Fingerprint& o) const { return !(*this == o); }
+
+  /// 32 lowercase hex digits, hi then lo — stable across platforms, and
+  /// safe as a file-name stem.
+  std::string ToHex() const;
+};
+
+/// Incremental 128-bit FNV-1a hasher. FNV is not cryptographic; the
+/// threat model here is accidental mismatch (stale checkpoint after the
+/// CSV changed), not an adversary forging collisions against their own
+/// data. Length-prefixed field updates keep the encoding injective
+/// (Update("ab") then Update("c") differs from Update("a") then
+/// Update("bc")).
+class Fingerprinter {
+ public:
+  Fingerprinter();
+
+  /// Raw bytes, no framing — for streaming whole files.
+  void UpdateBytes(const void* data, size_t len);
+  /// Length-prefixed string field.
+  void UpdateString(const std::string& s);
+  /// Fixed-width integer field (little-endian).
+  void UpdateU64(uint64_t v);
+
+  Fingerprint Finish() const;
+
+ private:
+  unsigned __int128 state_;
+};
+
+/// Fingerprints a file's raw bytes (streamed; the file is never held in
+/// memory). Read errors surface as IoError via the retrying reader.
+Result<Fingerprint> FingerprintFile(const std::string& path);
+
+/// Fingerprints a relation's logical content: schema names, then every
+/// cell in row-major order, all length-prefixed. Two relations with equal
+/// schemas and equal cell values fingerprint equally regardless of how
+/// they were loaded.
+Fingerprint FingerprintRelation(const Relation& relation);
+
+}  // namespace depminer

@@ -53,6 +53,12 @@ class AttributeSet {
   /// for schemas of at most 26 attributes; used by tests and examples.
   static AttributeSet FromLetters(const std::string& letters);
 
+  /// Rebuilds a set from its raw words (inverse of `word()`); used by
+  /// binary deserialization (storage/checkpoint).
+  static constexpr AttributeSet FromWords(uint64_t w0, uint64_t w1) {
+    return AttributeSet(w0, w1);
+  }
+
   bool Contains(AttributeId a) const {
     return (words_[Word(a)] >> Bit(a)) & 1u;
   }

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/trace.h"
+#include "fault/fault.h"
 
 namespace depminer {
 namespace internal {
@@ -52,6 +53,11 @@ void Drain(LoopState* state, size_t slot) {
   uint64_t blocks_claimed = 0;
   while (true) {
     if (state->stop(state->ctx)) break;
+    // Lane-stall injection between block claims: a firing fault models a
+    // descheduled/slow lane. Correctness must not depend on lane pacing —
+    // the dynamic cursor just lets other lanes claim past the sleeper,
+    // and the bit-identical-output guarantee has to survive it.
+    DEPMINER_FAULT_STALL("pool/lane-stall");
     const size_t lo =
         state->next.fetch_add(state->block, std::memory_order_relaxed);
     if (lo >= state->count) break;

@@ -2,13 +2,40 @@
 
 #include <string>
 
+#include "fault/fault.h"
+
 namespace depminer {
 
 Status RunContext::Check() const {
   if (!limited()) return Status::OK();
 
+  // A forced verdict (allocation failure surfaced via ForceTrip, or an
+  // injected fault) outranks the real limits: the stage that forced it
+  // already knows the run cannot continue.
+  const int forced = forced_code_.load(std::memory_order_relaxed);
+  if (forced != static_cast<int>(StatusCode::kOk)) {
+    const StatusCode code = static_cast<StatusCode>(forced);
+    switch (code) {
+      case StatusCode::kCancelled:
+        return Status::Cancelled("run force-tripped: cancelled");
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded("run force-tripped: deadline");
+      default:
+        return Status::CapacityExceeded(
+            "working-set allocation failed (forced capacity trip)");
+    }
+  }
+
   if (cancelled_.load(std::memory_order_relaxed)) {
     return Status::Cancelled("run cancelled");
+  }
+
+  if (DEPMINER_FAULT_FIRES("deadline/jitter")) {
+    // Latch: a one-shot jitter must look like a real (permanent) deadline
+    // trip to every later check, or lanes would disagree on the verdict.
+    forced_code_.store(static_cast<int>(StatusCode::kDeadlineExceeded),
+                       std::memory_order_relaxed);
+    return Status::DeadlineExceeded("injected fault: deadline/jitter");
   }
 
   const int64_t deadline_ns = deadline_ns_.load(std::memory_order_relaxed);

@@ -69,6 +69,25 @@ class RunContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Forces the context into a failed verdict with the given code, as if
+  /// the corresponding limit had tripped. `Check()` reports the forced
+  /// code ahead of every real limit from the next call on, so the run
+  /// winds down through its ordinary partial-result machinery. This is
+  /// how a failed working-set allocation is surfaced (and how the fault
+  /// layer injects one): the allocating stage cannot continue, but every
+  /// stage already knows how to stop at a `kCapacityExceeded` verdict.
+  /// Lock-free and async-signal-safe, like `RequestCancel()`.
+  void ForceTrip(StatusCode code) {
+    forced_code_.store(static_cast<int>(code), std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// True once `ForceTrip` was called.
+  bool force_tripped() const {
+    return forced_code_.load(std::memory_order_relaxed) !=
+           static_cast<int>(StatusCode::kOk);
+  }
+
   /// True iff any limit was armed or cancellation requested. The fast
   /// filter every check starts with; an unarmed context is free.
   bool limited() const { return armed_.load(std::memory_order_acquire); }
@@ -110,6 +129,9 @@ class RunContext {
  private:
   std::atomic<bool> armed_{false};
   std::atomic<bool> cancelled_{false};
+  /// Forced verdict from `ForceTrip`; kOk (0) when none. Mutable so the
+  /// const `Check()` can latch an injected deadline-jitter fault.
+  mutable std::atomic<int> forced_code_{0};
   /// Deadline as steady_clock ns-since-epoch; kNoDeadline = unarmed.
   static constexpr int64_t kNoDeadline = INT64_MAX;
   std::atomic<int64_t> deadline_ns_{kNoDeadline};

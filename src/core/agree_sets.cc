@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "fault/fault.h"
 
 namespace depminer {
 
@@ -283,6 +284,7 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
           sizeof(AttributeSet);
   ScopedMemoryCharge memory(options.run_context);
   memory.Set(result.working_bytes);
+  DEPMINER_FAULT_ALLOC("alloc/agree", options.run_context);
 
   RunContext* ctx = options.run_context;
   std::vector<AttributeSet> distinct;
@@ -399,6 +401,7 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
 
   ScopedMemoryCharge memory(ctx);
   memory.Set(result.working_bytes);
+  DEPMINER_FAULT_ALLOC("alloc/agree", ctx);
 
   // The couple-key range is split into contiguous per-lane sub-ranges;
   // each lane intersects its couples into a private vector. The split is

@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "fault/fault.h"
 
 namespace depminer {
 
@@ -23,6 +24,9 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
   ParallelFor(
       0, n, num_threads,
       [&](size_t a) {
+        // One alloc poll per attribute: a firing fault models attribute
+        // a's transversal expansion failing to allocate.
+        DEPMINER_FAULT_ALLOC("alloc/lhs", ctx);
         DEPMINER_TRACE_SPAN(attr_span, "lhs/attribute");
         Hypergraph graph(n, max_sets.cmax_sets[a]);
         std::vector<AttributeSet> tr =

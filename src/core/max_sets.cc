@@ -6,6 +6,7 @@
 #include "common/dominance.h"
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "fault/fault.h"
 
 namespace depminer {
 
@@ -66,6 +67,7 @@ MaxSetResult ComputeMaxSets(const AgreeSetResult& agree, size_t num_threads,
                          index.bytes() + lanes * words * sizeof(uint64_t);
   ScopedMemoryCharge memory(ctx);
   memory.Set(result.working_bytes);
+  DEPMINER_FAULT_ALLOC("alloc/cmax", ctx);
 
   std::vector<std::vector<uint64_t>> scratch(
       lanes, std::vector<uint64_t>(std::max<size_t>(words, 1)));

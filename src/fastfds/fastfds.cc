@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/trace.h"
+#include "fault/fault.h"
 #include "core/agree_sets.h"
 #include "partition/partition_database.h"
 #include "report/stats_format.h"
@@ -167,6 +168,9 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
   DEPMINER_TRACE_SPAN(search_span, "fastfds/cover_search");
   std::vector<FunctionalDependency> found;
   for (AttributeId a = 0; a < n; ++a) {
+    // One alloc poll per attribute: a firing fault models D_A (or the
+    // search scratch) failing to allocate.
+    DEPMINER_FAULT_ALLOC("alloc/fastfds", ctx);
     if (ctx != nullptr && ctx->limited()) {
       Status st = ctx->Check();
       if (!st.ok()) {

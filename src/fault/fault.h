@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Compile-time fault-injection switch, mirroring the DEPMINER_TRACING
+/// idiom (common/trace.h). On by default; configure with
+/// `-DDEPMINER_FAULTS=OFF` (which defines DEPMINER_FAULTS_ENABLED=0) to
+/// strip every injection site out of the hot paths: the DEPMINER_FAULT_*
+/// macros below expand to constants or nothing, so a disabled build's
+/// miners reference no fault symbol at a site. The classes keep one
+/// definition in both modes (no ODR hazard for mixed translation units);
+/// only the macro expansions change.
+#ifndef DEPMINER_FAULTS_ENABLED
+#define DEPMINER_FAULTS_ENABLED 1
+#endif
+
+namespace depminer {
+
+class RunContext;
+
+/// What an injection site does when its fault fires. The behavior is a
+/// property of the *site* (encoded in the registry and recoverable from
+/// the site-name prefix), not of the plan — a plan only decides *when* a
+/// site fires.
+enum class FaultKind {
+  kAlloc,      ///< allocation failure: the governing RunContext is forced
+               ///< into a kCapacityExceeded verdict at a charge point
+  kIoError,    ///< read syscall fails with a transient error (EIO model)
+  kShortRead,  ///< read syscall returns fewer bytes than asked
+  kEintr,      ///< read syscall fails with EINTR (signal interruption)
+  kDeadline,   ///< RunContext::Check reports DeadlineExceeded early
+  kStall,      ///< the site sleeps for FaultPlan::stall_ms
+};
+
+/// One named injection site: where in the pipeline a deterministic fault
+/// can be delivered. The full taxonomy lives in docs/ROBUSTNESS.md.
+struct FaultSite {
+  const char* name;
+  FaultKind kind;
+  const char* where;  ///< human description of the code location
+};
+
+/// Every injection site compiled into the library, in stable order (the
+/// fault sweep walks this; docs/ROBUSTNESS.md tabulates it).
+const std::vector<FaultSite>& FaultSiteRegistry();
+
+/// Finds a registry entry by exact name; nullptr when unknown.
+const FaultSite* FindFaultSite(const std::string& name);
+
+/// A deterministic schedule of exactly one fault: the named site fails on
+/// its `trigger_hit`-th poll (0-based, counted process-wide across all
+/// threads while the plan is installed). With `repeat`, every poll from
+/// the trigger on fails — the model for a persistently bad disk; without
+/// it, one failure then clean behavior — the model for a transient error.
+struct FaultPlan {
+  std::string site;          ///< exact site name; empty matches every site
+  uint64_t trigger_hit = 0;  ///< first firing poll, 0-based
+  bool repeat = false;       ///< keep firing after the trigger
+  uint32_t stall_ms = 2;     ///< sleep duration for kStall sites
+
+  /// Derives a plan from a seed: site and trigger hit are a deterministic
+  /// function of `seed` (splitmix64 mixing), so a failing seed names its
+  /// exact fault schedule. `fdtool fuzz --faults` walks sites explicitly
+  /// and uses the seed only for the trigger; this is the single-seed
+  /// convenience for repros and tests.
+  static FaultPlan FromSeed(uint64_t seed);
+};
+
+/// RAII installation of a FaultPlan as the process-wide active plan.
+/// At most one plan is active at a time (nesting asserts). Contract, as
+/// for TraceSession: destruction must not race with instrumented work —
+/// every pipeline stage joins its parallel loops before returning, so
+/// uninstalling after a miner returns is always safe.
+///
+/// In a faults-disabled build installation is a no-op and `hits()`/
+/// `fires()` stay 0 (no site polls).
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// Polls observed at matching sites so far.
+  uint64_t hits() const;
+  /// Faults actually delivered so far.
+  uint64_t fires() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+namespace fault {
+
+/// True when a plan is installed (one relaxed atomic load — the entire
+/// cost of an idle injection site).
+bool Active();
+
+/// Counts a poll at `site` against the active plan and decides whether
+/// the fault fires here. The building block behavioral sites use
+/// directly; error sites go through `Poll`/`MaybeFailAlloc`.
+bool ShouldFire(const char* site);
+
+/// Error-site poll: OK, or the site's injected status (kIoError →
+/// IoError, kDeadline → DeadlineExceeded, kAlloc → CapacityExceeded)
+/// when the fault fires.
+Status Poll(const char* site);
+
+/// Allocation-failure site at a memory-budget charge point: when the
+/// fault fires, `ctx` (if any) is forced into a kCapacityExceeded
+/// verdict, so every later Check()/StopRequested() observes a budget
+/// trip and the stage winds down through its ordinary partial-result
+/// path — exactly what a failed working-set allocation would cause.
+void MaybeFailAlloc(const char* site, RunContext* ctx);
+
+/// Stall site: sleeps for the plan's `stall_ms` when the fault fires.
+void MaybeStall(const char* site);
+
+}  // namespace fault
+
+#if DEPMINER_FAULTS_ENABLED
+#define DEPMINER_FAULT_FIRES(site) ::depminer::fault::ShouldFire(site)
+#define DEPMINER_FAULT_POLL(site) ::depminer::fault::Poll(site)
+#define DEPMINER_FAULT_ALLOC(site, ctx) \
+  ::depminer::fault::MaybeFailAlloc((site), (ctx))
+#define DEPMINER_FAULT_STALL(site) ::depminer::fault::MaybeStall(site)
+#else
+// Expansions reference no fault symbol and fold to constants, so a
+// disabled build's hot paths carry nothing (the `sizeof` keeps the
+// argument syntactically checked but unevaluated).
+#define DEPMINER_FAULT_FIRES(site) false
+#define DEPMINER_FAULT_POLL(site) ::depminer::Status::OK()
+#define DEPMINER_FAULT_ALLOC(site, ctx)  \
+  do {                                   \
+    (void)sizeof((site));                \
+    (void)sizeof((ctx));                 \
+  } while (false)
+#define DEPMINER_FAULT_STALL(site) \
+  do {                             \
+    (void)sizeof((site));          \
+  } while (false)
+#endif
+
+}  // namespace depminer

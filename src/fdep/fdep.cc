@@ -1,6 +1,7 @@
 #include "fdep/fdep.h"
 
 #include "common/trace.h"
+#include "fault/fault.h"
 #include "core/agree_sets.h"
 #include "core/max_sets.h"
 #include "report/stats_format.h"
@@ -68,6 +69,9 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
     // H ∪ {b}, b ∉ M ∪ {A}; non-minimal survivors are dropped.
     std::vector<AttributeSet> hypotheses = {AttributeSet()};
     for (const AttributeSet& m : negative.max_sets[a]) {
+      // One alloc poll per refinement round: a firing fault models the
+      // specialization frontier failing to grow.
+      DEPMINER_FAULT_ALLOC("alloc/fdep", ctx);
       if (ctx != nullptr && ctx->limited()) {
         Status st = ctx->Check();
         if (!st.ok()) {

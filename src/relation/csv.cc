@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/file_reader.h"
 #include "relation/relation_builder.h"
 
 namespace depminer {
@@ -173,11 +174,14 @@ bool CsvRecordReader::Next(std::vector<std::string>* fields) {
 
 Result<Relation> ReadCsvRelation(const std::string& path,
                                  const CsvOptions& options) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IoError("cannot open '" + path + "' for reading");
-  }
-  return ParseStream(in, options, path);
+  RetryingFileStream in(path);
+  if (!in.is_open()) return in.status();
+  Result<Relation> result = ParseStream(in, options, path);
+  // A read error mid-file looks like EOF to the parser and would surface
+  // as a silently truncated relation; the stream's sticky status is the
+  // only witness, so it outranks the parse outcome.
+  if (!in.status().ok()) return in.status();
+  return result;
 }
 
 Result<Relation> ParseCsvRelation(const std::string& content,

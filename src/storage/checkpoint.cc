@@ -1,0 +1,460 @@
+#include "storage/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/lhs.h"
+#include "fault/fault.h"
+#include "storage/binary_io.h"
+#include "storage/streaming.h"
+
+namespace depminer {
+
+namespace {
+
+using binio::GetString;
+using binio::GetU32;
+using binio::GetU64;
+using binio::PutString;
+using binio::PutU32;
+using binio::PutU64;
+
+constexpr char kMagic[4] = {'D', 'M', 'K', '1'};
+constexpr uint32_t kVersion = 1;
+// Trailing marker: a file missing it was truncated mid-write (only
+// possible for a non-atomic writer; ours renames complete files into
+// place, so hitting this means foreign interference — either way the
+// checkpoint is unusable and the caller mines afresh).
+constexpr uint32_t kEndMarker = 0x314B4D44;  // "DMK1" little-endian
+
+void PutSet(std::ostream& out, const AttributeSet& s) {
+  PutU64(out, s.word(0));
+  PutU64(out, s.word(1));
+}
+
+bool GetSet(std::istream& in, AttributeSet* s) {
+  uint64_t w0 = 0, w1 = 0;
+  if (!GetU64(in, &w0) || !GetU64(in, &w1)) return false;
+  *s = AttributeSet::FromWords(w0, w1);
+  return true;
+}
+
+void PutSetFamily(std::ostream& out, const std::vector<AttributeSet>& sets) {
+  PutU64(out, sets.size());
+  for (const AttributeSet& s : sets) PutSet(out, s);
+}
+
+bool GetSetFamily(std::istream& in, std::vector<AttributeSet>* sets) {
+  uint64_t count = 0;
+  if (!GetU64(in, &count)) return false;
+  // Defensive cap, as in the column reader: 2^32 sets is ~64 GiB.
+  if (count > (uint64_t{1} << 32)) return false;
+  sets->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!GetSet(in, &(*sets)[i])) return false;
+  }
+  return true;
+}
+
+/// Writes `blob` so it appears atomically at `path`: temporary sibling,
+/// fsync, rename, fsync of the directory. A crash at any point leaves
+/// either the old file or the new one, never a torn mix.
+Status AtomicWriteFile(const std::string& path, const std::string& blob) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp + "' for writing");
+  }
+  size_t written = 0;
+  while (written < blob.size()) {
+    const ssize_t n =
+        ::write(fd, blob.data() + written, blob.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("failed writing '" + tmp + "'");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("fsync failed for '" + tmp + "'");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  // Persist the rename itself.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::OK();
+}
+
+Status Corrupt(const std::string& path, const char* what) {
+  return Status::IoError("'" + path + "': " + what);
+}
+
+}  // namespace
+
+const char* ToString(MinePhase phase) {
+  switch (phase) {
+    case MinePhase::kNone:
+      return "none";
+    case MinePhase::kStrip:
+      return "strip";
+    case MinePhase::kAgree:
+      return "agree";
+    case MinePhase::kCmax:
+      return "cmax";
+    case MinePhase::kCover:
+      return "cover";
+  }
+  return "unknown";
+}
+
+Status JobCheckpoint::Save(const std::string& path) const {
+  std::ostringstream out(std::ios::binary);
+  out.write(kMagic, 4);
+  PutU32(out, kVersion);
+  PutU64(out, fingerprint.hi);
+  PutU64(out, fingerprint.lo);
+  PutU32(out, static_cast<uint32_t>(algorithm));
+  PutU32(out, static_cast<uint32_t>(phase));
+  const size_t n = schema.num_attributes();
+  PutU32(out, static_cast<uint32_t>(n));
+  for (size_t a = 0; a < n; ++a) {
+    PutString(out, schema.name(static_cast<AttributeId>(a)));
+  }
+  PutU64(out, num_tuples);
+
+  switch (phase) {
+    case MinePhase::kStrip: {
+      for (const StrippedPartition& part : partitions.partitions()) {
+        PutU64(out, part.num_classes());
+        for (const EquivalenceClass& ec : part.classes()) {
+          PutU64(out, ec.size());
+          for (TupleId t : ec) PutU32(out, t);
+        }
+      }
+      break;
+    }
+    case MinePhase::kAgree: {
+      PutSetFamily(out, agree.sets);
+      PutU32(out, agree.contains_empty ? 1 : 0);
+      break;
+    }
+    case MinePhase::kCmax: {
+      for (size_t a = 0; a < n; ++a) {
+        PutSetFamily(out, max_sets.max_sets[a]);
+        PutSetFamily(out, max_sets.cmax_sets[a]);
+      }
+      break;
+    }
+    case MinePhase::kCover: {
+      PutU64(out, fds.size());
+      for (const FunctionalDependency& fd : fds.fds()) {
+        PutSet(out, fd.lhs);
+        PutU32(out, fd.rhs);
+      }
+      break;
+    }
+    case MinePhase::kNone:
+      return Status::InvalidArgument("cannot save a kNone checkpoint");
+  }
+  PutU32(out, kEndMarker);
+  if (!out) return Status::IoError("checkpoint serialization failed");
+  return AtomicWriteFile(path, out.str());
+}
+
+Result<JobCheckpoint> JobCheckpoint::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint '" + path + "'");
+  }
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Corrupt(path, "not a DMK1 checkpoint");
+  }
+  uint32_t version = 0;
+  if (!GetU32(in, &version) || version != kVersion) {
+    return Corrupt(path, "unsupported checkpoint version");
+  }
+
+  JobCheckpoint ckpt;
+  uint32_t algorithm = 0, phase = 0, n = 0;
+  if (!GetU64(in, &ckpt.fingerprint.hi) || !GetU64(in, &ckpt.fingerprint.lo) ||
+      !GetU32(in, &algorithm) || !GetU32(in, &phase) || !GetU32(in, &n)) {
+    return Corrupt(path, "truncated header");
+  }
+  if (algorithm > static_cast<uint32_t>(AgreeSetAlgorithm::kIdentifiers)) {
+    return Corrupt(path, "implausible algorithm");
+  }
+  if (phase < static_cast<uint32_t>(MinePhase::kStrip) ||
+      phase > static_cast<uint32_t>(MinePhase::kCover)) {
+    return Corrupt(path, "implausible phase");
+  }
+  if (n == 0 || n > AttributeSet::kMaxAttributes) {
+    return Corrupt(path, "implausible attribute count");
+  }
+  ckpt.algorithm = static_cast<AgreeSetAlgorithm>(algorithm);
+  ckpt.phase = static_cast<MinePhase>(phase);
+
+  std::vector<std::string> names(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    if (!GetString(in, &names[a])) return Corrupt(path, "truncated schema");
+  }
+  ckpt.schema = Schema(std::move(names));
+  uint64_t num_tuples = 0;
+  if (!GetU64(in, &num_tuples)) return Corrupt(path, "truncated header");
+  ckpt.num_tuples = num_tuples;
+
+  switch (ckpt.phase) {
+    case MinePhase::kStrip: {
+      std::vector<StrippedPartition> parts;
+      parts.reserve(n);
+      for (uint32_t a = 0; a < n; ++a) {
+        uint64_t num_classes = 0;
+        if (!GetU64(in, &num_classes) || num_classes > num_tuples) {
+          return Corrupt(path, "truncated partition");
+        }
+        std::vector<EquivalenceClass> classes(num_classes);
+        for (uint64_t c = 0; c < num_classes; ++c) {
+          uint64_t size = 0;
+          if (!GetU64(in, &size) || size < 2 || size > num_tuples) {
+            return Corrupt(path, "implausible equivalence class");
+          }
+          classes[c].resize(size);
+          for (uint64_t i = 0; i < size; ++i) {
+            uint32_t t = 0;
+            if (!GetU32(in, &t) || t >= num_tuples) {
+              return Corrupt(path, "tuple id out of range");
+            }
+            classes[c][i] = t;
+          }
+        }
+        parts.emplace_back(std::move(classes), num_tuples);
+      }
+      ckpt.partitions =
+          StrippedPartitionDatabase::FromParts(std::move(parts), num_tuples);
+      break;
+    }
+    case MinePhase::kAgree: {
+      if (!GetSetFamily(in, &ckpt.agree.sets)) {
+        return Corrupt(path, "truncated agree sets");
+      }
+      uint32_t contains_empty = 0;
+      if (!GetU32(in, &contains_empty)) {
+        return Corrupt(path, "truncated agree sets");
+      }
+      ckpt.agree.contains_empty = contains_empty != 0;
+      ckpt.agree.num_tuples = num_tuples;
+      ckpt.agree.num_attributes = n;
+      break;
+    }
+    case MinePhase::kCmax: {
+      ckpt.max_sets.num_attributes = n;
+      ckpt.max_sets.max_sets.resize(n);
+      ckpt.max_sets.cmax_sets.resize(n);
+      for (uint32_t a = 0; a < n; ++a) {
+        if (!GetSetFamily(in, &ckpt.max_sets.max_sets[a]) ||
+            !GetSetFamily(in, &ckpt.max_sets.cmax_sets[a])) {
+          return Corrupt(path, "truncated max-set families");
+        }
+      }
+      break;
+    }
+    case MinePhase::kCover: {
+      uint64_t num_fds = 0;
+      if (!GetU64(in, &num_fds) || num_fds > (uint64_t{1} << 32)) {
+        return Corrupt(path, "truncated FD cover");
+      }
+      std::vector<FunctionalDependency> fds(num_fds);
+      for (uint64_t i = 0; i < num_fds; ++i) {
+        uint32_t rhs = 0;
+        if (!GetSet(in, &fds[i].lhs) || !GetU32(in, &rhs) || rhs >= n) {
+          return Corrupt(path, "truncated FD cover");
+        }
+        fds[i].rhs = rhs;
+      }
+      ckpt.fds = FdSet(n, std::move(fds));
+      break;
+    }
+    case MinePhase::kNone:
+      break;  // unreachable: phase validated above
+  }
+
+  uint32_t end = 0;
+  if (!GetU32(in, &end) || end != kEndMarker) {
+    return Corrupt(path, "missing end marker (truncated checkpoint)");
+  }
+  return ckpt;
+}
+
+std::string CheckpointPathFor(const std::string& dir, const Fingerprint& fp,
+                              AgreeSetAlgorithm algorithm) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += fp.ToHex();
+  path += '.';
+  path += ToString(algorithm);
+  path += ".dmk";
+  return path;
+}
+
+namespace {
+
+/// The job key: the file's raw bytes plus everything else that changes
+/// the parse (CSV dialect options). The algorithm is kept out of the
+/// fingerprint and put in the file name instead, so the two jobs of a
+/// dataset mined with both algorithms coexist in one directory.
+Result<Fingerprint> JobFingerprint(const std::string& path,
+                                   const CsvOptions& csv) {
+  Result<Fingerprint> file_fp = FingerprintFile(path);
+  if (!file_fp.ok()) return file_fp.status();
+  Fingerprinter hasher;
+  hasher.UpdateU64(file_fp.value().hi);
+  hasher.UpdateU64(file_fp.value().lo);
+  hasher.UpdateU64(static_cast<uint64_t>(csv.delimiter));
+  hasher.UpdateU64((csv.has_header ? 1u : 0u) | (csv.allow_quoting ? 2u : 0u) |
+                   (csv.nulls_distinct ? 4u : 0u));
+  hasher.UpdateString(csv.null_token);
+  return hasher.Finish();
+}
+
+}  // namespace
+
+Result<CheckpointedMineResult> MineCsvWithCheckpoints(
+    const std::string& path, const CheckpointedMineOptions& options) {
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("checkpoint_dir is required");
+  }
+  if (options.algorithm == AgreeSetAlgorithm::kNaive) {
+    return Status::InvalidArgument(
+        "checkpointed mining supports the couples and identifiers "
+        "algorithms (naive needs the materialized relation)");
+  }
+
+  Result<Fingerprint> fp = JobFingerprint(path, options.csv);
+  if (!fp.ok()) return fp.status();
+
+  // One level of directory creation (a deeper missing hierarchy is a
+  // caller mistake worth surfacing at the first save instead).
+  (void)::mkdir(options.checkpoint_dir.c_str(), 0755);
+
+  CheckpointedMineResult out;
+  out.fingerprint = fp.value();
+  out.checkpoint_path =
+      CheckpointPathFor(options.checkpoint_dir, fp.value(), options.algorithm);
+
+  JobCheckpoint ckpt;
+  {
+    Result<JobCheckpoint> loaded = JobCheckpoint::Load(out.checkpoint_path);
+    if (loaded.ok() && loaded.value().fingerprint == fp.value() &&
+        loaded.value().algorithm == options.algorithm) {
+      ckpt = std::move(loaded).value();
+      out.resumed_from = ckpt.phase;
+    }
+    // Missing, corrupt, or mismatched (the path collided but the content
+    // key disagrees): mine afresh; the first boundary save overwrites it.
+  }
+
+  RunContext* ctx = options.run_context;
+  // Phase-boundary save + the `job/stall` fault site, whose hit index is
+  // the number of boundaries crossed this run — a test or the
+  // kill-and-resume smoke targets "the k-th boundary" with trigger_hit=k
+  // and gets a deterministic window while the checkpoint already exists.
+  auto save = [&](const JobCheckpoint& c) -> Status {
+    Status st = c.Save(out.checkpoint_path);
+    DEPMINER_FAULT_STALL("job/stall");
+    return st;
+  };
+
+  if (ckpt.phase == MinePhase::kNone) {
+    StreamingOptions sopt;
+    sopt.csv = options.csv;
+    sopt.value_sample_size = 0;  // discovery only; no Armstrong values
+    sopt.run_context = ctx;
+    Result<StreamingExtract> extract = ExtractFromCsv(path, sopt);
+    if (!extract.ok()) return extract.status();
+    ckpt.fingerprint = fp.value();
+    ckpt.algorithm = options.algorithm;
+    ckpt.phase = MinePhase::kStrip;
+    ckpt.schema = std::move(extract.value().schema);
+    ckpt.num_tuples = extract.value().num_tuples;
+    ckpt.partitions = std::move(extract.value().partitions);
+    DEPMINER_RETURN_NOT_OK(save(ckpt));
+  }
+  out.schema = ckpt.schema;
+  out.num_tuples = ckpt.num_tuples;
+
+  if (ckpt.phase == MinePhase::kStrip) {
+    AgreeSetOptions aopt;
+    aopt.num_threads = options.num_threads;
+    aopt.run_context = ctx;
+    AgreeSetResult agree =
+        options.algorithm == AgreeSetAlgorithm::kIdentifiers
+            ? ComputeAgreeSetsIdentifiers(ckpt.partitions, aopt)
+            : ComputeAgreeSetsCouples(ckpt.partitions, aopt);
+    if (!agree.status.ok()) {
+      // The kStrip checkpoint on disk stays the resume point.
+      out.complete = false;
+      out.run_status = agree.status;
+      return out;
+    }
+    ckpt.agree = std::move(agree);
+    ckpt.phase = MinePhase::kAgree;
+    ckpt.partitions = StrippedPartitionDatabase();
+    DEPMINER_RETURN_NOT_OK(save(ckpt));
+  }
+
+  if (ckpt.phase == MinePhase::kAgree) {
+    MaxSetResult max_sets =
+        ComputeMaxSets(ckpt.agree, options.num_threads, ctx);
+    if (!max_sets.status.ok()) {
+      out.complete = false;
+      out.run_status = max_sets.status;
+      return out;
+    }
+    ckpt.max_sets = std::move(max_sets);
+    ckpt.phase = MinePhase::kCmax;
+    ckpt.agree = AgreeSetResult();
+    DEPMINER_RETURN_NOT_OK(save(ckpt));
+  }
+
+  if (ckpt.phase == MinePhase::kCmax) {
+    LhsResult lhs = ComputeLhs(ckpt.max_sets, options.num_threads, ctx);
+    FdSet fds = OutputFds(lhs);
+    if (!lhs.status.ok()) {
+      // Salvage the finished attributes' FDs for the caller, but do not
+      // checkpoint them: kCover means *the* cover, not part of one.
+      out.fds = std::move(fds);
+      out.complete = false;
+      out.run_status = lhs.status;
+      return out;
+    }
+    ckpt.fds = std::move(fds);
+    ckpt.phase = MinePhase::kCover;
+    ckpt.max_sets = MaxSetResult();
+    DEPMINER_RETURN_NOT_OK(save(ckpt));
+  }
+
+  out.fds = ckpt.fds;
+  return out;
+}
+
+}  // namespace depminer

@@ -3,55 +3,20 @@
 #include <cstring>
 #include <fstream>
 
+#include "storage/binary_io.h"
+
 namespace depminer {
 
 namespace {
 
+using binio::GetString;
+using binio::GetU32;
+using binio::GetU64;
+using binio::PutString;
+using binio::PutU32;
+using binio::PutU64;
+
 constexpr char kMagic[4] = {'D', 'M', 'C', '1'};
-
-void PutU32(std::ostream& out, uint32_t v) {
-  char buf[4];
-  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  out.write(buf, 4);
-}
-
-void PutU64(std::ostream& out, uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  out.write(buf, 8);
-}
-
-void PutString(std::ostream& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool GetU32(std::istream& in, uint32_t* v) {
-  unsigned char buf[4];
-  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
-  *v = 0;
-  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
-  return true;
-}
-
-bool GetU64(std::istream& in, uint64_t* v) {
-  unsigned char buf[8];
-  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
-  *v = 0;
-  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
-  return true;
-}
-
-bool GetString(std::istream& in, std::string* s) {
-  uint32_t length = 0;
-  if (!GetU32(in, &length)) return false;
-  // Defensive cap: a single value or name longer than 256 MiB indicates a
-  // corrupt file, not data.
-  if (length > (256u << 20)) return false;
-  s->resize(length);
-  return static_cast<bool>(
-      in.read(s->data(), static_cast<std::streamsize>(length)));
-}
 
 }  // namespace
 

@@ -1,11 +1,12 @@
 #include "storage/streaming.h"
 
-#include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/file_reader.h"
 #include "core/armstrong.h"
 #include "core/dep_miner.h"
+#include "fault/fault.h"
 
 namespace depminer {
 
@@ -36,12 +37,14 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
   bool have_schema = false;
   while (reader.Next(&fields)) {
     ++record_no;
-    if (record_no % kCheckEveryRecords == 0 && ctx != nullptr &&
-        ctx->limited()) {
-      memory.Set(working_bytes);
-      // A partial extraction has wrong (not partial) partitions, so a
-      // trip here fails the pass outright.
-      DEPMINER_CHECK_RUN(ctx);
+    if (record_no % kCheckEveryRecords == 0) {
+      DEPMINER_FAULT_ALLOC("alloc/streaming", ctx);
+      if (ctx != nullptr && ctx->limited()) {
+        memory.Set(working_bytes);
+        // A partial extraction has wrong (not partial) partitions, so a
+        // trip here fails the pass outright.
+        DEPMINER_CHECK_RUN(ctx);
+      }
     }
     if (!have_schema) {
       if (options.csv.has_header) {
@@ -103,6 +106,13 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
     return Status::InvalidArgument(origin + ": empty CSV input");
   }
 
+  // Final charge before the stripping allocation below — also the one
+  // alloc/streaming poll every input reaches (the in-loop poll only runs
+  // every 1024 records).
+  memory.Set(working_bytes);
+  DEPMINER_FAULT_ALLOC("alloc/streaming", ctx);
+  DEPMINER_CHECK_RUN(ctx);
+
   // Strip: only classes of size > 1 survive; this is where the memory
   // usually collapses (the paper's "small representation of a relation").
   std::vector<StrippedPartition> partitions;
@@ -120,11 +130,13 @@ Result<StreamingExtract> ExtractFromStream(std::istream& in,
 
 Result<StreamingExtract> ExtractFromCsv(const std::string& path,
                                         const StreamingOptions& options) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IoError("cannot open '" + path + "' for reading");
-  }
-  return ExtractFromStream(in, options, path);
+  RetryingFileStream in(path);
+  if (!in.is_open()) return in.status();
+  Result<StreamingExtract> result = ExtractFromStream(in, options, path);
+  // A mid-file read error is EOF to the record reader; without this check
+  // the extraction would silently cover a truncated prefix of the data.
+  if (!in.status().ok()) return in.status();
+  return result;
 }
 
 Result<StreamingExtract> ExtractFromCsvText(const std::string& content,

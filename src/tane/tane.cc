@@ -10,6 +10,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "fault/fault.h"
 #include "partition/partition_database.h"
 #include "partition/partition_product.h"
 #include "report/stats_format.h"
@@ -77,6 +78,7 @@ class TaneRun {
       DEPMINER_TRACE_SPAN(level_span, "tane/level");
       level_span.SetValue(level.size());
       memory.Set(RecordPartitionFootprint(level));
+      DEPMINER_FAULT_ALLOC("alloc/tane", ctx);
       ComputeDependencies(&level);
       Prune(&level);
       // The surviving nodes become the "previous level": their partitions

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace depminer {
+
+/// Options of the fault sweep (`fdtool fuzz --faults`): seeds × injection
+/// sites × miners, asserting that every injected fault yields a
+/// well-formed error or a sound partial result — never a crash, never a
+/// corrupt cover.
+struct FaultSweepOptions {
+  uint64_t start_seed = 1;
+  /// Generated cases to sweep (each case visits every site × miner).
+  size_t iterations = 20;
+  /// Sites to inject; empty = every registry site except `job/stall`
+  /// (whose semantics — pausing the checkpoint driver — are exercised by
+  /// the checkpoint tests and the kill-and-resume smoke instead).
+  std::vector<std::string> sites;
+  /// Pool lanes for the threaded miners.
+  size_t num_threads = 1;
+  /// Directory for the temporary CSV the ingestion sites (io/*,
+  /// alloc/streaming) are driven through. Empty skips those sites.
+  std::string scratch_dir = "/tmp";
+  /// Progress line every this many seeds (0 = silent).
+  size_t log_every = 0;
+};
+
+/// One violated expectation.
+struct FaultFinding {
+  uint64_t seed = 0;
+  std::string site;
+  std::string miner;  ///< miner label, or "ingest" for extraction sites
+  std::string detail;
+};
+
+struct FaultSweepReport {
+  size_t cases_run = 0;
+  /// Individual governed runs (miner × site and ingestion × site).
+  size_t runs = 0;
+  /// Faults that actually fired across all runs. A sweep that fires
+  /// nothing proves nothing; the smoke scripts assert this is > 0.
+  size_t faults_fired = 0;
+  std::vector<FaultFinding> findings;
+
+  bool ok() const { return findings.empty(); }
+  std::string ToString() const;
+};
+
+/// Runs the sweep. Deterministic: the same options exercise the same
+/// (relation, site, trigger) triples. Expectations per run:
+///   - the fault never fired, or the site only stalls → the run must
+///     complete with a cover equivalent to the unfaulted baseline;
+///   - an error fault fired → the run must either fail with the site's
+///     status code, degrade to `complete == false` with that code and
+///     only sound FDs, or — when the fault landed after the last
+///     check — still complete with the baseline-equivalent cover.
+/// Returns non-OK only for sweep-level errors (e.g. an unwritable
+/// scratch directory); expectation violations land in the report.
+Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options,
+                                       std::ostream* log = nullptr);
+
+}  // namespace depminer

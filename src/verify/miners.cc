@@ -1,0 +1,93 @@
+#include "verify/miners.h"
+
+#include "core/dep_miner.h"
+#include "fastfds/fastfds.h"
+#include "fdep/fdep.h"
+#include "tane/tane.h"
+
+namespace depminer {
+
+namespace {
+
+MinerOutcome RunDepMiner(const Relation& r, AgreeSetAlgorithm algorithm,
+                         size_t threads, RunContext* ctx) {
+  DepMinerOptions options;
+  options.agree_set_algorithm = algorithm;
+  options.build_armstrong = false;
+  options.num_threads = threads;
+  options.run_context = ctx;
+  Result<DepMinerResult> mined = MineDependencies(r, options);
+  MinerOutcome out;
+  if (!mined.ok()) {
+    out.error = mined.status();
+    return out;
+  }
+  out.fds = std::move(mined.value().fds);
+  out.complete = mined.value().complete;
+  out.run_status = mined.value().run_status;
+  return out;
+}
+
+}  // namespace
+
+std::vector<MinerConfig> AllMiners() {
+  return {
+      {"depminer", true,
+       [](const Relation& r, size_t t, RunContext* ctx) {
+         return RunDepMiner(r, AgreeSetAlgorithm::kCouples, t, ctx);
+       }},
+      {"depminer2", true,
+       [](const Relation& r, size_t t, RunContext* ctx) {
+         return RunDepMiner(r, AgreeSetAlgorithm::kIdentifiers, t, ctx);
+       }},
+      {"tane", true,
+       [](const Relation& r, size_t t, RunContext* ctx) {
+         TaneOptions options;
+         options.num_threads = t;
+         options.run_context = ctx;
+         Result<TaneResult> mined = TaneDiscover(r, options);
+         MinerOutcome out;
+         if (!mined.ok()) {
+           out.error = mined.status();
+           return out;
+         }
+         out.fds = std::move(mined.value().fds);
+         out.complete = mined.value().complete;
+         out.run_status = mined.value().run_status;
+         return out;
+       }},
+      {"fastfds", false,
+       [](const Relation& r, size_t, RunContext* ctx) {
+         Result<FastFdsResult> mined = FastFdsDiscover(r, ctx);
+         MinerOutcome out;
+         if (!mined.ok()) {
+           out.error = mined.status();
+           return out;
+         }
+         out.fds = std::move(mined.value().fds);
+         out.complete = mined.value().complete;
+         out.run_status = mined.value().run_status;
+         return out;
+       }},
+      {"fdep", false,
+       [](const Relation& r, size_t, RunContext* ctx) {
+         Result<FdepResult> mined = FdepDiscover(r, ctx);
+         MinerOutcome out;
+         if (!mined.ok()) {
+           out.error = mined.status();
+           return out;
+         }
+         out.fds = std::move(mined.value().fds);
+         out.complete = mined.value().complete;
+         out.run_status = mined.value().run_status;
+         return out;
+       }},
+  };
+}
+
+std::string MinerLabel(const MinerConfig& miner, size_t threads) {
+  if (!miner.threaded) return miner.name;
+  return miner.name + "/" + std::to_string(threads) + "t";
+}
+
+}  // namespace depminer

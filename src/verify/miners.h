@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "fd/fd_set.h"
+#include "relation/relation.h"
+
+namespace depminer {
+
+/// Normalized outcome of one miner invocation: either an error from the
+/// call itself, or a (possibly governance-degraded) FD cover. The common
+/// currency of the differential oracle and the fault sweep.
+struct MinerOutcome {
+  FdSet fds;
+  bool complete = true;
+  Status run_status;  ///< trip cause when !complete
+  Status error;       ///< non-OK when the invocation itself failed
+};
+
+using MinerFn =
+    std::function<MinerOutcome(const Relation&, size_t, RunContext*)>;
+
+struct MinerConfig {
+  std::string name;
+  bool threaded;  ///< accepts pool lanes; serial miners run once
+  MinerFn run;
+};
+
+/// The five miners under test, adapted to one calling convention:
+/// depminer (Algorithm 2 agree sets), depminer2 (Algorithm 3), tane,
+/// fastfds, fdep.
+std::vector<MinerConfig> AllMiners();
+
+/// "depminer/4t" for threaded miners, the bare name for serial ones.
+std::string MinerLabel(const MinerConfig& miner, size_t threads);
+
+}  // namespace depminer

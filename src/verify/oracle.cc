@@ -2,15 +2,14 @@
 
 #include <functional>
 
+#include "verify/miners.h"
+
 #include "common/run_context.h"
 #include "core/armstrong.h"
 #include "core/dep_miner.h"
-#include "fastfds/fastfds.h"
 #include "fd/fd_diff.h"
 #include "fd/naive_discovery.h"
 #include "fd/satisfaction.h"
-#include "fdep/fdep.h"
-#include "tane/tane.h"
 
 namespace depminer {
 
@@ -51,102 +50,6 @@ std::string OracleReport::ToString() const {
 
 namespace {
 
-/// Normalized outcome of one miner invocation: either an error from the
-/// call itself, or a (possibly governance-degraded) FD cover.
-struct MinerOutcome {
-  FdSet fds;
-  bool complete = true;
-  Status run_status;  ///< trip cause when !complete
-  Status error;       ///< non-OK when the invocation itself failed
-};
-
-using MinerFn =
-    std::function<MinerOutcome(const Relation&, size_t, RunContext*)>;
-
-struct MinerConfig {
-  std::string name;
-  bool threaded;  ///< accepts pool lanes; serial miners run once
-  MinerFn run;
-};
-
-MinerOutcome RunDepMiner(const Relation& r, AgreeSetAlgorithm algorithm,
-                         size_t threads, RunContext* ctx) {
-  DepMinerOptions options;
-  options.agree_set_algorithm = algorithm;
-  options.build_armstrong = false;
-  options.num_threads = threads;
-  options.run_context = ctx;
-  Result<DepMinerResult> mined = MineDependencies(r, options);
-  MinerOutcome out;
-  if (!mined.ok()) {
-    out.error = mined.status();
-    return out;
-  }
-  out.fds = std::move(mined.value().fds);
-  out.complete = mined.value().complete;
-  out.run_status = mined.value().run_status;
-  return out;
-}
-
-std::vector<MinerConfig> AllMiners() {
-  return {
-      {"depminer", true,
-       [](const Relation& r, size_t t, RunContext* ctx) {
-         return RunDepMiner(r, AgreeSetAlgorithm::kCouples, t, ctx);
-       }},
-      {"depminer2", true,
-       [](const Relation& r, size_t t, RunContext* ctx) {
-         return RunDepMiner(r, AgreeSetAlgorithm::kIdentifiers, t, ctx);
-       }},
-      {"tane", true,
-       [](const Relation& r, size_t t, RunContext* ctx) {
-         TaneOptions options;
-         options.num_threads = t;
-         options.run_context = ctx;
-         Result<TaneResult> mined = TaneDiscover(r, options);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
-      {"fastfds", false,
-       [](const Relation& r, size_t, RunContext* ctx) {
-         Result<FastFdsResult> mined = FastFdsDiscover(r, ctx);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
-      {"fdep", false,
-       [](const Relation& r, size_t, RunContext* ctx) {
-         Result<FdepResult> mined = FdepDiscover(r, ctx);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
-  };
-}
-
-std::string Label(const MinerConfig& miner, size_t threads) {
-  if (!miner.threaded) return miner.name;
-  return miner.name + "/" + std::to_string(threads) + "t";
-}
 
 void Report(OracleReport* report, CheckKind kind, std::string miner,
             std::string detail) {
@@ -292,7 +195,7 @@ OracleReport RunDifferentialOracle(const Relation& relation,
     const size_t count = miner.threaded ? threads.size() : 1;
     for (size_t i = 0; i < count; ++i) {
       const size_t t = miner.threaded ? threads[i] : 1;
-      const std::string label = Label(miner, t);
+      const std::string label = MinerLabel(miner, t);
       MinerOutcome out = miner.run(relation, t, nullptr);
       ++report.miner_runs;
       if (!out.error.ok()) {
@@ -362,7 +265,7 @@ OracleReport RunDifferentialOracle(const Relation& relation,
         for (size_t i = 0; i < count; ++i) {
           const size_t t = miner.threaded ? threads[i] : 1;
           const std::string label =
-              Label(miner, t) + "+" + TripName(trip);
+              MinerLabel(miner, t) + "+" + TripName(trip);
           RunContext ctx;
           ArmTripped(&ctx, trip);
           MinerOutcome out = miner.run(relation, t, &ctx);

@@ -148,3 +148,39 @@ add_test(NAME cli.catalog
         -DDATA=${DATA}
         -DWORK=${CMAKE_CURRENT_BINARY_DIR}
         -P ${CMAKE_CURRENT_SOURCE_DIR}/cli_catalog_test.cmake)
+
+# Crash-safe mining: a checkpointed mine finds the same cover, and an
+# interrupted one resumes from the written checkpoint bit-identically
+# (the script injects the interruption via the fault layer).
+add_test(NAME cli.mine_checkpoint COMMAND fdtool mine ${DATA}/employees.csv
+         --checkpoint-dir=${CMAKE_CURRENT_BINARY_DIR}/cli_ckpt)
+set_tests_properties(cli.mine_checkpoint PROPERTIES
+    PASS_REGULAR_EXPRESSION "depname -> depnum")
+
+add_test(NAME cli.checkpoint_resume
+    COMMAND ${CMAKE_COMMAND}
+        -DFDTOOL=$<TARGET_FILE:fdtool>
+        -DDATA=${DATA}
+        -DWORK=${CMAKE_CURRENT_BINARY_DIR}
+        -DFAULTS=${DEPMINER_FAULTS}
+        -P ${CMAKE_CURRENT_SOURCE_DIR}/cli_checkpoint_test.cmake)
+
+# Fault injection: the sweep holds on a small slice, a debug-injected
+# allocation failure degrades a mine to a partial result (the regex match
+# is the pass criterion; the run itself exits 3), and an unknown site is
+# a usage error. Only meaningful when the sites are compiled in.
+if(DEPMINER_FAULTS)
+  add_test(NAME cli.fuzz_faults COMMAND fdtool fuzz --faults --iterations=2
+           --seed=1)
+  set_tests_properties(cli.fuzz_faults PROPERTIES
+      PASS_REGULAR_EXPRESSION "all expectations held")
+
+  add_test(NAME cli.fault_site COMMAND fdtool mine ${DATA}/employees.csv
+           --fault-site=alloc/agree)
+  set_tests_properties(cli.fault_site PROPERTIES
+      PASS_REGULAR_EXPRESSION "run interrupted \\(CapacityExceeded")
+
+  add_test(NAME cli.fault_bad_site COMMAND fdtool mine ${DATA}/employees.csv
+           --fault-site=bogus/site)
+  set_tests_properties(cli.fault_bad_site PROPERTIES WILL_FAIL TRUE)
+endif()
