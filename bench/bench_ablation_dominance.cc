@@ -14,6 +14,9 @@
 // Flags: --sizes=64,256,1024,4096  random-family sizes for part one
 //        --attrs=N                 attribute count for random families
 //        --density=PERCENT         attribute membership probability
+//        --reps=N                  timed repetitions per family size;
+//                                  the *median* is reported (single runs
+//                                  at the µs scale are noise)
 //        --iters=N                 CMAX repetitions per bundled dataset
 //        --seed=N
 //        --json=PATH               machine-readable results
@@ -82,6 +85,23 @@ double Speedup(double naive_s, double kernel_s) {
   return kernel_s > 0 ? naive_s / kernel_s : 0.0;
 }
 
+/// Median of `reps` timed runs of `fn` (each run re-filters the family
+/// from scratch). A warm-up run precedes the timed ones so the first
+/// measurement does not pay cold caches and lazy allocation.
+template <typename Fn>
+double MedianSeconds(size_t reps, Fn&& fn) {
+  fn();  // warm-up, untimed
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
 /// Times kernel vs naive CMAX on one agree-set result, `iters` times
 /// each, and cross-checks the outputs. Returns false on mismatch.
 bool MeasureCmax(const AgreeSetResult& agree, size_t iters, DatasetRow* row) {
@@ -113,14 +133,20 @@ int main(int argc, char** argv) {
   const size_t attrs = static_cast<size_t>(parser.GetInt("attrs", 40));
   const uint64_t density =
       static_cast<uint64_t>(parser.GetInt("density", 50));
+  const size_t reps =
+      std::max<size_t>(1, static_cast<size_t>(parser.GetInt("reps", 15)));
   const size_t iters = static_cast<size_t>(parser.GetInt("iters", 2000));
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
   const std::string json_path = parser.GetString("json", "");
 
-  // Part one: Max⊆/Min⊆ on random families of growing size.
-  std::printf("== Ablation: Max⊆/Min⊆ kernel vs naive (|R|=%zu, d=%llu%%) "
-              "==\n",
-              attrs, static_cast<unsigned long long>(density));
+  // Part one: Max⊆/Min⊆ on random families of growing size. The kernel
+  // dispatch (batched survivor scan below the index cutoff, posting
+  // index above — see common/dominance.cc) vs the plain quadratic scan;
+  // medians of `reps` runs so the small families are not pure noise.
+  std::printf("== Ablation: Max⊆/Min⊆ kernel vs naive (|R|=%zu, d=%llu%%, "
+              "backend=%s, median of %zu) ==\n",
+              attrs, static_cast<unsigned long long>(density),
+              ToString(ActiveDominanceBackend()), reps);
   std::printf("%-8s %-14s %-12s %-14s %-12s %-12s\n", "sets",
               "max_kernel_s", "max_naive_s", "min_kernel_s", "min_naive_s",
               "max_speedup");
@@ -133,21 +159,13 @@ int main(int argc, char** argv) {
     const std::vector<AttributeSet> family =
         RandomFamily(row.size, attrs, density, &rng);
 
-    Stopwatch timer;
-    const auto max_kernel = MaximalSets(family);
-    row.max_kernel_s = timer.ElapsedSeconds();
-    timer.Restart();
-    const auto max_naive = MaximalSetsNaive(family);
-    row.max_naive_s = timer.ElapsedSeconds();
-    timer.Restart();
-    const auto min_kernel = MinimalSets(family);
-    row.min_kernel_s = timer.ElapsedSeconds();
-    timer.Restart();
-    const auto min_naive = MinimalSetsNaive(family);
-    row.min_naive_s = timer.ElapsedSeconds();
+    row.max_kernel_s = MedianSeconds(reps, [&] { MaximalSets(family); });
+    row.max_naive_s = MedianSeconds(reps, [&] { MaximalSetsNaive(family); });
+    row.min_kernel_s = MedianSeconds(reps, [&] { MinimalSets(family); });
+    row.min_naive_s = MedianSeconds(reps, [&] { MinimalSetsNaive(family); });
 
-    if (Canonical(max_kernel) != Canonical(max_naive) ||
-        Canonical(min_kernel) != Canonical(min_naive)) {
+    if (Canonical(MaximalSets(family)) != Canonical(MaximalSetsNaive(family)) ||
+        Canonical(MinimalSets(family)) != Canonical(MinimalSetsNaive(family))) {
       std::fprintf(stderr, "MISMATCH at %zu sets\n", row.size);
       return 1;
     }
@@ -238,6 +256,8 @@ int main(int argc, char** argv) {
     json.Key("seed").Value(static_cast<uint64_t>(seed));
     json.Key("hardware_threads")
         .Value(static_cast<uint64_t>(DefaultThreadCount()));
+    json.Key("backend").Value(ToString(ActiveDominanceBackend()));
+    json.Key("reps").Value(static_cast<uint64_t>(reps));
     json.Key("families").OpenArray();
     for (const FamilyRow& row : family_rows) {
       json.OpenObject();

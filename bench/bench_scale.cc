@@ -1,0 +1,231 @@
+// Paper-scale corpus benchmark: every dataset of PaperScaleCorpus() —
+// the §7 Tables 3–5 regime (tuple, attribute and correlation sweeps plus
+// the fixed-domain and Zipf-skewed points) — measured per pipeline phase
+// (partition stripping, both agree-set algorithms, the CMAX_SET
+// dominance stage, and the end-to-end Dep-Miner mine) at each requested
+// thread count. Times are medians over --reps runs; results are verified
+// byte-identical across thread counts before any time is reported, so a
+// scheduling bug can never hide behind a speedup.
+//
+// Flags: --scale=F      corpus scale factor (1.0 = the paper's regime;
+//                       scripts/check.sh smokes with a tiny fraction)
+//        --seed=N --threads=1,2,8 --reps=N
+//        --json=PATH    also emit machine-readable results
+//        (scripts/bench_scale.sh writes BENCH_scale.json)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "core/dep_miner.h"
+#include "core/max_sets.h"
+#include "datagen/synthetic.h"
+#include "report/json_writer.h"
+
+using namespace depminer;
+
+namespace {
+
+/// Median wall-clock seconds of `fn` over `reps` runs (no warm-up: every
+/// phase here is preceded by the generation and stripping of the same
+/// data, so caches are in a steady state by the first rep).
+template <typename Fn>
+double MedianSeconds(size_t reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+bool SameAgreeResult(const AgreeSetResult& a, const AgreeSetResult& b) {
+  return a.sets == b.sets && a.contains_empty == b.contains_empty &&
+         a.couples_examined == b.couples_examined;
+}
+
+/// One measured row: one dataset at one thread count.
+struct Row {
+  size_t threads = 0;
+  double strip_s = 0;
+  double agree2_s = 0;
+  double agree3_s = 0;
+  double cmax_s = 0;
+  double depminer_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser;
+  (void)parser.Parse(argc, argv);
+  const double scale = parser.GetDouble("scale", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed", 42));
+  const std::vector<int64_t> threads = parser.GetIntList("threads", {1, 2, 8});
+  const size_t reps =
+      std::max<size_t>(1, static_cast<size_t>(parser.GetInt("reps", 3)));
+  const std::string json_path = parser.GetString("json", "");
+
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "--scale must be positive\n");
+    return 1;
+  }
+  const std::vector<CorpusSpec> corpus = PaperScaleCorpus(scale, seed);
+  const size_t max_threads = static_cast<size_t>(
+      *std::max_element(threads.begin(), threads.end()));
+
+  std::printf("== Paper-scale corpus (scale=%g, %zu datasets, %zu cores "
+              "available, median of %zu) ==\n",
+              scale, corpus.size(), DefaultThreadCount(), reps);
+
+  JsonWriter json;
+  json.OpenObject();
+  json.Key("bench").Value("scale");
+  json.Key("scale").Value(scale);
+  json.Key("seed").Value(static_cast<uint64_t>(seed));
+  json.Key("hardware_threads")
+      .Value(static_cast<uint64_t>(DefaultThreadCount()));
+  if (DefaultThreadCount() == 1) {
+    // Loud and machine-readable: thread-scaling numbers from this run
+    // mean nothing — every lane count shares one core.
+    json.Key("warning").Value("hardware_threads==1");
+    std::printf("WARNING: hardware_threads==1 — speedups are unmeasurable "
+                "on this machine\n");
+  }
+  json.Key("reps").Value(static_cast<uint64_t>(reps));
+  json.Key("datasets").OpenArray();
+
+  for (const CorpusSpec& spec : corpus) {
+    SyntheticConfig config = spec.config;
+    config.num_threads = max_threads;
+    Stopwatch gen_timer;
+    Result<Relation> data = GenerateSynthetic(config);
+    const double gen_s = gen_timer.ElapsedSeconds();
+    if (!data.ok()) {
+      std::fprintf(stderr, "datagen[%s]: %s\n", spec.name.c_str(),
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const Relation& r = data.value();
+    std::printf("-- %s (|R|=%zu, |r|=%zu, gen %.3fs)\n", spec.name.c_str(),
+                r.num_attributes(), r.num_tuples(), gen_s);
+    std::printf("%-10s %-10s %-10s %-10s %-10s %-10s\n", "threads", "strip_s",
+                "agree2_s", "agree3_s", "cmax_s", "depminer_s");
+
+    FdSet fd_reference;
+    AgreeSetResult agree2_reference;
+    AgreeSetResult agree3_reference;
+    MaxSetResult cmax_reference;
+    std::vector<Row> rows;
+    for (int64_t t : threads) {
+      Row row;
+      row.threads = static_cast<size_t>(t);
+
+      StrippedPartitionDatabase db;
+      row.strip_s = MedianSeconds(reps, [&] {
+        db = StrippedPartitionDatabase::FromRelation(r, row.threads);
+      });
+
+      AgreeSetOptions agree_options;
+      agree_options.num_threads = row.threads;
+      AgreeSetResult agree2;
+      row.agree2_s = MedianSeconds(
+          reps, [&] { agree2 = ComputeAgreeSetsCouples(db, agree_options); });
+      AgreeSetResult agree3;
+      row.agree3_s = MedianSeconds(reps, [&] {
+        agree3 = ComputeAgreeSetsIdentifiers(db, agree_options);
+      });
+
+      MaxSetResult cmax;
+      row.cmax_s = MedianSeconds(
+          reps, [&] { cmax = ComputeMaxSets(agree3, row.threads); });
+
+      DepMinerOptions dm_options;
+      dm_options.num_threads = row.threads;
+      dm_options.build_armstrong = false;
+      Result<DepMinerResult> mined = Status::OK();
+      row.depminer_s = MedianSeconds(
+          reps, [&] { mined = MineDependencies(r, dm_options); });
+      if (!mined.ok()) {
+        std::fprintf(stderr, "dep-miner[%s]: %s\n", spec.name.c_str(),
+                     mined.status().ToString().c_str());
+        return 1;
+      }
+
+      if (rows.empty()) {
+        fd_reference = mined.value().fds;
+        agree2_reference = agree2;
+        agree3_reference = agree3;
+        cmax_reference = cmax;
+      }
+      if (!SameAgreeResult(agree2, agree2_reference) ||
+          !SameAgreeResult(agree3, agree3_reference) ||
+          cmax.max_sets != cmax_reference.max_sets ||
+          cmax.cmax_sets != cmax_reference.cmax_sets ||
+          mined.value().fds.fds() != fd_reference.fds()) {
+        std::fprintf(stderr, "MISMATCH on %s at %lld threads\n",
+                     spec.name.c_str(), static_cast<long long>(t));
+        return 1;
+      }
+
+      std::printf("%-10lld %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
+                  static_cast<long long>(t), row.strip_s, row.agree2_s,
+                  row.agree3_s, row.cmax_s, row.depminer_s);
+      rows.push_back(row);
+    }
+
+    const Row& first = rows.front();
+    const Row& last = rows.back();
+    json.OpenObject();
+    json.Key("name").Value(spec.name);
+    json.Key("attrs").Value(static_cast<uint64_t>(r.num_attributes()));
+    json.Key("tuples").Value(static_cast<uint64_t>(r.num_tuples()));
+    json.Key("identical_rate").Value(spec.config.identical_rate);
+    json.Key("fixed_domain")
+        .Value(static_cast<uint64_t>(spec.config.fixed_domain));
+    json.Key("zipf_exponent").Value(spec.config.zipf_exponent);
+    json.Key("gen_s").Value(gen_s);
+    json.Key("results").OpenArray();
+    for (const Row& row : rows) {
+      json.OpenObject();
+      json.Key("threads").Value(static_cast<uint64_t>(row.threads));
+      json.Key("strip_s").Value(row.strip_s);
+      json.Key("agree2_s").Value(row.agree2_s);
+      json.Key("agree3_s").Value(row.agree3_s);
+      json.Key("cmax_s").Value(row.cmax_s);
+      json.Key("depminer_s").Value(row.depminer_s);
+      json.Key("identical").Value(true);
+      json.CloseObject();
+    }
+    json.CloseArray();
+    json.Key("agree2_speedup")
+        .Value(last.agree2_s > 0 ? first.agree2_s / last.agree2_s : 0.0);
+    json.Key("agree3_speedup")
+        .Value(last.agree3_s > 0 ? first.agree3_s / last.agree3_s : 0.0);
+    json.Key("cmax_speedup")
+        .Value(last.cmax_s > 0 ? first.cmax_s / last.cmax_s : 0.0);
+    json.CloseObject();
+  }
+
+  json.CloseArray();
+  json.CloseObject();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.str().c_str());
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

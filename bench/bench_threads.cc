@@ -160,6 +160,14 @@ int main(int argc, char** argv) {
     json.Key("seed").Value(static_cast<uint64_t>(seed));
     json.Key("hardware_threads")
         .Value(static_cast<uint64_t>(DefaultThreadCount()));
+    if (DefaultThreadCount() == 1) {
+      // Loud and machine-readable: every lane count below shares one
+      // core, so the speedup columns of this run mean nothing.
+      json.Key("warning").Value("hardware_threads==1");
+      std::fprintf(stderr,
+                   "WARNING: hardware_threads==1 — speedups are "
+                   "unmeasurable on this machine\n");
+    }
     json.Key("results").OpenArray();
     for (const Row& row : rows) {
       json.OpenObject();

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Records the paper-scale corpus baseline: runs bench_scale over the full
+# PaperScaleCorpus() grid (the paper's §7 Tables 3–5 regime — tuple,
+# attribute and correlation sweeps plus the fixed-domain and Zipf points)
+# at 1/2/8 threads and writes machine-readable per-phase medians to
+# BENCH_scale.json at the repo root. The checked-in copy of that file is
+# the perf baseline; re-run this script after touching the generator, the
+# dominance kernel or the morsel engine and compare. The JSON records
+# hardware_threads — on a 1-core box it also carries
+# "warning":"hardware_threads==1" and the speedup columns mean nothing.
+#
+#   scripts/bench_scale.sh               # full grid (minutes)
+#   scripts/bench_scale.sh --scale=4     # push the tuple sweep to 1.6M
+#   scripts/bench_scale.sh --scale=0.01  # seconds-long smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/bench/bench_scale ]; then
+  echo "==> building bench_scale"
+  cmake --preset default >/dev/null
+  cmake --build build --target bench_scale -j \
+    "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fi
+
+./build/bench/bench_scale --threads=1,2,8 \
+  --json=BENCH_scale.json "$@"
+
+echo "==> baseline written to BENCH_scale.json"

@@ -50,6 +50,30 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# bench_scale smoke-run: the paper-scale corpus generator and bench
+# binary at a seconds-long scale — every grid dataset generated, every
+# phase measured once at 1 and 2 threads with identical-output
+# verification, JSON emitted and parsed. Keeps the bench binaries and
+# the generator from rotting between full baseline runs.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) bench_scale=build/bench/bench_scale ;;
+    asan-ubsan) bench_scale=build-asan-ubsan/bench/bench_scale ;;
+    *) continue ;;
+  esac
+  if [ -x "${bench_scale}" ]; then
+    echo "==> bench_scale smoke-run [${preset}]"
+    scale_out=/tmp/depminer_bench_scale_smoke_${preset}.json
+    "${bench_scale}" --scale=0.002 --reps=1 --threads=1,2 \
+      --json="${scale_out}" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "${scale_out}" >/dev/null
+      echo "    scale JSON parses: ${scale_out}"
+    fi
+    rm -f "${scale_out}"
+  fi
+done
+
 # Fuzz smoke-run: a deterministic slice of the differential verification
 # harness (docs/VERIFICATION.md) — all five miners cross-checked on 25
 # adversarial relations, Armstrong round-trips included. Runs under the

@@ -8,6 +8,31 @@
 
 namespace depminer {
 
+/// Instruction-set backend for the dominance kernel's batched bitmap
+/// loops (posting intersections and the SoA survivor scan). The scalar
+/// path is the semantic oracle; wider backends must produce bit-identical
+/// survivors, which the dominance tests enforce on random families and
+/// the corpus determinism suite enforces end to end across all miners.
+enum class DominanceBackend {
+  kScalar,  ///< portable 64-bit words, 4-way unrolled
+  kAvx2,    ///< 256-bit AVX2 lanes (4 id-bitmap words per op)
+};
+
+/// True when the host CPU can execute `backend` (kScalar always can).
+bool DominanceBackendSupported(DominanceBackend backend);
+
+/// The backend the kernel is currently dispatching to. Resolved once at
+/// first use: AVX2 when the CPU supports it, scalar otherwise.
+DominanceBackend ActiveDominanceBackend();
+
+/// Forces the kernel onto `backend` (silently falling back to scalar if
+/// the CPU lacks it) and returns the previously active backend. Used by
+/// the scalar-vs-SIMD differential tests and benches; thread-safe, but
+/// flipping it mid-query only affects subsequent queries.
+DominanceBackend SetDominanceBackend(DominanceBackend backend);
+
+const char* ToString(DominanceBackend backend);
+
 /// Subset-dominance kernel: an inverted index over a family of attribute
 /// sets that answers "does the family contain a proper superset (resp.
 /// subset) of X?" in O(postings) bitmap words instead of O(|S|) pairwise
@@ -94,12 +119,14 @@ class DominanceIndex {
 };
 
 /// Reference quadratic implementations of the Max⊆ / Min⊆ filters: the
-/// incremental survivor scan the kernel replaced. Retained as the oracle
-/// for the dominance property tests, as the baseline the
-/// `bench_ablation_dominance` ablation measures against, and as the
-/// small-family fast path (index construction does not pay off below a
-/// few dozen sets). Semantics are identical to `MaximalSets` /
-/// `MinimalSets` (see attribute_set.h), including output order.
+/// plain incremental survivor scan the kernel replaced. Retained as the
+/// oracle for the dominance property tests and as the baseline the
+/// `bench_ablation_dominance` ablation measures against. (The kernel's
+/// own small-family path is the *batched* survivor scan — same survivors,
+/// SoA word columns, backend-dispatched — so the dispatch never regresses
+/// below this baseline; see the measured cutoff in dominance.cc.)
+/// Semantics are identical to `MaximalSets` / `MinimalSets` (see
+/// attribute_set.h), including output order.
 std::vector<AttributeSet> MaximalSetsNaive(std::vector<AttributeSet> sets);
 std::vector<AttributeSet> MinimalSetsNaive(std::vector<AttributeSet> sets);
 

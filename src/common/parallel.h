@@ -130,6 +130,40 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads, Fn&& fn) {
               [] { return false; });
 }
 
+/// Fixed-grain partition of an index range into *morsels* — the small
+/// work units the agree-set engine pulls from the pool's shared queue
+/// (ParallelFor's dynamic chunk claiming is the queue; a morsel is one
+/// loop index). Each morsel m owns the contiguous sub-range
+/// [lo(m), hi(m)), so outputs stored per-morsel and merged in morsel
+/// order are a pure function of the input range, never of which lane ran
+/// which morsel: results stay bit-identical at any thread count while
+/// scheduling stays dynamic — a skewed or stalled morsel strands one
+/// grain of work, not a static 1/num_threads share of the range.
+struct MorselPlan {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t count = 0;
+
+  /// Grain policy: aim for several morsels per lane so the dynamic
+  /// scheduler has slack to balance skew, but clamp below so queue
+  /// traffic and per-morsel buffers can't dominate tiny ranges, and
+  /// above so one morsel's buffer stays cache- and budget-friendly.
+  MorselPlan(size_t begin_, size_t end_, size_t num_threads,
+             size_t min_grain = 1024, size_t max_grain = 65536)
+      : begin(begin_), end(end_ > begin_ ? end_ : begin_) {
+    const size_t n = end - begin;
+    const size_t lanes = std::max<size_t>(1, num_threads);
+    const size_t hi_grain = std::max(min_grain, max_grain);
+    grain = std::clamp(n / (8 * lanes), std::max<size_t>(1, min_grain),
+                       hi_grain);
+    count = (n + grain - 1) / grain;
+  }
+
+  size_t lo(size_t m) const { return std::min(end, begin + m * grain); }
+  size_t hi(size_t m) const { return std::min(end, lo(m) + grain); }
+};
+
 /// Assertion-friendly wrapper for ParallelFor's no-throw contract: the
 /// returned callable runs `fn(i)` and turns any escaping exception into a
 /// debug assertion failure (release builds terminate, as any throw from a

@@ -105,23 +105,6 @@ bool EmptyAgreeSetPresent(size_t num_tuples, size_t distinct_couples) {
   return distinct_couples < total_pairs;
 }
 
-/// Contiguous per-lane split of [begin, end): lane w of `workers` owns
-/// [begin + w*per, ...). Static and therefore deterministic — each lane's
-/// output depends only on its range, never on scheduling.
-struct RangeSplit {
-  size_t begin, count, workers, per;
-  RangeSplit(size_t begin_, size_t end_, size_t num_threads)
-      : begin(begin_),
-        count(end_ - begin_),
-        workers(std::max<size_t>(1, std::min(num_threads, count))),
-        per((count + workers - 1) / workers) {}
-  // Both bounds clamp to the range end: ceil division can hand the last
-  // lanes a start past it (count = 9, workers = 8 → per = 2, lo(5) = 10),
-  // and an unclamped lo would make hi - lo underflow to ~2^64.
-  size_t lo(size_t w) const { return std::min(begin + count, begin + w * per); }
-  size_t hi(size_t w) const { return std::min(begin + count, lo(w) + per); }
-};
-
 /// The tripping status after a parallel stage observed `stopped`:
 /// whatever the context reports, with a cancellation fallback for the
 /// (theoretical) race where the trip is no longer observable.
@@ -275,13 +258,18 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
           : options.max_couples_per_chunk;
 
   // The dominant working structures: the materialized couple list, the
-  // label table, and the per-lane agree buffers of one chunk. Charged so
-  // a memory budget can veto the run before the chunk loop starts.
+  // label table, one chunk's retained morsel outputs, and the in-flight
+  // per-morsel scratch buffers (one grain-sized agree buffer per active
+  // lane). Charged so a memory budget can veto the run before the chunk
+  // loop starts.
+  const size_t chunk_couples =
+      std::min(chunk_size, std::max<size_t>(couples.size(), 1));
+  const MorselPlan chunk_plan(0, chunk_couples, num_threads);
   result.working_bytes =
       total_couples * (sizeof(uint64_t) + sizeof(std::pair<TupleId, TupleId>)) +
-      labels.bytes() +
-      std::min(chunk_size, std::max<size_t>(couples.size(), 1)) *
-          sizeof(AttributeSet);
+      labels.bytes() + chunk_couples * sizeof(AttributeSet) +
+      std::min(num_threads, std::max<size_t>(chunk_plan.count, 1)) *
+          chunk_plan.grain * sizeof(AttributeSet);
   ScopedMemoryCharge memory(options.run_context);
   memory.Set(result.working_bytes);
   DEPMINER_FAULT_ALLOC("alloc/agree", options.run_context);
@@ -298,19 +286,22 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
     DEPMINER_TRACE_SPAN(chunk_span, "agree/chunk");
     chunk_span.SetValue(end - begin);
 
-    // Lines 10-18 of the chunk, partitioned: each lane owns a contiguous
-    // couple sub-range, walks every label row over it (cache-friendly:
-    // label rows are scanned, not rebuilt), accumulates its agree sets
-    // locally and deduplicates before the merge. The split is static, so
-    // every lane's output is a pure function of its range — merging in
-    // slot order keeps the result bit-identical for any thread count.
-    const RangeSplit split(begin, end, num_threads);
-    std::vector<std::vector<AttributeSet>> lane_sets(split.workers);
+    // Lines 10-18 of the chunk, morselized: the couple range splits into
+    // grain-sized morsels pulled dynamically from the pool queue. Each
+    // morsel walks every label row over its sub-range (cache-friendly:
+    // label rows are scanned, not rebuilt), accumulates its agree sets in
+    // a private grain-sized buffer and deduplicates before publishing.
+    // A morsel's output is a pure function of its sub-range — merging in
+    // morsel order keeps the result bit-identical at any thread count,
+    // while dynamic claiming keeps lanes busy when couples are skewed
+    // (dense label rows make some morsels much heavier than others).
+    const MorselPlan plan(begin, end, num_threads);
+    std::vector<std::vector<AttributeSet>> morsel_sets(plan.count);
     std::atomic<bool> stopped{false};
     ParallelFor(
-        0, split.workers, split.workers,
-        [&](size_t w) {
-          const size_t lo = split.lo(w), hi = split.hi(w);
+        0, plan.count, num_threads,
+        [&](size_t m) {
+          const size_t lo = plan.lo(m), hi = plan.hi(m);
           std::vector<AttributeSet> agree(hi - lo);
           StridedStopPoller poll(ctx, 4096);
           for (AttributeId a = 0; a < db.num_attributes(); ++a) {
@@ -327,15 +318,15 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
             }
           }
           DedupSets(&agree);
-          lane_sets[w] = std::move(agree);
+          morsel_sets[m] = std::move(agree);
         },
         [&stopped] { return stopped.load(std::memory_order_relaxed); });
 
     if (stopped.load(std::memory_order_relaxed)) {
-      // A chunk is all-or-nothing: a lane that bailed mid-scan has agree
-      // sets missing attributes, so the whole chunk is discarded and the
-      // result keeps only the chunks completed before the trip — the
-      // same granularity the serial path degrades at.
+      // A chunk is all-or-nothing: a morsel that bailed mid-scan has
+      // agree sets missing attributes, so the whole chunk is discarded
+      // and the result keeps only the chunks completed before the trip —
+      // the same granularity the serial path degrades at.
       result.status = TripStatus(ctx);
       break;
     }
@@ -346,7 +337,7 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
     // accumulator at O(distinct sets), preserving the bounded-memory
     // property chunking exists for.
     ++result.chunks_processed;
-    for (std::vector<AttributeSet>& sets : lane_sets) {
+    for (std::vector<AttributeSet>& sets : morsel_sets) {
       distinct.insert(distinct.end(), sets.begin(), sets.end());
     }
     DedupSets(&distinct);
@@ -397,27 +388,30 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
   result.working_bytes =
       total_couples * sizeof(uint64_t) +           // couple keys
       db.TotalMemberships() * sizeof(uint64_t) +   // ec lists
-      total_couples * sizeof(AttributeSet);        // per-lane ag buffers
+      total_couples * sizeof(AttributeSet);        // per-morsel ag buffers
 
   ScopedMemoryCharge memory(ctx);
   memory.Set(result.working_bytes);
   DEPMINER_FAULT_ALLOC("alloc/agree", ctx);
 
-  // The couple-key range is split into contiguous per-lane sub-ranges;
-  // each lane intersects its couples into a private vector. The split is
-  // static, so lane contents are deterministic; merging in slot order
-  // before the final sort/dedup keeps the result bit-identical for any
-  // thread count. A lane that observes a tripped context stops at its
-  // current couple — its prefix is still valid (every pushed set is a
-  // complete ag(t, t')), matching the serial partial-result contract.
+  // The couple-key range is morselized: grain-sized sub-ranges pulled
+  // dynamically from the pool queue, each intersected into a private
+  // per-morsel vector. A morsel's output depends only on its sub-range,
+  // so merging in morsel order before the final sort/dedup keeps the
+  // result bit-identical at any thread count — and dynamic claiming
+  // absorbs the skew sorted couple keys induce (couples of one hot tuple
+  // cluster into the same region of the range, with long ec lists). A
+  // morsel that observes a tripped context stops at its current couple —
+  // its prefix is still valid (every pushed set is a complete ag(t, t')),
+  // matching the serial partial-result contract.
   const std::vector<uint64_t>& keys = enumerator.keys();
-  const RangeSplit split(0, keys.size(), num_threads);
-  std::vector<std::vector<AttributeSet>> lane_sets(split.workers);
+  const MorselPlan plan(0, keys.size(), num_threads);
+  std::vector<std::vector<AttributeSet>> morsel_sets(plan.count);
   std::atomic<bool> stopped{false};
   ParallelFor(
-      0, split.workers, split.workers,
-      [&](size_t w) {
-        const size_t lo = split.lo(w), hi = split.hi(w);
+      0, plan.count, num_threads,
+      [&](size_t m) {
+        const size_t lo = plan.lo(m), hi = plan.hi(m);
         std::vector<AttributeSet> local;
         local.reserve(hi - lo);
         StridedStopPoller poll(ctx, 4096);
@@ -445,7 +439,7 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
           }
           local.push_back(ag);
         }
-        lane_sets[w] = std::move(local);
+        morsel_sets[m] = std::move(local);
       },
       [&stopped] { return stopped.load(std::memory_order_relaxed); });
 
@@ -455,7 +449,7 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
 
   std::vector<AttributeSet> distinct;
   distinct.reserve(total_couples);
-  for (std::vector<AttributeSet>& sets : lane_sets) {
+  for (std::vector<AttributeSet>& sets : morsel_sets) {
     distinct.insert(distinct.end(), sets.begin(), sets.end());
   }
 

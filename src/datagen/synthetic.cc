@@ -1,12 +1,39 @@
 #include "datagen/synthetic.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
-#include "relation/relation_builder.h"
 
 namespace depminer {
+
+namespace {
+
+/// The seed of column `a`'s decoupled RNG stream. Mixing the column index
+/// through an odd multiplier before the xoshiro/splitmix seeding keeps
+/// adjacent columns' streams unrelated (seed, seed+1, ... would correlate
+/// through splitmix's additive constant at these small offsets).
+uint64_t ColumnSeed(uint64_t seed, size_t a) {
+  return seed ^ ((a + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+/// Rounds a scaled tuple count, flooring at 64 so degenerate relations
+/// (where every pair is a couple and MC pruning is vacuous) never enter
+/// the corpus.
+size_t ScaledTuples(double base, double scale) {
+  return std::max<size_t>(64, static_cast<size_t>(base * scale));
+}
+
+std::string TupleTag(size_t tuples) {
+  if (tuples % 1000000 == 0) return std::to_string(tuples / 1000000) + "m";
+  if (tuples % 1000 == 0) return std::to_string(tuples / 1000) + "k";
+  return std::to_string(tuples);
+}
+
+}  // namespace
 
 Result<Relation> GenerateSynthetic(const SyntheticConfig& config) {
   if (config.num_attributes == 0) {
@@ -22,7 +49,6 @@ Result<Relation> GenerateSynthetic(const SyntheticConfig& config) {
     return Status::InvalidArgument("zipf_exponent must be >= 0");
   }
 
-  Rng rng(config.seed);
   const size_t pool =
       config.fixed_domain != 0 ? config.fixed_domain
       : config.identical_rate == 0.0
@@ -31,8 +57,23 @@ Result<Relation> GenerateSynthetic(const SyntheticConfig& config) {
                 1, static_cast<size_t>(config.identical_rate *
                                        static_cast<double>(config.num_tuples)));
 
+  // Charge the working set before a single cell is drawn, so a memory
+  // budget can veto a paper-scale generation outright: the code columns,
+  // the per-column first-occurrence remap tables (live one column at a
+  // time per lane, but worst-case all lanes at once), and the Zipf CDF.
+  RunContext* ctx = config.run_context;
+  const size_t num_threads = std::max<size_t>(1, config.num_threads);
+  const size_t lanes =
+      std::min(num_threads, std::max<size_t>(1, config.num_attributes));
+  ScopedMemoryCharge memory(ctx);
+  memory.Set(config.num_attributes * config.num_tuples * sizeof(ValueCode) +
+             lanes * pool * sizeof(ValueCode) +
+             (config.zipf_exponent > 0.0 ? pool * sizeof(double) : 0));
+  DEPMINER_CHECK_RUN(ctx);
+
   // For Zipf draws, precompute the cumulative distribution over the pool
-  // (value k has weight 1/(k+1)^s) and sample by binary search.
+  // (value k has weight 1/(k+1)^s) and sample by binary search. The CDF
+  // is identical for every column, so it is built once and shared.
   std::vector<double> cdf;
   if (config.zipf_exponent > 0.0) {
     cdf.resize(pool);
@@ -44,22 +85,115 @@ Result<Relation> GenerateSynthetic(const SyntheticConfig& config) {
     }
     for (double& c : cdf) c /= total;
   }
-  auto draw = [&]() -> ValueCode {
-    if (cdf.empty()) return static_cast<ValueCode>(rng.Below(pool));
-    const double u = rng.NextDouble();
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    return static_cast<ValueCode>(it - cdf.begin());
+
+  // Column-parallel generation: each column draws from its own
+  // (seed, column)-derived stream and dense-codes itself in
+  // first-occurrence order, exactly what RelationBuilder::Finish would
+  // produce (dictionary entry "v<raw>" for raw pool value <raw>). Column
+  // contents never depend on the thread count or scheduling — only on
+  // (seed, column) — so the relation is byte-identical at any
+  // parallelism. A lane that observes a tripped context abandons its
+  // column; generation is all-or-nothing, so the trip verdict replaces
+  // the relation.
+  const Schema schema = Schema::Default(config.num_attributes);
+  std::vector<std::vector<ValueCode>> columns(config.num_attributes);
+  std::vector<std::vector<std::string>> dictionaries(config.num_attributes);
+  std::atomic<bool> stopped{false};
+  ParallelFor(
+      0, config.num_attributes, num_threads,
+      [&](size_t a) {
+        Rng rng(ColumnSeed(config.seed, a));
+        auto draw = [&]() -> ValueCode {
+          if (cdf.empty()) return static_cast<ValueCode>(rng.Below(pool));
+          const double u = rng.NextDouble();
+          const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+          return static_cast<ValueCode>(it - cdf.begin());
+        };
+
+        constexpr ValueCode kUnmapped = static_cast<ValueCode>(-1);
+        std::vector<ValueCode> remap(pool, kUnmapped);
+        std::vector<ValueCode>& column = columns[a];
+        std::vector<std::string>& dict = dictionaries[a];
+        column.resize(config.num_tuples);
+        StridedStopPoller poll(ctx, 4096);
+        for (size_t t = 0; t < config.num_tuples; ++t) {
+          if (poll.StopRequested()) {
+            stopped.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const ValueCode raw = draw();
+          if (remap[raw] == kUnmapped) {
+            remap[raw] = static_cast<ValueCode>(dict.size());
+            std::string value = std::to_string(raw);
+            value.insert(value.begin(), 'v');
+            dict.push_back(std::move(value));
+          }
+          column[t] = remap[raw];
+        }
+      },
+      [&stopped] { return stopped.load(std::memory_order_relaxed); });
+
+  if (stopped.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) {
+      Status st = ctx->Check();
+      if (!st.ok()) return st;
+    }
+    return Status::Cancelled("synthetic generation interrupted");
+  }
+  return Relation(schema, std::move(columns), std::move(dictionaries));
+}
+
+std::vector<CorpusSpec> PaperScaleCorpus(double scale, uint64_t seed) {
+  std::vector<CorpusSpec> corpus;
+  auto add = [&](std::string name, size_t attrs, size_t tuples, double c,
+                 size_t fixed_domain, double zipf) {
+    SyntheticConfig cfg;
+    cfg.num_attributes = attrs;
+    cfg.num_tuples = tuples;
+    cfg.identical_rate = c;
+    cfg.fixed_domain = fixed_domain;
+    cfg.zipf_exponent = zipf;
+    // Every dataset gets its own seed stream so grid points are
+    // statistically independent yet individually reproducible.
+    cfg.seed = seed ^ ((corpus.size() + 1) * 0xD1B54A32D192ED03ull);
+    corpus.push_back({std::move(name), cfg});
   };
 
-  RelationBuilder builder(Schema::Default(config.num_attributes));
-  std::vector<ValueCode> row(config.num_attributes);
-  for (size_t t = 0; t < config.num_tuples; ++t) {
-    for (size_t a = 0; a < config.num_attributes; ++a) {
-      row[a] = draw();
-    }
-    DEPMINER_RETURN_NOT_OK(builder.AddCodedRow(row));
+  // Tuple sweep (Table 3 shape): fixed schema, growing |r|.
+  for (const double base : {25000.0, 100000.0, 400000.0}) {
+    const size_t tuples = ScaledTuples(base, scale);
+    add("tuples_" + TupleTag(tuples) + "_attrs15_c50", 15, tuples, 0.5, 0,
+        0.0);
   }
-  return std::move(builder).Finish();
+  // Attribute sweep (Table 4 shape): fixed |r|, growing schema.
+  const size_t mid = ScaledTuples(100000.0, scale);
+  for (const size_t attrs : {size_t{10}, size_t{25}, size_t{45}}) {
+    add("attrs" + std::to_string(attrs) + "_tuples_" + TupleTag(mid) + "_c50",
+        attrs, mid, 0.5, 0, 0.0);
+  }
+  // Correlation sweep (Table 5 shape): duplication regime from sparse
+  // (c=0.1: large pools, few couples) to dense (c=0.9 is *less*
+  // correlated than c=0.1 in the paper's parameterization — the pool is
+  // 0.9·|r|, so collisions are rare; low c is the hot regime).
+  for (const int pct : {10, 30, 70, 90}) {
+    add("corr_c" + std::to_string(pct) + "_tuples_" + TupleTag(mid) +
+            "_attrs15",
+        15, mid, pct / 100.0, 0, 0.0);
+  }
+  // Dense-duplication points ride a smaller tuple base: their couple
+  // counts grow quadratically with class sizes (a 64-value domain at
+  // 100k tuples implies ~10^9 distinct couples), so they are sized to
+  // keep couples near 10^6 — still far past every kernel crossover.
+  const size_t dense = ScaledTuples(4000.0, scale);
+  // Fixed-domain point (Table 3(b) shape): duplication grows with |r|.
+  add("fixed_domain64_tuples_" + TupleTag(dense) + "_attrs15", 15, dense, 0.0,
+      64, 0.0);
+  // Skewed point: Zipf(1.2) concentrates duplication in heavy values —
+  // the stripped-class profile Algorithm 3 is motivated by, and the
+  // skew the morsel scheduler exists to absorb.
+  add("zipf12_tuples_" + TupleTag(dense) + "_attrs15_c50", 15, dense, 0.5, 0,
+      1.2);
+  return corpus;
 }
 
 }  // namespace depminer

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "relation/relation.h"
 
@@ -36,10 +39,50 @@ struct SyntheticConfig {
   /// paper motivates Algorithm 3.
   double zipf_exponent = 0.0;
   uint64_t seed = 42;
+  /// Columns are generated in parallel on the shared pool; each column
+  /// owns a decoupled RNG stream derived from (seed, column), so the
+  /// relation is byte-identical for ANY thread count — threads only speed
+  /// generation up. 0 or 1 runs inline.
+  size_t num_threads = 1;
+  /// Optional governance: the generator charges its column store to the
+  /// context's memory budget up front and polls for trips (deadline,
+  /// cancellation, budget) mid-generation. A tripped run returns the
+  /// context's verdict instead of a relation — generation is
+  /// all-or-nothing, there is no partial relation. nullptr = ungoverned.
+  RunContext* run_context = nullptr;
 };
 
 /// Generates a relation per the paper's benchmark recipe. Deterministic
-/// given the seed (xoshiro256**).
+/// given the seed (xoshiro256**, one decoupled stream per column).
 Result<Relation> GenerateSynthetic(const SyntheticConfig& config);
+
+/// One named point of the paper-scale benchmark grid.
+struct CorpusSpec {
+  std::string name;
+  SyntheticConfig config;
+};
+
+/// The paper's §7 evaluation regime (Tables 3–5) as a reproducible grid:
+///
+///   - tuple sweep       |R|=15, c=0.5, |r| ∈ {25k, 100k, 400k}·scale
+///   - attribute sweep   |r|=100k·scale, c=0.5, |R| ∈ {10, 25, 45}
+///   - correlation sweep |r|=100k·scale, |R|=15, c ∈ {0.1, 0.3, 0.7, 0.9}
+///   - fixed-domain      |r|=4k·scale, |R|=15, domain 64 (Table 3(b))
+///   - zipf-skewed       |r|=4k·scale, |R|=15, c=0.5, s=1.2
+///
+/// The two dense-duplication points use a smaller tuple base because
+/// their distinct-couple counts grow quadratically with class sizes;
+/// they are sized to land near 10^6 couples.
+///
+/// `scale` stretches the tuple counts: 1.0 is the paper's regime
+/// (hundreds of thousands of tuples), 4.0 pushes the sweep into the low
+/// millions (1.6M), and a small fraction (e.g. 0.001) yields a
+/// seconds-long smoke grid with the same shape — scripts/check.sh runs
+/// exactly that. Tuple counts floor at 64 so every dataset stays
+/// non-degenerate. The sweeps are pairwise disjoint by construction and
+/// names embed the *actual* parameter values, so a spec's name alone
+/// identifies its data. Deterministic for a given (scale, seed).
+std::vector<CorpusSpec> PaperScaleCorpus(double scale = 1.0,
+                                         uint64_t seed = 42);
 
 }  // namespace depminer

@@ -36,13 +36,49 @@ ClassLabelTable ClassLabelTable::Build(const StrippedPartitionDatabase& db,
   table.num_tuples_ = db.num_tuples();
   table.num_attributes_ = db.num_attributes();
   table.labels_.assign(table.num_attributes_ * table.num_tuples_, 0);
-  ParallelFor(0, table.num_attributes_, num_threads, [&](size_t a) {
-    uint32_t* row = table.labels_.data() + a * table.num_tuples_;
-    uint32_t id = 1;
-    for (const EquivalenceClass& c :
-         db.partition(static_cast<AttributeId>(a)).classes()) {
-      for (TupleId t : c) row[t] = id;
-      ++id;
+
+  // Morselized over (attribute, class-range) units instead of one unit
+  // per attribute: a whole-attribute split leaves lanes idle whenever one
+  // attribute's partition is much denser than the rest (the correlated
+  // benchmark schemas are exactly that shape). Units are cut to roughly
+  // equal *membership* counts — the work is one store per membership —
+  // and each unit writes a disjoint set of row cells (classes within a
+  // stripped partition are disjoint, rows are per-attribute), so the
+  // table is identical for any thread count and scheduling order. The
+  // label of class i is always i + 1, independent of the cut points.
+  struct Unit {
+    AttributeId attr;
+    uint32_t class_lo, class_hi;
+  };
+  const size_t target = std::max<size_t>(
+      4096, db.TotalMemberships() / (8 * std::max<size_t>(1, num_threads)));
+  std::vector<Unit> units;
+  for (AttributeId a = 0; a < db.num_attributes(); ++a) {
+    const std::vector<EquivalenceClass>& classes = db.partition(a).classes();
+    uint32_t lo = 0;
+    size_t acc = 0;
+    for (uint32_t i = 0; i < classes.size(); ++i) {
+      acc += classes[i].size();
+      if (acc >= target) {
+        units.push_back({a, lo, i + 1});
+        lo = i + 1;
+        acc = 0;
+      }
+    }
+    if (lo < classes.size()) {
+      units.push_back({a, lo, static_cast<uint32_t>(classes.size())});
+    }
+  }
+
+  ParallelFor(0, units.size(), num_threads, [&](size_t u) {
+    const Unit& unit = units[u];
+    uint32_t* row = table.labels_.data() +
+                    static_cast<size_t>(unit.attr) * table.num_tuples_;
+    const std::vector<EquivalenceClass>& classes =
+        db.partition(unit.attr).classes();
+    for (uint32_t i = unit.class_lo; i < unit.class_hi; ++i) {
+      const uint32_t id = i + 1;
+      for (TupleId t : classes[i]) row[t] = id;
     }
   });
   return table;

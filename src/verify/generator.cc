@@ -25,6 +25,7 @@ enum class Shape : uint64_t {
   kZipfSkew,
   kDenseRandom,
   kPlantedFds,
+  kPaperScaleSkew,
   kCount,
 };
 
@@ -40,6 +41,7 @@ const char* ShapeLabel(Shape s) {
     case Shape::kZipfSkew: return "zipf-skew";
     case Shape::kDenseRandom: return "dense-random";
     case Shape::kPlantedFds: return "planted-fds";
+    case Shape::kPaperScaleSkew: return "paper-scale-skew";
     case Shape::kCount: break;
   }
   return "unknown";
@@ -191,6 +193,27 @@ Result<Relation> MakeShape(Shape shape, Rng& rng) {
         config.fds.push_back(fd);
       }
       return GenerateWithEmbeddedFds(config);
+    }
+    case Shape::kPaperScaleSkew: {
+      // A shrunken slice of the paper-scale benchmark regime: paper-width
+      // schemas and Zipf-skewed pools, sized so the differential sweep
+      // exercises the production scheduling paths the tiny shapes above
+      // never reach — couple counts past one morsel grain (so the
+      // agree-set stage runs multi-morsel) and agree-set families large
+      // enough to matter to the batched dominance kernel — while staying
+      // seconds-cheap per case across all five miners. The attribute
+      // ceiling is deliberate: TANE's lattice and FastFDs' cover DFS are
+      // exponential in |R|, so schemas past ~15 attributes turn a sweep
+      // iteration from seconds into minutes. Uses the scaled generator's
+      // own knobs, parallel column streams included.
+      SyntheticConfig config;
+      config.num_attributes = 10 + rng.Below(5);    // 10..14
+      config.num_tuples = 300 + rng.Below(401);     // 300..700
+      config.identical_rate = 0.2 + rng.NextDouble() * 0.3;
+      config.zipf_exponent = 0.6 + rng.NextDouble() * 0.6;
+      config.num_threads = 1 + rng.Below(8);
+      config.seed = rng.Next();
+      return GenerateSynthetic(config);
     }
     case Shape::kCount:
       break;

@@ -1,0 +1,83 @@
+// The tentpole safety net: on every dataset shape of the paper-scale
+// corpus (run at a seconds-cheap scale), every miner must produce a
+// bit-identical cover (1) at 1, 2 and 8 threads — the morsel engine's
+// merge-in-morsel-order guarantee — and (2) under the scalar and AVX2
+// dominance backends — the kernel's observational-equivalence guarantee.
+// The full-size corpus gets the same thread-count check on every
+// bench_scale run (scripts/bench_scale.sh refuses to report times for
+// non-identical results); this suite keeps the property in the ctest
+// gate where a regression fails fast.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/dominance.h"
+#include "datagen/synthetic.h"
+#include "verify/miners.h"
+
+namespace depminer {
+namespace {
+
+/// Seconds-cheap slice of the corpus grid: same sweep structure, tuple
+/// counts floored to 64–400.
+constexpr double kTestScale = 0.001;
+
+std::vector<CorpusSpec> TestCorpus() { return PaperScaleCorpus(kTestScale); }
+
+std::string CoverSignature(const MinerOutcome& outcome) {
+  EXPECT_TRUE(outcome.error.ok()) << outcome.error.ToString();
+  EXPECT_TRUE(outcome.complete);
+  std::string sig;
+  for (const FunctionalDependency& fd : outcome.fds.fds()) {
+    sig += fd.ToString();
+    sig += '\n';
+  }
+  return sig;
+}
+
+TEST(CorpusDeterminism, EveryMinerBitIdenticalAcrossThreadCounts) {
+  for (const CorpusSpec& spec : TestCorpus()) {
+    Result<Relation> data = GenerateSynthetic(spec.config);
+    ASSERT_TRUE(data.ok()) << spec.name << ": " << data.status().ToString();
+    for (const MinerConfig& miner : AllMiners()) {
+      const std::string reference =
+          CoverSignature(miner.run(data.value(), 1, nullptr));
+      if (!miner.threaded) continue;
+      for (const size_t threads : {size_t{2}, size_t{8}}) {
+        EXPECT_EQ(CoverSignature(miner.run(data.value(), threads, nullptr)),
+                  reference)
+            << miner.name << " diverged at " << threads << " threads on "
+            << spec.name;
+      }
+    }
+  }
+}
+
+TEST(CorpusDeterminism, EveryMinerBitIdenticalAcrossDominanceBackends) {
+  if (!DominanceBackendSupported(DominanceBackend::kAvx2)) {
+    GTEST_SKIP() << "host CPU lacks AVX2; only the scalar backend exists";
+  }
+  const DominanceBackend previous =
+      SetDominanceBackend(DominanceBackend::kScalar);
+  for (const CorpusSpec& spec : TestCorpus()) {
+    Result<Relation> data = GenerateSynthetic(spec.config);
+    ASSERT_TRUE(data.ok()) << spec.name << ": " << data.status().ToString();
+    for (const MinerConfig& miner : AllMiners()) {
+      SetDominanceBackend(DominanceBackend::kScalar);
+      const std::string scalar =
+          CoverSignature(miner.run(data.value(), 2, nullptr));
+      SetDominanceBackend(DominanceBackend::kAvx2);
+      const std::string avx2 =
+          CoverSignature(miner.run(data.value(), 2, nullptr));
+      EXPECT_EQ(scalar, avx2)
+          << miner.name << " diverged across dominance backends on "
+          << spec.name;
+    }
+  }
+  SetDominanceBackend(previous);
+}
+
+}  // namespace
+}  // namespace depminer

@@ -136,6 +136,165 @@ TEST(Synthetic, RejectsBadConfig) {
             StatusCode::kCapacityExceeded);
 }
 
+TEST(Synthetic, ThreadCountNeverChangesTheRelation) {
+  // Columns own decoupled (seed, column) RNG streams, so parallel
+  // generation must be byte-identical to serial — threads only speed it
+  // up. Checked for the uniform, fixed-domain and Zipf draw paths.
+  for (const double zipf : {0.0, 1.1}) {
+    SyntheticConfig config;
+    config.num_attributes = 16;
+    config.num_tuples = 2000;
+    config.identical_rate = 0.4;
+    config.zipf_exponent = zipf;
+    config.seed = 21;
+    config.num_threads = 1;
+    Result<Relation> serial = GenerateSynthetic(config);
+    ASSERT_TRUE(serial.ok());
+    for (const size_t threads : {size_t{2}, size_t{8}}) {
+      config.num_threads = threads;
+      Result<Relation> parallel = GenerateSynthetic(config);
+      ASSERT_TRUE(parallel.ok());
+      for (AttributeId a = 0; a < config.num_attributes; ++a) {
+        ASSERT_EQ(parallel.value().Column(a), serial.value().Column(a))
+            << "column " << static_cast<int>(a) << " at " << threads
+            << " threads, zipf=" << zipf;
+        ASSERT_EQ(parallel.value().Dictionary(a), serial.value().Dictionary(a))
+            << "dictionary " << static_cast<int>(a);
+      }
+    }
+  }
+}
+
+TEST(Synthetic, CorrelationFactorIsMonotoneInAgreeOverlap) {
+  // The paper's c sets the pool to c·|r|: shrinking c shrinks the pool,
+  // so more cells collide and more tuple pairs agree. Agreeing pairs per
+  // column (Σ over values of C(count, 2)) must therefore decrease
+  // strictly as c grows through the corpus's sweep values.
+  auto agreeing_pairs = [](const Relation& r) {
+    size_t total = 0;
+    for (AttributeId a = 0; a < r.num_attributes(); ++a) {
+      std::vector<size_t> counts(r.DistinctCount(a), 0);
+      for (TupleId t = 0; t < r.num_tuples(); ++t) ++counts[r.Code(t, a)];
+      for (const size_t n : counts) total += n * (n - 1) / 2;
+    }
+    return total;
+  };
+  size_t previous = 0;
+  bool first = true;
+  for (const double c : {0.1, 0.3, 0.7, 0.9}) {
+    SyntheticConfig config;
+    config.num_attributes = 5;
+    config.num_tuples = 4000;
+    config.identical_rate = c;
+    config.seed = 33;
+    Result<Relation> r = GenerateSynthetic(config);
+    ASSERT_TRUE(r.ok());
+    const size_t pairs = agreeing_pairs(r.value());
+    if (!first) {
+      EXPECT_LT(pairs, previous) << "agree overlap not monotone at c=" << c;
+    }
+    previous = pairs;
+    first = false;
+  }
+}
+
+TEST(Synthetic, MemoryBudgetVetoesGeneration) {
+  // The generator charges its column store before drawing a single cell,
+  // so a budget below the working set rejects the run outright...
+  RunContext ctx;
+  ctx.SetMemoryBudget(1024);
+  SyntheticConfig config;
+  config.num_attributes = 20;
+  config.num_tuples = 100000;
+  config.identical_rate = 0.5;
+  config.run_context = &ctx;
+  Result<Relation> r = GenerateSynthetic(config);
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityExceeded);
+  // ...and the RAII charge is released on the failure path.
+  EXPECT_EQ(ctx.bytes_used(), 0u);
+  EXPECT_GT(ctx.high_water_bytes(), 0u);
+}
+
+TEST(Synthetic, TripMidGenerationReturnsVerdictNotARelation) {
+  // A context that trips after generation has started (here: a forced
+  // deadline verdict, the same latch a wall-clock trip sets) stops every
+  // lane at its next poll; generation is all-or-nothing, so the verdict
+  // replaces the relation.
+  RunContext ctx;
+  ctx.ForceTrip(StatusCode::kDeadlineExceeded);
+  SyntheticConfig config;
+  config.num_attributes = 8;
+  config.num_tuples = 50000;
+  config.identical_rate = 0.5;
+  config.num_threads = 2;
+  config.run_context = &ctx;
+  Result<Relation> r = GenerateSynthetic(config);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.bytes_used(), 0u);
+}
+
+TEST(Synthetic, GovernedRunReleasesItsCharge) {
+  RunContext ctx;
+  ctx.SetMemoryBudget(size_t{1} << 30);
+  SyntheticConfig config;
+  config.num_attributes = 6;
+  config.num_tuples = 1000;
+  config.run_context = &ctx;
+  Result<Relation> r = GenerateSynthetic(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ctx.bytes_used(), 0u);
+  EXPECT_GE(ctx.high_water_bytes(),
+            config.num_attributes * config.num_tuples * sizeof(ValueCode));
+}
+
+TEST(PaperScaleCorpus, SpecsAreBoundedNamedAndReproducible) {
+  const std::vector<CorpusSpec> corpus = PaperScaleCorpus(1.0, 42);
+  ASSERT_FALSE(corpus.empty());
+  std::vector<std::string> names;
+  for (const CorpusSpec& spec : corpus) {
+    EXPECT_FALSE(spec.name.empty());
+    names.push_back(spec.name);
+    EXPECT_GE(spec.config.num_attributes, 10u);
+    EXPECT_LE(spec.config.num_attributes, AttributeSet::kMaxAttributes);
+    EXPECT_GE(spec.config.num_tuples, 64u);
+    EXPECT_LE(spec.config.num_tuples, 400000u);
+    EXPECT_GE(spec.config.identical_rate, 0.0);
+    EXPECT_LE(spec.config.identical_rate, 1.0);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end())
+      << "corpus names must be unique";
+
+  // The grid is a pure function of (scale, seed)...
+  const std::vector<CorpusSpec> again = PaperScaleCorpus(1.0, 42);
+  ASSERT_EQ(again.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(again[i].name, corpus[i].name);
+    EXPECT_EQ(again[i].config.seed, corpus[i].config.seed);
+  }
+  // ...and a different master seed reseeds every dataset.
+  const std::vector<CorpusSpec> reseeded = PaperScaleCorpus(1.0, 43);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_NE(reseeded[i].config.seed, corpus[i].config.seed);
+  }
+}
+
+TEST(PaperScaleCorpus, ScaleStretchesTuplesWithFloor) {
+  // scale=4 pushes the tuple sweep into the low millions; a tiny scale
+  // floors every dataset at 64 tuples instead of degenerating.
+  const std::vector<CorpusSpec> large = PaperScaleCorpus(4.0, 42);
+  size_t max_tuples = 0;
+  for (const CorpusSpec& spec : large) {
+    max_tuples = std::max(max_tuples, spec.config.num_tuples);
+  }
+  EXPECT_EQ(max_tuples, 1600000u);
+
+  const std::vector<CorpusSpec> tiny = PaperScaleCorpus(0.0000001, 42);
+  for (const CorpusSpec& spec : tiny) {
+    EXPECT_EQ(spec.config.num_tuples, 64u);
+  }
+}
+
 TEST(EmbeddedFd, PlantedFdsHold) {
   EmbeddedFdConfig config;
   config.num_attributes = 6;

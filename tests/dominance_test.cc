@@ -238,5 +238,100 @@ TEST(Dominance, MinimalSurvivorsCoverEveryInputFromBelow) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Backend dispatch. The scalar path is the semantic oracle; the AVX2
+// path must produce bit-identical survivors through both the batched
+// small-family scan and the posting-index path (family sizes straddle
+// the crossover so both dispatch branches run under both backends).
+
+/// Restores the previously active backend on scope exit so a failing
+/// assertion can't leak a forced backend into later tests.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(DominanceBackend backend)
+      : previous_(SetDominanceBackend(backend)) {}
+  ~ScopedBackend() { SetDominanceBackend(previous_); }
+
+ private:
+  DominanceBackend previous_;
+};
+
+TEST(DominanceBackend_, ScalarAlwaysSupportedAndForcible) {
+  EXPECT_TRUE(DominanceBackendSupported(DominanceBackend::kScalar));
+  ScopedBackend forced(DominanceBackend::kScalar);
+  EXPECT_EQ(ActiveDominanceBackend(), DominanceBackend::kScalar);
+}
+
+TEST(DominanceBackend_, UnsupportedBackendFallsBackToScalar) {
+  if (DominanceBackendSupported(DominanceBackend::kAvx2)) {
+    GTEST_SKIP() << "AVX2 available; fallback path not reachable here";
+  }
+  const DominanceBackend previous =
+      SetDominanceBackend(DominanceBackend::kAvx2);
+  EXPECT_EQ(ActiveDominanceBackend(), DominanceBackend::kScalar);
+  SetDominanceBackend(previous);
+}
+
+TEST(DominanceBackend_, Avx2MatchesScalarOnRandomFamilies) {
+  if (!DominanceBackendSupported(DominanceBackend::kAvx2)) {
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  for (const uint64_t seed : {3ull, 17ull, 92ull}) {
+    // 40 and 300 stay on the batched scan; 2000 crosses into the index.
+    for (const size_t size : {40ul, 300ul, 2000ul}) {
+      for (const size_t attrs : {8ul, 24ul, 128ul}) {
+        std::vector<AttributeSet> family = RandomFamily(size, attrs, seed);
+        std::vector<AttributeSet> max_scalar, min_scalar, max_avx2, min_avx2;
+        {
+          ScopedBackend forced(DominanceBackend::kScalar);
+          max_scalar = MaximalSets(family);
+          min_scalar = MinimalSets(family);
+        }
+        {
+          ScopedBackend forced(DominanceBackend::kAvx2);
+          max_avx2 = MaximalSets(family);
+          min_avx2 = MinimalSets(family);
+        }
+        EXPECT_EQ(max_scalar, max_avx2)
+            << "Max⊆ backend divergence: size=" << size << " attrs=" << attrs
+            << " seed=" << seed;
+        EXPECT_EQ(min_scalar, min_avx2)
+            << "Min⊆ backend divergence: size=" << size << " attrs=" << attrs
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(DominanceBackend_, Avx2MatchesScalarOnDirectIndexQueries) {
+  if (!DominanceBackendSupported(DominanceBackend::kAvx2)) {
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  std::vector<AttributeSet> family = RandomFamily(600, 20, 51);
+  std::sort(family.begin(), family.end());
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+  std::stable_sort(family.begin(), family.end(),
+                   [](const AttributeSet& a, const AttributeSet& b) {
+                     return a.Count() > b.Count();
+                   });
+  const DominanceIndex index(family, DominanceIndex::Order::kNonIncreasing);
+  std::vector<uint64_t> scratch(index.words_per_bitmap());
+  const std::vector<AttributeSet> probes = RandomFamily(200, 20, 52);
+  for (const AttributeSet& probe : probes) {
+    bool scalar_answer, avx2_answer;
+    {
+      ScopedBackend forced(DominanceBackend::kScalar);
+      scalar_answer =
+          index.HasProperSupersetOf(probe, nullptr, scratch.data());
+    }
+    {
+      ScopedBackend forced(DominanceBackend::kAvx2);
+      avx2_answer = index.HasProperSupersetOf(probe, nullptr, scratch.data());
+    }
+    EXPECT_EQ(scalar_answer, avx2_answer)
+        << "superset query divergence on " << probe.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace depminer
