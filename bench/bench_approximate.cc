@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   size_t exact_count = 0;
   for (int64_t eps : epsilons) {
     TaneOptions options;
-    options.max_g3_error = static_cast<double>(eps) / 100.0;
+    options.mining.max_g3_error = static_cast<double>(eps) / 100.0;
     Stopwatch timer;
     Result<TaneResult> result = TaneDiscover(r, options);
     const double seconds = timer.ElapsedSeconds();
@@ -63,9 +63,9 @@ int main(int argc, char** argv) {
     for (const FunctionalDependency& fd : result.value().fds.fds()) {
       if (checked++ >= 200) break;
       const double g3 = G3Error(r, fd.lhs, fd.rhs);
-      if (g3 > options.max_g3_error + 1e-12) {
+      if (g3 > options.mining.max_g3_error + 1e-12) {
         std::fprintf(stderr, "BOUND VIOLATION: %s has g3=%.4f > %.4f\n",
-                     fd.ToString().c_str(), g3, options.max_g3_error);
+                     fd.ToString().c_str(), g3, options.mining.max_g3_error);
         return 1;
       }
     }

@@ -7,9 +7,18 @@
 // byte-identical across thread counts before any time is reported, so a
 // scheduling bug can never hide behind a speedup.
 //
+// Each dataset also gets an arity sweep — TANE and Dep-Miner at LHS caps
+// k ∈ {∞, 2, 3} (1 thread, no cache, so the numbers isolate the pruning)
+// with the capped covers verified equal to the unbounded cover filtered
+// to |lhs| ≤ k — and a partition-cache leg (TANE cold vs. warm through
+// one PartitionCache, hit/miss counts reported).
+//
 // Flags: --scale=F      corpus scale factor (1.0 = the paper's regime;
 //                       scripts/check.sh smokes with a tiny fraction)
 //        --seed=N --threads=1,2,8 --reps=N
+//        --arity=K      run the arity sweep at {K} only and skip the
+//                       unbounded legs + cache legs (the cheap smoke mode
+//                       scripts/check.sh exercises)
 //        --json=PATH    also emit machine-readable results
 //        (scripts/bench_scale.sh writes BENCH_scale.json)
 
@@ -24,7 +33,9 @@
 #include "core/dep_miner.h"
 #include "core/max_sets.h"
 #include "datagen/synthetic.h"
+#include "partition/partition_database.h"
 #include "report/json_writer.h"
+#include "tane/tane.h"
 
 using namespace depminer;
 
@@ -61,6 +72,17 @@ struct Row {
   double depminer_s = 0;
 };
 
+/// One measured arity-sweep point: TANE and Dep-Miner at one LHS cap
+/// (0 = unbounded), single-threaded and uncached.
+struct AritySample {
+  size_t arity = 0;
+  double tane_s = 0;
+  double depminer_s = 0;
+  size_t tane_pruned = 0;  ///< lattice joins the cap kept un-generated
+  size_t lhs_pruned = 0;   ///< transversal joins the cap kept un-generated
+  size_t fds = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +94,19 @@ int main(int argc, char** argv) {
   const size_t reps =
       std::max<size_t>(1, static_cast<size_t>(parser.GetInt("reps", 3)));
   const std::string json_path = parser.GetString("json", "");
+  // The default sweep runs the unbounded reference first so the capped
+  // covers can be verified against it; --arity=K restricts the sweep to
+  // {K} (no reference, no cache legs) for the seconds-cheap smoke.
+  const bool capped_only = parser.Has("arity");
+  std::vector<int64_t> arity_sweep{0, 2, 3};
+  if (capped_only) {
+    const int64_t k = parser.GetInt("arity", 3);
+    if (k <= 0) {
+      std::fprintf(stderr, "--arity must be a positive integer\n");
+      return 1;
+    }
+    arity_sweep = {k};
+  }
 
   if (scale <= 0.0) {
     std::fprintf(stderr, "--scale must be positive\n");
@@ -181,6 +216,112 @@ int main(int argc, char** argv) {
       rows.push_back(row);
     }
 
+    // Arity sweep: 1 thread, no cache, so the per-cap times isolate what
+    // the pruning alone buys. A capped time is only reported once the
+    // capped cover is verified bit-equal to (a) the other miner's capped
+    // cover and (b) the unbounded cover filtered to |lhs| ≤ k.
+    std::printf("%-10s %-10s %-10s %-14s %-14s %-8s\n", "arity", "tane_s",
+                "depminer_s", "tane_pruned", "lhs_pruned", "fds");
+    std::vector<AritySample> arity_rows;
+    FdSet unbounded_cover;
+    bool have_unbounded = false;
+    for (int64_t k : arity_sweep) {
+      AritySample sample;
+      sample.arity = static_cast<size_t>(k);
+
+      TaneOptions tane_options;
+      tane_options.num_threads = 1;
+      tane_options.mining.max_lhs_arity = sample.arity;
+      Result<TaneResult> tane = Status::OK();
+      sample.tane_s =
+          MedianSeconds(reps, [&] { tane = TaneDiscover(r, tane_options); });
+      if (!tane.ok()) {
+        std::fprintf(stderr, "tane[%s,k=%zu]: %s\n", spec.name.c_str(),
+                     sample.arity, tane.status().ToString().c_str());
+        return 1;
+      }
+      sample.tane_pruned = tane.value().stats.candidates_pruned;
+
+      DepMinerOptions dm_options;
+      dm_options.num_threads = 1;
+      dm_options.build_armstrong = false;
+      dm_options.mining.max_lhs_arity = sample.arity;
+      Result<DepMinerResult> dm = Status::OK();
+      sample.depminer_s =
+          MedianSeconds(reps, [&] { dm = MineDependencies(r, dm_options); });
+      if (!dm.ok()) {
+        std::fprintf(stderr, "dep-miner[%s,k=%zu]: %s\n", spec.name.c_str(),
+                     sample.arity, dm.status().ToString().c_str());
+        return 1;
+      }
+      sample.lhs_pruned = dm.value().lhs.stats.candidates_pruned;
+      sample.fds = tane.value().fds.size();
+
+      if (tane.value().fds.fds() != dm.value().fds.fds()) {
+        std::fprintf(stderr, "ARITY MISMATCH on %s at k=%zu: tane != depminer\n",
+                     spec.name.c_str(), sample.arity);
+        return 1;
+      }
+      if (sample.arity == 0) {
+        unbounded_cover = tane.value().fds;
+        have_unbounded = true;
+      } else if (have_unbounded) {
+        std::vector<FunctionalDependency> kept;
+        for (const FunctionalDependency& fd : unbounded_cover.fds()) {
+          if (fd.lhs.Count() <= sample.arity) kept.push_back(fd);
+        }
+        if (tane.value().fds.fds() !=
+            FdSet(r.num_attributes(), kept).fds()) {
+          std::fprintf(stderr,
+                       "ARITY MISMATCH on %s at k=%zu: capped != filtered "
+                       "unbounded cover\n",
+                       spec.name.c_str(), sample.arity);
+          return 1;
+        }
+      }
+
+      const std::string cap_tag =
+          sample.arity == 0 ? "inf" : std::to_string(sample.arity);
+      std::printf("%-10s %-10.3f %-10.3f %-14zu %-14zu %-8zu\n",
+                  cap_tag.c_str(), sample.tane_s, sample.depminer_s,
+                  sample.tane_pruned, sample.lhs_pruned, sample.fds);
+      arity_rows.push_back(sample);
+    }
+
+    // Partition-cache leg: the same unbounded TANE run, cold (populating
+    // one PartitionCache) then warm (probing it). Skipped in --arity smoke
+    // mode along with the unbounded sweep legs.
+    double cache_cold_s = 0, cache_warm_s = 0;
+    PartitionCache::Stats cache_stats;
+    bool cache_measured = false;
+    if (!capped_only) {
+      const StrippedPartitionDatabase cache_db =
+          StrippedPartitionDatabase::FromRelation(r, 1);
+      PartitionCache cache(&cache_db);
+      TaneOptions cached_options;
+      cached_options.num_threads = 1;
+      cached_options.partition_cache = &cache;
+      Stopwatch cold;
+      Result<TaneResult> cold_run = TaneDiscover(r, cached_options);
+      cache_cold_s = cold.ElapsedSeconds();
+      Stopwatch warm;
+      Result<TaneResult> warm_run = TaneDiscover(r, cached_options);
+      cache_warm_s = warm.ElapsedSeconds();
+      if (!cold_run.ok() || !warm_run.ok() ||
+          cold_run.value().fds.fds() != warm_run.value().fds.fds() ||
+          (have_unbounded &&
+           cold_run.value().fds.fds() != unbounded_cover.fds())) {
+        std::fprintf(stderr, "CACHE MISMATCH on %s\n", spec.name.c_str());
+        return 1;
+      }
+      cache_stats = cache.stats();
+      cache_measured = true;
+      std::printf("cache: cold %.3fs warm %.3fs (hits %zu, misses %zu, "
+                  "hit rate %.0f%%)\n",
+                  cache_cold_s, cache_warm_s, cache_stats.hits,
+                  cache_stats.misses, cache_stats.HitRate() * 100.0);
+    }
+
     const Row& first = rows.front();
     const Row& last = rows.back();
     json.OpenObject();
@@ -211,6 +352,47 @@ int main(int argc, char** argv) {
         .Value(last.agree3_s > 0 ? first.agree3_s / last.agree3_s : 0.0);
     json.Key("cmax_speedup")
         .Value(last.cmax_s > 0 ? first.cmax_s / last.cmax_s : 0.0);
+    json.Key("arity_sweep").OpenArray();
+    for (const AritySample& sample : arity_rows) {
+      json.OpenObject();
+      json.Key("arity").Value(static_cast<uint64_t>(sample.arity));
+      json.Key("tane_s").Value(sample.tane_s);
+      json.Key("depminer_s").Value(sample.depminer_s);
+      json.Key("tane_candidates_pruned")
+          .Value(static_cast<uint64_t>(sample.tane_pruned));
+      json.Key("lhs_candidates_pruned")
+          .Value(static_cast<uint64_t>(sample.lhs_pruned));
+      json.Key("fds").Value(static_cast<uint64_t>(sample.fds));
+      json.Key("verified_equals_filtered")
+          .Value(sample.arity == 0 || have_unbounded);
+      json.CloseObject();
+    }
+    json.CloseArray();
+    // Headline ratios: unbounded over k=3, >1 means the cap paid off.
+    const AritySample* k0 = nullptr;
+    const AritySample* k3 = nullptr;
+    for (const AritySample& sample : arity_rows) {
+      if (sample.arity == 0) k0 = &sample;
+      if (sample.arity == 3) k3 = &sample;
+    }
+    if (k0 != nullptr && k3 != nullptr) {
+      json.Key("arity3_tane_speedup")
+          .Value(k3->tane_s > 0 ? k0->tane_s / k3->tane_s : 0.0);
+      json.Key("arity3_depminer_speedup")
+          .Value(k3->depminer_s > 0 ? k0->depminer_s / k3->depminer_s : 0.0);
+    }
+    if (cache_measured) {
+      json.Key("tane_cache").OpenObject();
+      json.Key("cold_s").Value(cache_cold_s);
+      json.Key("warm_s").Value(cache_warm_s);
+      json.Key("hits").Value(static_cast<uint64_t>(cache_stats.hits));
+      json.Key("misses").Value(static_cast<uint64_t>(cache_stats.misses));
+      json.Key("inserts").Value(static_cast<uint64_t>(cache_stats.inserts));
+      json.Key("evictions")
+          .Value(static_cast<uint64_t>(cache_stats.evictions));
+      json.Key("hit_rate_pct").Value(cache_stats.HitRate() * 100.0);
+      json.CloseObject();
+    }
     json.CloseObject();
   }
 

@@ -1,8 +1,9 @@
 // fdtool — a command-line front end over the whole library, the utility a
 // dba would actually run against exported CSV data.
 //
-//   fdtool mine      data.csv [--algo=depminer|depminer2|tane|fastfds]
+//   fdtool mine      data.csv [--algo=depminer|depminer2|tane|fastfds|fdep]
 //                             [--out=deps.fds] [--checkpoint-dir=DIR]
+//                             [--arity=K] [--error=EPS] [--topk=N]
 //   fdtool armstrong data.csv [--out=sample.csv] [--synthetic]
 //   fdtool keys      data.csv
 //   fdtool normalize data.csv
@@ -26,6 +27,8 @@
 // Common flags: --no-header --delimiter=';' --nulls-distinct
 //               --null-token=NA --timeout-ms=N --memory-budget-mb=N
 //               --threads=N (mine: pool lanes; 0 = all cores)
+//               --arity=K --error=EPS --topk=N (search-space pruning for
+//               mine/profile/fuzz; see docs/PERFORMANCE.md)
 //               --trace=out.json --metrics (observability; see
 //               docs/OBSERVABILITY.md)
 //               --fault-site=NAME [--fault-hit=N] [--fault-repeat]
@@ -57,9 +60,11 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "depminer.h"
 
@@ -88,8 +93,14 @@ int Usage() {
       stderr,
       "usage: fdtool "
       "<mine|armstrong|keys|normalize|verify|stats|convert> data.csv\n"
-      "  mine      [--algo=depminer|depminer2|tane|fastfds]  list minimal "
-      "FDs\n"
+      "  mine      [--algo=depminer|depminer2|tane|fastfds|fdep]  list "
+      "minimal FDs\n"
+      "            [--arity=K]  cap LHS size at K (prunes the search "
+      "before candidate generation)\n"
+      "            [--error=EPS]  (tane only) report approximate FDs with "
+      "g3 error <= EPS\n"
+      "            [--topk=N]   keep the N highest-redundancy FDs of the "
+      "cover\n"
       "  armstrong [--out=sample.csv] [--synthetic]          build Armstrong "
       "relation\n"
       "  keys                                                candidate keys\n"
@@ -141,6 +152,8 @@ int Usage() {
       "(docs/ROBUSTNESS.md)\n"
       "        --threads=N   pool lanes for mine (default 1; 0 = all "
       "cores; results are identical for any value)\n"
+      "        --arity=K --error=EPS --topk=N   search-space pruning "
+      "(mine/profile/fuzz; docs/PERFORMANCE.md)\n"
       "        --trace=out.json   write a chrome://tracing / Perfetto "
       "trace of the run\n"
       "        --metrics   print a phase/counter summary table to "
@@ -182,13 +195,30 @@ size_t ThreadsFlag(const ArgParser& args) {
   return t <= 0 ? DefaultThreadCount() : static_cast<size_t>(t);
 }
 
+/// The pruning knobs (--arity/--error/--topk), already range-validated by
+/// main() before any command dispatch.
+MiningOptions MiningFlags(const ArgParser& args) {
+  MiningOptions mining;
+  mining.max_lhs_arity = static_cast<size_t>(args.GetInt("arity", 0));
+  if (args.Has("error")) {
+    mining.max_g3_error = std::strtod(args.GetString("error", "0").c_str(),
+                                      nullptr);
+  }
+  mining.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  return mining;
+}
+
 Result<MineOutcome> Mine(const Relation& relation, const std::string& algo,
-                         size_t num_threads = 1) {
+                         size_t num_threads = 1,
+                         const MiningOptions& mining = {},
+                         PartitionCache* cache = nullptr) {
   MineOutcome out;
   if (algo == "tane") {
     TaneOptions options;
     options.num_threads = num_threads;
     options.run_context = &g_run_context;
+    options.mining = mining;
+    options.partition_cache = cache;
     Result<TaneResult> tane = TaneDiscover(relation, options);
     if (!tane.ok()) return tane.status();
     out.fds = std::move(tane.value().fds);
@@ -198,7 +228,10 @@ Result<MineOutcome> Mine(const Relation& relation, const std::string& algo,
     return out;
   }
   if (algo == "fastfds") {
-    Result<FastFdsResult> fast = FastFdsDiscover(relation, &g_run_context);
+    FastFdsOptions options;
+    options.run_context = &g_run_context;
+    options.mining = mining;
+    Result<FastFdsResult> fast = FastFdsDiscover(relation, options);
     if (!fast.ok()) return fast.status();
     out.fds = std::move(fast.value().fds);
     out.complete = fast.value().complete;
@@ -206,10 +239,23 @@ Result<MineOutcome> Mine(const Relation& relation, const std::string& algo,
     out.stats = fast.value().stats.ToString();
     return out;
   }
+  if (algo == "fdep") {
+    FdepOptions options;
+    options.run_context = &g_run_context;
+    options.mining = mining;
+    Result<FdepResult> fdep = FdepDiscover(relation, options);
+    if (!fdep.ok()) return fdep.status();
+    out.fds = std::move(fdep.value().fds);
+    out.complete = fdep.value().complete;
+    out.run_status = fdep.value().run_status;
+    out.stats = fdep.value().stats.ToString();
+    return out;
+  }
   DepMinerOptions options;
   options.build_armstrong = false;
   options.num_threads = num_threads;
   options.run_context = &g_run_context;
+  options.mining = mining;
   options.agree_set_algorithm = algo == "depminer2"
                                     ? AgreeSetAlgorithm::kIdentifiers
                                     : AgreeSetAlgorithm::kCouples;
@@ -248,19 +294,51 @@ Result<FunctionalDependency> ParseFd(const Relation& relation,
 }
 
 int CmdMine(const Relation& relation, const ArgParser& args) {
-  Result<MineOutcome> mined =
-      Mine(relation, args.GetString("algo", "depminer"), ThreadsFlag(args));
+  const std::string algo = args.GetString("algo", "depminer");
+  const size_t num_threads = ThreadsFlag(args);
+  const MiningOptions mining = MiningFlags(args);
+  // TANE memoizes its partition products through the cache (and emits the
+  // hit-rate counters); the top-k ranking pass probes the same cache, so
+  // π̂_lhs chains the lattice walk already built come back for free.
+  std::optional<StrippedPartitionDatabase> db;
+  std::optional<PartitionCache> cache;
+  if (algo == "tane" || mining.top_k != 0) {
+    db.emplace(StrippedPartitionDatabase::FromRelation(relation, num_threads));
+    PartitionCache::Config config;
+    config.run_context = &g_run_context;
+    cache.emplace(&*db, config);
+  }
+  Result<MineOutcome> mined = Mine(relation, algo, num_threads, mining,
+                                   cache.has_value() ? &*cache : nullptr);
   if (!mined.ok()) {
     std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
     return 1;
   }
   const MineOutcome& outcome = mined.value();
   const std::string out = args.GetString("out", "");
+  std::vector<RankedFd> ranked;
+  if (mining.top_k != 0) {
+    ranked = RankFds(outcome.fds, *db, mining.top_k,
+                     cache.has_value() ? &*cache : nullptr)
+                 .ranked;
+  }
   if (!out.empty()) {
-    Status st = SaveFdSet(outcome.fds, relation.schema(), out);
+    FdSet to_save = outcome.fds;
+    if (mining.top_k != 0) {
+      std::vector<FunctionalDependency> kept;
+      kept.reserve(ranked.size());
+      for (const RankedFd& rf : ranked) kept.push_back(rf.fd);
+      to_save = FdSet(relation.num_attributes(), kept);
+    }
+    Status st = SaveFdSet(to_save, relation.schema(), out);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
+    }
+  } else if (mining.top_k != 0) {
+    for (const RankedFd& rf : ranked) {
+      std::printf("%s  # redundancy=%zu\n",
+                  rf.fd.ToString(relation.schema()).c_str(), rf.redundancy);
     }
   } else {
     for (const FunctionalDependency& fd : outcome.fds.fds()) {
@@ -368,7 +446,16 @@ int CmdConvert(const Relation& relation, const ArgParser& args) {
 
 int CmdProfile(const Relation& relation, const ArgParser& args) {
   const std::string source = args.positional()[1];
-  Result<RelationProfile> profile = ProfileRelation(relation, source);
+  ProfileOptions options;
+  // Only the arity cap applies here: the profile's mining pass is the
+  // Dep-Miner pipeline (no approximate path) and its report wants the
+  // whole capped cover, not a top-k slice. A capped profile notes that
+  // the Armstrong sample is unavailable instead of building one from a
+  // partial cover.
+  options.mining.mining.max_lhs_arity =
+      static_cast<size_t>(args.GetInt("arity", 0));
+  options.mining.run_context = &g_run_context;
+  Result<RelationProfile> profile = ProfileRelation(relation, source, options);
   if (!profile.ok()) {
     std::fprintf(stderr, "error: %s\n", profile.status().ToString().c_str());
     return 1;
@@ -707,6 +794,12 @@ int CmdFuzz(const ArgParser& args) {
   if (args.Has("threads")) {
     options.oracle.thread_counts = {1, ThreadsFlag(args)};
   }
+  // --arity moves the cap the pruning cross-checks (capped-vs-filtered,
+  // forced-ε=0) run every miner under; the default of 2 bites on most
+  // generated relations.
+  if (args.Has("arity")) {
+    options.oracle.arity_cap = static_cast<size_t>(args.GetInt("arity", 2));
+  }
   Result<FuzzResult> run = RunFuzzHarness(options, &std::cerr);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
@@ -782,6 +875,7 @@ int main(int argc, char** argv) {
   ArgParser args;
   (void)args.Parse(argc, argv);
   if (args.positional().empty()) return Usage();
+  const std::string command = args.positional()[0];
 
   // GetInt maps unparsable values to 0, which for these two flags would
   // silently mean "unlimited" — exactly what a user typing a limit did
@@ -797,6 +891,49 @@ int main(int argc, char** argv) {
                    flag, raw.c_str());
       return 2;
     }
+  }
+  // The pruning knobs. --arity/--topk are caps, and GetInt also returns 0
+  // for garbage — so an explicit 0 (which would silently mean "unbounded")
+  // is rejected along with anything non-numeric.
+  for (const char* flag : {"arity", "topk"}) {
+    if (!args.Has(flag)) continue;
+    const std::string raw = args.GetString(flag, "");
+    if (raw.empty() ||
+        raw.find_first_not_of("0123456789") != std::string::npos ||
+        args.GetInt(flag, 0) == 0) {
+      std::fprintf(stderr,
+                   "error: --%s must be a positive integer, got \"%s\"\n",
+                   flag, raw.c_str());
+      return 2;
+    }
+  }
+  if (args.Has("error")) {
+    const std::string raw = args.GetString("error", "");
+    char* end = nullptr;
+    const double eps = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+        !(eps >= 0.0) || eps >= 1.0) {
+      std::fprintf(stderr,
+                   "error: --error must be a real number in [0,1), got "
+                   "\"%s\"\n",
+                   raw.c_str());
+      return 2;
+    }
+    if (command != "mine" || args.GetString("algo", "depminer") != "tane") {
+      std::fprintf(stderr,
+                   "error: --error (approximate discovery) requires "
+                   "mine --algo=tane\n");
+      return 2;
+    }
+  }
+  if (args.Has("checkpoint-dir") &&
+      (args.Has("arity") || args.Has("error") || args.Has("topk"))) {
+    // A checkpointed job is keyed by the input fingerprint alone; resuming
+    // it under different pruning knobs would splice mismatched phases.
+    std::fprintf(stderr,
+                 "error: --arity/--error/--topk cannot be combined with "
+                 "--checkpoint-dir\n");
+    return 2;
   }
   const int64_t timeout_ms = args.GetInt("timeout-ms", 0);
   if (timeout_ms > 0) {
@@ -836,7 +973,6 @@ int main(int argc, char** argv) {
     fault_scope.emplace(plan);
   }
 
-  const std::string command = args.positional()[0];
   if (command == "mine" && args.Has("checkpoint-dir")) {
     return CmdMineCheckpointed(args);
   }

@@ -74,6 +74,30 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# Arity-capped bench smoke-run: the --arity smoke mode restricts the
+# sweep to one cap and verifies, per grid dataset, that TANE and
+# Dep-Miner agree on the capped cover (the equals-filtered check runs in
+# the full sweep). Keeps the pruning plumbing from rotting between
+# full baseline runs.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) bench_scale=build/bench/bench_scale ;;
+    asan-ubsan) bench_scale=build-asan-ubsan/bench/bench_scale ;;
+    *) continue ;;
+  esac
+  if [ -x "${bench_scale}" ]; then
+    echo "==> bench_scale arity smoke-run [${preset}]"
+    arity_out=/tmp/depminer_bench_arity_smoke_${preset}.json
+    "${bench_scale}" --scale=0.002 --reps=1 --threads=1 --arity=3 \
+      --json="${arity_out}" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "${arity_out}" >/dev/null
+      echo "    arity JSON parses: ${arity_out}"
+    fi
+    rm -f "${arity_out}"
+  fi
+done
+
 # Fuzz smoke-run: a deterministic slice of the differential verification
 # harness (docs/VERIFICATION.md) — all five miners cross-checked on 25
 # adversarial relations, Armstrong round-trips included. Runs under the

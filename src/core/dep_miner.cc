@@ -62,6 +62,12 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   if (db.num_attributes() > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
   }
+  Status mining_status = options.mining.Validate();
+  if (!mining_status.ok()) return mining_status;
+  if (options.mining.max_g3_error > 0.0) {
+    return Status::InvalidArgument(
+        "approximate (g3-thresholded) discovery is TANE-only");
+  }
 
   RunContext* ctx = options.run_context;
   DepMinerResult out;
@@ -128,7 +134,8 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   // Step 3 (line 3): LEFT_HAND_SIDE.
   {
     PhaseTimer lhs_timer("phase/lhs", &out.stats.lhs_seconds);
-    out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx);
+    out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx,
+                         options.mining.max_lhs_arity);
   }
 
   // Step 4 (line 4): FD_OUTPUT. On an interrupted lhs phase this keeps
@@ -141,7 +148,12 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   }
 
   // Step 5 (line 5): ARMSTRONG_RELATION.
-  if (options.build_armstrong) {
+  if (options.build_armstrong && options.mining.max_lhs_arity != 0) {
+    // A capped cover no longer determines MAX(dep(r)) — the Armstrong
+    // construction would encode the wrong dependency set.
+    out.armstrong_status = Status::InvalidArgument(
+        "Armstrong construction is unavailable under an arity cap");
+  } else if (options.build_armstrong) {
     if (relation == nullptr) {
       out.armstrong_status = Status::InvalidArgument(
           "real-world Armstrong construction needs the relation values");

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mining_options.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "core/agree_sets.h"
@@ -37,6 +38,13 @@ struct DepMinerOptions {
   /// `DepMinerResult::complete == false`, the tripping status in
   /// `run_status`, and every artifact completed so far intact.
   RunContext* run_context = nullptr;
+  /// Cross-miner search-space pruning knobs. `max_lhs_arity` caps the
+  /// per-attribute transversal search (lhs families are then the
+  /// unbounded ones filtered to |X| ≤ k). `max_g3_error > 0` is
+  /// rejected — approximate discovery is TANE-only. With an arity cap
+  /// the Armstrong relation is not built (the capped cover no longer
+  /// determines MAX(dep(r))).
+  MiningOptions mining;
 };
 
 /// Per-phase wall-clock timings and size statistics of a run, mirroring

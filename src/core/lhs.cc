@@ -9,7 +9,7 @@
 namespace depminer {
 
 LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
-                     RunContext* ctx) {
+                     RunContext* ctx, size_t max_lhs_arity) {
   LhsResult result;
   const size_t n = max_sets.num_attributes;
   result.num_attributes = n;
@@ -29,8 +29,8 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
         DEPMINER_FAULT_ALLOC("alloc/lhs", ctx);
         DEPMINER_TRACE_SPAN(attr_span, "lhs/attribute");
         Hypergraph graph(n, max_sets.cmax_sets[a]);
-        std::vector<AttributeSet> tr =
-            LevelwiseMinimalTransversals(graph, &per_attr_stats[a], ctx);
+        std::vector<AttributeSet> tr = LevelwiseMinimalTransversals(
+            graph, &per_attr_stats[a], ctx, max_lhs_arity);
         attr_span.SetValue(per_attr_stats[a].candidates_generated);
         if (!per_attr_stats[a].complete) return;  // partial Tr is unusable
         SortSets(&tr);
@@ -48,10 +48,13 @@ LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads,
     result.stats.levels = std::max(result.stats.levels, stats.levels);
     result.stats.candidates_generated += stats.candidates_generated;
     result.stats.transversals_found += stats.transversals_found;
+    result.stats.candidates_pruned += stats.candidates_pruned;
   }
   DEPMINER_TRACE_COUNTER("lhs.transversal_candidates",
                          result.stats.candidates_generated);
   DEPMINER_TRACE_COUNTER("lhs.transversals", result.stats.transversals_found);
+  DEPMINER_TRACE_COUNTER("lhs.candidates_pruned",
+                         result.stats.candidates_pruned);
   result.stats.complete = all_done;
   if (!all_done) {
     result.status = ctx != nullptr && !ctx->Check().ok()

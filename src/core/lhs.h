@@ -32,8 +32,14 @@ struct LhsResult {
 /// them across threads with identical output. `ctx` is checked per
 /// transversal level within each attribute and stops the distribution of
 /// further attributes once tripped.
+///
+/// `max_lhs_arity` (0 = unbounded) caps every attribute's transversal
+/// search at that level, pruning deeper candidates before generation
+/// (see LevelwiseMinimalTransversals); lhs[A] is then exactly the
+/// unbounded family filtered to |X| ≤ max_lhs_arity, and
+/// `stats.candidates_pruned` counts what the cap kept un-generated.
 LhsResult ComputeLhs(const MaxSetResult& max_sets, size_t num_threads = 1,
-                     RunContext* ctx = nullptr);
+                     RunContext* ctx = nullptr, size_t max_lhs_arity = 0);
 
 /// Algorithm 6 (FD_OUTPUT): the minimal non-trivial FDs — every X → A with
 /// X ∈ lhs(dep(r), A) and X ≠ {A}. FDs with an empty lhs (constant

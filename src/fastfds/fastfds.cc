@@ -21,8 +21,8 @@ namespace {
 class CoverSearch {
  public:
   CoverSearch(const std::vector<AttributeSet>& sets, FastFdsStats* stats,
-              RunContext* ctx)
-      : sets_(sets), stats_(stats), ctx_(ctx) {}
+              RunContext* ctx, size_t max_size = 0)
+      : sets_(sets), stats_(stats), ctx_(ctx), max_size_(max_size) {}
 
   /// Runs the search; calls emit(lhs) for every minimal cover. Returns
   /// false when a governing RunContext tripped and the search aborted —
@@ -51,6 +51,22 @@ class CoverSearch {
     }
     if (uncovered.empty()) {
       if (IsMinimalCover(path)) emit(path);
+      return;
+    }
+    if (max_size_ != 0 && path.Count() == max_size_) {
+      // Arity cap: the cover is incomplete and cannot grow further, so
+      // every child branch is pruned before its subtree is visited.
+      // Covers of size ≤ max_size_ live on paths of length ≤ max_size_
+      // and are unaffected — the capped output is exactly the unbounded
+      // one filtered by lhs size.
+      allowed.ForEach([&](AttributeId a) {
+        for (size_t i : uncovered) {
+          if (sets_[i].Contains(a)) {
+            ++stats_->candidates_pruned;
+            break;
+          }
+        }
+      });
       return;
     }
 
@@ -113,6 +129,7 @@ class CoverSearch {
   const std::vector<AttributeSet>& sets_;
   FastFdsStats* stats_;
   RunContext* ctx_;
+  const size_t max_size_;
   bool aborted_ = false;
 };
 
@@ -122,6 +139,7 @@ std::string FastFdsStats::ToString() const {
   StatsLineBuilder b;
   b.Count("difference_sets", difference_sets)
       .Count("search_nodes", search_nodes)
+      .Count("pruned", candidates_pruned)
       .Count("fds", num_fds)
       .Seconds("total", total_seconds);
   return b.str();
@@ -129,10 +147,24 @@ std::string FastFdsStats::ToString() const {
 
 Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
                                       RunContext* ctx) {
+  FastFdsOptions options;
+  options.run_context = ctx;
+  return FastFdsDiscover(relation, options);
+}
+
+Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
+                                      const FastFdsOptions& options) {
+  RunContext* ctx = options.run_context;
   const size_t n = relation.num_attributes();
   if (n == 0) return Status::InvalidArgument("relation has no attributes");
   if (n > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
+  }
+  Status mining_status = options.mining.Validate();
+  if (!mining_status.ok()) return mining_status;
+  if (options.mining.max_g3_error > 0.0) {
+    return Status::InvalidArgument(
+        "approximate (g3-thresholded) discovery is TANE-only");
   }
   DEPMINER_CHECK_RUN(ctx);
 
@@ -193,7 +225,8 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
     // If ∅ ∈ D_A, a pair agrees on everything except A: nothing
     // (non-trivially) determines A, and the search naturally finds no
     // cover because the empty set cannot be hit.
-    CoverSearch search(da, &result.stats, ctx);
+    CoverSearch search(da, &result.stats, ctx,
+                       options.mining.max_lhs_arity);
     const size_t found_before = found.size();
     if (!search.Run(universe.Minus(AttributeSet::Single(a)),
                     [&found, a](const AttributeSet& lhs) {
@@ -216,6 +249,8 @@ Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
   result.fds = FdSet(n, std::move(found));
   result.stats.num_fds = result.fds.size();
   DEPMINER_TRACE_COUNTER("fastfds.search_nodes", result.stats.search_nodes);
+  DEPMINER_TRACE_COUNTER("fastfds.candidates_pruned",
+                         result.stats.candidates_pruned);
   phase_timer.Stop();
   return result;
 }

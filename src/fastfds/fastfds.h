@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/mining_options.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
@@ -9,11 +10,25 @@
 
 namespace depminer {
 
+/// Options for a FastFDs run.
+struct FastFdsOptions {
+  /// Search-space pruning knobs. `max_lhs_arity` stops the cover DFS
+  /// from branching past depth k, so covers larger than k are pruned
+  /// before their subtrees are visited; the output equals the unbounded
+  /// cover filtered to |X| ≤ k. `max_g3_error > 0` is rejected
+  /// (TANE-only).
+  MiningOptions mining;
+  /// Optional resource governance; see FastFdsDiscover.
+  RunContext* run_context = nullptr;
+};
+
 /// Statistics of a FastFDs run.
 struct FastFdsStats {
   double total_seconds = 0;
   size_t difference_sets = 0;  ///< distinct difference sets of r
   size_t search_nodes = 0;     ///< DFS nodes visited over all attributes
+  /// DFS branches the arity cap kept from being visited.
+  size_t candidates_pruned = 0;
   size_t num_fds = 0;
   std::string ToString() const;
 };
@@ -43,5 +58,9 @@ struct FastFdsResult {
 /// front end and checked every ~1024 DFS nodes of the cover search.
 Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
                                       RunContext* ctx = nullptr);
+
+/// Variant with pruning knobs (see FastFdsOptions).
+Result<FastFdsResult> FastFdsDiscover(const Relation& relation,
+                                      const FastFdsOptions& options);
 
 }  // namespace depminer

@@ -27,6 +27,8 @@ const std::vector<FaultSite>& FaultSiteRegistry() {
        "FDEP negative-cover specialization charge"},
       {"alloc/streaming", FaultKind::kAlloc,
        "streaming CSV extraction working-set charge"},
+      {"alloc/partition_cache", FaultKind::kAlloc,
+       "partition-product cache resident-byte charge"},
       {"io/csv-read", FaultKind::kIoError,
        "read(2) on the CSV byte stream fails with EIO"},
       {"io/csv-short-read", FaultKind::kShortRead,

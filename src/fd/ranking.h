@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "partition/partition_database.h"
+
+namespace depminer {
+
+/// One FD with its redundancy score: the number of redundant tuple slots
+/// its left-hand side groups, e(π̂_X)·|r| = Σ (|c| − 1) over the stripped
+/// classes of π̂_X. An FD whose lhs partitions the relation into few large
+/// classes repeats its rhs value often — normalizing on it removes the
+/// most duplicated storage — so higher scores rank first. The empty lhs
+/// (a constant attribute) scores |r| − 1, the maximum.
+struct RankedFd {
+  FunctionalDependency fd;
+  size_t redundancy = 0;
+};
+
+struct RankingResult {
+  /// Sorted by redundancy descending, ties by lhs size ascending, then
+  /// canonical FD order — a total order, so the ranking (and any top-k
+  /// prefix of it) is deterministic.
+  std::vector<RankedFd> ranked;
+};
+
+/// Ranks `fds` by redundancy. π̂_X probes go through `cache` when one is
+/// provided (minimal covers share lhs prefixes heavily, so probes mostly
+/// hit), otherwise each lhs product chain is computed from `db` directly.
+/// `top_k` (0 = all) keeps only the first k of the ranking.
+RankingResult RankFds(const FdSet& fds, const StrippedPartitionDatabase& db,
+                      size_t top_k = 0, PartitionCache* cache = nullptr);
+
+}  // namespace depminer

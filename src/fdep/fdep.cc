@@ -12,16 +12,31 @@ std::string FdepStats::ToString() const {
   StatsLineBuilder b;
   b.Count("negative_cover", negative_cover_size)
       .Count("specializations", specializations)
+      .Count("pruned", candidates_pruned)
       .Count("fds", num_fds)
       .Seconds("total", total_seconds);
   return b.str();
 }
 
 Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
+  FdepOptions options;
+  options.run_context = ctx;
+  return FdepDiscover(relation, options);
+}
+
+Result<FdepResult> FdepDiscover(const Relation& relation,
+                                const FdepOptions& options) {
+  RunContext* ctx = options.run_context;
   const size_t n = relation.num_attributes();
   if (n == 0) return Status::InvalidArgument("relation has no attributes");
   if (n > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
+  }
+  Status mining_status = options.mining.Validate();
+  if (!mining_status.ok()) return mining_status;
+  if (options.mining.max_g3_error > 0.0) {
+    return Status::InvalidArgument(
+        "approximate (g3-thresholded) discovery is TANE-only");
   }
   DEPMINER_CHECK_RUN(ctx);
 
@@ -83,6 +98,7 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
           break;
         }
       }
+      const size_t cap = options.mining.max_lhs_arity;
       std::vector<AttributeSet> next;
       next.reserve(hypotheses.size());
       for (const AttributeSet& h : hypotheses) {
@@ -92,6 +108,15 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
         }
         const AttributeSet outside =
             universe.Minus(m).Minus(AttributeSet::Single(a));
+        if (cap != 0 && h.Count() == cap) {
+          // Arity cap: every specialization of this contradicted
+          // hypothesis would exceed the cap, so the hypothesis is
+          // dropped and its replacements pruned before generation.
+          // Surviving hypotheses of size ≤ cap are built from subset
+          // ancestors (all of size ≤ cap), so they are unaffected.
+          result.stats.candidates_pruned += outside.Count();
+          continue;
+        }
         outside.ForEach([&](AttributeId b) {
           AttributeSet grown = h;
           grown.Add(b);
@@ -110,6 +135,8 @@ Result<FdepResult> FdepDiscover(const Relation& relation, RunContext* ctx) {
   result.fds = FdSet(n, std::move(found));
   result.stats.num_fds = result.fds.size();
   DEPMINER_TRACE_COUNTER("fdep.specializations", result.stats.specializations);
+  DEPMINER_TRACE_COUNTER("fdep.candidates_pruned",
+                         result.stats.candidates_pruned);
   phase_timer.Stop();
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/mining_options.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
@@ -9,11 +10,24 @@
 
 namespace depminer {
 
+/// Options for an FDEP run.
+struct FdepOptions {
+  /// Search-space pruning knobs. `max_lhs_arity` drops contradicted
+  /// size-k hypotheses instead of specializing them (their replacements
+  /// would all exceed k); the output equals the unbounded cover filtered
+  /// to |X| ≤ k. `max_g3_error > 0` is rejected (TANE-only).
+  MiningOptions mining;
+  /// Optional resource governance; see FdepDiscover.
+  RunContext* run_context = nullptr;
+};
+
 /// Statistics of an FDEP run.
 struct FdepStats {
   double total_seconds = 0;
   size_t negative_cover_size = 0;  ///< maximal invalid FD lhs, over all rhs
   size_t specializations = 0;      ///< candidate replacements explored
+  /// Specializations the arity cap kept from being generated.
+  size_t candidates_pruned = 0;
   size_t num_fds = 0;
   std::string ToString() const;
 };
@@ -49,5 +63,9 @@ struct FdepResult {
 /// lhs during specialization.
 Result<FdepResult> FdepDiscover(const Relation& relation,
                                 RunContext* ctx = nullptr);
+
+/// Variant with pruning knobs (see FdepOptions).
+Result<FdepResult> FdepDiscover(const Relation& relation,
+                                const FdepOptions& options);
 
 }  // namespace depminer

@@ -1,9 +1,11 @@
 #include "hypergraph/berge_transversals.h"
 
+#include <algorithm>
+
 namespace depminer {
 
 std::vector<AttributeSet> BergeMinimalTransversals(
-    const Hypergraph& hypergraph, RunContext* ctx) {
+    const Hypergraph& hypergraph, RunContext* ctx, size_t max_size) {
   const Hypergraph simple =
       hypergraph.IsSimple() ? hypergraph : hypergraph.Minimized();
 
@@ -27,6 +29,16 @@ std::vector<AttributeSet> BergeMinimalTransversals(
       });
     }
     transversals = MinimalSets(std::move(extended));
+    if (max_size != 0) {
+      // Arity cap: partials only ever grow, so anything past the cap can
+      // never come back under it — prune before the next edge multiplies.
+      transversals.erase(
+          std::remove_if(transversals.begin(), transversals.end(),
+                         [max_size](const AttributeSet& t) {
+                           return t.Count() > max_size;
+                         }),
+          transversals.end());
+    }
   }
   SortSets(&transversals);
   return transversals;

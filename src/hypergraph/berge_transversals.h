@@ -24,8 +24,15 @@ namespace depminer {
 /// incremental construction stops and the (meaningless-as-Tr(H)) prefix
 /// transversals computed so far are returned; callers distinguish this by
 /// re-checking `ctx->Check()`.
+///
+/// `max_size` (0 = unbounded) caps transversal cardinality: partial
+/// transversals that grow past max_size are discarded after each edge.
+/// Safe because Berge partials only ever grow — a partial larger than
+/// the cap can never shrink back into a reportable transversal — so the
+/// result is exactly the unbounded Tr(H) filtered to |T| ≤ max_size.
 std::vector<AttributeSet> BergeMinimalTransversals(
-    const Hypergraph& hypergraph, RunContext* ctx = nullptr);
+    const Hypergraph& hypergraph, RunContext* ctx = nullptr,
+    size_t max_size = 0);
 
 /// Applies Tr twice: for a simple hypergraph H, Tr(Tr(H)) = H. Exposed so
 /// the TANE comparator can rebuild cmax sets from lhs sets the way the

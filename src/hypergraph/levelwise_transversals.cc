@@ -70,10 +70,27 @@ std::vector<Candidate> GenerateNextLevel(const std::vector<Candidate>& level) {
   return next;
 }
 
+/// How many joined candidates GenerateNextLevel would form from `level`
+/// (the prefix-block pair count, before the subset prune) — what an
+/// arity cap reports as pruned without paying for the generation.
+size_t CountPrunedJoins(const std::vector<Candidate>& level) {
+  if (level.empty()) return 0;
+  const size_t i = level[0].members.size();
+  size_t pruned = 0;
+  for (size_t a = 0; a < level.size(); ++a) {
+    for (size_t b = a + 1; b < level.size(); ++b) {
+      if (!SharePrefix(level[a], level[b], i - 1)) break;
+      ++pruned;
+    }
+  }
+  return pruned;
+}
+
 }  // namespace
 
 std::vector<AttributeSet> LevelwiseMinimalTransversals(
-    const Hypergraph& hypergraph, LevelwiseStats* stats, RunContext* ctx) {
+    const Hypergraph& hypergraph, LevelwiseStats* stats, RunContext* ctx,
+    size_t max_size) {
   LevelwiseStats local_stats;
   std::vector<AttributeSet> result;
 
@@ -112,6 +129,12 @@ std::vector<AttributeSet> LevelwiseMinimalTransversals(
       } else {
         survivors.push_back(std::move(cand));
       }
+    }
+    // Arity cap: level max_size was just tested; anything deeper would
+    // exceed the bound, so the next level's joins are pruned un-generated.
+    if (max_size != 0 && local_stats.levels == max_size) {
+      local_stats.candidates_pruned += CountPrunedJoins(survivors);
+      break;
     }
     level = GenerateNextLevel(survivors);
     local_stats.candidates_generated += level.size();

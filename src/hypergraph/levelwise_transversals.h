@@ -13,6 +13,9 @@ struct LevelwiseStats {
   size_t levels = 0;
   size_t candidates_generated = 0;
   size_t transversals_found = 0;
+  /// Candidates the arity cap kept from being generated: the joins the
+  /// prefix blocks of the last admitted level would have formed.
+  size_t candidates_pruned = 0;
   /// False when a governing RunContext tripped mid-search; the returned
   /// transversals are then the ones found before the interrupted level.
   bool complete = true;
@@ -36,8 +39,15 @@ struct LevelwiseStats {
 /// cooperative-cancellation granularity. On a trip the search stops,
 /// `stats->complete` turns false and the transversals found so far are
 /// returned.
+///
+/// `max_size` (0 = unbounded) caps the transversal cardinality: level
+/// max_size is still tested but never expanded, so the candidates of
+/// level max_size+1 are pruned *before* generation. The result is
+/// exactly the unbounded Tr(H) filtered to |T| ≤ max_size — every
+/// minimal transversal of size ≤ k appears as a candidate at level
+/// |T| ≤ k regardless of what deeper levels would hold.
 std::vector<AttributeSet> LevelwiseMinimalTransversals(
     const Hypergraph& hypergraph, LevelwiseStats* stats = nullptr,
-    RunContext* ctx = nullptr);
+    RunContext* ctx = nullptr, size_t max_size = 0);
 
 }  // namespace depminer

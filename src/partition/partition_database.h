@@ -1,7 +1,13 @@
 #pragma once
 
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "common/attribute_set.h"
+#include "common/run_context.h"
 #include "partition/stripped_partition.h"
 #include "relation/relation.h"
 
@@ -77,6 +83,105 @@ class ClassLabelTable {
   std::vector<uint32_t> labels_;
   size_t num_tuples_ = 0;
   size_t num_attributes_ = 0;
+};
+
+/// A memoized, byte-budgeted LRU cache of stripped-partition products
+/// π̂_X over a fixed StrippedPartitionDatabase. TANE level products, AFD
+/// error probes and the top-k redundancy ranking all need π̂_X for
+/// attribute sets that recur across runs and probes; without a cache each
+/// consumer recomputes the product chain from the per-attribute
+/// partitions every time.
+///
+/// Entries are shared (`shared_ptr<const StrippedPartition>`), keyed by
+/// attribute set, and evicted least-recently-used once `max_bytes` is
+/// exceeded. Resident bytes are charged to the configured RunContext's
+/// memory budget; when that context trips (budget, deadline or
+/// cancellation — observed at the next insert) the cache releases every
+/// charged byte and *degrades*: lookups miss, `Get` keeps computing
+/// products uncached, and results stay exactly as correct as before —
+/// degradation trades speed, never answers. The `alloc/partition_cache`
+/// fault site models the cache's charge failing to allocate.
+///
+/// Thread safety: all operations lock one internal mutex. Cached values
+/// are deterministic functions of the base database, so concurrent
+/// hit/miss interleavings cannot change what any caller observes.
+class PartitionCache {
+ public:
+  struct Config {
+    /// Resident-byte ceiling before LRU eviction. The default fits the
+    /// paper-scale grid's level-2 TANE lattices with room to spare.
+    size_t max_bytes = size_t{256} << 20;
+    /// Optional governance: resident bytes are charged here, and a trip
+    /// degrades the cache (see class comment). nullptr = ungoverned.
+    RunContext* run_context = nullptr;
+  };
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t inserts = 0;
+    size_t evictions = 0;
+    size_t bytes = 0;  ///< currently resident
+    bool degraded = false;
+
+    double HitRate() const {
+      const size_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `base` must outlive the cache; its per-attribute partitions are the
+  /// (free, never-evicted) level-1 layer every product chain starts from.
+  explicit PartitionCache(const StrippedPartitionDatabase* base);
+  PartitionCache(const StrippedPartitionDatabase* base, Config config);
+  ~PartitionCache();
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  /// π̂_X, computed on a miss by extending the longest cached prefix of
+  /// X's attribute chain one product at a time (each intermediate prefix
+  /// is inserted, so nearby probes reuse it). Returns nullptr only for
+  /// the empty set. Always returns the correct partition, cached or not.
+  std::shared_ptr<const StrippedPartition> Get(const AttributeSet& x);
+
+  /// Pure lookup: the cached π̂_X or nullptr, never computes. Single
+  /// attributes always hit (they alias the base database).
+  std::shared_ptr<const StrippedPartition> Lookup(const AttributeSet& x);
+
+  /// Offers an externally computed π̂_X (e.g. a TANE level product) to
+  /// the cache; ownership is shared, nothing is copied. Dropped without
+  /// effect when degraded or larger than the whole budget.
+  void Insert(const AttributeSet& x,
+              std::shared_ptr<const StrippedPartition> partition);
+
+  Stats stats() const;
+
+  /// Records hits/misses/inserts/evictions and the hit rate as trace
+  /// counters (docs/OBSERVABILITY.md). Call once at the end of the
+  /// consuming phase.
+  void EmitTraceCounters() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StrippedPartition> partition;
+    size_t bytes = 0;
+    std::list<AttributeSet>::iterator lru_it;
+  };
+
+  static size_t EntryBytes(const StrippedPartition& partition);
+  /// Lookup + LRU refresh; no stats. Caller holds `mutex_`.
+  std::shared_ptr<const StrippedPartition> FindLocked(const AttributeSet& x);
+  /// Evicts LRU entries until `extra` more bytes fit. Caller holds it.
+  void EvictForLocked(size_t extra);
+  /// Releases everything and enters degraded mode. Caller holds it.
+  void DegradeLocked();
+
+  const StrippedPartitionDatabase* base_;
+  const Config config_;
+  mutable std::mutex mutex_;
+  std::list<AttributeSet> lru_;  ///< front = most recently used
+  std::unordered_map<AttributeSet, Entry, AttributeSetHash> entries_;
+  Stats stats_;
 };
 
 }  // namespace depminer

@@ -25,7 +25,9 @@ struct Node {
   AttributeSet set;
   std::vector<AttributeId> members;  // sorted; drives prefix-block joins
   AttributeSet cplus;
-  StrippedPartition partition;
+  /// Shared so a PartitionCache can retain level products without a copy
+  /// (and serve them back to later runs or the top-k ranking).
+  std::shared_ptr<const StrippedPartition> partition;
   size_t error = 0;  ///< e(π̂_X)·|r| = Σ (|c| − 1) over stripped classes
   // Indices of the joined parents in the previous level, used to defer
   // the (parallelizable) partition product.
@@ -48,7 +50,8 @@ class TaneRun {
         p_(relation.num_tuples()),
         universe_(AttributeSet::Universe(relation.num_attributes())),
         workspace_(relation.num_tuples()),
-        owner_of_(relation.num_tuples(), UINT32_MAX) {}
+        owner_of_(relation.num_tuples(), UINT32_MAX),
+        cache_(options.partition_cache) {}
 
   TaneResult Run() {
     // Span-owned timer, stopped explicitly before the result is moved
@@ -100,8 +103,11 @@ class TaneRun {
     DEPMINER_TRACE_COUNTER("tane.levels", result_.stats.levels);
     DEPMINER_TRACE_COUNTER("tane.candidates",
                            result_.stats.candidates_generated);
+    DEPMINER_TRACE_COUNTER("tane.candidates_pruned",
+                           result_.stats.candidates_pruned);
     DEPMINER_TRACE_COUNTER("tane.products",
                            result_.stats.partition_products);
+    if (cache_ != nullptr) cache_->EmitTraceCounters();
     DEPMINER_TRACE_GAUGE_MAX("tane.peak_partition_bytes",
                              result_.stats.peak_partition_bytes);
     phase_timer.Stop();
@@ -117,8 +123,14 @@ class TaneRun {
       node.set = AttributeSet::Single(a);
       node.members = {a};
       node.cplus = universe_;
-      node.partition = StrippedPartition::ForAttribute(relation_, a);
-      node.error = PartitionError(node.partition);
+      if (cache_ != nullptr) {
+        // Aliases the cache's base database (a guaranteed hit).
+        node.partition = cache_->Get(node.set);
+      } else {
+        node.partition = std::make_shared<const StrippedPartition>(
+            StrippedPartition::ForAttribute(relation_, a));
+      }
+      node.error = PartitionError(*node.partition);
       level.push_back(std::move(node));
     }
     return level;
@@ -126,12 +138,17 @@ class TaneRun {
 
   /// Validity of X\{A} → A: exact mode compares partition errors (π_{X\A}
   /// and π_X are equal iff their errors coincide, as one refines the
-  /// other); approximate mode bounds the g₃ fraction.
+  /// other); approximate mode bounds the g₃ fraction. At ε = 0 the two
+  /// criteria agree exactly — g₃ = 0 iff the errors coincide — which
+  /// `force_error_validation` lets the oracle assert by running the g₃
+  /// path anyway.
   bool Valid(const Node& parent, const Node& node) {
-    if (options_.max_g3_error <= 0.0) {
+    if (options_.mining.max_g3_error <= 0.0 &&
+        !options_.mining.force_error_validation) {
       return parent.error == node.error;
     }
-    return G3(parent.partition, node.partition) <= options_.max_g3_error;
+    return G3(*parent.partition, *node.partition) <=
+           options_.mining.max_g3_error;
   }
 
   /// g₃(X → A) from π̂_X (lhs) and π̂_{X∪A} (refined): within each lhs
@@ -161,18 +178,19 @@ class TaneRun {
 
   /// The special-cased ∅ → A test for level 1 (X = {A}, lhs = ∅).
   bool ValidFromEmpty(const Node& node) {
-    if (options_.max_g3_error <= 0.0) {
+    if (options_.mining.max_g3_error <= 0.0 &&
+        !options_.mining.force_error_validation) {
       return error_empty_ == node.error;
     }
     // g₃(∅ → A): keep the most frequent A-value.
     size_t biggest = p_ == 0 ? 0 : 1;
-    for (const EquivalenceClass& c : node.partition.classes()) {
+    for (const EquivalenceClass& c : node.partition->classes()) {
       biggest = std::max(biggest, c.size());
     }
     const size_t removed = p_ - biggest;
     return p_ == 0 ||
            static_cast<double>(removed) / static_cast<double>(p_) <=
-               options_.max_g3_error;
+               options_.mining.max_g3_error;
   }
 
   void ComputeDependencies(std::vector<Node>* level) {
@@ -211,20 +229,24 @@ class TaneRun {
       if (options_.enable_key_pruning && node.error == 0) {
         // X is a superkey. Output the remaining implied FDs (key-pruning
         // rule of [HKPT98]): X → A for A ∈ C⁺(X)\X with
-        // A ∈ ⋂_{B∈X} C⁺((X∪{A})\{B}).
-        const AttributeSet extra = node.cplus.Minus(node.set);
-        extra.ForEach([&](AttributeId a) {
-          AttributeSet intersection = universe_;
-          node.set.ForEach([&](AttributeId b) {
-            AttributeSet y = node.set;
-            y.Add(a);
-            y.Remove(b);
-            intersection = intersection.Intersect(CplusOf(y));
+        // A ∈ ⋂_{B∈X} C⁺((X∪{A})\{B}). These FDs have lhs X itself, so
+        // an arity cap gates the emission (X may sit one level past the
+        // deepest reportable lhs).
+        if (options_.mining.WithinArity(node.set.Count())) {
+          const AttributeSet extra = node.cplus.Minus(node.set);
+          extra.ForEach([&](AttributeId a) {
+            AttributeSet intersection = universe_;
+            node.set.ForEach([&](AttributeId b) {
+              AttributeSet y = node.set;
+              y.Add(a);
+              y.Remove(b);
+              intersection = intersection.Intersect(CplusOf(y));
+            });
+            if (intersection.Contains(a)) {
+              found_.push_back({node.set, a});
+            }
           });
-          if (intersection.Contains(a)) {
-            found_.push_back({node.set, a});
-          }
-        });
+        }
         continue;  // superkeys are not expanded
       }
       kept.push_back(std::move(node));
@@ -237,10 +259,10 @@ class TaneRun {
   size_t RecordPartitionFootprint(const std::vector<Node>& level) {
     size_t bytes = 0;
     for (const Node& node : level) {
-      bytes += node.partition.CoveredTuples() * sizeof(TupleId);
+      bytes += node.partition->CoveredTuples() * sizeof(TupleId);
     }
     for (const Node& node : prev_level_) {
-      bytes += node.partition.CoveredTuples() * sizeof(TupleId);
+      bytes += node.partition->CoveredTuples() * sizeof(TupleId);
     }
     result_.stats.peak_partition_bytes =
         std::max(result_.stats.peak_partition_bytes, bytes);
@@ -254,12 +276,37 @@ class TaneRun {
     for (Node& node : prev_level_) previous_[node.set] = &node;
   }
 
+  /// Prefix-block pair count of `level` — the joins an arity cap keeps
+  /// from being generated.
+  static size_t CountPrunedJoins(const std::vector<Node>& level) {
+    size_t pruned = 0;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!std::equal(level[i].members.begin(), level[i].members.end() - 1,
+                        level[j].members.begin())) {
+          break;
+        }
+        ++pruned;
+      }
+    }
+    return pruned;
+  }
+
   std::vector<Node> GenerateNextLevel() {
     // Prefix blocks: nodes sharing their first l−1 attributes;
     // prev_level_ is sorted by member sequence (RebuildPreviousIndex).
     std::vector<Node>& level = prev_level_;
     std::vector<Node> next;
     const size_t l = level.empty() ? 0 : level[0].members.size();
+    // Arity cap k: level k+1 was just tested (its FDs have lhs size k);
+    // the joins of level k+2 are pruned before generation. Everything up
+    // to here ran exactly as unbounded, so the output is the unbounded
+    // cover filtered to |lhs| ≤ k.
+    const size_t cap = options_.mining.max_lhs_arity;
+    if (cap != 0 && l >= cap + 1) {
+      result_.stats.candidates_pruned += CountPrunedJoins(level);
+      return next;
+    }
     for (size_t i = 0; i < level.size(); ++i) {
       for (size_t j = i + 1; j < level.size(); ++j) {
         if (!std::equal(level[i].members.begin(),
@@ -311,9 +358,7 @@ class TaneRun {
           trip_status_ = ctx->Check();
           if (!trip_status_.ok()) break;
         }
-        node.partition = workspace_.Product(level[node.parent_i].partition,
-                                            level[node.parent_j].partition);
-        node.error = PartitionError(node.partition);
+        ProductFor(&node, workspace_);
       }
     } else {
       const size_t workers = std::min(options_.num_threads, next.size());
@@ -327,11 +372,7 @@ class TaneRun {
       ParallelForSlotted(
           0, next.size(), workers,
           [&](size_t slot, size_t k) {
-            Node& node = next[k];
-            node.partition = workspaces[slot]->Product(
-                level[node.parent_i].partition,
-                level[node.parent_j].partition);
-            node.error = PartitionError(node.partition);
+            ProductFor(&next[k], *workspaces[slot]);
           },
           [&] {
             if (ctx != nullptr && ctx->StopRequested()) {
@@ -350,6 +391,27 @@ class TaneRun {
       }
     }
     return next;
+  }
+
+  /// π̂_X and error for a joined node: a cache hit when one is
+  /// configured, otherwise the parents' product (offered back to the
+  /// cache). Values are deterministic functions of the relation, so the
+  /// hit/compute choice never changes what the node holds.
+  void ProductFor(Node* node, PartitionProductWorkspace& workspace) {
+    if (cache_ != nullptr) {
+      std::shared_ptr<const StrippedPartition> cached =
+          cache_->Lookup(node->set);
+      if (cached != nullptr) {
+        node->partition = std::move(cached);
+        node->error = PartitionError(*node->partition);
+        return;
+      }
+    }
+    node->partition = std::make_shared<const StrippedPartition>(
+        workspace.Product(*prev_level_[node->parent_i].partition,
+                          *prev_level_[node->parent_j].partition));
+    node->error = PartitionError(*node->partition);
+    if (cache_ != nullptr) cache_->Insert(node->set, node->partition);
   }
 
   const Node* FindPrevious(const AttributeSet& set) const {
@@ -379,6 +441,7 @@ class TaneRun {
   const AttributeSet universe_;
   PartitionProductWorkspace workspace_;
   std::vector<uint32_t> owner_of_;  // scratch for G3
+  PartitionCache* const cache_;
 
   size_t error_empty_ = 0;
   std::vector<FunctionalDependency> found_;
@@ -395,6 +458,7 @@ std::string TaneStats::ToString() const {
   StatsLineBuilder b;
   b.Count("levels", levels)
       .Count("candidates", candidates_generated)
+      .Count("pruned", candidates_pruned)
       .Count("products", partition_products)
       .Count("fds", num_fds)
       .Megabytes("peak_partition_mb", peak_partition_bytes)
@@ -410,9 +474,8 @@ Result<TaneResult> TaneDiscover(const Relation& relation,
   if (relation.num_attributes() > AttributeSet::kMaxAttributes) {
     return Status::CapacityExceeded("too many attributes");
   }
-  if (options.max_g3_error < 0.0 || options.max_g3_error >= 1.0) {
-    return Status::InvalidArgument("max_g3_error must be in [0, 1)");
-  }
+  Status mining_status = options.mining.Validate();
+  if (!mining_status.ok()) return mining_status;
   TaneRun run(relation, options);
   return run.Run();
 }

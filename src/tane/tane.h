@@ -2,19 +2,17 @@
 
 #include <string>
 
+#include "common/mining_options.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
+#include "partition/partition_database.h"
 #include "relation/relation.h"
 
 namespace depminer {
 
 /// Options for a TANE run.
 struct TaneOptions {
-  /// Maximum g₃ error for an FD to be reported. 0 (default) discovers
-  /// exact dependencies; a positive threshold discovers TANE's approximate
-  /// dependencies.
-  double max_g3_error = 0.0;
   /// Ablation switch: disable superkey pruning (the PRUNE procedure of
   /// [HKPT98]). Keys stay in the lattice and are expanded; minimal FDs
   /// with superkey left-hand sides are found through the ordinary
@@ -29,6 +27,19 @@ struct TaneOptions {
   /// once per partition product (the per-level dominant cost); the live
   /// two-level partition footprint is charged against its memory budget.
   RunContext* run_context = nullptr;
+  /// Search-space pruning knobs. `max_g3_error > 0` discovers TANE's
+  /// approximate dependencies; 0 discovers exact ones. `max_lhs_arity`
+  /// caps lattice depth: level k+1 is still tested (its FDs have lhs
+  /// size k) but level k+2 is pruned before generation, so the output
+  /// equals the unbounded cover filtered to |X| ≤ k (asserted by the
+  /// fuzz oracle).
+  MiningOptions mining;
+  /// Optional memoized π̂_X store shared across runs and with the top-k
+  /// ranking: level products consult it before computing and offer their
+  /// results back. Its base database must be built from the same
+  /// relation (and outlive the run). nullptr = every product computed
+  /// in place, exactly as without a cache.
+  PartitionCache* partition_cache = nullptr;
 };
 
 /// Statistics of a TANE run, for the bench harness.
@@ -36,6 +47,9 @@ struct TaneStats {
   double total_seconds = 0;
   size_t levels = 0;
   size_t candidates_generated = 0;  ///< lattice nodes across all levels
+  /// Lattice joins the arity cap kept from being generated (the prefix-
+  /// block pairs of the last admitted level).
+  size_t candidates_pruned = 0;
   size_t partition_products = 0;
   size_t num_fds = 0;
   /// High-water estimate of partition storage: the largest total size (in

@@ -10,13 +10,73 @@ namespace depminer {
 namespace {
 
 MinerOutcome RunDepMiner(const Relation& r, AgreeSetAlgorithm algorithm,
-                         size_t threads, RunContext* ctx) {
+                         size_t threads, RunContext* ctx,
+                         const MiningOptions& mining) {
   DepMinerOptions options;
   options.agree_set_algorithm = algorithm;
   options.build_armstrong = false;
   options.num_threads = threads;
   options.run_context = ctx;
+  options.mining = mining;
+  options.mining.max_g3_error = 0.0;  // TANE-only; Dep-Miner rejects it
+  options.mining.force_error_validation = false;
   Result<DepMinerResult> mined = MineDependencies(r, options);
+  MinerOutcome out;
+  if (!mined.ok()) {
+    out.error = mined.status();
+    return out;
+  }
+  out.fds = std::move(mined.value().fds);
+  out.complete = mined.value().complete;
+  out.run_status = mined.value().run_status;
+  return out;
+}
+
+MinerOutcome RunTane(const Relation& r, size_t threads, RunContext* ctx,
+                     const MiningOptions& mining) {
+  TaneOptions options;
+  options.num_threads = threads;
+  options.run_context = ctx;
+  options.mining = mining;
+  Result<TaneResult> mined = TaneDiscover(r, options);
+  MinerOutcome out;
+  if (!mined.ok()) {
+    out.error = mined.status();
+    return out;
+  }
+  out.fds = std::move(mined.value().fds);
+  out.complete = mined.value().complete;
+  out.run_status = mined.value().run_status;
+  return out;
+}
+
+MinerOutcome RunFastFds(const Relation& r, RunContext* ctx,
+                        const MiningOptions& mining) {
+  FastFdsOptions options;
+  options.run_context = ctx;
+  options.mining = mining;
+  options.mining.max_g3_error = 0.0;  // TANE-only
+  options.mining.force_error_validation = false;
+  Result<FastFdsResult> mined = FastFdsDiscover(r, options);
+  MinerOutcome out;
+  if (!mined.ok()) {
+    out.error = mined.status();
+    return out;
+  }
+  out.fds = std::move(mined.value().fds);
+  out.complete = mined.value().complete;
+  out.run_status = mined.value().run_status;
+  return out;
+}
+
+MinerOutcome RunFdep(const Relation& r, RunContext* ctx,
+                     const MiningOptions& mining) {
+  FdepOptions options;
+  options.run_context = ctx;
+  options.mining = mining;
+  options.mining.max_g3_error = 0.0;  // TANE-only
+  options.mining.force_error_validation = false;
+  Result<FdepResult> mined = FdepDiscover(r, options);
   MinerOutcome out;
   if (!mined.ok()) {
     out.error = mined.status();
@@ -34,54 +94,38 @@ std::vector<MinerConfig> AllMiners() {
   return {
       {"depminer", true,
        [](const Relation& r, size_t t, RunContext* ctx) {
-         return RunDepMiner(r, AgreeSetAlgorithm::kCouples, t, ctx);
+         return RunDepMiner(r, AgreeSetAlgorithm::kCouples, t, ctx, {});
+       },
+       [](const Relation& r, size_t t, RunContext* ctx,
+          const MiningOptions& m) {
+         return RunDepMiner(r, AgreeSetAlgorithm::kCouples, t, ctx, m);
        }},
       {"depminer2", true,
        [](const Relation& r, size_t t, RunContext* ctx) {
-         return RunDepMiner(r, AgreeSetAlgorithm::kIdentifiers, t, ctx);
+         return RunDepMiner(r, AgreeSetAlgorithm::kIdentifiers, t, ctx, {});
+       },
+       [](const Relation& r, size_t t, RunContext* ctx,
+          const MiningOptions& m) {
+         return RunDepMiner(r, AgreeSetAlgorithm::kIdentifiers, t, ctx, m);
        }},
       {"tane", true,
        [](const Relation& r, size_t t, RunContext* ctx) {
-         TaneOptions options;
-         options.num_threads = t;
-         options.run_context = ctx;
-         Result<TaneResult> mined = TaneDiscover(r, options);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
+         return RunTane(r, t, ctx, {});
+       },
+       [](const Relation& r, size_t t, RunContext* ctx,
+          const MiningOptions& m) { return RunTane(r, t, ctx, m); }},
       {"fastfds", false,
        [](const Relation& r, size_t, RunContext* ctx) {
-         Result<FastFdsResult> mined = FastFdsDiscover(r, ctx);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
+         return RunFastFds(r, ctx, {});
+       },
+       [](const Relation& r, size_t, RunContext* ctx,
+          const MiningOptions& m) { return RunFastFds(r, ctx, m); }},
       {"fdep", false,
        [](const Relation& r, size_t, RunContext* ctx) {
-         Result<FdepResult> mined = FdepDiscover(r, ctx);
-         MinerOutcome out;
-         if (!mined.ok()) {
-           out.error = mined.status();
-           return out;
-         }
-         out.fds = std::move(mined.value().fds);
-         out.complete = mined.value().complete;
-         out.run_status = mined.value().run_status;
-         return out;
-       }},
+         return RunFdep(r, ctx, {});
+       },
+       [](const Relation& r, size_t, RunContext* ctx,
+          const MiningOptions& m) { return RunFdep(r, ctx, m); }},
   };
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mining_options.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "fd/fd_set.h"
@@ -23,11 +24,18 @@ struct MinerOutcome {
 
 using MinerFn =
     std::function<MinerOutcome(const Relation&, size_t, RunContext*)>;
+using MinerOptFn = std::function<MinerOutcome(
+    const Relation&, size_t, RunContext*, const MiningOptions&)>;
 
 struct MinerConfig {
   std::string name;
   bool threaded;  ///< accepts pool lanes; serial miners run once
   MinerFn run;
+  /// Same miner with pruning knobs threaded through (arity caps for all
+  /// miners; `force_error_validation` exercises TANE's g₃ path at ε = 0
+  /// and is ignored by the others). The oracle's pruning cross-checks
+  /// drive the miners through this entry point.
+  MinerOptFn run_with;
 };
 
 /// The five miners under test, adapted to one calling convention:

@@ -27,6 +27,8 @@ const char* ToString(CheckKind kind) {
     case CheckKind::kArmstrongSize: return "armstrong-size";
     case CheckKind::kArmstrongRejected: return "armstrong-rejected";
     case CheckKind::kArmstrongDiverged: return "armstrong-diverged";
+    case CheckKind::kArityDivergence: return "arity-divergence";
+    case CheckKind::kAfdDivergence: return "afd-divergence";
   }
   return "unknown";
 }
@@ -188,7 +190,12 @@ OracleReport RunDifferentialOracle(const Relation& relation,
   bool have_reference = false;
   FdSet reference_cover;        // canonical minimal cover of the reference
   std::string reference_label;
-  for (const MinerConfig& miner : miners) {
+  // Per-miner ungoverned outputs, kept for the pruning cross-checks of
+  // phase 4 (capped-vs-filtered and forced-ε=0 runs diff against them).
+  std::vector<FdSet> exact_outputs(miners.size());
+  std::vector<char> have_exact(miners.size(), 0);
+  for (size_t m = 0; m < miners.size(); ++m) {
+    const MinerConfig& miner = miners[m];
     bool have_first = false;
     FdSet first_output;
     std::string first_label;
@@ -223,6 +230,8 @@ OracleReport RunDifferentialOracle(const Relation& relation,
         continue;
       }
       if (i == 0) {
+        exact_outputs[m] = out.fds;
+        have_exact[m] = 1;
         const FdSet canonical = out.fds.MinimalCover();
         if (!have_reference) {
           have_reference = true;
@@ -349,6 +358,68 @@ OracleReport RunDifferentialOracle(const Relation& relation,
         Report(&report, CheckKind::kArmstrongError, "real-world",
                "Proposition 1 holds but the construction was refused: " +
                    mined.value().armstrong_status.ToString());
+      }
+    }
+  }
+
+  // Phase 4: pruning cross-checks against each miner's own ungoverned
+  // output. (a) An arity-capped run must be bit-identical to that output
+  // filtered to |lhs| ≤ k — the cap prunes candidates before generation
+  // but provably never changes what survives. (b) A run with the g₃
+  // validation path forced at ε = 0 must be implication-equivalent to
+  // the exact cover (TANE takes the real approximate path; the other
+  // miners ignore the flag).
+  if (options.check_pruning) {
+    for (size_t m = 0; m < miners.size(); ++m) {
+      if (!have_exact[m]) continue;
+      const MinerConfig& miner = miners[m];
+      const FdSet& exact = exact_outputs[m];
+      const size_t t = miner.threaded ? threads[0] : 1;
+      const std::string label = MinerLabel(miner, t);
+
+      MiningOptions capped;
+      capped.max_lhs_arity = options.arity_cap;
+      MinerOutcome capped_out = miner.run_with(relation, t, nullptr, capped);
+      ++report.miner_runs;
+      if (!capped_out.error.ok() || !capped_out.complete) {
+        Report(&report, CheckKind::kArityDivergence, label,
+               "arity-capped run failed: " +
+                   (capped_out.error.ok() ? capped_out.run_status
+                                          : capped_out.error)
+                       .ToString());
+      } else {
+        std::vector<FunctionalDependency> filtered;
+        for (const FunctionalDependency& fd : exact.fds()) {
+          if (fd.lhs.Count() <= options.arity_cap) filtered.push_back(fd);
+        }
+        const FdSet expected(exact.num_attributes(), std::move(filtered));
+        if (!(capped_out.fds.fds() == expected.fds())) {
+          Report(&report, CheckKind::kArityDivergence, label,
+                 "capped (k=" + std::to_string(options.arity_cap) +
+                     ") output [" + capped_out.fds.ToString() +
+                     "] != filtered unbounded cover [" +
+                     expected.ToString() + "]");
+        }
+      }
+
+      MiningOptions forced;
+      forced.force_error_validation = true;
+      MinerOutcome afd_out = miner.run_with(relation, t, nullptr, forced);
+      ++report.miner_runs;
+      if (!afd_out.error.ok() || !afd_out.complete) {
+        Report(&report, CheckKind::kAfdDivergence, label,
+               "forced ε=0 run failed: " +
+                   (afd_out.error.ok() ? afd_out.run_status : afd_out.error)
+                       .ToString());
+      } else {
+        const FdSetDiff diff =
+            DiffFdSets(exact.MinimalCover(), afd_out.fds.MinimalCover());
+        if (!diff.Equivalent()) {
+          Report(&report, CheckKind::kAfdDivergence, label,
+                 "ε=0 approximate cover is not equivalent to the exact "
+                 "one:\n" +
+                     diff.ToString(schema));
+        }
       }
     }
   }

@@ -24,6 +24,8 @@ enum class CheckKind {
   kArmstrongSize,      ///< |r̄| ≠ |MAX(dep(r))| + 1
   kArmstrongRejected,  ///< IsArmstrongFor says the construction is wrong
   kArmstrongDiverged,  ///< dep(r̄) ≢ dep(r) — the round-trip broke
+  kArityDivergence,    ///< capped run ≠ unbounded cover filtered to ≤ k
+  kAfdDivergence,      ///< ε = 0 approximate run ≢ the exact cover
 };
 
 const char* ToString(CheckKind kind);
@@ -58,6 +60,15 @@ struct OracleOptions {
   bool check_reference_oracle = true;
   size_t reference_max_attributes = 8;
   size_t reference_max_tuples = 48;
+  /// Pruning cross-checks, per miner: (a) an arity-capped run must equal
+  /// the miner's own unbounded output filtered to |lhs| ≤ `arity_cap`
+  /// (bit-identical after canonicalization — the cap provably prunes
+  /// *before* generation without changing what survives); (b) TANE's
+  /// g₃ validation path forced at ε = 0 must be implication-equivalent
+  /// to its exact cover (the other miners ignore the flag and must be
+  /// unchanged).
+  bool check_pruning = true;
+  size_t arity_cap = 2;
 };
 
 /// Result of one oracle pass over one relation.

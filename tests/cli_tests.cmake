@@ -131,6 +131,46 @@ add_test(NAME cli.repair COMMAND fdtool repair ${DATA}/orders.csv
 set_tests_properties(cli.repair PROPERTIES
     PASS_REGULAR_EXPRESSION "0 tuple")
 
+# Search-space pruning flags: the capped/approximate/top-k paths produce
+# the documented output shapes, and malformed knob values are usage
+# errors (exit 2), not silent defaults.
+add_test(NAME cli.mine_arity COMMAND fdtool mine ${DATA}/employees.csv
+         --arity=1)
+set_tests_properties(cli.mine_arity PROPERTIES
+    PASS_REGULAR_EXPRESSION "depname -> depnum")
+
+add_test(NAME cli.mine_topk COMMAND fdtool mine ${DATA}/employees.csv
+         --algo=tane --topk=3)
+set_tests_properties(cli.mine_topk PROPERTIES
+    PASS_REGULAR_EXPRESSION "# redundancy=")
+
+add_test(NAME cli.mine_error_tane COMMAND fdtool mine ${DATA}/employees.csv
+         --algo=tane --error=0.05)
+set_tests_properties(cli.mine_error_tane PROPERTIES
+    PASS_REGULAR_EXPRESSION "->")
+
+add_test(NAME cli.bad_arity COMMAND fdtool mine ${DATA}/employees.csv
+         --arity=0)
+set_tests_properties(cli.bad_arity PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.bad_topk COMMAND fdtool mine ${DATA}/employees.csv
+         --algo=tane --topk=none)
+set_tests_properties(cli.bad_topk PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.bad_error COMMAND fdtool mine ${DATA}/employees.csv
+         --algo=tane --error=1.5)
+set_tests_properties(cli.bad_error PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.error_wrong_algo COMMAND fdtool mine ${DATA}/employees.csv
+         --error=0.05)
+set_tests_properties(cli.error_wrong_algo PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.pruning_checkpoint_conflict COMMAND fdtool mine
+         ${DATA}/employees.csv --arity=2
+         --checkpoint-dir=${CMAKE_CURRENT_BINARY_DIR}/cli_ckpt_conflict)
+set_tests_properties(cli.pruning_checkpoint_conflict PROPERTIES
+    WILL_FAIL TRUE)
+
 # Differential verification harness: a deterministic clean slice must
 # report zero failing seeds, and a bad flag must be a usage error.
 add_test(NAME cli.fuzz COMMAND fdtool fuzz --iterations=5 --seed=1

@@ -100,8 +100,8 @@ TEST(StatsLineBuilder, TaneStatsLegacyFormat) {
   s.peak_partition_bytes = 1536 * 1024;
   s.total_seconds = 0.1234;
   EXPECT_EQ(s.ToString(),
-            "levels=3 candidates=42 products=7 fds=14 peak_partition_mb=1.5 "
-            "total=0.123s");
+            "levels=3 candidates=42 pruned=0 products=7 fds=14 "
+            "peak_partition_mb=1.5 total=0.123s");
 }
 
 TEST(StatsLineBuilder, FastFdsAndFdepStatsLegacyFormats) {
@@ -111,7 +111,7 @@ TEST(StatsLineBuilder, FastFdsAndFdepStatsLegacyFormats) {
   f.num_fds = 3;
   f.total_seconds = 0.05;
   EXPECT_EQ(f.ToString(),
-            "difference_sets=5 search_nodes=20 fds=3 total=0.050s");
+            "difference_sets=5 search_nodes=20 pruned=0 fds=3 total=0.050s");
 
   FdepStats d;
   d.negative_cover_size = 6;
@@ -119,7 +119,8 @@ TEST(StatsLineBuilder, FastFdsAndFdepStatsLegacyFormats) {
   d.num_fds = 4;
   d.total_seconds = 1.5;
   EXPECT_EQ(d.ToString(),
-            "negative_cover=6 specializations=30 fds=4 total=1.500s");
+            "negative_cover=6 specializations=30 pruned=0 fds=4 "
+            "total=1.500s");
 }
 
 TEST(Profile, PaperExampleProfile) {

@@ -59,9 +59,9 @@ TEST(Tane, KeyColumnPruning) {
 TEST(Tane, RejectsBadErrorThreshold) {
   const Relation r = PaperExampleRelation();
   TaneOptions options;
-  options.max_g3_error = 1.5;
+  options.mining.max_g3_error = 1.5;
   EXPECT_FALSE(TaneDiscover(r, options).ok());
-  options.max_g3_error = -0.1;
+  options.mining.max_g3_error = -0.1;
   EXPECT_FALSE(TaneDiscover(r, options).ok());
 }
 
@@ -88,7 +88,7 @@ TEST(TaneApproximate, FindsFdsWithinThreshold) {
   EXPECT_FALSE(exact.value().fds.Implies(Fd("A", 'B')));
 
   TaneOptions loose;
-  loose.max_g3_error = 0.2;  // 1/6 < 0.2
+  loose.mining.max_g3_error = 0.2;  // 1/6 < 0.2
   Result<TaneResult> approx = TaneDiscover(r.value(), loose);
   ASSERT_TRUE(approx.ok());
   EXPECT_TRUE(approx.value().fds.Implies(Fd("", 'A')));  // constant column
@@ -100,7 +100,7 @@ TEST(TaneApproximate, FindsFdsWithinThreshold) {
 TEST(TaneApproximate, ReportedFdsRespectG3Bound) {
   const Relation r = RandomRelation(4, 60, 3, 42);
   TaneOptions options;
-  options.max_g3_error = 0.1;
+  options.mining.max_g3_error = 0.1;
   Result<TaneResult> approx = TaneDiscover(r, options);
   ASSERT_TRUE(approx.ok());
   for (const FunctionalDependency& fd : approx.value().fds.fds()) {

@@ -74,8 +74,10 @@ TEST(Oracle, CleanOnPaperExample) {
   const OracleReport report = RunDifferentialOracle(PaperExampleRelation());
   EXPECT_TRUE(report.ok()) << report.ToString();
   // 3 threaded miners × 3 thread counts + 2 serial ones, ×4 for the
-  // ungoverned pass plus the three tripped-context passes.
-  EXPECT_EQ(report.miner_runs, 44u);
+  // ungoverned pass plus the three tripped-context passes, plus the
+  // pruning phase (every miner arity-capped + every miner through the
+  // forced-ε=0 entry point).
+  EXPECT_EQ(report.miner_runs, 54u);
 }
 
 TEST(Oracle, CleanOnEmptyAndSingleRow) {
