@@ -22,6 +22,9 @@
 //                    [--repro-dir=DIR]          differential verification
 //   fdtool fuzz      --faults [--iterations=N] [--seed=S] [--site=NAME,..]
 //                                               fault-injection sweep
+//   fdtool datagen   out.csv [--corpus-scale=S [--spec=NAME]]
+//                    [--tuples=N] [--attributes=N] [--identical-rate=C]
+//                    [--seed=N]                  synthetic benchmark CSV
 //
 // Every command also accepts .dmc column files as input.
 // Common flags: --no-header --delimiter=';' --nulls-distinct
@@ -29,8 +32,9 @@
 //               --threads=N (mine: pool lanes; 0 = all cores)
 //               --arity=K --error=EPS --topk=N (search-space pruning for
 //               mine/profile/fuzz; see docs/PERFORMANCE.md)
-//               --trace=out.json --metrics (observability; see
-//               docs/OBSERVABILITY.md)
+//               --trace=out.json --metrics --metrics-out=m.prom|m.json
+//               --log-level=L --log-json --progress [--progress-ms=N]
+//               [--sample-ms=N] (observability; see docs/OBSERVABILITY.md)
 //               --fault-site=NAME [--fault-hit=N] [--fault-repeat]
 //               [--fault-stall-ms=N] (deterministic fault injection for
 //               the whole command; see docs/ROBUSTNESS.md)
@@ -53,15 +57,21 @@
 // docs/ROBUSTNESS.md.
 //
 // Observability: --trace=FILE records every pipeline phase, parallel
-// lane and counter of the run into a chrome://tracing / Perfetto
-// loadable JSON file; --metrics prints a phase/counter summary table to
-// stderr after the command finishes. Both work with every single-input
-// command (mine, profile, armstrong, ...).
+// lane, counter, histogram and sampled series of the run into a
+// chrome://tracing / Perfetto loadable JSON file; --metrics prints a
+// phase/counter summary table to stderr; --metrics-out=FILE exports the
+// same registry as Prometheus text exposition (.prom) or versioned JSON
+// (.json). Tracing also starts a background resource sampler (RSS,
+// bytes-charged vs budget, deadline slack, pool queue depth;
+// --sample-ms tunes the period). --log-level / --log-json configure the
+// structured logger every operational message goes through; --progress
+// emits a live per-phase heartbeat with an ETA every --progress-ms.
+// All of it works with every single-input command (mine, profile,
+// armstrong, ...); see docs/OBSERVABILITY.md.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -137,6 +147,12 @@ int Usage() {
       "partial result each time\n"
       "  convert   out.dmc|out.csv                           re-encode "
       "between formats\n"
+      "  datagen   out.csv [--corpus-scale=S [--spec=NAME]] [--tuples=N]\n"
+      "            [--attributes=N] [--identical-rate=C] [--seed=N]\n"
+      "            write a synthetic benchmark relation (the paper's "
+      "generator; --corpus-scale\n"
+      "            picks a point of the paper-scale grid, --spec matches "
+      "its name)\n"
       "common: --no-header --delimiter=';' --nulls-distinct "
       "--null-token=NA\n"
       "        --timeout-ms=N --memory-budget-mb=N   bound the run; "
@@ -157,7 +173,19 @@ int Usage() {
       "        --trace=out.json   write a chrome://tracing / Perfetto "
       "trace of the run\n"
       "        --metrics   print a phase/counter summary table to "
-      "stderr\n");
+      "stderr\n"
+      "        --metrics-out=FILE   export the run's metrics registry; "
+      "the extension picks the\n"
+      "            format (.prom Prometheus text exposition, .json "
+      "versioned JSON document)\n"
+      "        --log-level=debug|info|warn|error|off   structured-log "
+      "threshold (default info)\n"
+      "        --log-json   emit logs as JSON-lines instead of human "
+      "one-liners\n"
+      "        --progress [--progress-ms=N]   live per-phase heartbeat "
+      "with an ETA (default 1000 ms)\n"
+      "        --sample-ms=N   resource sampler period under "
+      "--trace/--metrics-out (default 50 ms)\n");
   return 2;
 }
 
@@ -346,14 +374,18 @@ int CmdMine(const Relation& relation, const ArgParser& args) {
     }
   }
   if (!outcome.complete) {
-    std::fprintf(stderr, "run interrupted (%s); partial results:\n",
-                 outcome.run_status.ToString().c_str());
-    std::fprintf(stderr, "%s\n", outcome.stats.c_str());
-    std::fprintf(stderr, "%zu minimal FDs (possibly incomplete)\n",
-                 outcome.fds.size());
+    Log(LogLevel::kWarn, "fdtool",
+        "run interrupted (" + outcome.run_status.ToString() +
+            "); partial results:\n" + outcome.stats + "\n" +
+            std::to_string(outcome.fds.size()) +
+            " minimal FDs (possibly incomplete)",
+        {LogStr("status", outcome.run_status.ToString()),
+         LogNum("fds", static_cast<uint64_t>(outcome.fds.size()))});
     return InterruptedExitCode(outcome.run_status);
   }
-  std::fprintf(stderr, "%zu minimal FDs\n", outcome.fds.size());
+  Log(LogLevel::kInfo, "fdtool",
+      std::to_string(outcome.fds.size()) + " minimal FDs",
+      {LogNum("fds", static_cast<uint64_t>(outcome.fds.size()))});
   return 0;
 }
 
@@ -398,9 +430,11 @@ int CmdMineCheckpointed(const ArgParser& args) {
   }
   const CheckpointedMineResult& outcome = mined.value();
   if (outcome.resumed_from != MinePhase::kNone) {
-    std::fprintf(stderr, "resumed from phase '%s' (%s)\n",
-                 ToString(outcome.resumed_from),
-                 outcome.checkpoint_path.c_str());
+    Log(LogLevel::kInfo, "checkpoint",
+        "resumed from phase '" + std::string(ToString(outcome.resumed_from)) +
+            "' (" + outcome.checkpoint_path + ")",
+        {LogStr("phase", ToString(outcome.resumed_from)),
+         LogStr("path", outcome.checkpoint_path)});
   }
   const std::string out = args.GetString("out", "");
   if (!out.empty()) {
@@ -415,18 +449,22 @@ int CmdMineCheckpointed(const ArgParser& args) {
     }
   }
   if (!outcome.complete) {
-    std::fprintf(stderr, "run interrupted (%s); partial results:\n",
-                 outcome.run_status.ToString().c_str());
-    std::fprintf(stderr, "%zu minimal FDs (possibly incomplete)\n",
-                 outcome.fds.size());
-    std::fprintf(stderr,
-                 "checkpoint: %s\n"
-                 "re-run the same command to resume from it\n",
-                 outcome.checkpoint_path.c_str());
+    Log(LogLevel::kWarn, "checkpoint",
+        "run interrupted (" + outcome.run_status.ToString() +
+            "); partial results:\n" + std::to_string(outcome.fds.size()) +
+            " minimal FDs (possibly incomplete)\ncheckpoint: " +
+            outcome.checkpoint_path +
+            "\nre-run the same command to resume from it",
+        {LogStr("status", outcome.run_status.ToString()),
+         LogNum("fds", static_cast<uint64_t>(outcome.fds.size())),
+         LogStr("checkpoint", outcome.checkpoint_path)});
     return InterruptedExitCode(outcome.run_status);
   }
-  std::fprintf(stderr, "%zu minimal FDs (fingerprint %s)\n",
-               outcome.fds.size(), outcome.fingerprint.ToHex().c_str());
+  Log(LogLevel::kInfo, "checkpoint",
+      std::to_string(outcome.fds.size()) + " minimal FDs (fingerprint " +
+          outcome.fingerprint.ToHex() + ")",
+      {LogNum("fds", static_cast<uint64_t>(outcome.fds.size())),
+       LogStr("fingerprint", outcome.fingerprint.ToHex())});
   return 0;
 }
 
@@ -774,7 +812,7 @@ int CmdFaultSweep(const ArgParser& args) {
     }
   }
   options.log_every = options.iterations >= 20 ? 10 : 0;
-  Result<FaultSweepReport> run = RunFaultSweep(options, &std::cerr);
+  Result<FaultSweepReport> run = RunFaultSweep(options);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
@@ -800,20 +838,21 @@ int CmdFuzz(const ArgParser& args) {
   if (args.Has("arity")) {
     options.oracle.arity_cap = static_cast<size_t>(args.GetInt("arity", 2));
   }
-  Result<FuzzResult> run = RunFuzzHarness(options, &std::cerr);
+  Result<FuzzResult> run = RunFuzzHarness(options);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
   }
   const FuzzResult& result = run.value();
-  std::fprintf(stderr,
-               "fuzz: %zu cases (seeds %llu..%llu), %zu miner runs, "
-               "%zu failing seed(s)\n",
-               result.cases_run,
-               static_cast<unsigned long long>(options.start_seed),
-               static_cast<unsigned long long>(options.start_seed +
-                                               options.iterations - 1),
-               result.miner_runs, result.failures.size());
+  Log(LogLevel::kInfo, "fdtool",
+      "fuzz: " + std::to_string(result.cases_run) + " cases (seeds " +
+          std::to_string(options.start_seed) + ".." +
+          std::to_string(options.start_seed + options.iterations - 1) +
+          "), " + std::to_string(result.miner_runs) + " miner runs, " +
+          std::to_string(result.failures.size()) + " failing seed(s)",
+      {LogNum("cases", static_cast<uint64_t>(result.cases_run)),
+       LogNum("miner_runs", static_cast<uint64_t>(result.miner_runs)),
+       LogNum("failures", static_cast<uint64_t>(result.failures.size()))});
   if (result.ok()) return 0;
   for (const FuzzFailure& failure : result.failures) {
     std::printf("%s\n", failure.repro_path.empty()
@@ -822,6 +861,101 @@ int CmdFuzz(const ArgParser& args) {
                             : failure.repro_path.c_str());
   }
   return 1;
+}
+
+/// `fdtool datagen out.csv`: materializes a synthetic benchmark relation
+/// (the paper's §5.2 generator) to CSV. With --corpus-scale it writes a
+/// point of the paper-scale grid (`PaperScaleCorpus`), picked by --spec
+/// name substring; without, a custom relation from --tuples /
+/// --attributes / --identical-rate. The observability smoke in
+/// scripts/check.sh mines a small --corpus-scale point with telemetry on.
+int CmdDatagen(const ArgParser& args) {
+  if (args.positional().size() < 2) return Usage();
+  const std::string& out = args.positional()[1];
+  SyntheticConfig config;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  std::string spec_name = "custom";
+  if (args.Has("corpus-scale")) {
+    const std::string raw = args.GetString("corpus-scale", "");
+    char* end = nullptr;
+    const double scale = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+        !(scale > 0.0)) {
+      std::fprintf(stderr,
+                   "error: --corpus-scale must be a positive real, got "
+                   "\"%s\"\n",
+                   raw.c_str());
+      return 2;
+    }
+    const std::vector<CorpusSpec> corpus = PaperScaleCorpus(scale,
+                                                            config.seed);
+    const std::string want = args.GetString("spec", "");
+    const CorpusSpec* chosen = nullptr;
+    for (const CorpusSpec& spec : corpus) {
+      if (want.empty() || spec.name.find(want) != std::string::npos) {
+        chosen = &spec;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      std::fprintf(stderr,
+                   "error: no corpus spec matches \"%s\"; available:\n",
+                   want.c_str());
+      for (const CorpusSpec& spec : corpus) {
+        std::fprintf(stderr, "  %s\n", spec.name.c_str());
+      }
+      return 2;
+    }
+    config = chosen->config;
+    spec_name = chosen->name;
+  } else {
+    if (args.Has("tuples")) {
+      config.num_tuples = static_cast<size_t>(args.GetInt("tuples", 0));
+    }
+    if (args.Has("attributes")) {
+      config.num_attributes =
+          static_cast<size_t>(args.GetInt("attributes", 0));
+    }
+    if (args.Has("identical-rate")) {
+      const std::string raw = args.GetString("identical-rate", "");
+      char* end = nullptr;
+      const double rate = std::strtod(raw.c_str(), &end);
+      if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+          !(rate >= 0.0) || rate > 1.0) {
+        std::fprintf(stderr,
+                     "error: --identical-rate must be a real in [0,1], "
+                     "got \"%s\"\n",
+                     raw.c_str());
+        return 2;
+      }
+      config.identical_rate = rate;
+    }
+  }
+  config.num_threads = ThreadsFlag(args);
+  config.run_context = &g_run_context;
+  Result<Relation> generated = GenerateSynthetic(config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  Status st = WriteCsvRelation(generated.value(), out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Log(LogLevel::kInfo, "fdtool",
+      "wrote " + out + " (" +
+          std::to_string(generated.value().num_tuples()) + " tuples, " +
+          std::to_string(generated.value().num_attributes()) +
+          " attributes, spec " + spec_name + ")",
+      {LogStr("path", out),
+       LogNum("tuples",
+              static_cast<uint64_t>(generated.value().num_tuples())),
+       LogNum("attributes",
+              static_cast<uint64_t>(generated.value().num_attributes())),
+       LogStr("spec", spec_name)});
+  return 0;
 }
 
 int CmdCatalog(const ArgParser& args) {
@@ -882,7 +1016,8 @@ int main(int argc, char** argv) {
   // not ask for. Reject anything that is not a plain non-negative number.
   for (const char* flag : {"timeout-ms", "memory-budget-mb", "threads",
                            "iterations", "seed", "fault-hit",
-                           "fault-stall-ms"}) {
+                           "fault-stall-ms", "progress-ms", "sample-ms",
+                           "tuples", "attributes"}) {
     if (!args.Has(flag)) continue;
     const std::string raw = args.GetString(flag, "");
     if (raw.empty() ||
@@ -904,6 +1039,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: --%s must be a positive integer, got \"%s\"\n",
                    flag, raw.c_str());
+      return 2;
+    }
+  }
+  // Observability front matter: configure the logger before anything can
+  // emit through it, and reject malformed flags as usage errors (exit 2)
+  // before any work runs.
+  if (args.Has("log-level")) {
+    const std::string raw = args.GetString("log-level", "");
+    Result<LogLevel> level = ParseLogLevel(raw);
+    if (!level.ok()) {
+      std::fprintf(stderr,
+                   "error: --log-level must be debug|info|warn|error|off, "
+                   "got \"%s\"\n",
+                   raw.c_str());
+      return 2;
+    }
+    SetLogLevel(level.value());
+  }
+  if (args.GetBool("log-json", false)) SetLogJson(true);
+  const std::string trace_path = args.GetString("trace", "");
+  if (!trace_path.empty() && !HasSuffix(trace_path, ".json")) {
+    std::fprintf(stderr,
+                 "error: --trace writes a chrome://tracing JSON file and "
+                 "expects a .json path, got \"%s\"\n",
+                 trace_path.c_str());
+    return 2;
+  }
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Result<MetricsFormat> format = MetricsFormatForPath(metrics_out);
+    if (!format.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   format.status().ToString().c_str());
       return 2;
     }
   }
@@ -973,6 +1141,17 @@ int main(int argc, char** argv) {
     fault_scope.emplace(plan);
   }
 
+  // Live progress: tracking plus a background heartbeat. Started before
+  // command dispatch so the no-input commands (fuzz, checkpointed mine)
+  // heartbeat too; the destructor stops the thread on every exit path.
+  ProgressHeartbeat heartbeat(
+      static_cast<int>(args.GetInt("progress-ms", 1000)));
+  const bool progress = args.GetBool("progress", false);
+  if (progress) {
+    EnableProgressTracking(true);
+    heartbeat.Start();
+  }
+
   if (command == "mine" && args.Has("checkpoint-dir")) {
     return CmdMineCheckpointed(args);
   }
@@ -982,6 +1161,7 @@ int main(int argc, char** argv) {
   if (command == "diff") return CmdDiff(args);
   if (command == "catalog") return CmdCatalog(args);
   if (command == "fuzz") return CmdFuzz(args);
+  if (command == "datagen") return CmdDatagen(args);
 
   Result<Relation> input = Load(args);
   if (!input.ok()) {
@@ -992,12 +1172,24 @@ int main(int argc, char** argv) {
 
   // Observability: the session starts after the CSV load so the trace
   // and the `phase/*` summary cover exactly the command's pipeline work
-  // (what the paper's tables time), not file parsing.
-  const std::string trace_path = args.GetString("trace", "");
+  // (what the paper's tables time), not file parsing. The resource
+  // sampler shares the session's lifetime (Start after, Stop before —
+  // the session contract).
   const bool want_metrics = args.GetBool("metrics", false);
-  const bool tracing = !trace_path.empty() || want_metrics;
+  const bool tracing =
+      !trace_path.empty() || !metrics_out.empty() || want_metrics;
   TraceSession session;
-  if (tracing) session.Start();
+  ResourceSamplerOptions sampler_options;
+  sampler_options.run_context = &g_run_context;
+  if (args.Has("sample-ms")) {
+    sampler_options.period_ms =
+        static_cast<int>(args.GetInt("sample-ms", 50));
+  }
+  ResourceSampler sampler(sampler_options);
+  if (tracing) {
+    session.Start();
+    sampler.Start();
+  }
 
   int rc;
   if (command == "mine") {
@@ -1023,6 +1215,10 @@ int main(int argc, char** argv) {
   }
 
   if (tracing) {
+    // The heartbeat and sampler are instrumented work; both must be
+    // quiet before the session merges its thread buffers.
+    if (progress) heartbeat.Stop();
+    sampler.Stop();
     // Recorded before Stop() so it lands in the session like any other
     // gauge: the context's bytes-charged high-water mark across every
     // stage the command ran.
@@ -1035,8 +1231,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
         if (rc == 0) rc = 1;
       } else {
-        std::fprintf(stderr, "trace written to %s (%zu events)\n",
-                     trace_path.c_str(), session.events().size());
+        Log(LogLevel::kInfo, "fdtool",
+            "trace written to " + trace_path + " (" +
+                std::to_string(session.events().size()) + " events)",
+            {LogStr("path", trace_path),
+             LogNum("events",
+                    static_cast<uint64_t>(session.events().size()))});
+      }
+    }
+    if (!metrics_out.empty()) {
+      Status st = WriteMetricsFile(session, metrics_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        if (rc == 0) rc = 1;
+      } else {
+        Log(LogLevel::kInfo, "fdtool", "metrics written to " + metrics_out,
+            {LogStr("path", metrics_out)});
       }
     }
     if (want_metrics) {

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag median timing regressions.
+
+The bench scripts (bench_scale.sh, bench_agree.sh, bench_cmax.sh,
+bench_fault.sh) each emit a JSON report with a different shape, but all of
+them bottom out in numeric timing leaves whose keys end in ``_s``, ``_ms``
+or ``_ns`` (plus better-is-higher ``_speedup`` ratios).  Rather than teach
+this script each schema, it flattens both files into ``path -> number``
+maps and compares the paths they share:
+
+  * list elements are keyed by an identifying field (``name``, ``threads``,
+    ``sets``, ``scale``) when present, by index otherwise, so reordered or
+    partially-overlapping runs still line up;
+  * a numeric *array* under a timing key (e.g. ``times_ms``) is reduced to
+    its median before comparison;
+  * timing metrics regress when ``new > old * (1 + threshold)``; speedup
+    metrics regress when ``new < old * (1 - threshold)``.
+
+Exit codes: 0 = no regression, 1 = at least one metric regressed beyond
+the threshold, 2 = usage or unreadable/invalid input.
+
+Usage:
+  scripts/bench_compare.py OLD.json NEW.json [--threshold-pct=25]
+
+Typical flow: keep the committed BENCH_*.json as the baseline, re-run the
+bench script on a candidate change, then::
+
+  scripts/bench_compare.py BENCH_scale.json /tmp/BENCH_scale.new.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+TIMING_SUFFIXES = ("_s", "_ms", "_ns")
+SPEEDUP_SUFFIX = "_speedup"
+# Fields that identify an element inside a list of result dicts, in
+# preference order.  "name" first so datasets match by dataset, not index.
+IDENTITY_KEYS = ("name", "threads", "sets", "scale")
+# Numeric leaves that describe the workload, not its speed.
+IGNORED_KEYS = {"seed", "reps", "runs_per_mode", "hardware_threads"}
+
+
+def is_metric_key(key):
+    if key in IGNORED_KEYS:
+        return False
+    return key.endswith(TIMING_SUFFIXES) or key.endswith(SPEEDUP_SUFFIX)
+
+
+def flatten(node, prefix, out):
+    """Collect metric leaves of `node` into out[path] = float."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if is_metric_key(key):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[path] = float(value)
+                elif isinstance(value, list) and value and all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in value
+                ):
+                    out[path + ":median"] = float(statistics.median(value))
+            else:
+                flatten(value, path, out)
+    elif isinstance(node, list):
+        for index, element in enumerate(node):
+            tag = str(index)
+            if isinstance(element, dict):
+                for id_key in IDENTITY_KEYS:
+                    if id_key in element:
+                        tag = f"{id_key}={element[id_key]}"
+                        break
+            flatten(element, f"{prefix}[{tag}]", out)
+    # Scalar leaves under non-metric keys carry no timing information.
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.stderr.write(f"bench_compare: cannot read {path}: {err}\n")
+        sys.exit(2)
+    metrics = {}
+    flatten(doc, "", metrics)
+    if not metrics:
+        sys.stderr.write(f"bench_compare: no timing metrics found in {path}\n")
+        sys.exit(2)
+    return metrics
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; fail on median regressions."
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=25.0,
+        help="allowed slowdown per metric before failing (default: 25)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only regressions and the final verdict",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold_pct < 0:
+        parser.error("--threshold-pct must be non-negative")
+
+    old_metrics = load_metrics(args.old)
+    new_metrics = load_metrics(args.new)
+    shared = sorted(set(old_metrics) & set(new_metrics))
+    if not shared:
+        sys.stderr.write(
+            "bench_compare: the two files share no metric paths; "
+            "are they from the same bench script?\n"
+        )
+        sys.exit(2)
+
+    threshold = args.threshold_pct / 100.0
+    regressions = []
+    for path in shared:
+        old_value, new_value = old_metrics[path], new_metrics[path]
+        higher_is_better = path.rsplit(":", 1)[0].endswith(SPEEDUP_SUFFIX)
+        if old_value <= 0.0:
+            # A zero/negative baseline gives no meaningful ratio.
+            continue
+        delta_pct = (new_value / old_value - 1.0) * 100.0
+        if higher_is_better:
+            regressed = new_value < old_value * (1.0 - threshold)
+        else:
+            regressed = new_value > old_value * (1.0 + threshold)
+        if regressed:
+            regressions.append((path, old_value, new_value, delta_pct))
+        if not args.quiet or regressed:
+            marker = "REGRESSION" if regressed else "ok"
+            print(
+                f"{marker:>10}  {path}: {old_value:.6g} -> {new_value:.6g} "
+                f"({delta_pct:+.1f}%)"
+            )
+
+    only_old = set(old_metrics) - set(new_metrics)
+    only_new = set(new_metrics) - set(old_metrics)
+    if only_old and not args.quiet:
+        print(f"note: {len(only_old)} metric(s) only in {args.old}")
+    if only_new and not args.quiet:
+        print(f"note: {len(only_new)} metric(s) only in {args.new}")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)}/{len(shared)} shared metric(s) "
+            f"regressed beyond {args.threshold_pct:g}%"
+        )
+        return 1
+    print(
+        f"OK: {len(shared)} shared metric(s) within {args.threshold_pct:g}% "
+        f"of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,9 +10,10 @@
 # The tsan preset is opt-in (slow; ~5-15x): its test preset filters down
 # to the concurrency-heavy suites (worker pool, agree sets, partitions,
 # TANE, Dep-Miner, RunContext, the dominance kernel, the parallel CMAX
-# determinism suites and the tracing suites) — see CMakePresets.json. The
-# dominance/CMAX suites can also run in isolation (ctest -L dominance),
-# as can tracing (ctest -L trace).
+# determinism suites and the tracing/telemetry suites) — see
+# CMakePresets.json. The dominance/CMAX suites can also run in isolation
+# (ctest -L dominance), as can tracing (ctest -L trace) and the
+# exporter/logger/progress suites (ctest -L telemetry).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -140,6 +141,92 @@ for preset in "${presets[@]}"; do
     esac
   fi
 done
+
+# Telemetry smoke-run: generate a corpus-scale dataset with fdtool
+# datagen, mine it with the full observability surface on
+# (docs/OBSERVABILITY.md) — Prometheus export, JSON logs, live progress —
+# and validate the artifacts with a tiny parser: the .prom file must be
+# well-formed text exposition with at least 3 histogram families, and
+# every stderr line must be a JSON object with level/subsystem/message.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) fdtool=build/examples/fdtool ;;
+    asan-ubsan) fdtool=build-asan-ubsan/examples/fdtool ;;
+    *) continue ;;
+  esac
+  if [ -x "${fdtool}" ] && command -v python3 >/dev/null 2>&1; then
+    echo "==> telemetry smoke-run [${preset}]"
+    telem_csv=/tmp/depminer_telemetry_smoke_${preset}.csv
+    telem_prom=/tmp/depminer_telemetry_smoke_${preset}.prom
+    telem_log=/tmp/depminer_telemetry_smoke_${preset}.log
+    "${fdtool}" datagen "${telem_csv}" --corpus-scale=0.002 \
+      --spec=tuples 2>/dev/null
+    "${fdtool}" mine "${telem_csv}" --threads=2 \
+      --metrics-out="${telem_prom}" --log-json --progress \
+      --progress-ms=200 >/dev/null 2>"${telem_log}"
+    python3 - "${telem_prom}" "${telem_log}" <<'PYEOF'
+import json, re, sys
+prom_path, log_path = sys.argv[1], sys.argv[2]
+histograms, samples = set(), 0
+with open(prom_path) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            if kind == "histogram":
+                histograms.add(name)
+            continue
+        if line.startswith("#"):
+            continue
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
+        assert m, f"unparseable sample line: {line!r}"
+        float(m.group(3))
+        assert m.group(1).startswith("depminer_"), line
+        samples += 1
+assert samples > 0, "no samples in the Prometheus export"
+assert len(histograms) >= 3, \
+    f"expected >=3 histogram families, got {sorted(histograms)}"
+log_lines = 0
+with open(log_path) as f:
+    for line in f:
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        for key in ("ts", "level", "subsystem", "message"):
+            assert key in rec, f"missing {key}: {line!r}"
+        log_lines += 1
+assert log_lines > 0, "no JSON log lines on stderr"
+print(f"    {samples} samples, {len(histograms)} histogram families, "
+      f"{log_lines} JSON log lines")
+PYEOF
+    rm -f "${telem_csv}" "${telem_prom}" "${telem_log}"
+  fi
+done
+
+# bench_compare self-compare smoke: a baseline compared against itself
+# must report zero regressions, and a doubled timing must trip it. Keeps
+# the regression gate itself from rotting.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_scale.json ]; then
+  echo "==> bench_compare smoke-run"
+  python3 scripts/bench_compare.py BENCH_scale.json BENCH_scale.json \
+    --quiet
+  python3 - <<'PYEOF'
+import json, subprocess, sys
+doc = json.load(open("BENCH_agree_threads.json"))
+doc["results"][0]["depminer_s"] *= 10.0
+path = "/tmp/depminer_bench_compare_smoke.json"
+json.dump(doc, open(path, "w"))
+rc = subprocess.run(
+    [sys.executable, "scripts/bench_compare.py",
+     "BENCH_agree_threads.json", path, "--quiet"],
+    stdout=subprocess.DEVNULL).returncode
+assert rc == 1, f"a 10x regression must exit 1, got {rc}"
+print("    self-compare clean; injected regression detected")
+PYEOF
+  rm -f /tmp/depminer_bench_compare_smoke.json
+fi
 
 # Kill-and-resume smoke-run: SIGKILL a checkpointed mine while the
 # job/stall fault site holds it at a phase boundary (checkpoint already

@@ -435,6 +435,12 @@ constexpr size_t kIndexCutoff = 1024;
 std::vector<AttributeSet> FilterDominated(std::vector<AttributeSet> sets,
                                           bool maximal) {
   CanonicalOrder(&sets, /*largest_first=*/maximal);
+  // Family-size distribution, split by which kernel served it — the
+  // histogram shows whether the cutoff sits where real workloads cluster.
+  DEPMINER_TRACE_HISTOGRAM(sets.size() < kIndexCutoff
+                               ? "dominance_family_size/scan"
+                               : "dominance_family_size/indexed",
+                           sets.size());
   if (sets.size() < kIndexCutoff) return SurvivorScanBatched(sets, maximal);
   DEPMINER_TRACE_COUNTER("dominance.index_queries", sets.size());
   const DominanceIndex index(sets, maximal

@@ -1,0 +1,244 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <ctime>
+#include <mutex>
+
+namespace depminer {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_json{false};
+std::atomic<std::FILE*> g_sink{nullptr};  // nullptr = stderr
+
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Wall-clock timestamp: "HH:MM:SS.mmm" for humans, full ISO 8601 UTC
+/// for the JSON sink.
+void FormatTimestamp(bool iso, char* buf, size_t buf_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  if (iso) {
+    std::snprintf(buf, buf_size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  (tm_utc.tm_year + 1900) % 10000, (tm_utc.tm_mon + 1) % 100,
+                  tm_utc.tm_mday % 100, tm_utc.tm_hour % 100,
+                  tm_utc.tm_min % 100, tm_utc.tm_sec % 100, millis % 1000);
+  } else {
+    std::snprintf(buf, buf_size, "%02d:%02d:%02d.%03d", tm_utc.tm_hour % 100,
+                  tm_utc.tm_min % 100, tm_utc.tm_sec % 100, millis % 1000);
+  }
+}
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kOff:
+      break;
+  }
+  return '?';
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      "log level must be debug|info|warn|error|off, got \"" + text + "\"");
+}
+
+LogField LogStr(const char* key, std::string value) {
+  return LogField{key, std::move(value), /*quoted=*/true};
+}
+
+LogField LogNum(const char* key, int64_t value) {
+  return LogField{key, std::to_string(value), /*quoted=*/false};
+}
+
+LogField LogNum(const char* key, uint64_t value) {
+  return LogField{key, std::to_string(value), /*quoted=*/false};
+}
+
+LogField LogNum(const char* key, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN literal; a string keeps the line parseable.
+    return LogField{key, value > 0 ? "+inf" : (value < 0 ? "-inf" : "nan"),
+                    /*quoted=*/true};
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return LogField{key, buf, /*quoted=*/false};
+}
+
+LogField LogBool(const char* key, bool value) {
+  return LogField{key, value ? "true" : "false", /*quoted=*/false};
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogJson(bool json) { g_json.store(json, std::memory_order_relaxed); }
+
+bool LogJsonEnabled() { return g_json.load(std::memory_order_relaxed); }
+
+void SetLogSink(std::FILE* sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Log(LogLevel level, const char* subsystem, const std::string& message,
+         const std::vector<LogField>& fields) {
+  if (!LogEnabled(level)) return;
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = stderr;
+
+  std::string line;
+  line.reserve(96 + message.size());
+  char ts[40];
+  if (LogJsonEnabled()) {
+    FormatTimestamp(/*iso=*/true, ts, sizeof(ts));
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"level\":\"";
+    line += ToString(level);
+    line += "\",\"subsystem\":\"";
+    line += JsonEscape(subsystem);
+    line += "\",\"message\":\"";
+    line += JsonEscape(message);
+    line += "\"";
+    for (const LogField& f : fields) {
+      line += ",\"";
+      line += JsonEscape(f.key);
+      line += "\":";
+      if (f.quoted) {
+        line += "\"";
+        line += JsonEscape(f.value);
+        line += "\"";
+      } else {
+        line += f.value;
+      }
+    }
+    line += "}\n";
+  } else {
+    FormatTimestamp(/*iso=*/false, ts, sizeof(ts));
+    line += ts;
+    line += ' ';
+    line += LevelLetter(level);
+    line += ' ';
+    line += subsystem;
+    line += ' ';
+    line += message;
+    if (!fields.empty()) {
+      line += " (";
+      bool first = true;
+      for (const LogField& f : fields) {
+        if (!first) line += ' ';
+        first = false;
+        line += f.key;
+        line += '=';
+        line += f.value;
+      }
+      line += ')';
+    }
+    line += '\n';
+  }
+
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+}
+
+void Log(LogLevel level, const char* subsystem, const std::string& message,
+         std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level)) return;
+  Log(level, subsystem, message, std::vector<LogField>(fields));
+}
+
+void Log(LogLevel level, const char* subsystem, const std::string& message) {
+  Log(level, subsystem, message, std::vector<LogField>{});
+}
+
+}  // namespace depminer

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace depminer {
+
+/// Leveled, subsystem-tagged structured logging with two sinks: a
+/// human-readable line format and JSON-lines (one self-contained JSON
+/// object per line, for `jq`/log shippers). This is the process-wide
+/// logger the CLI front ends and the long-running subsystems (checkpoint
+/// resume, the fuzz harness, the fault sweep, progress heartbeats) emit
+/// through — replacing ad-hoc `std::cerr` so every operational message
+/// carries a level, a subsystem and machine-readable fields.
+///
+/// The miners' hot paths do NOT log (they trace; see common/trace.h):
+/// logging is for request/run-grade events — a resume, a trip, a sweep
+/// milestone — at a rate where a mutex and an fprintf are irrelevant.
+///
+/// Thread safety: configuration is atomic, emission takes one mutex so
+/// concurrent lines never interleave. `LogEnabled()` is a single relaxed
+/// atomic load, so a disabled level costs nothing measurable.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold only: silences everything
+};
+
+const char* ToString(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (what
+/// `--log-level` accepts). InvalidArgument on anything else.
+Result<LogLevel> ParseLogLevel(const std::string& text);
+
+/// One structured field of a log event. Build through the `LogStr` /
+/// `LogNum` / `LogBool` helpers; `quoted` distinguishes JSON strings
+/// from bare numbers/booleans.
+struct LogField {
+  const char* key;
+  std::string value;
+  bool quoted = true;
+};
+
+LogField LogStr(const char* key, std::string value);
+LogField LogNum(const char* key, int64_t value);
+LogField LogNum(const char* key, uint64_t value);
+LogField LogNum(const char* key, double value);
+LogField LogBool(const char* key, bool value);
+
+/// Global configuration. Defaults: info level, human format, stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void SetLogJson(bool json);
+bool LogJsonEnabled();
+/// Redirects emission (tests, or a CLI writing logs to a file). The
+/// logger never closes the sink; nullptr restores stderr.
+void SetLogSink(std::FILE* sink);
+
+/// True when `level` passes the configured threshold — guard expensive
+/// message construction with this.
+bool LogEnabled(LogLevel level);
+
+/// Emits one event. `subsystem` is a short static tag ("fdtool",
+/// "checkpoint", "fuzz", "faultsweep", "progress", "sampler", ...).
+/// Human format:  `12:00:01.123 I checkpoint resumed (phase=agree)`
+/// JSON-lines:    `{"ts":"...","level":"info","subsystem":"checkpoint",
+///                  "message":"resumed","phase":"agree"}`
+/// Field keys should avoid the reserved `ts`/`level`/`subsystem`/
+/// `message` names.
+void Log(LogLevel level, const char* subsystem, const std::string& message,
+         const std::vector<LogField>& fields);
+void Log(LogLevel level, const char* subsystem, const std::string& message,
+         std::initializer_list<LogField> fields);
+void Log(LogLevel level, const char* subsystem, const std::string& message);
+
+/// JSON string escaping per RFC 8259 (shared with the JSON-lines sink;
+/// exposed because the exporters escape the same way).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace depminer

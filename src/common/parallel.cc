@@ -113,6 +113,11 @@ class Pool {
     return workers_.size();
   }
 
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   Pool() = default;
   ~Pool() {
@@ -181,5 +186,7 @@ void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
 }  // namespace internal
 
 size_t PoolWorkersStarted() { return internal::Pool::Get().workers_started(); }
+
+size_t PoolQueueDepth() { return internal::Pool::Get().queue_depth(); }
 
 }  // namespace depminer

@@ -49,6 +49,12 @@ void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
 /// and diagnostics).
 size_t PoolWorkersStarted();
 
+/// Number of helper invitations currently waiting in the shared pool's
+/// queue (an instantaneous reading; the resource sampler exports it as a
+/// saturation signal — persistently nonzero means loops want more lanes
+/// than the pool has workers).
+size_t PoolQueueDepth();
+
 /// Hard cap on the shared pool's size; `num_threads` requests beyond it
 /// are served by the existing workers (every index still runs).
 inline constexpr size_t kMaxPoolWorkers = 256;

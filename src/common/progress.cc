@@ -1,0 +1,156 @@
+#include "common/progress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace depminer {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<bool> g_tracking{false};
+std::atomic<const char*> g_phase{""};
+std::atomic<const char*> g_unit{""};
+std::atomic<uint64_t> g_done{0};
+std::atomic<uint64_t> g_total{0};
+std::atomic<int64_t> g_phase_start_ns{0};
+
+}  // namespace
+
+void EnableProgressTracking(bool enabled) {
+  g_phase.store("", std::memory_order_relaxed);
+  g_unit.store("", std::memory_order_relaxed);
+  g_done.store(0, std::memory_order_relaxed);
+  g_total.store(0, std::memory_order_relaxed);
+  g_phase_start_ns.store(NowNs(), std::memory_order_relaxed);
+  g_tracking.store(enabled, std::memory_order_release);
+}
+
+bool ProgressTrackingEnabled() {
+  return g_tracking.load(std::memory_order_relaxed);
+}
+
+void ProgressBeginPhase(const char* phase, const char* unit, uint64_t total) {
+  if (!ProgressTrackingEnabled()) return;
+  g_done.store(0, std::memory_order_relaxed);
+  g_total.store(total, std::memory_order_relaxed);
+  g_unit.store(unit, std::memory_order_relaxed);
+  g_phase_start_ns.store(NowNs(), std::memory_order_relaxed);
+  g_phase.store(phase, std::memory_order_release);
+}
+
+void ProgressAdvance(uint64_t delta) {
+  if (!ProgressTrackingEnabled()) return;
+  g_done.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void ProgressExpandTotal(uint64_t total) {
+  if (!ProgressTrackingEnabled()) return;
+  uint64_t cur = g_total.load(std::memory_order_relaxed);
+  while (cur < total && !g_total.compare_exchange_weak(
+                            cur, total, std::memory_order_relaxed)) {
+  }
+}
+
+ProgressSnapshot CurrentProgress() {
+  ProgressSnapshot snap;
+  snap.tracking = g_tracking.load(std::memory_order_acquire);
+  snap.phase = g_phase.load(std::memory_order_acquire);
+  snap.unit = g_unit.load(std::memory_order_relaxed);
+  snap.done = g_done.load(std::memory_order_relaxed);
+  snap.total = g_total.load(std::memory_order_relaxed);
+  snap.phase_elapsed_ns =
+      NowNs() - g_phase_start_ns.load(std::memory_order_relaxed);
+  return snap;
+}
+
+ProgressHeartbeat::ProgressHeartbeat(int period_ms) : period_ms_(period_ms) {}
+
+ProgressHeartbeat::~ProgressHeartbeat() { Stop(); }
+
+void ProgressHeartbeat::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  Emit("start");
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ProgressHeartbeat::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Emit("done");
+}
+
+void ProgressHeartbeat::Emit(const char* event) {
+  const ProgressSnapshot snap = CurrentProgress();
+  const double elapsed_s =
+      static_cast<double>(snap.phase_elapsed_ns) * 1e-9;
+
+  std::vector<LogField> fields;
+  fields.push_back(LogStr("event", event));
+  fields.push_back(LogStr("phase", snap.phase[0] != '\0' ? snap.phase : "-"));
+  fields.push_back(LogNum("done", snap.done));
+  if (snap.total > 0) fields.push_back(LogNum("total", snap.total));
+  if (snap.unit[0] != '\0') fields.push_back(LogStr("unit", snap.unit));
+  fields.push_back(LogNum("phase_elapsed_s", elapsed_s));
+
+  std::string message;
+  char buf[96];
+  if (snap.total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(snap.done) / static_cast<double>(snap.total);
+    std::snprintf(buf, sizeof(buf), "%llu/%llu %s (%.1f%%)",
+                  static_cast<unsigned long long>(snap.done),
+                  static_cast<unsigned long long>(snap.total), snap.unit, pct);
+    message = buf;
+    if (snap.done > 0 && snap.done < snap.total) {
+      const double eta_s = elapsed_s *
+                           static_cast<double>(snap.total - snap.done) /
+                           static_cast<double>(snap.done);
+      std::snprintf(buf, sizeof(buf), " eta=%.1fs", eta_s);
+      message += buf;
+      fields.push_back(LogNum("eta_s", eta_s));
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu %s",
+                  static_cast<unsigned long long>(snap.done),
+                  snap.unit[0] != '\0' ? snap.unit : "units");
+    message = buf;
+  }
+  message = std::string(snap.phase[0] != '\0' ? snap.phase : "-") + ": " +
+            message;
+
+  Log(LogLevel::kInfo, "progress", message, fields);
+
+  // When a trace session is active, the heartbeat doubles as a sampled
+  // time series so the trace shows the same live view.
+  TraceSampleValue("sampler/progress_done", static_cast<double>(snap.done));
+}
+
+void ProgressHeartbeat::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                 [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    Emit("tick");
+    lock.lock();
+  }
+}
+
+}  // namespace depminer

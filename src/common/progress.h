@@ -1,0 +1,109 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/trace.h"
+
+namespace depminer {
+
+/// Process-wide live progress: the pipeline publishes which phase it is
+/// in and how much of that phase's work is done; a `ProgressHeartbeat`
+/// (the CLI's `--progress` flag) reads it periodically and emits a
+/// one-line update with an ETA.
+///
+/// Publication is lock-free — a phase change is three relaxed stores, a
+/// tick one relaxed fetch_add — and gated on one relaxed load when
+/// tracking is off, so instrumented loops pay nothing measurable.
+/// Tick with *batched* deltas (per morsel, per level, per chunk), never
+/// per element. Phase/unit strings must be static (string literals).
+///
+/// Instrument through the DEPMINER_PROGRESS_* macros so a
+/// `-DDEPMINER_TRACING=OFF` build folds the sites away entirely.
+struct ProgressSnapshot {
+  bool tracking = false;     ///< EnableProgressTracking(true) was called
+  const char* phase = "";    ///< current phase name ("" before the first)
+  const char* unit = "";     ///< work unit ("rows", "couples", "levels", ...)
+  uint64_t done = 0;         ///< units completed in the current phase
+  uint64_t total = 0;        ///< units expected; 0 = unknown
+  int64_t phase_elapsed_ns = 0;  ///< time since the phase began
+};
+
+/// Turns publication on/off (off by default: the miners' ticks are
+/// no-ops until a front end opts in). Resets the current phase state.
+void EnableProgressTracking(bool enabled);
+bool ProgressTrackingEnabled();
+
+/// Declares the start of a phase with `total` expected units of work
+/// (0 when the total is unknown up front). Resets the done counter.
+void ProgressBeginPhase(const char* phase, const char* unit, uint64_t total);
+
+/// Adds `delta` completed units to the current phase.
+void ProgressAdvance(uint64_t delta);
+
+/// Raises the current phase's expected total (phases that discover work
+/// as they go, e.g. chunked streams). Keeps the maximum.
+void ProgressExpandTotal(uint64_t total);
+
+/// A consistent-enough snapshot for display (fields are read
+/// individually; a torn read across a phase boundary merely mislabels
+/// one heartbeat line).
+ProgressSnapshot CurrentProgress();
+
+/// Background heartbeat: every `period_ms`, emits the current progress
+/// as a structured log event (subsystem "progress", info level) — a
+/// human one-liner on stderr by default, a JSON-lines record under
+/// `--log-json`. Emits once immediately at Start() and once at Stop(),
+/// so even a run shorter than the period produces output. Also feeds the
+/// `sampler/progress_done` trace series when a session is active.
+///
+/// Stop order: Stop() the heartbeat before TraceSession::Stop() (the
+/// session contract — no instrumented work may race the merge).
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(int period_ms);
+  ~ProgressHeartbeat();
+  ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+  ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+  void Start();
+  void Stop();
+
+ private:
+  void Emit(const char* event);
+  void Loop();
+
+  int period_ms_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+};
+
+#if DEPMINER_TRACING_ENABLED
+#define DEPMINER_PROGRESS_PHASE(phase, unit, total) \
+  ::depminer::ProgressBeginPhase((phase), (unit), (total))
+#define DEPMINER_PROGRESS_TICK(delta) ::depminer::ProgressAdvance((delta))
+#define DEPMINER_PROGRESS_TOTAL(total) \
+  ::depminer::ProgressExpandTotal((total))
+#else
+#define DEPMINER_PROGRESS_PHASE(phase, unit, total) \
+  do {                                              \
+    (void)sizeof((phase));                          \
+    (void)sizeof((unit));                           \
+    (void)sizeof((total));                          \
+  } while (false)
+#define DEPMINER_PROGRESS_TICK(delta) \
+  do {                                \
+    (void)sizeof((delta));            \
+  } while (false)
+#define DEPMINER_PROGRESS_TOTAL(total) \
+  do {                                 \
+    (void)sizeof((total));             \
+  } while (false)
+#endif
+
+}  // namespace depminer

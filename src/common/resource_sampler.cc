@@ -1,0 +1,105 @@
+#include "common/resource_sampler.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/parallel.h"
+#include "common/progress.h"
+#include "common/trace.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace depminer {
+
+uint64_t CurrentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  static const long page_size = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<uint64_t>(page_size > 0 ? page_size : 4096);
+#else
+  return 0;
+#endif
+}
+
+ResourceSampler::ResourceSampler(const ResourceSamplerOptions& options)
+    : options_(options) {
+  if (options_.period_ms <= 0) options_.period_ms = 50;
+}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceSampler::SampleOnce() {
+  // Idle when no session is active: one atomic load and out — the
+  // sampler may be started unconditionally and only costs anything while
+  // a trace session runs.
+  if (TraceSession::Current() == nullptr) return;
+
+  const uint64_t rss = CurrentRssBytes();
+  if (rss > 0) {
+    TraceSampleValue("sampler/rss_bytes", static_cast<double>(rss));
+    TraceGaugeMax("sampler/rss_peak_bytes", rss);
+  }
+
+  const RunContext* ctx = options_.run_context;
+  if (ctx != nullptr) {
+    TraceSampleValue("sampler/runctx_bytes",
+                     static_cast<double>(ctx->bytes_used()));
+    const size_t budget = ctx->budget_bytes();
+    if (budget > 0) {
+      TraceSampleValue("sampler/runctx_budget_bytes",
+                       static_cast<double>(budget));
+    }
+    const int64_t slack_ns = ctx->DeadlineSlackNs();
+    if (slack_ns != INT64_MAX) {
+      TraceSampleValue("sampler/deadline_slack_ms",
+                       static_cast<double>(slack_ns) * 1e-6);
+    }
+  }
+
+  TraceSampleValue("sampler/pool_queue_depth",
+                   static_cast<double>(PoolQueueDepth()));
+
+  const ProgressSnapshot progress = CurrentProgress();
+  if (progress.tracking) {
+    TraceSampleValue("sampler/progress_done",
+                     static_cast<double>(progress.done));
+  }
+}
+
+void ResourceSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                 [this] { return !running_; });
+  }
+}
+
+}  // namespace depminer

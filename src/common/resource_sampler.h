@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/run_context.h"
+
+namespace depminer {
+
+/// Background resource sampler: while running, snapshots process and
+/// run-governance state at a fixed period into the active trace session
+/// as sampled time series (`TraceSampleValue`), so a chrome trace shows
+/// resource usage as counter tracks above the spans. Series:
+///
+///   sampler/rss_bytes            process resident set (Linux; 0 elsewhere)
+///   sampler/runctx_bytes         RunContext working-set bytes charged
+///   sampler/runctx_budget_bytes  armed memory budget (constant track)
+///   sampler/deadline_slack_ms    ms until the armed deadline (may go <0)
+///   sampler/pool_queue_depth     shared worker pool queue depth
+///   sampler/progress_done        current phase's done counter
+///
+/// Also folds the RSS peak into the `sampler/rss_peak_bytes` gauge.
+/// Budget/deadline series are only emitted when a RunContext is attached
+/// and the corresponding limit is armed.
+///
+/// Lifecycle: Start() after TraceSession::Start(), Stop() BEFORE
+/// TraceSession::Stop() — the session contract forbids instrumented work
+/// racing the merge, and the sampler is instrumented work. Stop() joins
+/// the thread; destruction stops implicitly. With no active session the
+/// sampler idles (each tick is one atomic load).
+struct ResourceSamplerOptions {
+  int period_ms = 50;                      ///< sampling period
+  const RunContext* run_context = nullptr; ///< budget/deadline source
+};
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(const ResourceSamplerOptions& options);
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void Start();
+  void Stop();
+
+ private:
+  void SampleOnce();
+  void Loop();
+
+  ResourceSamplerOptions options_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+};
+
+/// Current process resident set size in bytes, read from
+/// /proc/self/statm. Returns 0 on platforms without procfs.
+uint64_t CurrentRssBytes();
+
+}  // namespace depminer

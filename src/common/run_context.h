@@ -114,6 +114,20 @@ class RunContext {
   size_t high_water_bytes() const {
     return high_water_bytes_.load(std::memory_order_relaxed);
   }
+  /// The armed memory budget; 0 = unarmed. (The resource sampler exports
+  /// charged-vs-budget as a time series.)
+  size_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds until the armed deadline (negative once past it), or
+  /// INT64_MAX when no deadline is armed. For observability only — the
+  /// governed verdict is `Check()`.
+  int64_t DeadlineSlackNs() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return INT64_MAX;
+    return d - Clock::now().time_since_epoch().count();
+  }
 
   /// The governed verdict, in precedence order: cancellation, deadline,
   /// memory budget. OK while the run may continue. Unarmed contexts

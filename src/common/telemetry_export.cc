@@ -1,0 +1,242 @@
+#include "common/telemetry_export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "report/json_writer.h"
+
+namespace depminer {
+
+namespace {
+
+/// `family/label` split on the FIRST '/': a label value may itself
+/// contain '/' (e.g. a dataset path used as a series name).
+std::pair<std::string, std::string> SplitFamilyLabel(const std::string& name) {
+  const size_t slash = name.find('/');
+  if (slash == std::string::npos) return {name, ""};
+  return {name.substr(0, slash), name.substr(slash + 1)};
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; we map
+/// everything else to '_' (and prepend '_' if the name starts with a
+/// digit, which no registry name does today).
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Label values escape '\', '"' and newline per the exposition format.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* LabelKeyForFamily(const std::string& family) {
+  return family == "phase_duration_ns" ? "phase" : "label";
+}
+
+/// `{phase="agree"}` or "" when the name carried no label.
+std::string LabelClause(const std::string& family, const std::string& label) {
+  if (label.empty()) return "";
+  std::string out = "{";
+  out += LabelKeyForFamily(family);
+  out += "=\"";
+  out += EscapeLabelValue(label);
+  out += "\"}";
+  return out;
+}
+
+void AppendHeader(std::string* out, const std::string& metric,
+                  const char* type, std::map<std::string, bool>* seen) {
+  // One HELP/TYPE pair per family, before its first sample, regardless of
+  // how many labeled series the family has.
+  if ((*seen)[metric]) return;
+  (*seen)[metric] = true;
+  out->append("# HELP ");
+  out->append(metric);
+  out->append(" depminer ");
+  out->append(type);
+  out->append("\n# TYPE ");
+  out->append(metric);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+}
+
+void AppendLine(std::string* out, const std::string& series, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  *out += series;
+  *out += buf;
+}
+
+}  // namespace
+
+Result<MetricsFormat> MetricsFormatForPath(const std::string& path) {
+  if (path.ends_with(".prom")) return MetricsFormat::kPrometheus;
+  if (path.ends_with(".json")) return MetricsFormat::kJson;
+  return Status::InvalidArgument(
+      "metrics file must end in .prom or .json, got \"" + path + "\"");
+}
+
+std::string PrometheusText(const TraceSession& session) {
+  std::string out;
+  std::map<std::string, bool> seen;  // families with HELP/TYPE emitted
+  char buf[64];
+
+  out += "# HELP depminer_wall_seconds depminer gauge\n";
+  out += "# TYPE depminer_wall_seconds gauge\n";
+  std::snprintf(buf, sizeof(buf), "depminer_wall_seconds %.9g\n",
+                session.wall_seconds());
+  out += buf;
+
+  for (const auto& [name, value] : session.counters()) {
+    const auto [family, label] = SplitFamilyLabel(name);
+    const std::string metric =
+        "depminer_" + SanitizeMetricName(family) + "_total";
+    AppendHeader(&out, metric, "counter", &seen);
+    AppendLine(&out, metric + LabelClause(family, label), value);
+  }
+
+  for (const auto& [name, value] : session.gauges()) {
+    const auto [family, label] = SplitFamilyLabel(name);
+    const std::string metric = "depminer_" + SanitizeMetricName(family);
+    AppendHeader(&out, metric, "gauge", &seen);
+    AppendLine(&out, metric + LabelClause(family, label), value);
+  }
+
+  for (const auto& [name, hist] : session.histograms()) {
+    const auto [family, label] = SplitFamilyLabel(name);
+    const std::string metric = "depminer_" + SanitizeMetricName(family);
+    AppendHeader(&out, metric, "histogram", &seen);
+    const char* key = LabelKeyForFamily(family);
+    auto bucket_series = [&](const std::string& le_text) {
+      std::string series = metric + "_bucket{";
+      if (!label.empty()) {
+        series += key;
+        series += "=\"";
+        series += EscapeLabelValue(label);
+        series += "\",";
+      }
+      series += "le=\"" + le_text + "\"}";
+      return series;
+    };
+    // Cumulative buckets. Empty buckets are skipped and the series stops
+    // once the cumulative count reaches the total (any boundary subset
+    // is valid exposition); `le="+Inf"` always closes the series and
+    // equals _count, as scrapers require.
+    uint64_t cum = 0;
+    bool emitted_inf = false;
+    for (size_t i = 0; i < TraceHistogram::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cum += hist.buckets[i];
+      const uint64_t ub = TraceHistogram::BucketUpperBound(i);
+      if (ub == UINT64_MAX) {
+        AppendLine(&out, bucket_series("+Inf"), cum);
+        emitted_inf = true;
+      } else {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, ub);
+        AppendLine(&out, bucket_series(buf), cum);
+      }
+      if (cum == hist.count) break;
+    }
+    if (!emitted_inf) {
+      AppendLine(&out, bucket_series("+Inf"), hist.count);
+    }
+    AppendLine(&out, metric + "_sum" + LabelClause(family, label), hist.sum);
+    AppendLine(&out, metric + "_count" + LabelClause(family, label),
+               hist.count);
+  }
+  return out;
+}
+
+std::string TelemetryJson(const TraceSession& session) {
+  JsonWriter w;
+  w.OpenObject();
+  w.Key("telemetry_version").Value(static_cast<int64_t>(1));
+  w.Key("wall_seconds").Value(session.wall_seconds());
+  w.Key("counters").OpenObject();
+  for (const auto& [name, v] : session.counters()) w.Key(name).Value(v);
+  w.CloseObject();
+  w.Key("gauges").OpenObject();
+  for (const auto& [name, v] : session.gauges()) w.Key(name).Value(v);
+  w.CloseObject();
+  w.Key("histograms").OpenObject();
+  for (const auto& [name, h] : session.histograms()) {
+    w.Key(name).OpenObject();
+    w.Key("count").Value(h.count);
+    w.Key("sum").Value(h.sum);
+    w.Key("buckets").OpenArray();
+    for (size_t i = 0; i < TraceHistogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      const uint64_t ub = TraceHistogram::BucketUpperBound(i);
+      w.OpenArray();
+      if (ub == UINT64_MAX) {
+        w.Value(static_cast<int64_t>(-1));  // stands in for +Inf
+      } else {
+        w.Value(ub);
+      }
+      w.Value(h.buckets[i]);
+      w.CloseArray();
+    }
+    w.CloseArray();
+    w.CloseObject();
+  }
+  w.CloseObject();
+  w.Key("samples").OpenArray();
+  for (const TraceSampleEvent& s : session.samples()) {
+    w.OpenObject();
+    w.Key("series").Value(s.series);
+    w.Key("t_ns").Value(static_cast<int64_t>(s.t_ns));
+    w.Key("value").Value(s.value);
+    w.CloseObject();
+  }
+  w.CloseArray();
+  w.CloseObject();
+  return w.str();
+}
+
+Status WriteMetricsFile(const TraceSession& session, const std::string& path) {
+  Result<MetricsFormat> format = MetricsFormatForPath(path);
+  if (!format.ok()) return format.status();
+  const std::string body = format.value() == MetricsFormat::kPrometheus
+                               ? PrometheusText(session)
+                               : TelemetryJson(session);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics file: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != body.size() || !closed_ok) {
+    return Status::IoError("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace depminer

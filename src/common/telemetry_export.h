@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace depminer {
+
+/// Exporters turning a stopped `TraceSession` into scrape-able metrics:
+/// Prometheus text exposition (format 0.0.4) and a versioned JSON
+/// document. The CLI's `--metrics-out=FILE` routes through
+/// `WriteMetricsFile`, picking the format from the file extension.
+///
+/// ## Naming taxonomy
+///
+/// Registry names follow a `family/label` convention: everything before
+/// the first '/' is the metric family, the remainder is the label value
+/// (e.g. `phase_duration_ns/agree` is the `agree` series of the
+/// `phase_duration_ns` family). Exported names are prefixed `depminer_`
+/// and sanitized to `[a-zA-Z0-9_]` ('/' and other separators become
+/// '_'). Specifically:
+///
+///  - counters   → `depminer_<family>_total{label="..."}`  (type counter)
+///  - gauges     → `depminer_<family>{label="..."}`        (type gauge)
+///  - histograms → `depminer_<family>_bucket{label="...",le="..."}` plus
+///                 `_sum` and `_count`                      (type histogram)
+///
+/// The label key is `phase` for the `phase_duration_ns` family and
+/// `label` otherwise. A name without '/' exports with no labels. The
+/// session wall clock exports as `depminer_wall_seconds`.
+enum class MetricsFormat {
+  kPrometheus,  ///< text exposition, one metric per line
+  kJson,        ///< versioned JSON document (telemetry_version)
+};
+
+/// Picks the format from the path extension: `.prom` → Prometheus,
+/// `.json` → JSON; anything else is InvalidArgument (the CLI surfaces
+/// this as a usage error, exit 2).
+Result<MetricsFormat> MetricsFormatForPath(const std::string& path);
+
+/// Renders the session's merged counters, gauges and histograms as
+/// Prometheus text exposition. Histogram buckets are cumulative and end
+/// with `le="+Inf"` == `_count`, as the format requires; empty leading
+/// buckets are elided (any boundary subset is valid exposition).
+std::string PrometheusText(const TraceSession& session);
+
+/// Renders the session as one JSON object:
+/// `{"telemetry_version":1,"wall_seconds":...,"counters":{...},
+///   "gauges":{...},"histograms":{name:{"count":..,"sum":..,
+///   "buckets":[[upper_bound,count],...]}},"samples":[...]}`.
+/// Bucket bounds are inclusive upper bounds; the overflow bucket's bound
+/// is -1 (standing in for +Inf). Samples carry session-relative
+/// timestamps in nanoseconds.
+std::string TelemetryJson(const TraceSession& session);
+
+/// Writes the session in the format implied by `path`'s extension.
+/// Call after `TraceSession::Stop()`.
+Status WriteMetricsFile(const TraceSession& session, const std::string& path);
+
+}  // namespace depminer

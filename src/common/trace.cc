@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include "report/json_writer.h"
@@ -27,6 +29,26 @@ std::atomic<uint64_t> g_generation{0};
 
 }  // namespace
 
+size_t TraceHistogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // bit_width(v) = floor(log2 v) + 1, so values in [2^(i-1), 2^i - 1]
+  // land in bucket i; everything at or above 2^(kBuckets-2) overflows
+  // into the last (+Inf) bucket.
+  return std::min<size_t>(std::bit_width(value), kBuckets - 1);
+}
+
+uint64_t TraceHistogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return UINT64_MAX;  // +Inf overflow bucket
+  return (uint64_t{1} << i) - 1;
+}
+
+void TraceHistogram::MergeFrom(const TraceHistogram& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
 namespace trace_internal {
 
 /// One thread's slice of a session. Appends take `mu` — uncontended on
@@ -39,6 +61,8 @@ struct ThreadBuffer {
   std::vector<TraceEvent> events;
   std::map<std::string, uint64_t> counters;
   std::map<std::string, uint64_t> gauges;
+  std::map<std::string, TraceHistogram> histograms;
+  std::vector<TraceSampleEvent> samples;
   int64_t session_start_ns = 0;  // rebase spans to session-relative time
   uint32_t tid = 0;
   uint32_t depth = 0;  // owner-only; not guarded
@@ -59,6 +83,8 @@ struct TraceSession::Impl {
   std::vector<TraceEvent> events;
   std::map<std::string, uint64_t> counters;
   std::map<std::string, uint64_t> gauges;
+  std::map<std::string, TraceHistogram> histograms;
+  std::vector<TraceSampleEvent> samples;
 
   ThreadBuffer* RegisterThread() {
     std::lock_guard<std::mutex> lock(mu);
@@ -104,6 +130,8 @@ void TraceSession::Start() {
   impl_->events.clear();
   impl_->counters.clear();
   impl_->gauges.clear();
+  impl_->histograms.clear();
+  impl_->samples.clear();
   impl_->wall_seconds = 0.0;
   impl_->start_ns = NowNs();
   impl_->active = true;
@@ -131,7 +159,19 @@ void TraceSession::Stop() {
       uint64_t& g = impl_->gauges[name];
       g = std::max(g, v);
     }
+    // Fixed-boundary elementwise add: the merged histogram is identical
+    // no matter how observations were distributed over threads.
+    for (const auto& [name, h] : buf->histograms) {
+      impl_->histograms[name].MergeFrom(h);
+    }
+    impl_->samples.insert(impl_->samples.end(), buf->samples.begin(),
+                          buf->samples.end());
   }
+  std::stable_sort(impl_->samples.begin(), impl_->samples.end(),
+                   [](const TraceSampleEvent& a, const TraceSampleEvent& b) {
+                     if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+                     return a.series < b.series;
+                   });
   std::stable_sort(impl_->events.begin(), impl_->events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      if (a.tid != b.tid) return a.tid < b.tid;
@@ -158,6 +198,12 @@ const std::map<std::string, uint64_t>& TraceSession::counters() const {
 const std::map<std::string, uint64_t>& TraceSession::gauges() const {
   return impl_->gauges;
 }
+const std::map<std::string, TraceHistogram>& TraceSession::histograms() const {
+  return impl_->histograms;
+}
+const std::vector<TraceSampleEvent>& TraceSession::samples() const {
+  return impl_->samples;
+}
 double TraceSession::wall_seconds() const { return impl_->wall_seconds; }
 
 Status TraceSession::WriteChromeTrace(const std::string& path) const {
@@ -179,6 +225,19 @@ Status TraceSession::WriteChromeTrace(const std::string& path) const {
     }
     w.CloseObject();
   }
+  // Sampled time series as counter events: Perfetto renders each series
+  // as its own numeric track above the spans.
+  for (const TraceSampleEvent& s : impl_->samples) {
+    w.OpenObject();
+    w.Key("name").Value(s.series);
+    w.Key("ph").Value("C");
+    w.Key("ts").Value(static_cast<double>(s.t_ns) * 1e-3);
+    w.Key("pid").Value(static_cast<int64_t>(1));
+    w.Key("args").OpenObject();
+    w.Key("value").Value(s.value);
+    w.CloseObject();
+    w.CloseObject();
+  }
   w.CloseArray();
   w.Key("displayTimeUnit").Value("ms");
   w.Key("metrics").OpenObject();
@@ -188,6 +247,30 @@ Status TraceSession::WriteChromeTrace(const std::string& path) const {
   w.CloseObject();
   w.Key("gauges").OpenObject();
   for (const auto& [name, v] : impl_->gauges) w.Key(name).Value(v);
+  w.CloseObject();
+  w.Key("histograms").OpenObject();
+  for (const auto& [name, h] : impl_->histograms) {
+    w.Key(name).OpenObject();
+    w.Key("count").Value(h.count);
+    w.Key("sum").Value(h.sum);
+    // Only occupied buckets, as [upper_bound, count] pairs; the +Inf
+    // bucket's bound is emitted as -1 (JSON has no Inf literal).
+    w.Key("buckets").OpenArray();
+    for (size_t i = 0; i < TraceHistogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      const uint64_t ub = TraceHistogram::BucketUpperBound(i);
+      w.OpenArray();
+      if (ub == UINT64_MAX) {
+        w.Value(static_cast<int64_t>(-1));
+      } else {
+        w.Value(ub);
+      }
+      w.Value(h.buckets[i]);
+      w.CloseArray();
+    }
+    w.CloseArray();
+    w.CloseObject();
+  }
   w.CloseObject();
   w.CloseObject();
   w.CloseObject();
@@ -271,6 +354,32 @@ std::string TraceSession::MetricsSummary() const {
       out += line;
     }
   }
+  if (!impl_->histograms.empty()) {
+    out += "-- histograms --------------------------------\n";
+    for (const auto& [name, h] : impl_->histograms) {
+      const double mean =
+          h.count > 0 ? static_cast<double>(h.sum) / static_cast<double>(h.count)
+                      : 0.0;
+      // Approximate p99 from the bucket boundaries: the upper bound of
+      // the first bucket whose cumulative count reaches 99%.
+      uint64_t cum = 0;
+      uint64_t p99 = 0;
+      const uint64_t target =
+          h.count - h.count / 100;  // ceil-ish 99th rank, exact enough here
+      for (size_t i = 0; i < TraceHistogram::kBuckets; ++i) {
+        cum += h.buckets[i];
+        if (cum >= target && h.count > 0) {
+          p99 = TraceHistogram::BucketUpperBound(i);
+          break;
+        }
+      }
+      std::snprintf(line, sizeof(line),
+                    "%-28s n=%-10llu mean=%-12.1f p99<=%llu\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count), mean,
+                    static_cast<unsigned long long>(p99));
+      out += line;
+    }
+  }
   return out;
 }
 
@@ -319,8 +428,53 @@ void TraceGaugeMax(const char* name, uint64_t value) {
   g = std::max(g, value);
 }
 
+void TraceHistogramRecord(const char* name, uint64_t value) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->histograms[name].Record(value);
+}
+
+void TraceHistogramRecord(const std::string& name, uint64_t value) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->histograms[name].Record(value);
+}
+
+void TraceSampleValue(const char* series, double value) {
+  TraceSampleValue(std::string(series), value);
+}
+
+void TraceSampleValue(const std::string& series, double value) {
+  ThreadBuffer* buf = trace_internal::CurrentBuffer();
+  if (buf == nullptr) return;
+  TraceSampleEvent s;
+  s.series = series;
+  s.t_ns = NowNs() - buf->session_start_ns;
+  s.value = value;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->samples.push_back(std::move(s));
+}
+
+HistogramTimer::HistogramTimer(const char* name) : name_(name) {
+  // Resolve activity once; the destructor re-checks the buffer so a
+  // session stopping mid-scope drops the observation instead of writing
+  // through a stale pointer (same discipline as Span).
+  if (trace_internal::CurrentBuffer() == nullptr) return;
+  active_ = true;
+  start_ns_ = NowNs();
+}
+
+HistogramTimer::~HistogramTimer() {
+  if (!active_) return;
+  const int64_t elapsed = NowNs() - start_ns_;
+  TraceHistogramRecord(name_, static_cast<uint64_t>(std::max<int64_t>(0, elapsed)));
+}
+
 PhaseTimer::PhaseTimer(const char* span_name, double* accumulate_seconds)
     : span_(span_name),
+      span_name_(span_name),
       accumulate_seconds_(accumulate_seconds),
       start_ns_(NowNs()) {}
 
@@ -329,9 +483,20 @@ PhaseTimer::~PhaseTimer() { Stop(); }
 void PhaseTimer::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  const int64_t elapsed_ns = NowNs() - start_ns_;
   if (accumulate_seconds_ != nullptr) {
-    *accumulate_seconds_ += static_cast<double>(NowNs() - start_ns_) * 1e-9;
+    *accumulate_seconds_ += static_cast<double>(elapsed_ns) * 1e-9;
   }
+#if DEPMINER_TRACING_ENABLED
+  if (trace_internal::CurrentBuffer() != nullptr) {
+    // `phase/strip` → `phase_duration_ns/strip`: the exporters split the
+    // name on '/' into family + label.
+    const char* label = span_name_;
+    if (std::strncmp(label, "phase/", 6) == 0) label += 6;
+    TraceHistogramRecord(std::string("phase_duration_ns/") + label,
+                         static_cast<uint64_t>(std::max<int64_t>(0, elapsed_ns)));
+  }
+#endif
 }
 
 }  // namespace depminer

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,50 @@ struct TraceEvent {
   int64_t dur_ns;     ///< span duration
   uint64_t arg;       ///< optional payload (Span::SetValue)
   bool has_arg;
+};
+
+/// Log₂-bucketed histogram with FIXED boundaries shared by every
+/// histogram in the registry: bucket 0 holds the value 0, bucket i
+/// (1 ≤ i < kBuckets−1) holds values in [2^(i−1), 2^i − 1], and the last
+/// bucket is the +Inf overflow. Fixed boundaries make the cross-thread
+/// merge a plain elementwise add — bit-identical for any thread count or
+/// merge order, which is what the determinism tests pin. Values are raw
+/// uint64 (nanoseconds for latencies, element counts for sizes); the
+/// metric name carries the unit (`*_ns`, `*_couples`, ...).
+struct TraceHistogram {
+  static constexpr size_t kBuckets = 51;
+
+  uint64_t count = 0;  ///< total observations
+  uint64_t sum = 0;    ///< sum of observed values
+  std::array<uint64_t, kBuckets> buckets{};
+
+  /// Bucket receiving `value`: 0 for 0, else min(bit_width, kBuckets−1).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive upper bound of bucket i (2^i − 1); the last bucket has no
+  /// bound (UINT64_MAX stands in for +Inf).
+  static uint64_t BucketUpperBound(size_t i);
+
+  void Record(uint64_t value) {
+    count += 1;
+    sum += value;
+    buckets[BucketIndex(value)] += 1;
+  }
+  void MergeFrom(const TraceHistogram& other);
+
+  bool operator==(const TraceHistogram& other) const {
+    return count == other.count && sum == other.sum &&
+           buckets == other.buckets;
+  }
+};
+
+/// One timestamped point of a sampled time series (what the resource
+/// sampler records): session-relative time plus a value. Rendered as
+/// chrome://tracing counter events, so Perfetto plots each series as a
+/// track over the spans.
+struct TraceSampleEvent {
+  std::string series;
+  int64_t t_ns = 0;
+  double value = 0.0;
 };
 
 namespace trace_internal {
@@ -75,6 +120,12 @@ class TraceSession {
   const std::vector<TraceEvent>& events() const;
   const std::map<std::string, uint64_t>& counters() const;
   const std::map<std::string, uint64_t>& gauges() const;
+  /// Merged histograms (fixed-boundary buckets added elementwise across
+  /// threads). Keys follow the `family/label` convention the exporters
+  /// split on — e.g. `phase_duration_ns/agree`.
+  const std::map<std::string, TraceHistogram>& histograms() const;
+  /// Merged sampled time series, sorted by timestamp.
+  const std::vector<TraceSampleEvent>& samples() const;
   /// Wall-clock seconds between Start() and Stop().
   double wall_seconds() const;
 
@@ -139,6 +190,48 @@ void TraceCounterAdd(const char* name, uint64_t delta);
 /// (high-water marks: RunContext bytes charged, peak partition bytes).
 void TraceGaugeMax(const char* name, uint64_t value);
 
+/// Records one observation into histogram `name`. Same batching
+/// discipline as counters where possible (per morsel / per probe, never
+/// per element of a scan); an inactive session costs one atomic load.
+/// `name` follows the `family/label` convention (see TraceSession).
+void TraceHistogramRecord(const char* name, uint64_t value);
+void TraceHistogramRecord(const std::string& name, uint64_t value);
+
+/// Appends a timestamped point to time series `series` (the resource
+/// sampler's API; timestamps are session-relative). No-op when no
+/// session is active.
+void TraceSampleValue(const char* series, double value);
+void TraceSampleValue(const std::string& series, double value);
+
+/// RAII latency probe: records the scope's duration in nanoseconds into
+/// histogram `name` at destruction. When no session is active the
+/// constructor is one atomic load and no clock is read — cheap enough
+/// for per-probe call sites (partition-cache lookups). Instantiate via
+/// DEPMINER_TRACE_HIST_TIMER so disabled builds fold the site away.
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(const char* name);
+  ~HistogramTimer();
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+
+  /// Re-targets the histogram name before destruction (e.g. a cache
+  /// probe deciding between `.../hit` and `.../miss` mid-scope). Only
+  /// static strings.
+  void SetName(const char* name) { name_ = name; }
+
+ private:
+  const char* name_;
+  int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Disabled-build stand-in for HistogramTimer.
+struct NoopHistogramTimer {
+  explicit NoopHistogramTimer(const char*) {}
+  void SetName(const char*) {}
+};
+
 /// Span-owned, *accumulating* phase timer: `Stop()` (or destruction) adds
 /// the elapsed seconds to `*accumulate_seconds` and closes the span named
 /// `span_name`. Because the stat field is accumulated into rather than
@@ -158,11 +251,15 @@ class PhaseTimer {
   /// several exit paths (or that `std::move` their result out before the
   /// timer's scope closes) call it before each return; the destructor
   /// then contributes nothing further. The owned span still closes at
-  /// destruction, recording the full scope.
+  /// destruction, recording the full scope. Also records the elapsed
+  /// nanoseconds into the `phase_duration_ns/<phase>` histogram (the
+  /// `phase/` span-name prefix becomes the label) when a session is
+  /// active.
   void Stop();
 
  private:
   Span span_;
+  const char* span_name_;
   double* accumulate_seconds_;
   int64_t start_ns_;
   bool stopped_ = false;
@@ -174,6 +271,10 @@ class PhaseTimer {
   ::depminer::TraceCounterAdd((name), (delta))
 #define DEPMINER_TRACE_GAUGE_MAX(name, value) \
   ::depminer::TraceGaugeMax((name), (value))
+#define DEPMINER_TRACE_HISTOGRAM(name, value) \
+  ::depminer::TraceHistogramRecord((name), (value))
+#define DEPMINER_TRACE_HIST_TIMER(var, name) \
+  ::depminer::HistogramTimer var(name)
 #else
 // Expansions reference no tracing symbol and leave their arguments
 // unevaluated (sizeof), so a disabled build's hot paths carry nothing.
@@ -189,6 +290,13 @@ class PhaseTimer {
     (void)sizeof((name));                     \
     (void)sizeof((value));                    \
   } while (false)
+#define DEPMINER_TRACE_HISTOGRAM(name, value) \
+  do {                                        \
+    (void)sizeof((name));                     \
+    (void)sizeof((value));                    \
+  } while (false)
+#define DEPMINER_TRACE_HIST_TIMER(var, name) \
+  ::depminer::NoopHistogramTimer var(name)
 #endif
 
 }  // namespace depminer

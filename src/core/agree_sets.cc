@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "common/trace.h"
 #include "fault/fault.h"
 
@@ -243,6 +244,7 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
   const size_t total_couples = couples.size();
   result.couples_examined = total_couples;
   DEPMINER_TRACE_COUNTER("agree.couples", total_couples);
+  DEPMINER_PROGRESS_PHASE("agree", "couples", total_couples);
 
   // Each attribute's class labels, computed once per run (they used to be
   // recomputed per chunk) and laid out as one contiguous row per
@@ -319,6 +321,10 @@ AgreeSetResult ComputeAgreeSetsCouples(const StrippedPartitionDatabase& db,
           }
           DedupSets(&agree);
           morsel_sets[m] = std::move(agree);
+          // Batched per morsel, never per couple: one histogram record
+          // and one progress tick per grain of work.
+          DEPMINER_TRACE_HISTOGRAM("agree_morsel_couples/chunked", hi - lo);
+          DEPMINER_PROGRESS_TICK(hi - lo);
         },
         [&stopped] { return stopped.load(std::memory_order_relaxed); });
 
@@ -385,6 +391,7 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
   result.couples_examined = total_couples;
   intersect_span.SetValue(total_couples);
   DEPMINER_TRACE_COUNTER("agree.couples", total_couples);
+  DEPMINER_PROGRESS_PHASE("agree", "couples", total_couples);
   result.working_bytes =
       total_couples * sizeof(uint64_t) +           // couple keys
       db.TotalMemberships() * sizeof(uint64_t) +   // ec lists
@@ -440,6 +447,8 @@ AgreeSetResult ComputeAgreeSetsIdentifiers(const StrippedPartitionDatabase& db,
           local.push_back(ag);
         }
         morsel_sets[m] = std::move(local);
+        DEPMINER_TRACE_HISTOGRAM("agree_morsel_couples/identifiers", hi - lo);
+        DEPMINER_PROGRESS_TICK(hi - lo);
       },
       [&stopped] { return stopped.load(std::memory_order_relaxed); });
 

@@ -1,5 +1,6 @@
 #include "core/dep_miner.h"
 
+#include "common/progress.h"
 #include "common/trace.h"
 #include "core/armstrong.h"
 #include "report/stats_format.h"
@@ -44,8 +45,10 @@ Result<DepMinerResult> MineDependencies(const Relation& relation,
   std::optional<StrippedPartitionDatabase> db;
   {
     PhaseTimer strip_timer("phase/strip", &strip_seconds);
+    DEPMINER_PROGRESS_PHASE("strip", "attributes", relation.num_attributes());
     db = StrippedPartitionDatabase::FromRelation(relation,
                                                  options.num_threads);
+    DEPMINER_PROGRESS_TICK(relation.num_attributes());
   }
 
   Result<DepMinerResult> result = MineDependencies(*db, &relation, options);
@@ -79,6 +82,9 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   // double-counting hazard the old restarted Stopwatch had.
   {
     PhaseTimer agree_timer("phase/agree", &out.stats.agree_seconds);
+    // The couples/identifiers engines re-declare the phase with the real
+    // couple total once they have enumerated it.
+    DEPMINER_PROGRESS_PHASE("agree", "couples", 0);
     switch (options.agree_set_algorithm) {
       case AgreeSetAlgorithm::kNaive: {
         if (relation == nullptr) {
@@ -119,8 +125,10 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   // Step 2 (line 2): CMAX_SET.
   {
     PhaseTimer max_timer("phase/cmax", &out.stats.max_seconds);
+    DEPMINER_PROGRESS_PHASE("cmax", "attributes", db.num_attributes());
     out.max_sets = ComputeMaxSets(out.agree_sets, options.num_threads, ctx);
     out.all_max_sets = out.max_sets.AllMaxSets();
+    DEPMINER_PROGRESS_TICK(db.num_attributes());
   }
   out.stats.num_max_sets = out.all_max_sets.size();
   if (!out.max_sets.status.ok()) {
@@ -134,6 +142,9 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
   // Step 3 (line 3): LEFT_HAND_SIDE.
   {
     PhaseTimer lhs_timer("phase/lhs", &out.stats.lhs_seconds);
+    // Transversal node count is unknown up front (total=0); the levelwise
+    // search ticks per candidate level.
+    DEPMINER_PROGRESS_PHASE("lhs", "nodes", 0);
     out.lhs = ComputeLhs(out.max_sets, options.num_threads, ctx,
                          options.mining.max_lhs_arity);
   }
@@ -160,6 +171,7 @@ Result<DepMinerResult> MineDependencies(const StrippedPartitionDatabase& db,
     } else {
       PhaseTimer armstrong_timer("phase/armstrong",
                                  &out.stats.armstrong_seconds);
+      DEPMINER_PROGRESS_PHASE("armstrong", "rows", 0);
       Result<Relation> armstrong =
           BuildRealWorldArmstrong(*relation, out.all_max_sets, ctx);
       armstrong_timer.Stop();

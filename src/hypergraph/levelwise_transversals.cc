@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/attribute_set.h"
+#include "common/progress.h"
 #include "common/trace.h"
 
 namespace depminer {
@@ -120,6 +121,10 @@ std::vector<AttributeSet> LevelwiseMinimalTransversals(
     ++local_stats.levels;
     DEPMINER_TRACE_SPAN(level_span, "transversal/level");
     level_span.SetValue(level.size());
+    DEPMINER_TRACE_HISTOGRAM("transversal_level_candidates/all", level.size());
+    // One tick per candidate batch: the lhs phase's work unit is the
+    // transversal node, and a level is the natural batch.
+    DEPMINER_PROGRESS_TICK(level.size());
     std::vector<Candidate> survivors;
     survivors.reserve(level.size());
     for (Candidate& cand : level) {

@@ -201,11 +201,15 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(
   const size_t m = x.Count();
   if (m == 0) return nullptr;
   if (m == 1) return Lookup(x);
+  // Probe latency split by outcome: hits are a map lookup, misses pay
+  // for the product chain below — the histogram gap is the cache's value.
+  DEPMINER_TRACE_HIST_TIMER(probe_timer, "partition_probe_ns/miss");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<const StrippedPartition> found = FindLocked(x);
     if (found != nullptr) {
       ++stats_.hits;
+      probe_timer.SetName("partition_probe_ns/hit");
       return found;
     }
     ++stats_.misses;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/file_reader.h"
+#include "common/progress.h"
 #include "relation/relation_builder.h"
 
 namespace depminer {
@@ -87,6 +88,7 @@ Result<Relation> ParseStream(std::istream& in, const CsvOptions& options,
                              const std::string& origin) {
   CsvRecordReader reader(in, options);
   size_t record_no = 0;
+  DEPMINER_PROGRESS_PHASE("load", "rows", 0);
 
   Schema schema;
   std::unique_ptr<RelationBuilder> builder;
@@ -94,6 +96,8 @@ Result<Relation> ParseStream(std::istream& in, const CsvOptions& options,
   std::vector<std::string> fields;
   while (reader.Next(&fields)) {
     ++record_no;
+    // Batched tick: once per 4096 records, not per row.
+    if (record_no % 4096 == 0) DEPMINER_PROGRESS_TICK(4096);
     if (!builder) {
       if (options.has_header) {
         schema = Schema(std::move(fields));

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "common/trace.h"
 #include "fault/fault.h"
 #include "partition/partition_database.h"
@@ -67,6 +68,10 @@ class TaneRun {
 
     std::vector<Node> level = BuildFirstLevel();
     result_.stats.candidates_generated += level.size();
+    // Lattice depth is bounded by the attribute count; the total is the
+    // worst case, so the heartbeat's ETA is pessimistic (TANE usually
+    // exhausts its candidates several levels early).
+    DEPMINER_PROGRESS_PHASE("tane", "levels", n_);
 
     while (!level.empty()) {
       if (ctx != nullptr && ctx->limited()) {
@@ -78,8 +83,10 @@ class TaneRun {
         }
       }
       ++result_.stats.levels;
+      DEPMINER_PROGRESS_TICK(1);
       DEPMINER_TRACE_SPAN(level_span, "tane/level");
       level_span.SetValue(level.size());
+      DEPMINER_TRACE_HISTOGRAM("tane_level_candidates/all", level.size());
       memory.Set(RecordPartitionFootprint(level));
       DEPMINER_FAULT_ALLOC("alloc/tane", ctx);
       ComputeDependencies(&level);

@@ -2,10 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
-#include <ostream>
 
 #include <unistd.h>
 
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/run_context.h"
 #include "fault/fault.h"
 #include "fd/satisfaction.h"
@@ -132,9 +133,9 @@ std::string FaultSweepReport::ToString() const {
   return out;
 }
 
-Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options,
-                                       std::ostream* log) {
+Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options) {
   FaultSweepReport report;
+  DEPMINER_PROGRESS_PHASE("faultsweep", "seeds", options.iterations);
 
   std::vector<const FaultSite*> sites;
   if (options.sites.empty()) {
@@ -273,12 +274,20 @@ Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options,
       std::remove(csv_path.c_str());
     }
 
-    if (options.log_every != 0 && log != nullptr &&
-        (i + 1) % options.log_every == 0) {
-      *log << "fault-sweep: " << (i + 1) << "/" << options.iterations
-           << " seeds, " << report.runs << " runs, " << report.faults_fired
-           << " fired, " << report.findings.size() << " findings"
-           << std::endl;
+    DEPMINER_PROGRESS_TICK(1);
+    if (options.log_every != 0 && (i + 1) % options.log_every == 0) {
+      Log(LogLevel::kInfo, "faultsweep",
+          "fault-sweep: " + std::to_string(i + 1) + "/" +
+              std::to_string(options.iterations) + " seeds, " +
+              std::to_string(report.runs) + " runs, " +
+              std::to_string(report.faults_fired) + " fired, " +
+              std::to_string(report.findings.size()) + " findings",
+          {LogNum("seeds", static_cast<uint64_t>(i + 1)),
+           LogNum("of", static_cast<uint64_t>(options.iterations)),
+           LogNum("runs", static_cast<uint64_t>(report.runs)),
+           LogNum("fired", static_cast<uint64_t>(report.faults_fired)),
+           LogNum("findings",
+                  static_cast<uint64_t>(report.findings.size()))});
     }
   }
   return report;

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -26,7 +25,8 @@ struct FaultSweepOptions {
   /// Directory for the temporary CSV the ingestion sites (io/*,
   /// alloc/streaming) are driven through. Empty skips those sites.
   std::string scratch_dir = "/tmp";
-  /// Progress line every this many seeds (0 = silent).
+  /// Progress line (structured logger, subsystem "faultsweep", level
+  /// info) every this many seeds (0 = silent).
   size_t log_every = 0;
 };
 
@@ -61,7 +61,8 @@ struct FaultSweepReport {
 ///     check — still complete with the baseline-equivalent cover.
 /// Returns non-OK only for sweep-level errors (e.g. an unwritable
 /// scratch directory); expectation violations land in the report.
-Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options,
-                                       std::ostream* log = nullptr);
+/// Progress is emitted through the structured logger (subsystem
+/// "faultsweep") — redirect with `SetLogSink` to capture it.
+Result<FaultSweepReport> RunFaultSweep(const FaultSweepOptions& options);
 
 }  // namespace depminer

@@ -2,8 +2,9 @@
 
 #include <filesystem>
 #include <fstream>
-#include <ostream>
 
+#include "common/log.h"
+#include "common/progress.h"
 #include "relation/csv.h"
 #include "verify/generator.h"
 #include "verify/shrinker.h"
@@ -40,10 +41,11 @@ Status WriteRepro(const FuzzOptions& options, FuzzFailure* failure) {
 
 }  // namespace
 
-Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options,
-                                  std::ostream* log) {
+Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options) {
   FuzzResult result;
+  DEPMINER_PROGRESS_PHASE("fuzz", "cases", options.iterations);
   for (size_t i = 0; i < options.iterations; ++i) {
+    DEPMINER_PROGRESS_TICK(1);
     const uint64_t seed = options.start_seed + i;
     Result<GeneratedCase> generated = GenerateAdversarialCase(seed);
     if (!generated.ok()) {
@@ -91,23 +93,33 @@ Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options,
       if (!options.repro_dir.empty()) {
         DEPMINER_RETURN_NOT_OK(WriteRepro(options, &failure));
       }
-      if (log != nullptr) {
-        *log << "seed " << seed << " (" << failure.label
-             << "): " << failure.report.divergences.size()
-             << " divergence(s)\n"
-             << failure.report.ToString() << "\n";
-        if (!failure.repro_path.empty()) {
-          *log << "repro written to " << failure.repro_path << "\n";
-        }
+      Log(LogLevel::kWarn, "fuzz",
+          "seed " + std::to_string(seed) + " (" + failure.label + "): " +
+              std::to_string(failure.report.divergences.size()) +
+              " divergence(s)\n" + failure.report.ToString(),
+          {LogNum("seed", static_cast<uint64_t>(seed)),
+           LogStr("shape", failure.label),
+           LogNum("divergences",
+                  static_cast<uint64_t>(failure.report.divergences.size()))});
+      if (!failure.repro_path.empty()) {
+        Log(LogLevel::kWarn, "fuzz",
+            "repro written to " + failure.repro_path,
+            {LogStr("path", failure.repro_path)});
       }
       result.failures.push_back(std::move(failure));
     }
 
-    if (log != nullptr && options.log_every != 0 &&
-        (i + 1) % options.log_every == 0) {
-      *log << "fuzz: " << (i + 1) << "/" << options.iterations
-           << " cases, " << result.miner_runs << " miner runs, "
-           << result.failures.size() << " failing seed(s)\n";
+    if (options.log_every != 0 && (i + 1) % options.log_every == 0) {
+      Log(LogLevel::kInfo, "fuzz",
+          "fuzz: " + std::to_string(i + 1) + "/" +
+              std::to_string(options.iterations) + " cases, " +
+              std::to_string(result.miner_runs) + " miner runs, " +
+              std::to_string(result.failures.size()) + " failing seed(s)",
+          {LogNum("cases", static_cast<uint64_t>(i + 1)),
+           LogNum("of", static_cast<uint64_t>(options.iterations)),
+           LogNum("miner_runs", static_cast<uint64_t>(result.miner_runs)),
+           LogNum("failures",
+                  static_cast<uint64_t>(result.failures.size()))});
     }
   }
   return result;

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -25,8 +24,8 @@ struct FuzzOptions {
   std::string repro_dir = "fuzz-repros";
   /// Oracle configuration applied to every generated case.
   OracleOptions oracle;
-  /// Progress line every this many seeds on the harness's log stream
-  /// (0 = silent).
+  /// Progress line (structured logger, subsystem "fuzz", level info)
+  /// every this many seeds (0 = silent).
   size_t log_every = 50;
 };
 
@@ -54,8 +53,9 @@ struct FuzzResult {
 /// written to the repro directory as they are found; the run continues
 /// past failures so one invocation reports every bad seed in range.
 /// Returns non-OK only for harness-level errors (e.g. an unwritable
-/// repro directory); divergences are reported in the value.
-Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options,
-                                  std::ostream* log = nullptr);
+/// repro directory); divergences are reported in the value. Progress
+/// and failure detail are emitted through the structured logger
+/// (subsystem "fuzz") — redirect with `SetLogSink` to capture them.
+Result<FuzzResult> RunFuzzHarness(const FuzzOptions& options);
 
 }  // namespace depminer

@@ -1,0 +1,49 @@
+# Scripted CLI test for `fdtool datagen`: write a tiny paper-scale corpus
+# point, then mine it with telemetry on and check the exported Prometheus
+# file exists and looks like text exposition.
+
+set(CSV ${WORK}/cli_datagen.csv)
+set(PROM ${WORK}/cli_datagen.prom)
+file(REMOVE ${CSV} ${PROM})
+
+execute_process(COMMAND ${FDTOOL} datagen ${CSV} --corpus-scale=0.001
+                        --spec=tuples
+                RESULT_VARIABLE gen_result ERROR_VARIABLE gen_log)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "datagen failed (${gen_result}): ${gen_log}")
+endif()
+if(NOT EXISTS ${CSV})
+  message(FATAL_ERROR "datagen did not write ${CSV}")
+endif()
+
+# A custom (non-corpus) relation is also reproducible.
+execute_process(COMMAND ${FDTOOL} datagen ${WORK}/cli_datagen_custom.csv
+                        --tuples=100 --attributes=5 --identical-rate=0.5
+                RESULT_VARIABLE custom_result)
+if(NOT custom_result EQUAL 0)
+  message(FATAL_ERROR "custom datagen failed: ${custom_result}")
+endif()
+
+# An unknown spec name is a usage error (exit 2), listing the grid.
+execute_process(COMMAND ${FDTOOL} datagen ${CSV} --corpus-scale=0.001
+                        --spec=nonexistent-spec
+                RESULT_VARIABLE bad_result)
+if(NOT bad_result EQUAL 2)
+  message(FATAL_ERROR "unknown --spec should exit 2, got ${bad_result}")
+endif()
+
+execute_process(COMMAND ${FDTOOL} mine ${CSV} --threads=2
+                        --metrics-out=${PROM} --progress
+                RESULT_VARIABLE mine_result ERROR_VARIABLE mine_log)
+if(NOT mine_result EQUAL 0)
+  message(FATAL_ERROR "mine over datagen output failed: ${mine_log}")
+endif()
+if(NOT EXISTS ${PROM})
+  message(FATAL_ERROR "mine did not write ${PROM}")
+endif()
+file(READ ${PROM} prom_text)
+if(NOT prom_text MATCHES "# TYPE depminer_")
+  message(FATAL_ERROR "no TYPE headers in ${PROM}")
+endif()
+
+file(REMOVE ${CSV} ${WORK}/cli_datagen_custom.csv ${PROM})

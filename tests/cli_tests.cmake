@@ -67,6 +67,49 @@ else()
       PASS_REGULAR_EXPRESSION "trace written to")
 endif()
 
+# Telemetry export and the other observability flags. The exported
+# Prometheus file is validated structurally by the check.sh smoke; here
+# the CLI-visible contract is asserted: confirmation lines, log shapes,
+# and malformed flags exiting as usage errors.
+add_test(NAME cli.mine_metrics_out COMMAND fdtool mine ${DATA}/orders.csv
+         --threads=2
+         --metrics-out=${CMAKE_CURRENT_BINARY_DIR}/cli_metrics.prom)
+set_tests_properties(cli.mine_metrics_out PROPERTIES
+    PASS_REGULAR_EXPRESSION "metrics written to")
+
+add_test(NAME cli.mine_metrics_json COMMAND fdtool mine ${DATA}/orders.csv
+         --metrics-out=${CMAKE_CURRENT_BINARY_DIR}/cli_metrics.json)
+set_tests_properties(cli.mine_metrics_json PROPERTIES
+    PASS_REGULAR_EXPRESSION "metrics written to")
+
+add_test(NAME cli.bad_metrics_ext COMMAND fdtool mine ${DATA}/orders.csv
+         --metrics-out=${CMAKE_CURRENT_BINARY_DIR}/cli_metrics.csv)
+set_tests_properties(cli.bad_metrics_ext PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.bad_trace_ext COMMAND fdtool mine ${DATA}/orders.csv
+         --trace=${CMAKE_CURRENT_BINARY_DIR}/cli_trace.txt)
+set_tests_properties(cli.bad_trace_ext PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.mine_log_json COMMAND fdtool mine ${DATA}/employees.csv
+         --log-json)
+set_tests_properties(cli.mine_log_json PROPERTIES
+    PASS_REGULAR_EXPRESSION "\"subsystem\":\"fdtool\"")
+
+add_test(NAME cli.bad_log_level COMMAND fdtool mine ${DATA}/employees.csv
+         --log-level=chatty)
+set_tests_properties(cli.bad_log_level PROPERTIES WILL_FAIL TRUE)
+
+add_test(NAME cli.mine_progress COMMAND fdtool mine ${DATA}/employees.csv
+         --progress)
+set_tests_properties(cli.mine_progress PROPERTIES
+    PASS_REGULAR_EXPRESSION "progress")
+
+add_test(NAME cli.datagen
+    COMMAND ${CMAKE_COMMAND}
+        -DFDTOOL=$<TARGET_FILE:fdtool>
+        -DWORK=${CMAKE_CURRENT_BINARY_DIR}
+        -P ${CMAKE_CURRENT_SOURCE_DIR}/cli_datagen_test.cmake)
+
 # Generous resource limits must not change results.
 add_test(NAME cli.mine_governed COMMAND fdtool mine ${DATA}/employees.csv
          --timeout-ms=60000 --memory-budget-mb=1024)

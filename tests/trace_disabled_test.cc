@@ -13,6 +13,8 @@
 #include <thread>
 #include <type_traits>
 
+#include "common/progress.h"
+
 #if DEPMINER_TRACING_ENABLED
 #error "trace_disabled_test must compile with DEPMINER_TRACING_ENABLED=0"
 #endif
@@ -68,6 +70,41 @@ TEST(TraceDisabled, SpanMacroExpandsToNoopType) {
   static_assert(std::is_same_v<decltype(span), NoopSpan>,
                 "disabled TU must instantiate NoopSpan, not Span");
   span.SetValue(0);
+}
+
+TEST(TraceDisabled, HistogramMacrosEmitNothing) {
+  TraceSession session;
+  session.Start();
+  g_side_effects = 0;
+  DEPMINER_TRACE_HISTOGRAM("disabled_hist/all", CountSideEffect());
+  {
+    DEPMINER_TRACE_HIST_TIMER(timer, "disabled_probe_ns/miss");
+    timer.SetName("disabled_probe_ns/hit");
+  }
+  session.Stop();
+  EXPECT_EQ(g_side_effects, 0u);
+  EXPECT_TRUE(session.histograms().empty());
+}
+
+TEST(TraceDisabled, HistTimerMacroExpandsToNoopType) {
+  DEPMINER_TRACE_HIST_TIMER(timer, "disabled/type_check");
+  static_assert(std::is_same_v<decltype(timer), NoopHistogramTimer>,
+                "disabled TU must instantiate NoopHistogramTimer");
+  timer.SetName("still/a/noop");
+}
+
+TEST(TraceDisabled, ProgressMacrosEmitNothingAndSkipArguments) {
+  EnableProgressTracking(true);
+  g_side_effects = 0;
+  DEPMINER_PROGRESS_PHASE("disabled", "units", CountSideEffect());
+  DEPMINER_PROGRESS_TICK(CountSideEffect());
+  DEPMINER_PROGRESS_TOTAL(CountSideEffect());
+  EXPECT_EQ(g_side_effects, 0u);
+  const ProgressSnapshot snap = CurrentProgress();
+  // The runtime API still works (the library is instrumented); only this
+  // TU's macro sites fold away, so the phase never became "disabled".
+  EXPECT_STRNE(snap.phase, "disabled");
+  EnableProgressTracking(false);
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <set>
 #include <sstream>
 
+#include "common/log.h"
 #include "core/dep_miner.h"
 #include "fd/satisfaction.h"
 #include "relation/csv.h"
@@ -230,11 +232,23 @@ TEST(Harness, LogsProgress) {
   options.iterations = 10;
   options.repro_dir.clear();
   options.log_every = 5;
-  std::ostringstream log;
-  Result<FuzzResult> run = RunFuzzHarness(options, &log);
+  // The harness emits through the structured logger; capture its sink.
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  SetLogSink(sink);
+  Result<FuzzResult> run = RunFuzzHarness(options);
+  SetLogSink(nullptr);
   ASSERT_TRUE(run.ok());
-  EXPECT_NE(log.str().find("5/10"), std::string::npos);
-  EXPECT_NE(log.str().find("10/10"), std::string::npos);
+  std::rewind(sink);
+  std::string log;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), sink)) > 0) {
+    log.append(buf, n);
+  }
+  std::fclose(sink);
+  EXPECT_NE(log.find("5/10"), std::string::npos);
+  EXPECT_NE(log.find("10/10"), std::string::npos);
 }
 
 TEST(Harness, UnwritableReproDirSurfacesAsIoError) {
