@@ -69,11 +69,15 @@
 // All of it works with every single-input command (mine, profile,
 // armstrong, ...); see docs/OBSERVABILITY.md.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "depminer.h"
@@ -133,6 +137,20 @@ int Usage() {
       "drift between covers\n"
       "  catalog   dir list|put NAME f.csv|get NAME|drop NAME  manage a "
       ".dmc workspace\n"
+      "  serve     --catalog-dir=DIR --socket=PATH [--queue-max=N] "
+      "[--threads=N]\n"
+      "            long-running discovery daemon over a Unix socket: "
+      "concurrent mine/profile\n"
+      "            requests, fingerprint-keyed result cache, graceful "
+      "SIGTERM/SIGINT drain;\n"
+      "            --metrics-out is rewritten per request (scrape-able "
+      "live; docs/SERVING.md)\n"
+      "  client    --socket=PATH "
+      "ping|list|stats|info|put|drop|mine|profile [NAME] [f.csv]\n"
+      "            one request against a running daemon (mine accepts "
+      "--algo --threads --arity\n"
+      "            --error --topk --timeout-ms --memory-budget-mb "
+      "--no-cache)\n"
       "  fuzz      [--iterations=N] [--seed=S] [--shrink=false]\n"
       "            [--repro-dir=DIR]   differential verification harness: "
       "run all five miners\n"
@@ -1005,6 +1023,168 @@ int CmdCatalog(const ArgParser& args) {
   return Usage();
 }
 
+/// Shutdown latch for `fdtool serve`: SIGTERM/SIGINT handlers may only
+/// touch lock-free atomics, so they set this flag and the server's
+/// accept loop notices it within one poll tick and drains.
+std::atomic<bool> g_serve_shutdown{false};
+
+void HandleServeSignal(int /*signum*/) {
+  g_serve_shutdown.store(true, std::memory_order_release);
+}
+
+/// `fdtool serve --catalog-dir=DIR --socket=PATH`: the long-running
+/// FD-discovery daemon (docs/SERVING.md). Exit 0 after a graceful
+/// drain, 1 on a serving error, 2 on usage errors.
+int CmdServe(const ArgParser& args) {
+  const std::string catalog_dir = args.GetString("catalog-dir", "");
+  const std::string socket_path = args.GetString("socket", "");
+  if (catalog_dir.empty() || socket_path.empty()) {
+    std::fprintf(stderr,
+                 "error: serve requires --catalog-dir=DIR and "
+                 "--socket=PATH\n");
+    return 2;
+  }
+  ServerOptions options;
+  options.catalog_dir = catalog_dir;
+  options.socket_path = socket_path;
+  const int64_t queue_max = args.GetInt("queue-max", 32);
+  if (queue_max <= 0) {
+    std::fprintf(stderr, "error: --queue-max must be a positive integer\n");
+    return 2;
+  }
+  options.max_connections = static_cast<size_t>(queue_max);
+  options.num_threads = ThreadsFlag(args);
+  options.metrics_path = args.GetString("metrics-out", "");
+  options.shutdown_flag = &g_serve_shutdown;
+
+  // Replace the one-shot SIGINT handler installed for mining commands:
+  // for a daemon both SIGINT and SIGTERM mean "drain and exit 0".
+  (void)std::signal(SIGINT, HandleServeSignal);
+  (void)std::signal(SIGTERM, HandleServeSignal);
+
+  Server server(options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = server.Serve();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `fdtool client --socket=PATH <verb> [...]`: one request against a
+/// running daemon. Bodies (covers, profiles, listings) go to stdout;
+/// `OK` params are logged. Exit 0 on OK, 3 when a MINE came back
+/// incomplete (tripped limit — same convention as one-shot mining), 1
+/// on any ERR or transport failure, 2 on usage errors.
+int CmdClient(const ArgParser& args) {
+  const std::string socket_path = args.GetString("socket", "");
+  if (socket_path.empty() || args.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "error: client requires --socket=PATH and a command "
+                 "(ping|list|stats|info|put|drop|mine|profile)\n");
+    return 2;
+  }
+  const std::string verb = args.positional()[1];
+  std::string command_line;
+  std::string body;
+  if (verb == "ping" || verb == "list" || verb == "stats") {
+    command_line = verb;
+  } else if (verb == "info" || verb == "drop") {
+    if (args.positional().size() < 3) {
+      std::fprintf(stderr, "error: client %s NAME\n", verb.c_str());
+      return 2;
+    }
+    command_line = verb + " " + args.positional()[2];
+  } else if (verb == "put") {
+    if (args.positional().size() < 4) {
+      std::fprintf(stderr, "error: client put NAME data.csv\n");
+      return 2;
+    }
+    command_line = "put " + args.positional()[2];
+    if (args.GetBool("no-header", false)) command_line += " header=0";
+    const std::string delim = args.GetString("delimiter", "");
+    if (!delim.empty()) command_line += " delimiter=" + delim;
+    std::ifstream in(args.positional()[3], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read '%s'\n",
+                   args.positional()[3].c_str());
+      return 1;
+    }
+    std::ostringstream csv;
+    csv << in.rdbuf();
+    body = csv.str();
+  } else if (verb == "mine" || verb == "profile") {
+    if (args.positional().size() < 3) {
+      std::fprintf(stderr, "error: client %s NAME\n", verb.c_str());
+      return 2;
+    }
+    command_line = verb + " " + args.positional()[2];
+    if (verb == "mine") {
+      if (args.Has("algo")) {
+        command_line += " algo=" + args.GetString("algo", "");
+      }
+      static constexpr std::pair<const char*, const char*> kMineParams[] = {
+          {"threads", "threads"},       {"arity", "arity"},
+          {"topk", "topk"},             {"error", "error"},
+          {"timeout-ms", "timeout_ms"}, {"memory-budget-mb", "budget_mb"}};
+      for (const auto& [flag, param] : kMineParams) {
+        if (args.Has(flag)) {
+          command_line +=
+              " " + std::string(param) + "=" + args.GetString(flag, "");
+        }
+      }
+      if (args.GetBool("no-cache", false)) command_line += " nocache=1";
+    } else if (args.Has("format")) {
+      command_line += " format=" + args.GetString("format", "");
+    }
+  } else {
+    std::fprintf(stderr, "error: unknown client command '%s'\n",
+                 verb.c_str());
+    return 2;
+  }
+
+  Result<ServerClient> client = ServerClient::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Result<Response> response = client.value().Call(command_line, body);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  const Response& r = response.value();
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s %s\n", r.code.c_str(),
+                 r.message.c_str());
+    return 1;
+  }
+  std::printf("%s", r.body.c_str());
+  std::string params;
+  for (const auto& [key, value] : r.params) {
+    params += " " + key + "=" + value;
+  }
+  Log(LogLevel::kInfo, "client", "OK" + params, {});
+  const auto complete = r.params.find("complete");
+  if (complete != r.params.end() && complete->second == "0") {
+    const auto trip = r.params.find("trip");
+    Log(LogLevel::kWarn, "client",
+        "run interrupted (" +
+            (trip == r.params.end() ? std::string("tripped limit")
+                                    : trip->second) +
+            "); partial results above",
+        {});
+    return 3;
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   ArgParser args;
   (void)args.Parse(argc, argv);
@@ -1017,7 +1197,7 @@ int main(int argc, char** argv) {
   for (const char* flag : {"timeout-ms", "memory-budget-mb", "threads",
                            "iterations", "seed", "fault-hit",
                            "fault-stall-ms", "progress-ms", "sample-ms",
-                           "tuples", "attributes"}) {
+                           "tuples", "attributes", "queue-max"}) {
     if (!args.Has(flag)) continue;
     const std::string raw = args.GetString(flag, "");
     if (raw.empty() ||
@@ -1087,7 +1267,8 @@ int main(int argc, char** argv) {
                    raw.c_str());
       return 2;
     }
-    if (command != "mine" || args.GetString("algo", "depminer") != "tane") {
+    if ((command != "mine" && command != "client") ||
+        args.GetString("algo", "depminer") != "tane") {
       std::fprintf(stderr,
                    "error: --error (approximate discovery) requires "
                    "mine --algo=tane\n");
@@ -1162,6 +1343,8 @@ int main(int argc, char** argv) {
   if (command == "catalog") return CmdCatalog(args);
   if (command == "fuzz") return CmdFuzz(args);
   if (command == "datagen") return CmdDatagen(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "client") return CmdClient(args);
 
   Result<Relation> input = Load(args);
   if (!input.ok()) {

@@ -264,4 +264,90 @@ if [ -x build/examples/fdtool ]; then
   rm -rf "${ckpt_dir}"
 fi
 
+# Serve smoke-run (docs/SERVING.md): start the daemon, register a
+# datagen relation, mine it twice asserting the second request is a
+# result-cache hit (visible in the scrape-able metrics file), require
+# the served cover to equal one-shot `fdtool mine` byte for byte, drain
+# on SIGTERM, then kill -9 a fresh daemon and reopen its catalog
+# cleanly — the durability contract under the harshest crash model.
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    default) fdtool=build/examples/fdtool ;;
+    asan-ubsan) fdtool=build-asan-ubsan/examples/fdtool ;;
+    *) continue ;;
+  esac
+  if [ -x "${fdtool}" ]; then
+    echo "==> serve smoke-run [${preset}]"
+    serve_dir=/tmp/depminer_serve_smoke_${preset}
+    rm -rf "${serve_dir}"
+    mkdir -p "${serve_dir}/cat"
+    sock="${serve_dir}/sock"
+    prom="${serve_dir}/m.prom"
+    "${fdtool}" datagen "${serve_dir}/data.csv" --tuples=200 \
+      --attributes=6 --seed=7 2>/dev/null
+    "${fdtool}" serve --catalog-dir="${serve_dir}/cat" --socket="${sock}" \
+      --threads=2 --metrics-out="${prom}" >"${serve_dir}/serve.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+      [ -S "${sock}" ] && break
+      sleep 0.1
+    done
+    if ! [ -S "${sock}" ]; then
+      echo "    ERROR: daemon never bound ${sock}" >&2
+      cat "${serve_dir}/serve.log" >&2
+      kill -9 "${serve_pid}" 2>/dev/null || true
+      exit 1
+    fi
+    "${fdtool}" client --socket="${sock}" put ds "${serve_dir}/data.csv" \
+      >/dev/null 2>&1
+    "${fdtool}" client --socket="${sock}" mine ds \
+      >"${serve_dir}/cover1.txt" 2>/dev/null
+    "${fdtool}" client --socket="${sock}" mine ds \
+      >"${serve_dir}/cover2.txt" 2>/dev/null
+    if ! cmp -s "${serve_dir}/cover1.txt" "${serve_dir}/cover2.txt"; then
+      echo "    ERROR: cached cover differs from the mined one" >&2
+      exit 1
+    fi
+    "${fdtool}" mine "${serve_dir}/data.csv" \
+      >"${serve_dir}/oneshot.txt" 2>/dev/null
+    if ! cmp -s "${serve_dir}/cover1.txt" "${serve_dir}/oneshot.txt"; then
+      echo "    ERROR: served cover differs from one-shot fdtool mine" >&2
+      exit 1
+    fi
+    if ! grep -q 'label="cache_hit"} [1-9]' "${prom}"; then
+      echo "    ERROR: no server/cache_hit in ${prom}" >&2
+      cat "${prom}" >&2
+      exit 1
+    fi
+    kill -TERM "${serve_pid}"
+    if ! wait "${serve_pid}"; then
+      echo "    ERROR: daemon did not drain cleanly on SIGTERM" >&2
+      cat "${serve_dir}/serve.log" >&2
+      exit 1
+    fi
+    if [ -S "${sock}" ]; then
+      echo "    ERROR: socket not unlinked after drain" >&2
+      exit 1
+    fi
+    # Crash half: a freshly restarted daemon is SIGKILLed; the catalog
+    # it wrote must reopen cleanly with the dataset intact.
+    "${fdtool}" serve --catalog-dir="${serve_dir}/cat" --socket="${sock}" \
+      --threads=2 >>"${serve_dir}/serve.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+      [ -S "${sock}" ] && break
+      sleep 0.1
+    done
+    "${fdtool}" client --socket="${sock}" ping >/dev/null 2>&1 || true
+    kill -9 "${serve_pid}" 2>/dev/null || true
+    wait "${serve_pid}" 2>/dev/null || true
+    if ! "${fdtool}" catalog "${serve_dir}/cat" list | grep -q '^ds$'; then
+      echo "    ERROR: catalog did not reopen cleanly after kill -9" >&2
+      exit 1
+    fi
+    echo "    cache hit, bit-identical cover, clean drain, kill -9 reopen"
+    rm -rf "${serve_dir}"
+  fi
+done
+
 echo "==> all checks passed"

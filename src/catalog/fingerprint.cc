@@ -29,6 +29,30 @@ std::string Fingerprint::ToHex() const {
   return std::string(buf, 32);
 }
 
+bool Fingerprint::FromHex(const std::string& hex, Fingerprint* out) {
+  if (hex.size() != 32) return false;
+  uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<size_t>(w * 16 + i)];
+      uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint64_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      words[w] = (words[w] << 4) | digit;
+    }
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
 Fingerprinter::Fingerprinter() : state_(Fnv128Basis()) {}
 
 void Fingerprinter::UpdateBytes(const void* data, size_t len) {

@@ -25,6 +25,12 @@ struct Fingerprint {
   /// 32 lowercase hex digits, hi then lo — stable across platforms, and
   /// safe as a file-name stem.
   std::string ToHex() const;
+
+  /// Parses the `ToHex` form (exactly 32 hex digits, either case).
+  /// Returns false without touching `*out` on malformed input.
+  static bool FromHex(const std::string& hex, Fingerprint* out);
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
 };
 
 /// Incremental 128-bit FNV-1a hasher. FNV is not cryptographic; the

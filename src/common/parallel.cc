@@ -3,7 +3,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <utility>
 
 #include "common/trace.h"
 #include "fault/fault.h"
@@ -108,6 +110,20 @@ class Pool {
     idle_cv_.wait(lock, [state] { return state->active == 0; });
   }
 
+  void RunDetached(std::function<void()> task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++detached_in_flight_;
+    // One lane per in-flight task (helpers for loops are best-effort, a
+    // submitted task is not): grow until every task could hold a worker
+    // with one to spare, so loop invitations never starve completely.
+    while (workers_.size() < detached_in_flight_ + 1 &&
+           workers_.size() < kMaxPoolWorkers) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    tasks_.push_back(std::move(task));
+    work_cv_.notify_all();
+  }
+
   size_t workers_started() const {
     std::lock_guard<std::mutex> lock(mu_);
     return workers_.size();
@@ -116,6 +132,11 @@ class Pool {
   size_t queue_depth() const {
     std::lock_guard<std::mutex> lock(mu_);
     return queue_.size();
+  }
+
+  size_t detached_in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return detached_in_flight_;
   }
 
  private:
@@ -133,8 +154,26 @@ class Pool {
     t_in_pool_worker = true;
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || !tasks_.empty() || !queue_.empty();
+      });
       if (shutdown_) return;
+      if (!tasks_.empty()) {
+        // Detached tasks outrank loop invitations: a loop completes
+        // regardless (its caller self-drains), a task runs only here.
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        lock.unlock();
+        // A task body is a fresh top-level context, not a nested loop:
+        // let its ParallelFor recruit the pool. Self-deadlock is ruled
+        // out by Run()'s self-draining caller + invitation withdrawal.
+        t_in_pool_worker = false;
+        task();
+        t_in_pool_worker = true;
+        lock.lock();
+        --detached_in_flight_;
+        continue;
+      }
       LoopState* state = queue_.front();
       queue_.pop_front();
       ++state->active;
@@ -151,7 +190,9 @@ class Pool {
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<LoopState*> queue_;
+  std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  size_t detached_in_flight_ = 0;
   bool shutdown_ = false;
 };
 
@@ -188,5 +229,13 @@ void PooledLoop(size_t begin, size_t end, size_t max_workers, void* ctx,
 size_t PoolWorkersStarted() { return internal::Pool::Get().workers_started(); }
 
 size_t PoolQueueDepth() { return internal::Pool::Get().queue_depth(); }
+
+void PoolRunDetached(std::function<void()> task) {
+  internal::Pool::Get().RunDetached(std::move(task));
+}
+
+size_t PoolDetachedInFlight() {
+  return internal::Pool::Get().detached_in_flight();
+}
 
 }  // namespace depminer

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -58,6 +59,26 @@ size_t PoolQueueDepth();
 /// Hard cap on the shared pool's size; `num_threads` requests beyond it
 /// are served by the existing workers (every index still runs).
 inline constexpr size_t kMaxPoolWorkers = 256;
+
+/// Submits `task` for asynchronous execution on a thread of the shared
+/// persistent pool and returns immediately — the serve-mode request
+/// scheduler. Submission grows the pool (up to kMaxPoolWorkers) so every
+/// in-flight task has a dedicated lane even while parallel loops are
+/// running; past the cap, tasks queue behind each other (the server's
+/// admission control bounds that queue). Inside a task the pool behaves
+/// normally — a ParallelFor in the task body recruits helper lanes
+/// instead of degrading to the nested-loop serial path.
+///
+/// Tasks must not throw, and every task must have completed before
+/// process teardown begins (the server's drain barrier provides this);
+/// tasks still queued when the pool shuts down are dropped, not run.
+/// Completion is signalled by the task itself (condition variable,
+/// latch): there is no join handle by design — this is fire-and-forget.
+void PoolRunDetached(std::function<void()> task);
+
+/// Detached tasks currently queued or executing (introspection for tests
+/// and the drain barrier's sanity logging).
+size_t PoolDetachedInFlight();
 
 /// Runs `fn(slot, i)` for every i in [begin, end) across up to
 /// `num_threads` lanes of the shared persistent pool (the calling thread

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kDeadlineExceeded,  ///< a RunContext wall-clock deadline expired
   kCancelled,         ///< cooperative cancellation was requested
+  kResourceExhausted,  ///< a bounded queue or admission limit overflowed
+  kDataLoss,  ///< stored data fails its recorded integrity cross-check
 };
 
 const char* StatusCodeToString(StatusCode code);
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "report/json_writer.h"
+#include "storage/atomic_file.h"
 
 namespace depminer {
 
@@ -104,7 +105,17 @@ Result<MetricsFormat> MetricsFormatForPath(const std::string& path) {
       "metrics file must end in .prom or .json, got \"" + path + "\"");
 }
 
-std::string PrometheusText(const TraceSession& session) {
+TelemetrySnapshot SnapshotOf(const TraceSession& session) {
+  TelemetrySnapshot snapshot;
+  snapshot.wall_seconds = session.wall_seconds();
+  snapshot.counters = session.counters();
+  snapshot.gauges = session.gauges();
+  snapshot.histograms = session.histograms();
+  snapshot.samples = session.samples();
+  return snapshot;
+}
+
+std::string PrometheusText(const TelemetrySnapshot& snapshot) {
   std::string out;
   std::map<std::string, bool> seen;  // families with HELP/TYPE emitted
   char buf[64];
@@ -112,10 +123,10 @@ std::string PrometheusText(const TraceSession& session) {
   out += "# HELP depminer_wall_seconds depminer gauge\n";
   out += "# TYPE depminer_wall_seconds gauge\n";
   std::snprintf(buf, sizeof(buf), "depminer_wall_seconds %.9g\n",
-                session.wall_seconds());
+                snapshot.wall_seconds);
   out += buf;
 
-  for (const auto& [name, value] : session.counters()) {
+  for (const auto& [name, value] : snapshot.counters) {
     const auto [family, label] = SplitFamilyLabel(name);
     const std::string metric =
         "depminer_" + SanitizeMetricName(family) + "_total";
@@ -123,14 +134,14 @@ std::string PrometheusText(const TraceSession& session) {
     AppendLine(&out, metric + LabelClause(family, label), value);
   }
 
-  for (const auto& [name, value] : session.gauges()) {
+  for (const auto& [name, value] : snapshot.gauges) {
     const auto [family, label] = SplitFamilyLabel(name);
     const std::string metric = "depminer_" + SanitizeMetricName(family);
     AppendHeader(&out, metric, "gauge", &seen);
     AppendLine(&out, metric + LabelClause(family, label), value);
   }
 
-  for (const auto& [name, hist] : session.histograms()) {
+  for (const auto& [name, hist] : snapshot.histograms) {
     const auto [family, label] = SplitFamilyLabel(name);
     const std::string metric = "depminer_" + SanitizeMetricName(family);
     AppendHeader(&out, metric, "histogram", &seen);
@@ -175,19 +186,19 @@ std::string PrometheusText(const TraceSession& session) {
   return out;
 }
 
-std::string TelemetryJson(const TraceSession& session) {
+std::string TelemetryJson(const TelemetrySnapshot& snapshot) {
   JsonWriter w;
   w.OpenObject();
   w.Key("telemetry_version").Value(static_cast<int64_t>(1));
-  w.Key("wall_seconds").Value(session.wall_seconds());
+  w.Key("wall_seconds").Value(snapshot.wall_seconds);
   w.Key("counters").OpenObject();
-  for (const auto& [name, v] : session.counters()) w.Key(name).Value(v);
+  for (const auto& [name, v] : snapshot.counters) w.Key(name).Value(v);
   w.CloseObject();
   w.Key("gauges").OpenObject();
-  for (const auto& [name, v] : session.gauges()) w.Key(name).Value(v);
+  for (const auto& [name, v] : snapshot.gauges) w.Key(name).Value(v);
   w.CloseObject();
   w.Key("histograms").OpenObject();
-  for (const auto& [name, h] : session.histograms()) {
+  for (const auto& [name, h] : snapshot.histograms) {
     w.Key(name).OpenObject();
     w.Key("count").Value(h.count);
     w.Key("sum").Value(h.sum);
@@ -209,7 +220,7 @@ std::string TelemetryJson(const TraceSession& session) {
   }
   w.CloseObject();
   w.Key("samples").OpenArray();
-  for (const TraceSampleEvent& s : session.samples()) {
+  for (const TraceSampleEvent& s : snapshot.samples) {
     w.OpenObject();
     w.Key("series").Value(s.series);
     w.Key("t_ns").Value(static_cast<int64_t>(s.t_ns));
@@ -221,22 +232,28 @@ std::string TelemetryJson(const TraceSession& session) {
   return w.str();
 }
 
-Status WriteMetricsFile(const TraceSession& session, const std::string& path) {
+std::string PrometheusText(const TraceSession& session) {
+  return PrometheusText(SnapshotOf(session));
+}
+
+std::string TelemetryJson(const TraceSession& session) {
+  return TelemetryJson(SnapshotOf(session));
+}
+
+Status WriteMetricsFile(const TelemetrySnapshot& snapshot,
+                        const std::string& path) {
   Result<MetricsFormat> format = MetricsFormatForPath(path);
   if (!format.ok()) return format.status();
   const std::string body = format.value() == MetricsFormat::kPrometheus
-                               ? PrometheusText(session)
-                               : TelemetryJson(session);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open metrics file: " + path);
-  }
-  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const bool closed_ok = std::fclose(f) == 0;
-  if (written != body.size() || !closed_ok) {
-    return Status::IoError("short write to metrics file: " + path);
-  }
-  return Status::OK();
+                               ? PrometheusText(snapshot)
+                               : TelemetryJson(snapshot);
+  // Atomic publication: the serve-mode daemon rewrites this file while
+  // scrapers read it concurrently.
+  return AtomicWriteFile(path, body, ".metrics-tmp");
+}
+
+Status WriteMetricsFile(const TraceSession& session, const std::string& path) {
+  return WriteMetricsFile(SnapshotOf(session), path);
 }
 
 }  // namespace depminer

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/trace.h"
@@ -39,23 +41,49 @@ enum class MetricsFormat {
 /// this as a usage error, exit 2).
 Result<MetricsFormat> MetricsFormatForPath(const std::string& path);
 
-/// Renders the session's merged counters, gauges and histograms as
-/// Prometheus text exposition. Histogram buckets are cumulative and end
-/// with `le="+Inf"` == `_count`, as the format requires; empty leading
-/// buckets are elided (any boundary subset is valid exposition).
-std::string PrometheusText(const TraceSession& session);
+/// A point-in-time copy of metric registries, decoupled from the
+/// process-global single-active `TraceSession`. One-shot CLI runs build
+/// it from a stopped session (`SnapshotOf`); the serve-mode daemon —
+/// which must export *while running*, and per-request, neither of which
+/// the global session supports — assembles one from its own atomic
+/// counters and mutex-guarded histograms every time the metrics file is
+/// refreshed. Names follow the same `family/label` convention.
+struct TelemetrySnapshot {
+  double wall_seconds = 0.0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::map<std::string, TraceHistogram> histograms;
+  std::vector<TraceSampleEvent> samples;
+};
 
-/// Renders the session as one JSON object:
+/// Copies a stopped session's merged registries into a snapshot.
+TelemetrySnapshot SnapshotOf(const TraceSession& session);
+
+/// Renders the snapshot's counters, gauges and histograms as Prometheus
+/// text exposition. Histogram buckets are cumulative and end with
+/// `le="+Inf"` == `_count`, as the format requires; empty leading
+/// buckets are elided (any boundary subset is valid exposition).
+std::string PrometheusText(const TelemetrySnapshot& snapshot);
+
+/// Renders the snapshot as one JSON object:
 /// `{"telemetry_version":1,"wall_seconds":...,"counters":{...},
 ///   "gauges":{...},"histograms":{name:{"count":..,"sum":..,
 ///   "buckets":[[upper_bound,count],...]}},"samples":[...]}`.
 /// Bucket bounds are inclusive upper bounds; the overflow bucket's bound
 /// is -1 (standing in for +Inf). Samples carry session-relative
 /// timestamps in nanoseconds.
+std::string TelemetryJson(const TelemetrySnapshot& snapshot);
+
+/// Session conveniences (SnapshotOf composed with the renderers).
+std::string PrometheusText(const TraceSession& session);
 std::string TelemetryJson(const TraceSession& session);
 
-/// Writes the session in the format implied by `path`'s extension.
-/// Call after `TraceSession::Stop()`.
+/// Writes the metrics in the format implied by `path`'s extension. The
+/// file is published atomically (storage/atomic_file) so a scraper
+/// never reads a torn exposition — the serve-mode daemon rewrites it
+/// while live.
+Status WriteMetricsFile(const TelemetrySnapshot& snapshot,
+                        const std::string& path);
 Status WriteMetricsFile(const TraceSession& session, const std::string& path);
 
 }  // namespace depminer

@@ -29,6 +29,10 @@ const std::vector<FaultSite>& FaultSiteRegistry() {
        "streaming CSV extraction working-set charge"},
       {"alloc/partition_cache", FaultKind::kAlloc,
        "partition-product cache resident-byte charge"},
+      {"alloc/catalog", FaultKind::kAlloc,
+       "catalog Put admission charge before the column-file write"},
+      {"io/manifest-write", FaultKind::kIoError,
+       "catalog manifest save fails before publishing the new state"},
       {"io/csv-read", FaultKind::kIoError,
        "read(2) on the CSV byte stream fails with EIO"},
       {"io/csv-short-read", FaultKind::kShortRead,

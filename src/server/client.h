@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace depminer {
+
+/// Blocking client for one serve-mode connection. Move-only; the socket
+/// closes with the object. `fdtool client` and the server tests speak
+/// the protocol exclusively through this class, so the wire grammar has
+/// one reader and one writer in the tree.
+class ServerClient {
+ public:
+  /// Connects to a daemon's Unix socket.
+  static Result<ServerClient> Connect(const std::string& socket_path);
+
+  ServerClient(ServerClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ServerClient& operator=(ServerClient&& other) noexcept;
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+  ~ServerClient();
+
+  /// One round trip: sends `command_line` (+ optional body) as a frame,
+  /// receives and parses the response frame. An ERR response is a
+  /// *successful* call — inspect `Response::ok`; the error status here
+  /// means the transport itself failed (daemon gone, frame garbled).
+  Result<Response> Call(const std::string& command_line,
+                        const std::string& body = std::string());
+
+ private:
+  explicit ServerClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace depminer

@@ -1,0 +1,193 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace depminer {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface
+    // as EPIPE here, not as a process-killing SIGPIPE in the daemon.
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("socket write failed (errno " +
+                             std::to_string(errno) + ")");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. `*eof_at_start` distinguishes a clean
+/// close before the first byte from a mid-read truncation. A receive
+/// timeout (SO_RCVTIMEO) only surfaces when `allow_timeout` — between
+/// frames it is the server's idle-poll tick; mid-frame it must retry, or
+/// a slow sender would desync the stream.
+Status ReadAll(int fd, char* data, size_t len, bool* eof_at_start,
+               bool allow_timeout) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (allow_timeout && done == 0) {
+          return Status::DeadlineExceeded("socket read timed out");
+        }
+        continue;
+      }
+      return Status::IoError("socket read failed (errno " +
+                             std::to_string(errno) + ")");
+    }
+    if (n == 0) {
+      if (eof_at_start != nullptr) *eof_at_start = (done == 0);
+      return Status::IoError("peer closed mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  const std::string header = std::to_string(payload.size()) + "\n";
+  DEPMINER_RETURN_NOT_OK(WriteAll(fd, header.data(), header.size()));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<bool> RecvFrame(int fd, std::string* payload) {
+  // Length line: decimal digits then '\n', read byte-wise (it is a
+  // handful of bytes; the body read below is the bulk transfer).
+  std::string digits;
+  while (true) {
+    char c = 0;
+    bool eof_at_start = false;
+    // The timeout may only surface before the frame's first byte —
+    // after that the connection is mid-frame and must block on.
+    const Status st = ReadAll(fd, &c, 1, &eof_at_start, digits.empty());
+    if (!st.ok()) {
+      if (eof_at_start && digits.empty()) return false;  // clean EOF
+      return st;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || digits.size() > 12) {
+      return Status::IoError("malformed frame length");
+    }
+    digits += c;
+  }
+  if (digits.empty()) return Status::IoError("malformed frame length");
+  uint64_t len = 0;
+  if (!ParseUint64(digits, &len) || len > kMaxFramePayload) {
+    return Status::IoError("frame payload length " + digits +
+                           " exceeds limit");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    DEPMINER_RETURN_NOT_OK(
+        ReadAll(fd, payload->data(), len, nullptr, false));
+  }
+  return true;
+}
+
+Result<Request> ParseRequest(const std::string& payload) {
+  Request request;
+  const size_t nl = payload.find('\n');
+  const std::string command_line =
+      nl == std::string::npos ? payload : payload.substr(0, nl);
+  if (nl != std::string::npos) request.body = payload.substr(nl + 1);
+  bool first = true;
+  for (const std::string& token : Split(command_line, ' ')) {
+    if (token.empty()) continue;
+    if (first) {
+      request.verb = token;
+      for (char& c : request.verb) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      first = false;
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      request.positional.push_back(token);
+    } else {
+      request.params[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  if (request.verb.empty()) {
+    return Status::InvalidArgument("empty request command line");
+  }
+  return request;
+}
+
+std::string FormatOk(const std::map<std::string, std::string>& params,
+                     const std::string& body) {
+  std::string out = "OK";
+  for (const auto& [key, value] : params) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  if (!body.empty()) {
+    out += '\n';
+    out += body;
+  }
+  return out;
+}
+
+std::string FormatError(const Status& status) {
+  std::string out = "ERR ";
+  out += StatusCodeToString(status.code());
+  if (!status.message().empty()) {
+    out += ' ';
+    // The message must stay on the status line; fold any newlines.
+    for (const char c : status.message()) out += c == '\n' ? ' ' : c;
+  }
+  return out;
+}
+
+Result<Response> ParseResponse(const std::string& payload) {
+  Response response;
+  const size_t nl = payload.find('\n');
+  const std::string status_line =
+      nl == std::string::npos ? payload : payload.substr(0, nl);
+  if (nl != std::string::npos) response.body = payload.substr(nl + 1);
+  if (status_line.rfind("OK", 0) == 0 &&
+      (status_line.size() == 2 || status_line[2] == ' ')) {
+    response.ok = true;
+    for (const std::string& token :
+         Split(status_line.size() > 3 ? status_line.substr(3) : "", ' ')) {
+      const size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        response.params[token.substr(0, eq)] = token.substr(eq + 1);
+      }
+    }
+    return response;
+  }
+  if (status_line.rfind("ERR ", 0) == 0) {
+    response.ok = false;
+    const std::string rest = status_line.substr(4);
+    const size_t space = rest.find(' ');
+    response.code = space == std::string::npos ? rest : rest.substr(0, space);
+    if (space != std::string::npos) response.message = rest.substr(space + 1);
+    return response;
+  }
+  return Status::IoError("malformed response status line: '" + status_line +
+                         "'");
+}
+
+}  // namespace depminer

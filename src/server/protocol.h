@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace depminer {
+
+/// The serve-mode wire protocol (full grammar in docs/SERVING.md).
+///
+/// Both directions speak *frames*: a decimal payload length terminated
+/// by '\n', then exactly that many payload bytes. Length-prefixing keeps
+/// the framing layer trivial to parse incrementally and makes oversized
+/// payloads rejectable before a single body byte is buffered.
+///
+/// A request payload is one command line — a verb plus positional and
+/// `key=value` tokens, space-separated — optionally followed by '\n' and
+/// a body (the CSV of a PUT). A response payload's first line is either
+/// `OK key=value ...` or `ERR <CODE> <message>`, optionally followed by
+/// '\n' and a body (the FD cover of a MINE, the rendering of a PROFILE).
+
+/// Hard cap on a frame payload (request or response). A PUT of the
+/// paper-scale corpus fits comfortably; anything larger is a client bug
+/// or an attack, and is rejected before buffering.
+inline constexpr size_t kMaxFramePayload = 256ull << 20;
+
+/// Writes one frame. Retries short writes and EINTR; any other syscall
+/// failure is an IoError.
+Status SendFrame(int fd, const std::string& payload);
+
+/// Reads one frame into `*payload`. Returns false on clean EOF at a
+/// frame boundary (the peer closed an idle connection — not an error);
+/// true on a complete frame. Mid-frame EOF, a malformed length line, a
+/// payload above kMaxFramePayload, and syscall failures are errors. A
+/// receive timeout configured on the socket surfaces as DeadlineExceeded
+/// (the server's idle-poll tick; see server.cc).
+Result<bool> RecvFrame(int fd, std::string* payload);
+
+/// A parsed request payload.
+struct Request {
+  std::string verb;  ///< upper-cased command verb
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> params;  ///< `key=value` tokens
+  std::string body;  ///< bytes after the command line's '\n', verbatim
+};
+
+/// Splits a request payload into verb / positional / params / body.
+/// Tokens containing '=' are params; the verb is case-insensitive.
+Result<Request> ParseRequest(const std::string& payload);
+
+/// A parsed response payload.
+struct Response {
+  bool ok = false;
+  std::string code;  ///< ERR code (a StatusCode name), empty when ok
+  std::string message;  ///< ERR human message, empty when ok
+  std::map<std::string, std::string> params;  ///< OK `key=value` tokens
+  std::string body;
+};
+
+/// Renders `OK k=v ...\n<body>`. Param order follows the map (sorted),
+/// so responses are byte-stable for tests.
+std::string FormatOk(const std::map<std::string, std::string>& params,
+                     const std::string& body);
+
+/// Renders `ERR <CODE> <message>` from a non-OK status (code name is the
+/// StatusCode string, e.g. "ResourceExhausted").
+std::string FormatError(const Status& status);
+
+/// Parses a response payload (the client side of Format*).
+Result<Response> ParseResponse(const std::string& payload);
+
+}  // namespace depminer

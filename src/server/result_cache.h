@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "catalog/fingerprint.h"
+#include "common/mining_options.h"
+#include "common/status.h"
+#include "fd/fd_set.h"
+#include "relation/schema.h"
+
+namespace depminer {
+
+/// Serve-mode minimal-cover cache: one finished-job checkpoint (DMK1,
+/// phase kCover) per distinct (dataset content, algorithm, pruning
+/// knobs) request shape, stored under the catalog directory. A repeated
+/// MINE of an unchanged dataset reuses the stored cover through the same
+/// load path a resumed checkpointed job uses — zero miner work, and the
+/// same crash contract (checkpoints publish atomically, so a cache file
+/// either exists completely or not at all).
+///
+/// The key is a fingerprint *of fingerprints*: the dataset's content
+/// fingerprint (recorded in the catalog manifest at Put time) folded
+/// with the algorithm name and every option that changes the cover.
+/// Thread count is deliberately excluded — covers are bit-identical at
+/// any thread count (the repo-wide determinism invariant), so requests
+/// differing only in `threads=` share an entry.
+class ResultCache {
+ public:
+  /// `directory` must exist (the server creates `<catalog>/cache`).
+  explicit ResultCache(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  /// Derives the cache key for one request shape.
+  static Fingerprint KeyFor(const Fingerprint& dataset,
+                            const std::string& algorithm,
+                            const MiningOptions& mining);
+
+  /// Loads the cover stored under `key`, verifying the checkpoint's
+  /// recorded fingerprint against the key (a hand-renamed file never
+  /// hits). Returns NotFound on miss; corruption also misses (the
+  /// caller re-mines and overwrites).
+  Result<FdSet> Lookup(const Fingerprint& key, Schema* schema) const;
+
+  /// Stores a finished cover under `key` (atomic publication).
+  Status Store(const Fingerprint& key, const Schema& schema, size_t tuples,
+               const FdSet& fds) const;
+
+  /// `<directory>/<key-hex>.cover.dmk`.
+  std::string PathFor(const Fingerprint& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace depminer

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/telemetry_export.h"
+#include "common/trace.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+
+namespace depminer {
+
+/// Configuration of one `fdtool serve` daemon.
+struct ServerOptions {
+  /// Catalog directory (must exist). Datasets live here; the result
+  /// cache lives in its `cache/` subdirectory.
+  std::string catalog_dir;
+  /// Unix-domain socket path to listen on. Created on Start, unlinked
+  /// when the accept loop stops.
+  std::string socket_path;
+  /// Admission bound: connections held concurrently. An accept beyond it
+  /// is answered with a framed ResourceExhausted rejection and closed —
+  /// backpressure the client can see, instead of an unbounded queue.
+  size_t max_connections = 32;
+  /// Default pool lanes per mining request (a request's `threads=` param
+  /// overrides, capped at this value so one client cannot oversubscribe
+  /// the daemon).
+  size_t num_threads = 1;
+  /// Optional metrics file (.prom or .json), rewritten atomically after
+  /// every request — scrape-able while serving.
+  std::string metrics_path;
+  /// Optional external shutdown latch, polled by the accept loop each
+  /// tick. `fdtool serve` points this at an atomic its SIGTERM/SIGINT
+  /// handlers set (the only async-signal-safe handshake); tests drive
+  /// drain through it directly.
+  const std::atomic<bool>* shutdown_flag = nullptr;
+};
+
+/// The serve-mode daemon: a catalog, a result cache, a Unix socket, and
+/// the shared worker pool. Each accepted connection becomes a detached
+/// pool task that answers framed requests (PING, LIST, INFO, PUT, DROP,
+/// MINE, PROFILE, STATS — grammar in docs/SERVING.md) until the peer
+/// disconnects or the daemon drains.
+///
+/// Life cycle: construct → Start() (opens catalog, binds socket) →
+/// Serve() (accept loop; returns after a graceful drain: stop accepting,
+/// unlink the socket, wait for every in-flight connection to finish,
+/// write final metrics). The catalog is guarded by a readers-writer lock
+/// (PUT/DROP exclusive, MINE/PROFILE/reads shared); mining itself runs
+/// outside the lock on a loaded copy.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens the catalog, creates the cache directory, binds and listens.
+  Status Start();
+
+  /// Runs the accept loop until a shutdown is requested, then drains.
+  /// Returns the first error that prevented serving (socket failures),
+  /// or OK after a clean drain.
+  Status Serve();
+
+  /// Requests a graceful drain from another thread (tests; the signal
+  /// path goes through ServerOptions::shutdown_flag instead).
+  void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
+
+  /// Point-in-time copy of the server's request telemetry (`server/*`
+  /// counters, per-verb request-latency histograms, uptime).
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  struct Metrics;
+
+  bool ShutdownRequested() const;
+  void HandleConnection(int fd);
+  /// Dispatches one parsed request; returns the response payload.
+  std::string Dispatch(const std::string& payload);
+  std::string DoPut(const Request& request);
+  std::string DoDrop(const Request& request);
+  std::string DoList();
+  std::string DoInfo(const Request& request);
+  std::string DoMine(const Request& request);
+  std::string DoProfile(const Request& request);
+  std::string DoStats();
+  void WriteMetricsIfConfigured();
+
+  ServerOptions options_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<ResultCache> cache_;
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::shared_mutex catalog_mu_;
+
+  /// In-flight connection count (admission + drain barrier).
+  std::atomic<size_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable_any drain_cv_;
+
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace depminer

@@ -12,6 +12,7 @@
 
 #include "core/lhs.h"
 #include "fault/fault.h"
+#include "storage/atomic_file.h"
 #include "storage/binary_io.h"
 #include "storage/streaming.h"
 
@@ -61,48 +62,6 @@ bool GetSetFamily(std::istream& in, std::vector<AttributeSet>* sets) {
     if (!GetSet(in, &(*sets)[i])) return false;
   }
   return true;
-}
-
-/// Writes `blob` so it appears atomically at `path`: temporary sibling,
-/// fsync, rename, fsync of the directory. A crash at any point leaves
-/// either the old file or the new one, never a torn mix.
-Status AtomicWriteFile(const std::string& path, const std::string& blob) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IoError("cannot open '" + tmp + "' for writing");
-  }
-  size_t written = 0;
-  while (written < blob.size()) {
-    const ssize_t n =
-        ::write(fd, blob.data() + written, blob.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return Status::IoError("failed writing '" + tmp + "'");
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return Status::IoError("fsync failed for '" + tmp + "'");
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
-  }
-  // Persist the rename itself.
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  int dirfd = ::open(dir.c_str(), O_RDONLY);
-  if (dirfd >= 0) {
-    ::fsync(dirfd);
-    ::close(dirfd);
-  }
-  return Status::OK();
 }
 
 Status Corrupt(const std::string& path, const char* what) {

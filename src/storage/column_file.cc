@@ -2,7 +2,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "storage/atomic_file.h"
 #include "storage/binary_io.h"
 
 namespace depminer {
@@ -21,10 +23,10 @@ constexpr char kMagic[4] = {'D', 'M', 'C', '1'};
 }  // namespace
 
 Status WriteColumnFile(const Relation& relation, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
+  // Serialized in memory and published through the durable-write helper,
+  // so a `.dmc` file either exists completely or not at all — the same
+  // crash contract as the checkpoint writer and the catalog manifest.
+  std::ostringstream out(std::ios::binary);
   out.write(kMagic, 4);
   PutU32(out, static_cast<uint32_t>(relation.num_attributes()));
   PutU64(out, relation.num_tuples());
@@ -36,11 +38,10 @@ Status WriteColumnFile(const Relation& relation, const std::string& path) {
     const std::vector<ValueCode>& codes = relation.Column(a);
     for (ValueCode code : codes) PutU32(out, code);
   }
-  out.flush();
   if (!out) {
-    return Status::IoError("failed writing '" + path + "'");
+    return Status::IoError("failed serializing '" + path + "'");
   }
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Relation> ReadColumnFile(const std::string& path) {

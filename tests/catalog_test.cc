@@ -5,8 +5,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "catalog/fingerprint.h"
+#include "common/strings.h"
 #include "core/dep_miner.h"
+#include "fault/fault.h"
 #include "relation/relation_builder.h"
 #include "report/database_profile.h"
 #include "test_util.h"
@@ -17,6 +21,18 @@ namespace {
 using ::depminer::testing::PaperExampleRelation;
 using ::depminer::testing::RandomRelation;
 
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
 class CatalogTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -25,6 +41,8 @@ class CatalogTest : public ::testing::Test {
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ManifestPath() const { return dir_ + "/catalog.manifest"; }
 
   std::string dir_;
 };
@@ -78,13 +96,43 @@ TEST_F(CatalogTest, PutReplacesExisting) {
   EXPECT_EQ(back.value().num_tuples(), 1u);
 }
 
+TEST_F(CatalogTest, PutBumpsGenerationFileNames) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("t", PaperExampleRelation()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/t.g1.dmc"));
+  Result<Relation> small = MakeRelation({{"x", "y"}});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(catalog.value().Put("t", small.value()).ok());
+  // The replacement landed under a fresh generation name and the old
+  // generation was unlinked only after the manifest flipped to the new one.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/t.g2.dmc"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/t.g1.dmc"));
+}
+
+TEST_F(CatalogTest, InfoReportsManifestMetadataWithoutFileIo) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  const Relation r = PaperExampleRelation();
+  ASSERT_TRUE(catalog.value().Put("emp", r).ok());
+  Result<Catalog::DatasetInfo> info = catalog.value().Info("emp");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().name, "emp");
+  EXPECT_EQ(info.value().attributes, r.num_attributes());
+  EXPECT_EQ(info.value().tuples, r.num_tuples());
+  EXPECT_EQ(info.value().fingerprint, FingerprintRelation(r));
+  EXPECT_FALSE(info.value().fingerprint.IsZero());
+  EXPECT_EQ(catalog.value().Info("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(CatalogTest, DropRemovesEntryAndFile) {
   Result<Catalog> catalog = Catalog::Open(dir_);
   ASSERT_TRUE(catalog.ok());
   ASSERT_TRUE(catalog.value().Put("gone", PaperExampleRelation()).ok());
   ASSERT_TRUE(catalog.value().Drop("gone").ok());
   EXPECT_FALSE(catalog.value().Contains("gone"));
-  EXPECT_FALSE(std::filesystem::exists(dir_ + "/gone.dmc"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/gone.g1.dmc"));
   EXPECT_EQ(catalog.value().Drop("gone").code(), StatusCode::kNotFound);
 }
 
@@ -101,16 +149,277 @@ TEST_F(CatalogTest, RejectsUnsafeNames) {
 
 TEST_F(CatalogTest, RejectsCorruptManifest) {
   {
-    std::ofstream out(dir_ + "/catalog.manifest");
+    std::ofstream out(ManifestPath());
     out << "not a manifest\n";
   }
   EXPECT_EQ(Catalog::Open(dir_).status().code(), StatusCode::kIoError);
   {
-    std::ofstream out(dir_ + "/catalog.manifest", std::ios::trunc);
+    std::ofstream out(ManifestPath(), std::ios::trunc);
     out << "# depminer-catalog v1\nbad line without tabs\n";
   }
   EXPECT_EQ(Catalog::Open(dir_).status().code(), StatusCode::kIoError);
 }
+
+TEST_F(CatalogTest, RejectsTruncatedV2Manifest) {
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("ds", PaperExampleRelation()).ok());
+  }
+  const std::string intact = ReadWholeFile(ManifestPath());
+  ASSERT_NE(intact.find("# end 1\n"), std::string::npos);
+
+  // Truncation after the last complete entry line: the footer is gone.
+  std::string truncated = intact;
+  truncated.erase(truncated.find("# end 1\n"));
+  WriteWholeFile(ManifestPath(), truncated);
+  Status open = Catalog::Open(dir_).status();
+  EXPECT_EQ(open.code(), StatusCode::kIoError);
+  EXPECT_NE(open.message().find("# end"), std::string::npos)
+      << open.ToString();
+
+  // Footer survives but disagrees with the entry count.
+  std::string miscounted = intact;
+  miscounted.replace(miscounted.find("# end 1"), 7, "# end 2");
+  WriteWholeFile(ManifestPath(), miscounted);
+  open = Catalog::Open(dir_).status();
+  EXPECT_EQ(open.code(), StatusCode::kIoError);
+  EXPECT_NE(open.message().find("end marker says"), std::string::npos)
+      << open.ToString();
+
+  // Entry lines after the footer: a torn concatenation, not a tail write.
+  WriteWholeFile(ManifestPath(),
+                 intact + "late\tlate.g1.dmc\t2\t2\t" +
+                     std::string(32, '0') + "\n");
+  open = Catalog::Open(dir_).status();
+  EXPECT_EQ(open.code(), StatusCode::kIoError);
+  EXPECT_NE(open.message().find("after end marker"), std::string::npos)
+      << open.ToString();
+
+  // The intact manifest still opens — the rejections above were real.
+  WriteWholeFile(ManifestPath(), intact);
+  EXPECT_TRUE(Catalog::Open(dir_).ok());
+}
+
+TEST_F(CatalogTest, ManifestErrorsNameTheLine) {
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("ds", PaperExampleRelation()).ok());
+  }
+  std::string manifest = ReadWholeFile(ManifestPath());
+  // Corrupt the fingerprint field of the (single) entry on line 2.
+  const size_t fp_start = manifest.rfind('\t') + 1;
+  manifest.replace(fp_start, 32, "zz");
+  WriteWholeFile(ManifestPath(), manifest);
+  const Status open = Catalog::Open(dir_).status();
+  EXPECT_EQ(open.code(), StatusCode::kIoError);
+  EXPECT_NE(open.message().find("line 2"), std::string::npos)
+      << open.ToString();
+  EXPECT_NE(open.message().find("fingerprint"), std::string::npos)
+      << open.ToString();
+}
+
+TEST_F(CatalogTest, GetCountMismatchIsDataLoss) {
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("ds", PaperExampleRelation()).ok());
+  }
+  // Doctor the manifest's tuple count while keeping the file parseable
+  // (field 3 of the entry line; the footer still says one entry).
+  std::string manifest = ReadWholeFile(ManifestPath());
+  std::vector<std::string> lines = Split(manifest, '\n');
+  std::vector<std::string> fields = Split(lines[1], '\t');
+  ASSERT_EQ(fields.size(), 5u);
+  fields[3] = "99";
+  lines[1] = fields[0] + "\t" + fields[1] + "\t" + fields[2] + "\t" +
+             fields[3] + "\t" + fields[4];
+  std::string doctored;
+  for (const std::string& line : lines) {
+    if (!doctored.empty()) doctored += "\n";
+    doctored += line;
+  }
+  WriteWholeFile(ManifestPath(), doctored);
+
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Status get = reopened.value().Get("ds").status();
+  EXPECT_EQ(get.code(), StatusCode::kDataLoss) << get.ToString();
+  EXPECT_NE(get.message().find("99"), std::string::npos) << get.ToString();
+  // GetAll applies the same cross-check.
+  EXPECT_EQ(reopened.value().GetAll().status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CatalogTest, GetFingerprintMismatchIsDataLoss) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  // Same shape, different content: the count cross-check passes, so only
+  // the fingerprint can notice the swap.
+  Result<Relation> a = MakeRelation(Schema({"x", "y"}), {{"1", "2"}});
+  Result<Relation> b = MakeRelation(Schema({"x", "y"}), {{"3", "4"}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(catalog.value().Put("a", a.value()).ok());
+  ASSERT_TRUE(catalog.value().Put("b", b.value()).ok());
+  std::filesystem::copy_file(
+      dir_ + "/b.g1.dmc", dir_ + "/a.g1.dmc",
+      std::filesystem::copy_options::overwrite_existing);
+  const Status get = catalog.value().Get("a").status();
+  EXPECT_EQ(get.code(), StatusCode::kDataLoss) << get.ToString();
+  EXPECT_NE(get.message().find("fingerprint"), std::string::npos)
+      << get.ToString();
+  // The untouched sibling still loads.
+  EXPECT_TRUE(catalog.value().Get("b").ok());
+}
+
+TEST_F(CatalogTest, SweepsOrphanGenerationFilesOnOpen) {
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("ds", PaperExampleRelation()).ok());
+  }
+  // A crash between the column-file write and the manifest save leaves
+  // exactly this artifact: a generation file no entry references.
+  WriteWholeFile(dir_ + "/stray.g7.dmc", "leftover");
+  // Non-generation files are never the catalog's to delete.
+  WriteWholeFile(dir_ + "/legacy.dmc", "legacy");
+  WriteWholeFile(dir_ + "/notes.txt", "keep me");
+
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/stray.g7.dmc"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/legacy.dmc"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/notes.txt"));
+  EXPECT_TRUE(reopened.value().Get("ds").ok());
+}
+
+TEST_F(CatalogTest, ReadsV1ManifestAndUpgradesOnSave) {
+  const Relation r = PaperExampleRelation();
+  {
+    Result<Catalog> catalog = Catalog::Open(dir_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog.value().Put("ds", r).ok());
+  }
+  // Rewrite the manifest in the v1 dialect: 4 fields, no fingerprint, no
+  // footer — what a pre-serving build would have left behind.
+  WriteWholeFile(ManifestPath(),
+                 "# depminer-catalog v1\n"
+                 "ds\tds.g1.dmc\t" +
+                     std::to_string(r.num_attributes()) + "\t" +
+                     std::to_string(r.num_tuples()) + "\n");
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Result<Catalog::DatasetInfo> info = reopened.value().Info("ds");
+  ASSERT_TRUE(info.ok());
+  // v1 entries carry no fingerprint; Get falls back to count checks only.
+  EXPECT_TRUE(info.value().fingerprint.IsZero());
+  EXPECT_TRUE(reopened.value().Get("ds").ok());
+
+  // The next save upgrades the manifest to v2 with a footer.
+  Result<Relation> other = MakeRelation({{"x", "y"}});
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(reopened.value().Put("other", other.value()).ok());
+  const std::string upgraded = ReadWholeFile(ManifestPath());
+  EXPECT_EQ(upgraded.rfind("# depminer-catalog v2\n", 0), 0u);
+  EXPECT_NE(upgraded.find("# end 2\n"), std::string::npos);
+}
+
+#if DEPMINER_FAULTS_ENABLED
+
+TEST_F(CatalogTest, FaultedAdmissionLeavesCatalogUntouched) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("kept", PaperExampleRelation()).ok());
+  Status put;
+  {
+    FaultPlan plan;
+    plan.site = "alloc/catalog";
+    FaultScope scope(plan);
+    put = catalog.value().Put("doomed", PaperExampleRelation());
+    EXPECT_EQ(scope.fires(), 1u);
+  }
+  EXPECT_EQ(put.code(), StatusCode::kCapacityExceeded) << put.ToString();
+  EXPECT_FALSE(catalog.value().Contains("doomed"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/doomed.g1.dmc"));
+  // The failed Put wrote nothing: a reopen sees exactly the prior state.
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().List(), (std::vector<std::string>{"kept"}));
+}
+
+TEST_F(CatalogTest, FaultedManifestWriteRollsBackFreshPut) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  Status put;
+  {
+    FaultPlan plan;
+    plan.site = "io/manifest-write";
+    FaultScope scope(plan);
+    put = catalog.value().Put("doomed", PaperExampleRelation());
+    EXPECT_EQ(scope.fires(), 1u);
+  }
+  EXPECT_EQ(put.code(), StatusCode::kIoError) << put.ToString();
+  // The rollback removed both the in-memory entry and the column file it
+  // had already written, so memory matches the manifest still on disk.
+  EXPECT_FALSE(catalog.value().Contains("doomed"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/doomed.g1.dmc"));
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().size(), 0u);
+  // The catalog object remains usable after the failure.
+  EXPECT_TRUE(catalog.value().Put("doomed", PaperExampleRelation()).ok());
+  EXPECT_TRUE(catalog.value().Get("doomed").ok());
+}
+
+TEST_F(CatalogTest, FaultedManifestWriteRollsBackReplacement) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("t", PaperExampleRelation()).ok());
+  Result<Relation> small = MakeRelation({{"x", "y"}});
+  ASSERT_TRUE(small.ok());
+  Status put;
+  {
+    FaultPlan plan;
+    plan.site = "io/manifest-write";
+    FaultScope scope(plan);
+    put = catalog.value().Put("t", small.value());
+  }
+  EXPECT_EQ(put.code(), StatusCode::kIoError) << put.ToString();
+  // The old generation is still what the catalog serves, in this process
+  // and after a reopen; the abandoned g2 file is gone.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/t.g1.dmc"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/t.g2.dmc"));
+  Result<Relation> back = catalog.value().Get("t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_tuples(), 7u);
+  Result<Catalog> reopened = Catalog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  back = reopened.value().Get("t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_tuples(), 7u);
+}
+
+TEST_F(CatalogTest, FaultedDropRestoresEntryInOrder) {
+  Result<Catalog> catalog = Catalog::Open(dir_);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog.value().Put("a", PaperExampleRelation()).ok());
+  ASSERT_TRUE(catalog.value().Put("b", PaperExampleRelation()).ok());
+  ASSERT_TRUE(catalog.value().Put("c", PaperExampleRelation()).ok());
+  Status drop;
+  {
+    FaultPlan plan;
+    plan.site = "io/manifest-write";
+    FaultScope scope(plan);
+    drop = catalog.value().Drop("b");
+  }
+  EXPECT_EQ(drop.code(), StatusCode::kIoError) << drop.ToString();
+  // Nothing was deleted and the insertion order survived the rollback.
+  EXPECT_EQ(catalog.value().List(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(catalog.value().Get("b").ok());
+}
+
+#endif  // DEPMINER_FAULTS_ENABLED
 
 TEST_F(CatalogTest, GetAllFeedsDatabaseProfile) {
   Result<Catalog> catalog = Catalog::Open(dir_);
@@ -132,6 +441,24 @@ TEST_F(CatalogTest, GetAllFeedsDatabaseProfile) {
       ProfileDatabase(pointers, catalog.value().List());
   ASSERT_TRUE(profile.ok());
   EXPECT_FALSE(profile.value().foreign_keys.empty());
+}
+
+TEST(FingerprintHexTest, RoundTripsAndRejectsGarbage) {
+  Fingerprinter hasher;
+  hasher.UpdateString("catalog-test");
+  const Fingerprint fp = hasher.Finish();
+  EXPECT_FALSE(fp.IsZero());
+  Fingerprint back;
+  ASSERT_TRUE(Fingerprint::FromHex(fp.ToHex(), &back));
+  EXPECT_EQ(back, fp);
+
+  Fingerprint scratch;
+  EXPECT_FALSE(Fingerprint::FromHex("", &scratch));
+  EXPECT_FALSE(Fingerprint::FromHex("abc", &scratch));
+  EXPECT_FALSE(Fingerprint::FromHex(std::string(31, '0') + "g", &scratch));
+  EXPECT_FALSE(Fingerprint::FromHex(std::string(33, '0'), &scratch));
+  ASSERT_TRUE(Fingerprint::FromHex(std::string(32, '0'), &scratch));
+  EXPECT_TRUE(scratch.IsZero());
 }
 
 }  // namespace
